@@ -1,0 +1,53 @@
+// Figure 3: per-step runtime of the FairCap pipeline (group mining /
+// treatment mining / greedy selection) across the nine constraint
+// settings, on Stack Overflow.
+//
+//   $ bench_fig3_runtime_breakdown [--rows=N] [--threads=N]
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "data/stackoverflow.h"
+
+using namespace faircap;
+using namespace faircap::bench;
+
+int main(int argc, char** argv) {
+  const BenchFlags flags = BenchFlags::Parse(argc, argv);
+  StackOverflowConfig config;
+  config.num_rows = flags.rows > 0 ? flags.rows : (flags.full ? 38000 : 6000);
+  auto data_result = MakeStackOverflow(config);
+  if (!data_result.ok()) {
+    std::cerr << data_result.status().ToString() << "\n";
+    return 1;
+  }
+  const StackOverflowData data = std::move(data_result).ValueOrDie();
+  std::cout << "Figure 3: runtime by step (Stack Overflow, "
+            << data.df.num_rows() << " rows)\n\n";
+
+  FairCapOptions options;
+  options.apriori.min_support_fraction = 0.1;
+  options.apriori.max_pattern_length = 2;
+  options.lattice.max_predicates = 2;
+  options.cate.min_group_size = 30;
+  options.num_threads = flags.threads;
+
+  std::printf("%-40s %14s %18s %16s %10s\n", "setting", "group-mining(s)",
+              "treatment-mining(s)", "selection(s)", "total(s)");
+  for (const Setting& setting :
+       PaperSettings(/*use_bgl=*/false, 10000.0, 0.5)) {
+    FairCapResult result;
+    RunSetting(data.df, data.dag, data.protected_pattern, setting, options,
+               &result);
+    std::printf("%-40s %14.3f %18.3f %16.3f %10.3f\n", setting.name.c_str(),
+                result.timings.group_mining_seconds,
+                result.timings.treatment_mining_seconds,
+                result.timings.selection_seconds, result.timings.total());
+  }
+  std::cout << "\nPaper shape to check: treatment mining (step 2) dominates "
+               "every setting; group\nmining is negligible; rule-coverage "
+               "settings are the fastest because infeasible\nrules prune "
+               "early; the unconstrained setting is the slowest.\n";
+  return 0;
+}

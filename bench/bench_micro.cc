@@ -1,0 +1,156 @@
+// Component microbenchmarks (google-benchmark): bitmap set algebra,
+// pattern evaluation, Apriori mining, CATE estimation, ruleset statistics
+// and greedy selection. These back the runtime claims of Section 7.3 at
+// the component level.
+
+#include <benchmark/benchmark.h>
+
+#include "causal/estimator.h"
+#include "core/greedy.h"
+#include "data/stackoverflow.h"
+#include "mining/apriori.h"
+
+namespace faircap {
+namespace {
+
+const StackOverflowData& SharedData() {
+  static const StackOverflowData* data = [] {
+    StackOverflowConfig config;
+    config.num_rows = 10000;
+    auto result = MakeStackOverflow(config);
+    return new StackOverflowData(std::move(result).ValueOrDie());
+  }();
+  return *data;
+}
+
+void BM_BitmapAnd(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Bitmap a(n), b(n);
+  for (size_t i = 0; i < n; i += 3) a.Set(i);
+  for (size_t i = 0; i < n; i += 5) b.Set(i);
+  for (auto _ : state) {
+    Bitmap c = a & b;
+    benchmark::DoNotOptimize(c.Count());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BitmapAnd)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_PatternEvaluate(benchmark::State& state) {
+  const StackOverflowData& data = SharedData();
+  const size_t country = *data.df.schema().IndexOf("Country");
+  const size_t age = *data.df.schema().IndexOf("AgeGroup");
+  const Pattern pattern({Predicate(country, CompareOp::kEq, Value("us")),
+                         Predicate(age, CompareOp::kEq, Value("25-34"))});
+  for (auto _ : state) {
+    Bitmap mask = pattern.Evaluate(data.df);
+    benchmark::DoNotOptimize(mask.Count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.df.num_rows()));
+}
+BENCHMARK(BM_PatternEvaluate);
+
+void BM_Apriori(benchmark::State& state) {
+  const StackOverflowData& data = SharedData();
+  const std::vector<size_t> immutable =
+      data.df.schema().IndicesWithRole(AttrRole::kImmutable);
+  AprioriOptions options;
+  options.min_support_fraction = 0.1;
+  options.max_pattern_length = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto patterns = MineFrequentPatterns(data.df, immutable, options);
+    benchmark::DoNotOptimize(patterns->size());
+  }
+}
+BENCHMARK(BM_Apriori)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_CateRegression(benchmark::State& state) {
+  const StackOverflowData& data = SharedData();
+  const auto estimator = CateEstimator::Create(&data.df, &data.dag);
+  const size_t major = *data.df.schema().IndexOf("UndergradMajor");
+  const Pattern intervention(
+      {Predicate(major, CompareOp::kEq, Value("cs"))});
+  const Bitmap all = data.df.AllRows();
+  for (auto _ : state) {
+    auto estimate = estimator->Estimate(intervention, all);
+    benchmark::DoNotOptimize(estimate.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.df.num_rows()));
+}
+BENCHMARK(BM_CateRegression);
+
+void BM_CateStratified(benchmark::State& state) {
+  const StackOverflowData& data = SharedData();
+  CateOptions options;
+  options.method = CateMethod::kStratified;
+  const auto estimator = CateEstimator::Create(&data.df, &data.dag, options);
+  const size_t major = *data.df.schema().IndexOf("UndergradMajor");
+  const Pattern intervention(
+      {Predicate(major, CompareOp::kEq, Value("cs"))});
+  const Bitmap all = data.df.AllRows();
+  for (auto _ : state) {
+    auto estimate = estimator->Estimate(intervention, all);
+    benchmark::DoNotOptimize(estimate.ok());
+  }
+}
+BENCHMARK(BM_CateStratified);
+
+void BM_RulesetStats(benchmark::State& state) {
+  const StackOverflowData& data = SharedData();
+  const Bitmap protected_mask = data.protected_pattern.Evaluate(data.df);
+  // 20 synthetic rules with random-ish coverage windows.
+  std::vector<PrescriptionRule> rules;
+  const size_t n = data.df.num_rows();
+  for (size_t i = 0; i < 20; ++i) {
+    PrescriptionRule rule;
+    rule.coverage = Bitmap(n);
+    for (size_t r = i * 97 % n; r < n; r += 2 + i % 5) rule.coverage.Set(r);
+    rule.coverage_protected = rule.coverage & protected_mask;
+    rule.support = rule.coverage.Count();
+    rule.support_protected = rule.coverage_protected.Count();
+    rule.utility = 1000.0 + static_cast<double>(i);
+    rule.utility_protected = 800.0;
+    rule.utility_nonprotected = 1200.0;
+    rules.push_back(std::move(rule));
+  }
+  for (auto _ : state) {
+    const RulesetStats stats = ComputeRulesetStats(rules, protected_mask);
+    benchmark::DoNotOptimize(stats.exp_utility);
+  }
+}
+BENCHMARK(BM_RulesetStats);
+
+void BM_GreedySelect(benchmark::State& state) {
+  const StackOverflowData& data = SharedData();
+  const Bitmap protected_mask = data.protected_pattern.Evaluate(data.df);
+  std::vector<PrescriptionRule> rules;
+  const size_t n = data.df.num_rows();
+  for (size_t i = 0; i < 40; ++i) {
+    PrescriptionRule rule;
+    rule.coverage = Bitmap(n);
+    for (size_t r = (i * 131) % n; r < n; r += 2 + i % 7) {
+      rule.coverage.Set(r);
+    }
+    rule.coverage_protected = rule.coverage & protected_mask;
+    rule.support = rule.coverage.Count();
+    rule.support_protected = rule.coverage_protected.Count();
+    rule.utility = 500.0 + 13.0 * static_cast<double>(i % 11);
+    rule.utility_protected = rule.utility * 0.6;
+    rule.utility_nonprotected = rule.utility * 1.1;
+    rules.push_back(std::move(rule));
+  }
+  for (auto _ : state) {
+    const GreedyResult result = GreedySelect(
+        rules, protected_mask, FairnessConstraint::GroupSP(500.0),
+        CoverageConstraint::Group(0.5, 0.5));
+    benchmark::DoNotOptimize(result.stats.exp_utility);
+  }
+}
+BENCHMARK(BM_GreedySelect);
+
+}  // namespace
+}  // namespace faircap
+
+BENCHMARK_MAIN();

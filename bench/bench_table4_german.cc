@@ -1,0 +1,110 @@
+// Table 4 (bottom): German Credit with BGL fairness. Nine FairCap
+// constraint variants plus IDS and FRL adapters. The dataset is the
+// paper's full size (1000 rows) by default.
+//
+//   $ bench_table4_german [--rows=N] [--threads=N]
+
+#include <iostream>
+
+#include "baselines/adapters.h"
+#include "baselines/frl.h"
+#include "baselines/ids.h"
+#include "bench_util.h"
+#include "core/greedy.h"
+#include "data/german.h"
+
+using namespace faircap;
+using namespace faircap::bench;
+
+int main(int argc, char** argv) {
+  const BenchFlags flags = BenchFlags::Parse(argc, argv);
+  GermanConfig config;
+  if (flags.rows > 0) config.num_rows = flags.rows;
+  auto data_result = MakeGerman(config);
+  if (!data_result.ok()) {
+    std::cerr << data_result.status().ToString() << "\n";
+    return 1;
+  }
+  const GermanData data = std::move(data_result).ValueOrDie();
+  std::cout << "German Credit (synthetic), " << data.df.num_rows()
+            << " rows; BGL fairness tau=0.1, coverage theta=0.3\n\n";
+
+  FairCapOptions options;
+  options.apriori.min_support_fraction = 0.1;
+  options.apriori.max_pattern_length = 2;
+  options.lattice.max_predicates = 2;
+  options.cate.min_group_size = 10;
+  options.min_subgroup_arm = 3;  // 92 protected rows total
+  options.num_threads = flags.threads;
+
+  std::vector<SolutionRow> rows;
+  for (const Setting& setting :
+       PaperSettings(/*use_bgl=*/true, /*fairness_threshold=*/0.1,
+                     /*theta=*/0.3)) {
+    rows.push_back(RunSetting(data.df, data.dag, data.protected_pattern,
+                              setting, options));
+  }
+
+  auto solver =
+      FairCap::Create(&data.df, &data.dag, data.protected_pattern, options);
+  if (!solver.ok()) {
+    std::cerr << solver.status().ToString() << "\n";
+    return 1;
+  }
+  auto run_adapters = [&](const std::string& label,
+                          const std::vector<Pattern>& antecedents) {
+    for (const auto& [mode, suffix] :
+         std::vector<std::pair<IfClauseTreatment, std::string>>{
+             {IfClauseTreatment::kAsGroupingPattern,
+              " (IF clause as grouping pattern)"},
+             {IfClauseTreatment::kAsInterventionPattern,
+              " (IF clause as intervention pattern)"}}) {
+      StopWatch watch;
+      auto rules = AdaptBaselineRules(*solver, antecedents, mode);
+      if (!rules.ok()) {
+        std::cerr << rules.status().ToString() << "\n";
+        std::exit(1);
+      }
+      const GreedyResult greedy = GreedySelect(
+          *rules, solver->protected_mask(), FairnessConstraint::None(),
+          CoverageConstraint::None());
+      rows.push_back({label + suffix, greedy.stats, watch.ElapsedSeconds()});
+    }
+  };
+
+  {
+    IdsOptions ids_options;
+    ids_options.apriori.min_support_fraction = 0.1;
+    ids_options.apriori.max_pattern_length = 2;
+    auto ids_rules = FitIds(data.df, ids_options);
+    if (!ids_rules.ok()) {
+      std::cerr << ids_rules.status().ToString() << "\n";
+      return 1;
+    }
+    std::vector<Pattern> antecedents;
+    for (const auto& rule : *ids_rules) antecedents.push_back(rule.antecedent);
+    run_adapters("IDS", antecedents);
+  }
+  {
+    FrlOptions frl_options;
+    frl_options.apriori.min_support_fraction = 0.1;
+    frl_options.apriori.max_pattern_length = 2;
+    frl_options.min_new_coverage = 25;
+    auto frl_rules = FitFrl(data.df, frl_options);
+    if (!frl_rules.ok()) {
+      std::cerr << frl_rules.status().ToString() << "\n";
+      return 1;
+    }
+    std::vector<Pattern> antecedents;
+    for (const auto& rule : *frl_rules) antecedents.push_back(rule.antecedent);
+    run_adapters("FRL", antecedents);
+  }
+
+  PrintMetricsTable(std::cout, "Table 4 (German Credit, BGL fairness)", rows,
+                    /*with_runtime=*/true);
+  std::cout << "Paper shape to check: utilities in [0.2, 0.5]; no-constraint "
+               "maximizes utility and\nunfairness; BGL variants hold "
+               "protected utility near/above tau=0.1; rule coverage\n"
+               "yields the smallest rulesets and gaps.\n";
+  return 0;
+}

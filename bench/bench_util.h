@@ -1,0 +1,107 @@
+// Shared helpers for the table/figure reproduction harnesses: flag
+// parsing, the nine constraint settings of the paper, and runners that
+// produce SolutionRow entries.
+
+#ifndef FAIRCAP_BENCH_BENCH_UTIL_H_
+#define FAIRCAP_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/faircap.h"
+#include "core/metrics.h"
+#include "util/timer.h"
+
+namespace faircap {
+namespace bench {
+
+/// --rows=N / --threads=N / --full command-line flags.
+struct BenchFlags {
+  size_t rows = 0;       ///< 0 = harness default
+  size_t threads = 1;
+  bool full = false;     ///< paper-scale run
+
+  static BenchFlags Parse(int argc, char** argv) {
+    BenchFlags flags;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--rows=", 7) == 0) {
+        flags.rows = static_cast<size_t>(std::atoll(argv[i] + 7));
+      } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+        flags.threads = static_cast<size_t>(std::atoll(argv[i] + 10));
+      } else if (std::strcmp(argv[i], "--full") == 0) {
+        flags.full = true;
+      }
+    }
+    return flags;
+  }
+};
+
+/// One named constraint configuration.
+struct Setting {
+  std::string name;
+  FairnessConstraint fairness;
+  CoverageConstraint coverage;
+};
+
+/// The nine FairCap constraint settings of Table 4 / Figure 3.
+/// `epsilon`/`tau` parameterize SP vs BGL fairness; `theta` the coverage
+/// thresholds (the paper: SO -> SP $10k & theta 0.5; German -> BGL 0.1 &
+/// theta 0.3).
+inline std::vector<Setting> PaperSettings(bool use_bgl, double fairness_threshold,
+                                          double theta) {
+  const FairnessConstraint group_fair =
+      use_bgl ? FairnessConstraint::GroupBGL(fairness_threshold)
+              : FairnessConstraint::GroupSP(fairness_threshold);
+  const FairnessConstraint indi_fair =
+      use_bgl ? FairnessConstraint::IndividualBGL(fairness_threshold)
+              : FairnessConstraint::IndividualSP(fairness_threshold);
+  return {
+      {"No constraints", FairnessConstraint::None(),
+       CoverageConstraint::None()},
+      {"Group coverage", FairnessConstraint::None(),
+       CoverageConstraint::Group(theta, theta)},
+      {"Rule coverage", FairnessConstraint::None(),
+       CoverageConstraint::Rule(theta, theta)},
+      {"Group fairness", group_fair, CoverageConstraint::None()},
+      {"Individual fairness", indi_fair, CoverageConstraint::None()},
+      {"Group coverage, Group fairness", group_fair,
+       CoverageConstraint::Group(theta, theta)},
+      {"Rule coverage, Group fairness", group_fair,
+       CoverageConstraint::Rule(theta, theta)},
+      {"Group coverage, Individual fairness", indi_fair,
+       CoverageConstraint::Group(theta, theta)},
+      {"Rule coverage, Individual fairness", indi_fair,
+       CoverageConstraint::Rule(theta, theta)},
+  };
+}
+
+/// Runs one FairCap configuration and returns the labeled metrics row.
+/// Exits the process on error (bench harnesses are not recoverable).
+inline SolutionRow RunSetting(const DataFrame& df, const CausalDag& dag,
+                              const Pattern& protected_pattern,
+                              const Setting& setting, FairCapOptions options,
+                              FairCapResult* result_out = nullptr) {
+  options.fairness = setting.fairness;
+  options.coverage = setting.coverage;
+  auto solver = FairCap::Create(&df, &dag, protected_pattern, options);
+  if (!solver.ok()) {
+    std::cerr << setting.name << ": " << solver.status().ToString() << "\n";
+    std::exit(1);
+  }
+  auto result = solver->Run();
+  if (!result.ok()) {
+    std::cerr << setting.name << ": " << result.status().ToString() << "\n";
+    std::exit(1);
+  }
+  SolutionRow row{setting.name, result->stats, result->timings.total()};
+  if (result_out != nullptr) *result_out = std::move(result).ValueOrDie();
+  return row;
+}
+
+}  // namespace bench
+}  // namespace faircap
+
+#endif  // FAIRCAP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,85 @@
+// Case study on the synthetic German Credit dataset with bounded-group-
+// loss (BGL) fairness (Section 6 of the paper, bottom of Table 4). The
+// outcome is binary (good credit risk), so utilities are probability
+// gains in [0, 1].
+//
+//   $ ./credit_study
+
+#include <iostream>
+
+#include "core/faircap.h"
+#include "core/metrics.h"
+#include "data/german.h"
+
+using namespace faircap;
+
+int main() {
+  auto data_result = MakeGerman();
+  if (!data_result.ok()) {
+    std::cerr << data_result.status().ToString() << "\n";
+    return 1;
+  }
+  const GermanData data = std::move(data_result).ValueOrDie();
+  std::cout << "Synthetic German Credit: " << data.df.num_rows()
+            << " rows, protected group = single females ("
+            << data.protected_pattern.Evaluate(data.df).Count()
+            << " applicants)\n\n";
+
+  FairCapOptions base;
+  base.apriori.min_support_fraction = 0.1;
+  base.apriori.max_pattern_length = 2;
+  base.lattice.max_predicates = 2;
+  base.cate.min_group_size = 10;
+  base.num_threads = 1;
+
+  struct Variant {
+    const char* name;
+    FairnessConstraint fairness;
+    CoverageConstraint coverage;
+  };
+  // German defaults from the paper: coverage 30%, BGL tau 0.1.
+  const Variant variants[] = {
+      {"No constraints", FairnessConstraint::None(),
+       CoverageConstraint::None()},
+      {"Group BGL (tau=0.1)", FairnessConstraint::GroupBGL(0.1),
+       CoverageConstraint::None()},
+      {"Individual BGL (tau=0.1)", FairnessConstraint::IndividualBGL(0.1),
+       CoverageConstraint::None()},
+      {"Rule coverage (30%) + group BGL", FairnessConstraint::GroupBGL(0.1),
+       CoverageConstraint::Rule(0.3, 0.3)},
+  };
+
+  std::vector<SolutionRow> rows;
+  for (const Variant& variant : variants) {
+    FairCapOptions options = base;
+    options.fairness = variant.fairness;
+    options.coverage = variant.coverage;
+    auto solver =
+        FairCap::Create(&data.df, &data.dag, data.protected_pattern, options);
+    if (!solver.ok()) {
+      std::cerr << solver.status().ToString() << "\n";
+      return 1;
+    }
+    auto result = solver->Run();
+    if (!result.ok()) {
+      std::cerr << result.status().ToString() << "\n";
+      return 1;
+    }
+    rows.push_back({variant.name, result->stats, result->timings.total()});
+
+    std::cout << "--- " << variant.name << " ---\n";
+    size_t shown = 0;
+    for (const auto& rule : result->rules) {
+      if (shown++ >= 3) break;
+      std::cout << "  " << rule.ToString(data.df.schema()) << "\n";
+    }
+    std::cout << "\n";
+  }
+
+  PrintMetricsTable(std::cout, "Case study summary (cf. Table 4, German)",
+                    rows, /*with_runtime=*/true);
+  std::cout << "Utilities are probability gains on the binary credit-risk "
+               "outcome; compare the\nBGL rows' protected utility against "
+               "tau=0.1 and the unconstrained row's gap.\n";
+  return 0;
+}

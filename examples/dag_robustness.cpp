@@ -1,0 +1,83 @@
+// DAG-robustness walkthrough (Section 7.2.1 / Table 6): run FairCap with
+// the ground-truth DAG, three simplified layered DAGs, and a DAG
+// discovered from data by the PC algorithm, and compare the resulting
+// rulesets.
+//
+//   $ ./dag_robustness
+
+#include <iostream>
+
+#include "causal/pc.h"
+#include "core/faircap.h"
+#include "core/metrics.h"
+#include "data/scm.h"
+#include "data/stackoverflow.h"
+
+using namespace faircap;
+
+int main() {
+  StackOverflowConfig config;
+  config.num_rows = 6000;
+  auto data_result = MakeStackOverflow(config);
+  if (!data_result.ok()) {
+    std::cerr << data_result.status().ToString() << "\n";
+    return 1;
+  }
+  const StackOverflowData data = std::move(data_result).ValueOrDie();
+
+  FairCapOptions options;
+  options.apriori.min_support_fraction = 0.2;
+  options.apriori.max_pattern_length = 1;
+  options.lattice.max_predicates = 1;
+  options.cate.min_group_size = 30;
+  options.fairness = FairnessConstraint::GroupSP(10000.0);
+  options.coverage = CoverageConstraint::Group(0.5, 0.5);
+  options.num_threads = 1;
+
+  std::vector<std::pair<std::string, CausalDag>> dags;
+  dags.emplace_back("Original causal DAG", data.dag);
+  for (const auto& [name, variant] :
+       std::vector<std::pair<std::string, DagVariant>>{
+           {"1-layer independent DAG", DagVariant::kOneLayerIndependent},
+           {"2-layer mutable DAG", DagVariant::kTwoLayerMutable},
+           {"2-layer DAG", DagVariant::kTwoLayer}}) {
+    auto dag = MakeLayeredDag(data.df.schema(), variant);
+    if (!dag.ok()) {
+      std::cerr << dag.status().ToString() << "\n";
+      return 1;
+    }
+    dags.emplace_back(name, std::move(dag).ValueOrDie());
+  }
+  PcOptions pc_options;
+  pc_options.max_rows = 2000;
+  pc_options.max_condition_size = 1;
+  auto pc_dag = RunPc(data.df, pc_options);
+  if (!pc_dag.ok()) {
+    std::cerr << pc_dag.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "PC discovered " << pc_dag->num_edges() << " edges over "
+            << pc_dag->num_nodes() << " variables\n\n";
+  dags.emplace_back("PC DAG", std::move(pc_dag).ValueOrDie());
+
+  std::vector<SolutionRow> rows;
+  for (const auto& [name, dag] : dags) {
+    auto solver =
+        FairCap::Create(&data.df, &dag, data.protected_pattern, options);
+    if (!solver.ok()) {
+      std::cerr << name << ": " << solver.status().ToString() << "\n";
+      continue;
+    }
+    auto result = solver->Run();
+    if (!result.ok()) {
+      std::cerr << name << ": " << result.status().ToString() << "\n";
+      continue;
+    }
+    rows.push_back({name, result->stats, result->timings.total()});
+  }
+  PrintMetricsTable(std::cout, "DAG robustness (cf. Table 6, SO)", rows,
+                    /*with_runtime=*/true);
+  std::cout << "Expected shape: utilities stay in the same ballpark across "
+               "DAG choices\n(the paper reports robustness on SO).\n";
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Quickstart: the smallest end-to-end FairCap run.
+//
+// Builds a tiny in-memory dataset (education/role -> income with a gender
+// pay-gap planted), declares the causal DAG, marks the protected group,
+// and asks FairCap for a fair prescription ruleset.
+//
+//   $ ./quickstart
+
+#include <iostream>
+
+#include "core/faircap.h"
+#include "util/random.h"
+
+using namespace faircap;
+
+int main() {
+  // 1. Schema: immutable demographics, mutable (actionable) attributes,
+  //    and a numeric outcome.
+  auto schema_result = Schema::Create({
+      {"Gender", AttrType::kCategorical, AttrRole::kImmutable},
+      {"AgeGroup", AttrType::kCategorical, AttrRole::kImmutable},
+      {"Education", AttrType::kCategorical, AttrRole::kMutable},
+      {"Role", AttrType::kCategorical, AttrRole::kMutable},
+      {"Income", AttrType::kNumeric, AttrRole::kOutcome},
+  });
+  if (!schema_result.ok()) {
+    std::cerr << schema_result.status().ToString() << "\n";
+    return 1;
+  }
+  DataFrame df = DataFrame::Create(std::move(schema_result).ValueOrDie());
+
+  // 2. Synthesize observational data. A degree is worth +20k (but only
+  //    +8k for women — the planted disparity), a senior role +15k.
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const bool female = rng.NextBernoulli(0.4);
+    const bool young = rng.NextBernoulli(0.5);
+    const bool degree = rng.NextBernoulli(young ? 0.5 : 0.35);
+    const bool senior = rng.NextBernoulli(degree ? 0.45 : 0.2);
+    double income = 40000.0;
+    if (degree) income += female ? 8000.0 : 20000.0;
+    if (senior) income += 15000.0;
+    if (!young) income += 5000.0;
+    income += rng.NextGaussian(0.0, 4000.0);
+    const Status st = df.AppendRow({Value(female ? "female" : "male"),
+                                    Value(young ? "18-35" : "36+"),
+                                    Value(degree ? "degree" : "none"),
+                                    Value(senior ? "senior" : "junior"),
+                                    Value(income)});
+    if (!st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+  }
+
+  // 3. Causal DAG (domain knowledge): age affects education; education
+  //    affects role; education, role and age affect income.
+  auto dag_result = CausalDag::Create(
+      {"Gender", "AgeGroup", "Education", "Role", "Income"},
+      {{"AgeGroup", "Education"},
+       {"Education", "Role"},
+       {"Education", "Income"},
+       {"Role", "Income"},
+       {"AgeGroup", "Income"},
+       {"Gender", "Income"}});
+  if (!dag_result.ok()) {
+    std::cerr << dag_result.status().ToString() << "\n";
+    return 1;
+  }
+  const CausalDag dag = std::move(dag_result).ValueOrDie();
+
+  // 4. Protected group: women.
+  const size_t gender = *df.schema().IndexOf("Gender");
+  const Pattern protected_pattern(
+      {Predicate(gender, CompareOp::kEq, Value("female"))});
+
+  // 5. Solve twice: unconstrained vs. group statistical parity.
+  for (const bool fair : {false, true}) {
+    FairCapOptions options;
+    options.apriori.min_support_fraction = 0.2;
+    options.num_threads = 1;
+    if (fair) options.fairness = FairnessConstraint::GroupSP(4000.0);
+
+    auto solver = FairCap::Create(&df, &dag, protected_pattern, options);
+    if (!solver.ok()) {
+      std::cerr << solver.status().ToString() << "\n";
+      return 1;
+    }
+    auto result = solver->Run();
+    if (!result.ok()) {
+      std::cerr << result.status().ToString() << "\n";
+      return 1;
+    }
+
+    std::cout << (fair ? "\n=== With group-SP fairness (epsilon=$4k) ==="
+                       : "=== No fairness constraint ===")
+              << "\n";
+    std::cout << "rules: " << result->rules.size()
+              << "  coverage: " << 100.0 * result->stats.coverage_fraction
+              << "%  expected utility: $" << result->stats.exp_utility
+              << "\n  protected: $" << result->stats.exp_utility_protected
+              << "  non-protected: $"
+              << result->stats.exp_utility_nonprotected
+              << "  unfairness: $" << result->stats.unfairness << "\n";
+    for (const auto& rule : result->rules) {
+      std::cout << "  - " << rule.ToString(df.schema()) << "\n";
+    }
+  }
+  std::cout << "\nNote how the fairness constraint steers selection away "
+               "from the degree-based rule\n(worth $20k to men but $8k to "
+               "women) toward equitable prescriptions.\n";
+  return 0;
+}

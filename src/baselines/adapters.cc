@@ -1,0 +1,54 @@
+#include "baselines/adapters.h"
+
+#include <unordered_set>
+
+namespace faircap {
+
+Pattern ProjectPattern(const Pattern& pattern, const Schema& schema,
+                       AttrRole role) {
+  std::vector<Predicate> kept;
+  for (const Predicate& p : pattern.predicates()) {
+    if (schema.attribute(p.attr).role == role) kept.push_back(p);
+  }
+  return Pattern(std::move(kept));
+}
+
+Result<std::vector<PrescriptionRule>> AdaptBaselineRules(
+    const FairCap& solver, const std::vector<Pattern>& antecedents,
+    IfClauseTreatment treatment) {
+  const DataFrame& df = solver.estimator().data();
+  std::vector<PrescriptionRule> rules;
+  std::unordered_set<std::string> seen;
+
+  if (treatment == IfClauseTreatment::kAsGroupingPattern) {
+    // Project to immutable predicates, then let FairCap's step 2 find the
+    // best intervention for each group.
+    std::vector<FrequentPattern> groups;
+    for (const Pattern& antecedent : antecedents) {
+      Pattern grouping =
+          ProjectPattern(antecedent, df.schema(), AttrRole::kImmutable);
+      if (!seen.insert(grouping.Key()).second) continue;
+      FrequentPattern fp;
+      fp.coverage = grouping.Evaluate(df);
+      fp.support = fp.coverage.Count();
+      fp.pattern = std::move(grouping);
+      if (fp.support == 0) continue;
+      groups.push_back(std::move(fp));
+    }
+    return solver.MineCandidateRules(groups);
+  }
+
+  // IF clause as intervention: group = whole dataset.
+  for (const Pattern& antecedent : antecedents) {
+    Pattern intervention =
+        ProjectPattern(antecedent, df.schema(), AttrRole::kMutable);
+    if (intervention.empty()) continue;
+    if (!seen.insert(intervention.Key()).second) continue;
+    PrescriptionRule rule = solver.CostRule(Pattern::Empty(), intervention);
+    if (rule.utility <= 0.0) continue;
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+}  // namespace faircap

@@ -1,0 +1,39 @@
+// Baseline adapters (Section 7.1). IDS/FRL emit prediction rules, not
+// prescriptions, so the paper evaluates them two ways:
+//   (1) IF clause as grouping pattern — keep the antecedent's immutable
+//       predicates as P_grp, then run FairCap step 2 to find P_int;
+//   (2) IF clause as intervention pattern — keep the antecedent's mutable
+//       predicates as P_int, with the whole dataset as the group.
+// Either way the resulting prescription rules are costed with the causal
+// estimator so they are comparable in Table 4.
+
+#ifndef FAIRCAP_BASELINES_ADAPTERS_H_
+#define FAIRCAP_BASELINES_ADAPTERS_H_
+
+#include <vector>
+
+#include "core/faircap.h"
+#include "mining/pattern.h"
+
+namespace faircap {
+
+/// How to interpret a baseline rule's IF clause.
+enum class IfClauseTreatment {
+  kAsGroupingPattern,
+  kAsInterventionPattern,
+};
+
+/// Converts baseline antecedents into costed prescription rules using
+/// `solver`'s data, DAG, and estimator. Antecedents that become empty
+/// after the role filter are dropped; duplicates are merged.
+Result<std::vector<PrescriptionRule>> AdaptBaselineRules(
+    const FairCap& solver, const std::vector<Pattern>& antecedents,
+    IfClauseTreatment treatment);
+
+/// Projects a pattern onto attributes with the given role.
+Pattern ProjectPattern(const Pattern& pattern, const Schema& schema,
+                       AttrRole role);
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_BASELINES_ADAPTERS_H_

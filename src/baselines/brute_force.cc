@@ -1,0 +1,58 @@
+#include "baselines/brute_force.h"
+
+namespace faircap {
+
+Result<BruteForceResult> BruteForceSelect(
+    const std::vector<PrescriptionRule>& candidates,
+    const Bitmap& protected_mask, const FairnessConstraint& fairness,
+    const CoverageConstraint& coverage, const BruteForceOptions& options) {
+  if (candidates.size() > options.max_candidates) {
+    return Status::InvalidArgument(
+        "brute force limited to " + std::to_string(options.max_candidates) +
+        " candidates; got " + std::to_string(candidates.size()));
+  }
+  const size_t population = protected_mask.size();
+  const size_t population_protected = protected_mask.Count();
+  const size_t l = candidates.size();
+
+  BruteForceResult best;
+  best.objective = -1e300;
+
+  std::vector<size_t> subset;
+  for (uint64_t mask = 0; mask < (1ULL << l); ++mask) {
+    if (static_cast<size_t>(__builtin_popcountll(mask)) > options.max_rules) {
+      continue;
+    }
+    subset.clear();
+    bool matroid_ok = true;
+    for (size_t i = 0; i < l; ++i) {
+      if ((mask >> i) & 1ULL) {
+        const PrescriptionRule& rule = candidates[i];
+        if (rule.utility <= 0.0 ||
+            !coverage.RuleSatisfies(rule, population, population_protected) ||
+            !fairness.RuleSatisfies(rule)) {
+          matroid_ok = false;
+          break;
+        }
+        subset.push_back(i);
+      }
+    }
+    if (!matroid_ok) continue;
+    const RulesetStats stats =
+        ComputeRulesetStats(candidates, subset, protected_mask);
+    if (!fairness.StatsSatisfy(stats) || !coverage.StatsSatisfy(stats)) {
+      continue;
+    }
+    const double objective =
+        RulesetObjective(stats, l, options.lambda1, options.lambda2);
+    if (objective > best.objective) {
+      best.objective = objective;
+      best.selected = subset;
+      best.stats = stats;
+      best.found_valid = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace faircap

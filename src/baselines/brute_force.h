@@ -1,0 +1,45 @@
+// Exhaustive ruleset search over candidate subsets. Exponential — only for
+// small candidate pools. Used in tests to validate the greedy heuristic
+// and in the Section 7.3 discussion of why brute force is impractical.
+
+#ifndef FAIRCAP_BASELINES_BRUTE_FORCE_H_
+#define FAIRCAP_BASELINES_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "core/coverage.h"
+#include "core/fairness.h"
+#include "core/rule.h"
+#include "core/ruleset.h"
+#include "util/result.h"
+
+namespace faircap {
+
+/// Optimal subset under the Definition 4.6 objective.
+struct BruteForceResult {
+  std::vector<size_t> selected;
+  RulesetStats stats;
+  double objective = 0.0;
+  bool found_valid = false;  ///< false if no subset satisfies constraints
+};
+
+/// Options for the exhaustive search.
+struct BruteForceOptions {
+  double lambda1 = 0.0;  ///< size term weight
+  double lambda2 = 1.0;  ///< expected-utility term weight
+  size_t max_rules = 20;
+  /// Hard cap on candidate count (2^n subsets).
+  size_t max_candidates = 22;
+};
+
+/// Enumerates every subset of `candidates` (up to `max_rules` in size),
+/// keeps those satisfying the fairness + coverage constraints, and returns
+/// the objective maximizer. Fails if candidates exceed `max_candidates`.
+Result<BruteForceResult> BruteForceSelect(
+    const std::vector<PrescriptionRule>& candidates,
+    const Bitmap& protected_mask, const FairnessConstraint& fairness,
+    const CoverageConstraint& coverage, const BruteForceOptions& options = {});
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_BASELINES_BRUTE_FORCE_H_

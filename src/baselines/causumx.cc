@@ -1,0 +1,24 @@
+#include "baselines/causumx.h"
+
+namespace faircap {
+
+Result<FairCapResult> RunCauSumX(const DataFrame* df, const CausalDag* dag,
+                                 const Pattern& protected_pattern,
+                                 const CauSumXOptions& options) {
+  FairCapOptions fc_options;
+  fc_options.apriori = options.apriori;
+  fc_options.lattice = options.lattice;
+  fc_options.cate = options.cate;
+  fc_options.greedy = options.greedy;
+  fc_options.fairness = FairnessConstraint::None();
+  // Overall coverage only: theta_protected = 0.
+  fc_options.coverage =
+      CoverageConstraint::Group(options.coverage_theta, 0.0);
+  fc_options.num_threads = options.num_threads;
+  FAIRCAP_ASSIGN_OR_RETURN(
+      const FairCap solver,
+      FairCap::Create(df, dag, protected_pattern, fc_options));
+  return solver.Run();
+}
+
+}  // namespace faircap

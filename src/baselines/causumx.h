@@ -1,0 +1,34 @@
+// CauSumX baseline (Youngmann et al. 2024). When applied to prescription
+// mining it behaves like FairCap with no fairness constraint: per grouping
+// pattern it keeps the treatment with the highest CATE, then greedily
+// selects by coverage + utility (Section 7.1: "it can be viewed as a
+// solution to our problem with only an overall coverage constraint").
+
+#ifndef FAIRCAP_BASELINES_CAUSUMX_H_
+#define FAIRCAP_BASELINES_CAUSUMX_H_
+
+#include "core/faircap.h"
+
+namespace faircap {
+
+/// Options: same shape as FairCap's, minus fairness (always none).
+struct CauSumXOptions {
+  AprioriOptions apriori;
+  LatticeOptions lattice;
+  CateOptions cate;
+  GreedyOptions greedy;
+  /// CauSumX targets overall coverage only.
+  double coverage_theta = 0.5;
+  size_t num_threads = 0;
+};
+
+/// Runs the CauSumX-style pipeline. Fairness is disabled; utilities for
+/// protected / non-protected groups are still reported so the unfairness
+/// of the result can be measured.
+Result<FairCapResult> RunCauSumX(const DataFrame* df, const CausalDag* dag,
+                                 const Pattern& protected_pattern,
+                                 const CauSumXOptions& options = {});
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_BASELINES_CAUSUMX_H_

@@ -1,0 +1,76 @@
+#include "baselines/frl.h"
+
+#include <cmath>
+#include <limits>
+
+namespace faircap {
+
+Result<std::vector<FrlRule>> FitFrl(const DataFrame& df,
+                                    const FrlOptions& options) {
+  FAIRCAP_ASSIGN_OR_RETURN(const size_t outcome, df.schema().OutcomeIndex());
+  const double mean = df.Mean(outcome);
+  if (std::isnan(mean)) {
+    return Status::FailedPrecondition("outcome column has no values");
+  }
+  const size_t n = df.num_rows();
+  Bitmap positive(n);
+  const Column& col = df.column(outcome);
+  for (size_t r = 0; r < n; ++r) {
+    if (!col.IsNull(r) && col.numeric(r) >= mean) positive.Set(r);
+  }
+  const double base_rate =
+      n == 0 ? 0.0
+             : static_cast<double>(positive.Count()) / static_cast<double>(n);
+
+  std::vector<size_t> attrs;
+  for (size_t i = 0; i < df.num_columns(); ++i) {
+    const AttributeSpec& spec = df.schema().attribute(i);
+    if (spec.role == AttrRole::kOutcome || spec.role == AttrRole::kIgnored) {
+      continue;
+    }
+    if (spec.type == AttrType::kCategorical) attrs.push_back(i);
+  }
+  FAIRCAP_ASSIGN_OR_RETURN(const std::vector<FrequentPattern> frequent,
+                           MineFrequentPatterns(df, attrs, options.apriori));
+
+  std::vector<FrlRule> list;
+  Bitmap remaining = df.AllRows();
+  std::vector<bool> taken(frequent.size(), false);
+  double previous_probability = std::numeric_limits<double>::infinity();
+
+  while (list.size() < options.max_rules) {
+    double best_probability = -1.0;
+    size_t best = frequent.size();
+    size_t best_support = 0;
+    for (size_t i = 0; i < frequent.size(); ++i) {
+      if (taken[i]) continue;
+      Bitmap fresh = frequent[i].coverage & remaining;
+      const size_t support = fresh.Count();
+      if (support < options.min_new_coverage) continue;
+      const double probability =
+          static_cast<double>((fresh & positive).Count()) /
+          static_cast<double>(support);
+      // Monotonicity: the list must be "falling".
+      if (probability > previous_probability) continue;
+      if (probability > best_probability ||
+          (probability == best_probability && support > best_support)) {
+        best_probability = probability;
+        best = i;
+        best_support = support;
+      }
+    }
+    if (best == frequent.size()) break;
+    if (options.stop_at_base_rate && best_probability < base_rate) break;
+    taken[best] = true;
+    FrlRule rule;
+    rule.antecedent = frequent[best].pattern;
+    rule.probability = best_probability;
+    rule.support = best_support;
+    list.push_back(std::move(rule));
+    remaining.AndNot(frequent[best].coverage);
+    previous_probability = best_probability;
+  }
+  return list;
+}
+
+}  // namespace faircap

@@ -1,0 +1,47 @@
+// FRL baseline: Falling Rule Lists (Chen & Rudin, AISTATS 2018),
+// simplified. An FRL is an *ordered* list of if-then rules whose
+// positive-outcome probabilities are monotonically non-increasing; a tuple
+// is scored by the first rule it matches. Rules are association-based
+// (non-causal). The original uses Bayesian joint optimization; we use the
+// standard greedy construction (pick the highest-probability candidate on
+// the not-yet-covered rows, enforce monotonicity), which preserves the
+// baseline's behavioural role at far lower cost — the paper itself notes
+// FRL is an order of magnitude slower than IDS for this reason.
+
+#ifndef FAIRCAP_BASELINES_FRL_H_
+#define FAIRCAP_BASELINES_FRL_H_
+
+#include <vector>
+
+#include "dataframe/dataframe.h"
+#include "mining/apriori.h"
+#include "util/result.h"
+
+namespace faircap {
+
+/// One rule in the falling list.
+struct FrlRule {
+  Pattern antecedent;
+  /// Empirical P(outcome above mean | antecedent, not covered earlier).
+  double probability = 0.0;
+  /// Rows matched by this rule and no earlier rule.
+  size_t support = 0;
+};
+
+/// Tuning knobs.
+struct FrlOptions {
+  AprioriOptions apriori;
+  size_t max_rules = 16;
+  /// A rule must newly cover at least this many rows.
+  size_t min_new_coverage = 50;
+  /// Stop once the best candidate probability drops below the base rate.
+  bool stop_at_base_rate = true;
+};
+
+/// Learns a falling rule list for "outcome above its mean".
+Result<std::vector<FrlRule>> FitFrl(const DataFrame& df,
+                                    const FrlOptions& options = {});
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_BASELINES_FRL_H_

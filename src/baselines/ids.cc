@@ -1,0 +1,115 @@
+#include "baselines/ids.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace faircap {
+
+namespace {
+
+// Rows whose outcome is >= the outcome mean.
+Result<Bitmap> PositiveMask(const DataFrame& df) {
+  FAIRCAP_ASSIGN_OR_RETURN(const size_t outcome, df.schema().OutcomeIndex());
+  const double mean = df.Mean(outcome);
+  if (std::isnan(mean)) {
+    return Status::FailedPrecondition("outcome column has no values");
+  }
+  Bitmap positive(df.num_rows());
+  const Column& col = df.column(outcome);
+  for (size_t r = 0; r < df.num_rows(); ++r) {
+    if (!col.IsNull(r) && col.numeric(r) >= mean) positive.Set(r);
+  }
+  return positive;
+}
+
+std::vector<size_t> CandidateAttrs(const DataFrame& df) {
+  std::vector<size_t> attrs;
+  for (size_t i = 0; i < df.num_columns(); ++i) {
+    const AttributeSpec& spec = df.schema().attribute(i);
+    if (spec.role == AttrRole::kOutcome || spec.role == AttrRole::kIgnored) {
+      continue;
+    }
+    if (spec.type == AttrType::kCategorical) attrs.push_back(i);
+  }
+  return attrs;
+}
+
+}  // namespace
+
+Result<std::vector<IdsRule>> FitIds(const DataFrame& df,
+                                    const IdsOptions& options) {
+  FAIRCAP_ASSIGN_OR_RETURN(const Bitmap positive, PositiveMask(df));
+  FAIRCAP_ASSIGN_OR_RETURN(
+      const std::vector<FrequentPattern> frequent,
+      MineFrequentPatterns(df, CandidateAttrs(df), options.apriori));
+
+  // Build both-class candidates with their confidence.
+  struct Candidate {
+    IdsRule rule;
+    size_t correct = 0;  // rows where predicted class matches
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(frequent.size());
+  for (const FrequentPattern& fp : frequent) {
+    if (fp.support == 0) continue;
+    const size_t pos = (fp.coverage & positive).Count();
+    const size_t neg = fp.support - pos;
+    Candidate c;
+    c.rule.antecedent = fp.pattern;
+    c.rule.coverage = fp.coverage;
+    c.rule.support = fp.support;
+    if (pos >= neg) {
+      c.rule.positive = true;
+      c.rule.confidence =
+          static_cast<double>(pos) / static_cast<double>(fp.support);
+      c.correct = pos;
+    } else {
+      c.rule.positive = false;
+      c.rule.confidence =
+          static_cast<double>(neg) / static_cast<double>(fp.support);
+      c.correct = neg;
+    }
+    if (c.rule.confidence < options.min_confidence) continue;
+    candidates.push_back(std::move(c));
+  }
+
+  // Greedy submodular selection: marginal gain of adding rule r to set S is
+  //   w_cov * |cover(r) \ cover(S)| / n
+  // + w_prec * (confidence(r) - 0.5) * |cover(r)| / n
+  // - w_overlap * |cover(r) ∩ cover(S)| / n
+  // - w_concise
+  const size_t n = df.num_rows();
+  const double dn = static_cast<double>(std::max<size_t>(n, 1));
+  std::vector<IdsRule> selected;
+  Bitmap covered(n);
+  std::vector<bool> taken(candidates.size(), false);
+  while (selected.size() < options.max_rules) {
+    double best_gain = 0.0;
+    size_t best = candidates.size();
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (taken[i]) continue;
+      const Candidate& c = candidates[i];
+      Bitmap fresh = c.rule.coverage;
+      fresh.AndNot(covered);
+      const double new_cov = static_cast<double>(fresh.Count()) / dn;
+      const double overlap =
+          static_cast<double>(c.rule.support - fresh.Count()) / dn;
+      const double gain =
+          options.weight_coverage * new_cov +
+          options.weight_precision * (c.rule.confidence - 0.5) *
+              static_cast<double>(c.rule.support) / dn -
+          options.weight_overlap * overlap - options.weight_conciseness;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    if (best == candidates.size()) break;
+    taken[best] = true;
+    covered |= candidates[best].rule.coverage;
+    selected.push_back(candidates[best].rule);
+  }
+  return selected;
+}
+
+}  // namespace faircap

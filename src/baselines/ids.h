@@ -1,0 +1,54 @@
+// IDS baseline: Interpretable Decision Sets (Lakkaraju, Bach & Leskovec,
+// KDD 2016), simplified. IDS learns an unordered set of if-then
+// *prediction* rules for a binary outcome by greedily optimizing a
+// submodular trade-off between coverage, precision, and conciseness.
+// The rules are association-based (non-causal); Section 7.1 of the paper
+// adapts their IF clauses into grouping or intervention patterns.
+
+#ifndef FAIRCAP_BASELINES_IDS_H_
+#define FAIRCAP_BASELINES_IDS_H_
+
+#include <vector>
+
+#include "dataframe/dataframe.h"
+#include "mining/apriori.h"
+#include "util/result.h"
+
+namespace faircap {
+
+/// One learned prediction rule: IF antecedent THEN outcome-class.
+struct IdsRule {
+  Pattern antecedent;
+  bool positive = true;      ///< predicted class (outcome above mean)
+  double confidence = 0.0;   ///< empirical P(class | antecedent)
+  Bitmap coverage;
+  size_t support = 0;
+};
+
+/// Tuning knobs.
+struct IdsOptions {
+  /// Candidate antecedent mining.
+  AprioriOptions apriori;
+  /// Cap on the number of selected rules (the paper assigns FairCap's cap).
+  size_t max_rules = 16;
+  /// Candidates below this confidence are not considered.
+  double min_confidence = 0.55;
+  /// Submodular objective weights: coverage, precision, overlap penalty,
+  /// conciseness penalty per rule. Precision outweighs overlap so strongly
+  /// predictive rules still enter after the data is covered (mirroring the
+  /// IDS objective's accuracy terms).
+  double weight_coverage = 1.0;
+  double weight_precision = 2.0;
+  double weight_overlap = 0.1;
+  double weight_conciseness = 0.01;
+};
+
+/// Learns a decision set predicting whether the outcome is above its mean.
+/// Antecedents range over all categorical non-outcome attributes
+/// (IDS does not distinguish mutable from immutable — Section 7.3).
+Result<std::vector<IdsRule>> FitIds(const DataFrame& df,
+                                    const IdsOptions& options = {});
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_BASELINES_IDS_H_

@@ -1,0 +1,97 @@
+#include "causal/backdoor.h"
+
+#include <algorithm>
+
+#include "causal/d_separation.h"
+
+namespace faircap {
+
+namespace {
+
+// The "proper backdoor graph": remove all edges leaving treatment nodes,
+// so the only T-O paths left are backdoor paths. Z is a valid backdoor
+// set iff it d-separates T and O in this graph (and contains no
+// descendant of T in the original graph).
+CausalDag BackdoorGraph(const CausalDag& dag, const std::vector<size_t>& t) {
+  std::vector<std::pair<std::string, std::string>> edges;
+  std::vector<bool> is_treatment(dag.num_nodes(), false);
+  for (size_t v : t) is_treatment[v] = true;
+  for (size_t u = 0; u < dag.num_nodes(); ++u) {
+    if (is_treatment[u]) continue;  // drop edges out of T
+    for (size_t v : dag.Children(u)) {
+      edges.emplace_back(dag.name(u), dag.name(v));
+    }
+  }
+  Result<CausalDag> result = CausalDag::Create(dag.node_names(), edges);
+  // Removing edges from a DAG cannot create cycles.
+  return std::move(result).ValueOrDie();
+}
+
+}  // namespace
+
+bool IsValidBackdoorSet(const CausalDag& dag, const std::vector<size_t>& t,
+                        size_t o, const std::vector<size_t>& z) {
+  // Condition (1): no member of Z is a descendant of a treatment.
+  std::vector<bool> descendant(dag.num_nodes(), false);
+  for (size_t treatment : t) {
+    for (size_t d : dag.Descendants(treatment)) descendant[d] = true;
+  }
+  for (size_t v : z) {
+    if (descendant[v]) return false;
+    if (v == o) return false;
+    if (std::find(t.begin(), t.end(), v) != t.end()) return false;
+  }
+  // Condition (2): Z blocks all backdoor paths.
+  const CausalDag backdoor_graph = BackdoorGraph(dag, t);
+  return DSeparated(backdoor_graph, t, {o}, z);
+}
+
+Result<std::vector<size_t>> ParentAdjustmentSet(const CausalDag& dag,
+                                                const std::vector<size_t>& t,
+                                                size_t o) {
+  std::vector<bool> in_t(dag.num_nodes(), false);
+  for (size_t v : t) in_t[v] = true;
+  std::vector<size_t> z;
+  for (size_t treatment : t) {
+    for (size_t p : dag.Parents(treatment)) {
+      if (p == o) {
+        return Status::FailedPrecondition(
+            "outcome '" + dag.name(o) + "' is a direct cause of treatment '" +
+            dag.name(treatment) + "'; effect of T on O is ill-posed");
+      }
+      if (!in_t[p]) z.push_back(p);
+    }
+  }
+  std::sort(z.begin(), z.end());
+  z.erase(std::unique(z.begin(), z.end()), z.end());
+  return z;
+}
+
+Result<std::vector<size_t>> MinimalBackdoorSet(const CausalDag& dag,
+                                               const std::vector<size_t>& t,
+                                               size_t o,
+                                               std::vector<size_t> z) {
+  if (!IsValidBackdoorSet(dag, t, o, z)) {
+    return Status::InvalidArgument("initial set is not a valid backdoor set");
+  }
+  // Greedy elimination: drop variables one at a time while validity holds.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < z.size(); ++i) {
+      std::vector<size_t> candidate;
+      candidate.reserve(z.size() - 1);
+      for (size_t j = 0; j < z.size(); ++j) {
+        if (j != i) candidate.push_back(z[j]);
+      }
+      if (IsValidBackdoorSet(dag, t, o, candidate)) {
+        z = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return z;
+}
+
+}  // namespace faircap

@@ -1,0 +1,40 @@
+// Backdoor adjustment-set identification (Pearl 2009, Section 3 of the
+// paper). A set Z satisfies the backdoor criterion relative to (T, O) if
+// (1) no member of Z is a descendant of any treatment node, and (2) Z
+// blocks every path from T to O that starts with an edge into T.
+
+#ifndef FAIRCAP_CAUSAL_BACKDOOR_H_
+#define FAIRCAP_CAUSAL_BACKDOOR_H_
+
+#include <vector>
+
+#include "causal/dag.h"
+#include "util/result.h"
+
+namespace faircap {
+
+/// True iff `z` satisfies the backdoor criterion for treatments `t` and
+/// outcome `o` in `dag`.
+bool IsValidBackdoorSet(const CausalDag& dag, const std::vector<size_t>& t,
+                        size_t o, const std::vector<size_t>& z);
+
+/// Default adjustment set: the union of the treatments' parents, excluding
+/// treatments themselves and the outcome. Parents of T always satisfy the
+/// backdoor criterion, so this set is valid whenever it excludes `o`
+/// (returns an error if `o` is a parent of a treatment, which would make
+/// the effect ill-defined).
+Result<std::vector<size_t>> ParentAdjustmentSet(const CausalDag& dag,
+                                                const std::vector<size_t>& t,
+                                                size_t o);
+
+/// Greedily shrinks `z` while it remains a valid backdoor set; result is a
+/// minimal (not necessarily minimum) valid subset. Errors if `z` itself is
+/// not valid.
+Result<std::vector<size_t>> MinimalBackdoorSet(const CausalDag& dag,
+                                               const std::vector<size_t>& t,
+                                               size_t o,
+                                               std::vector<size_t> z);
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_CAUSAL_BACKDOOR_H_

@@ -1,0 +1,85 @@
+#include "causal/d_separation.h"
+
+#include <array>
+#include <utility>
+
+namespace faircap {
+
+namespace {
+
+// Reachability with direction-of-travel state (Koller & Friedman,
+// Algorithm 3.1 "Reachable"). A node is visited in one of two modes:
+// arriving "from a child" (travelling up) or "from a parent" (down).
+enum class Dir { kUp, kDown };
+
+}  // namespace
+
+bool DSeparated(const CausalDag& dag, const std::vector<size_t>& x,
+                const std::vector<size_t>& y, const std::vector<size_t>& z) {
+  const size_t n = dag.num_nodes();
+  std::vector<bool> observed(n, false);
+  for (size_t v : z) observed[v] = true;
+
+  // Ancestors of Z (including Z): needed to decide whether a collider is
+  // "opened" by conditioning.
+  std::vector<bool> ancestor_of_z(n, false);
+  {
+    std::vector<size_t> stack(z.begin(), z.end());
+    for (size_t v : z) ancestor_of_z[v] = true;
+    while (!stack.empty()) {
+      const size_t v = stack.back();
+      stack.pop_back();
+      for (size_t p : dag.Parents(v)) {
+        if (!ancestor_of_z[p]) {
+          ancestor_of_z[p] = true;
+          stack.push_back(p);
+        }
+      }
+    }
+  }
+
+  std::vector<bool> is_target(n, false);
+  for (size_t v : y) is_target[v] = true;
+
+  // visited[v][dir]
+  std::vector<std::array<bool, 2>> visited(n, {false, false});
+  std::vector<std::pair<size_t, Dir>> stack;
+  for (size_t v : x) stack.emplace_back(v, Dir::kUp);
+
+  while (!stack.empty()) {
+    const auto [v, dir] = stack.back();
+    stack.pop_back();
+    const size_t dir_idx = dir == Dir::kUp ? 0 : 1;
+    if (visited[v][dir_idx]) continue;
+    visited[v][dir_idx] = true;
+
+    if (!observed[v] && is_target[v]) return false;  // active path reaches Y
+
+    if (dir == Dir::kUp) {
+      // Arrived from a child. If v is unobserved, the trail may continue to
+      // v's parents (chain) and to v's children (fork).
+      if (!observed[v]) {
+        for (size_t p : dag.Parents(v)) stack.emplace_back(p, Dir::kUp);
+        for (size_t c : dag.Children(v)) stack.emplace_back(c, Dir::kDown);
+      }
+    } else {
+      // Arrived from a parent. If v is unobserved the chain continues to
+      // children. If v is a collider whose descendants include Z (i.e. v is
+      // an ancestor of Z) the trail may turn back up to v's parents.
+      if (!observed[v]) {
+        for (size_t c : dag.Children(v)) stack.emplace_back(c, Dir::kDown);
+      }
+      if (ancestor_of_z[v]) {
+        for (size_t p : dag.Parents(v)) stack.emplace_back(p, Dir::kUp);
+      }
+    }
+  }
+  return true;
+}
+
+bool DSeparated(const CausalDag& dag, size_t x, size_t y,
+                const std::vector<size_t>& z) {
+  return DSeparated(dag, std::vector<size_t>{x}, std::vector<size_t>{y}, z);
+}
+
+}  // namespace faircap

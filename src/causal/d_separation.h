@@ -1,0 +1,27 @@
+// d-separation: graphical test of conditional independence in a causal DAG
+// (Pearl 2009). Used to verify backdoor adjustment sets and inside PC-style
+// structure tests.
+
+#ifndef FAIRCAP_CAUSAL_D_SEPARATION_H_
+#define FAIRCAP_CAUSAL_D_SEPARATION_H_
+
+#include <vector>
+
+#include "causal/dag.h"
+
+namespace faircap {
+
+/// True iff X and Y are d-separated given Z in `dag`. Sets may overlap;
+/// a node in both X (or Y) and Z is treated as observed, making the pair
+/// trivially d-separated only through other paths. Implements the
+/// reachability ("Bayes-ball") algorithm in O(V + E).
+bool DSeparated(const CausalDag& dag, const std::vector<size_t>& x,
+                const std::vector<size_t>& y, const std::vector<size_t>& z);
+
+/// Convenience overload for singleton X and Y.
+bool DSeparated(const CausalDag& dag, size_t x, size_t y,
+                const std::vector<size_t>& z);
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_CAUSAL_D_SEPARATION_H_

@@ -1,0 +1,161 @@
+#include "causal/dag.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace faircap {
+
+Result<CausalDag> CausalDag::Create(
+    std::vector<std::string> node_names,
+    const std::vector<std::pair<std::string, std::string>>& edges) {
+  CausalDag dag;
+  for (size_t i = 0; i < node_names.size(); ++i) {
+    if (node_names[i].empty()) {
+      return Status::InvalidArgument("node name must be non-empty");
+    }
+    if (dag.index_.count(node_names[i]) != 0) {
+      return Status::AlreadyExists("duplicate node name '" + node_names[i] +
+                                   "'");
+    }
+    dag.index_.emplace(node_names[i], i);
+  }
+  dag.names_ = std::move(node_names);
+  dag.parents_.resize(dag.names_.size());
+  dag.children_.resize(dag.names_.size());
+  for (const auto& [from, to] : edges) {
+    FAIRCAP_RETURN_NOT_OK(dag.AddEdge(from, to));
+  }
+  return dag;
+}
+
+Result<size_t> CausalDag::IndexOf(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("unknown DAG node '" + name + "'");
+  }
+  return it->second;
+}
+
+bool CausalDag::HasEdge(size_t from, size_t to) const {
+  const auto& ch = children_[from];
+  return std::find(ch.begin(), ch.end(), to) != ch.end();
+}
+
+Status CausalDag::AddEdge(const std::string& from, const std::string& to) {
+  FAIRCAP_ASSIGN_OR_RETURN(const size_t u, IndexOf(from));
+  FAIRCAP_ASSIGN_OR_RETURN(const size_t v, IndexOf(to));
+  if (u == v) {
+    return Status::InvalidArgument("self-loop on '" + from + "'");
+  }
+  if (HasEdge(u, v)) {
+    return Status::AlreadyExists("edge " + from + " -> " + to +
+                                 " already exists");
+  }
+  if (WouldCreateCycle(u, v)) {
+    return Status::InvalidArgument("edge " + from + " -> " + to +
+                                   " would create a cycle");
+  }
+  children_[u].push_back(v);
+  parents_[v].push_back(u);
+  ++num_edges_;
+  return Status::OK();
+}
+
+Status CausalDag::RemoveEdge(const std::string& from, const std::string& to) {
+  FAIRCAP_ASSIGN_OR_RETURN(const size_t u, IndexOf(from));
+  FAIRCAP_ASSIGN_OR_RETURN(const size_t v, IndexOf(to));
+  auto& ch = children_[u];
+  const auto it = std::find(ch.begin(), ch.end(), v);
+  if (it == ch.end()) {
+    return Status::NotFound("edge " + from + " -> " + to + " not found");
+  }
+  ch.erase(it);
+  auto& pa = parents_[v];
+  pa.erase(std::find(pa.begin(), pa.end(), u));
+  --num_edges_;
+  return Status::OK();
+}
+
+std::vector<size_t> CausalDag::TopologicalOrder() const {
+  std::vector<size_t> in_degree(num_nodes());
+  for (size_t v = 0; v < num_nodes(); ++v) in_degree[v] = parents_[v].size();
+  // Min-heap keyed on node index keeps the order deterministic.
+  std::priority_queue<size_t, std::vector<size_t>, std::greater<size_t>> ready;
+  for (size_t v = 0; v < num_nodes(); ++v) {
+    if (in_degree[v] == 0) ready.push(v);
+  }
+  std::vector<size_t> order;
+  order.reserve(num_nodes());
+  while (!ready.empty()) {
+    const size_t v = ready.top();
+    ready.pop();
+    order.push_back(v);
+    for (size_t c : children_[v]) {
+      if (--in_degree[c] == 0) ready.push(c);
+    }
+  }
+  return order;
+}
+
+namespace {
+
+void CollectReachable(const std::vector<std::vector<size_t>>& adjacency,
+                      size_t start, std::vector<bool>* visited) {
+  std::vector<size_t> stack = {start};
+  while (!stack.empty()) {
+    const size_t v = stack.back();
+    stack.pop_back();
+    for (size_t next : adjacency[v]) {
+      if (!(*visited)[next]) {
+        (*visited)[next] = true;
+        stack.push_back(next);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<size_t> CausalDag::Ancestors(size_t v) const {
+  std::vector<bool> visited(num_nodes(), false);
+  CollectReachable(parents_, v, &visited);
+  std::vector<size_t> out;
+  for (size_t u = 0; u < num_nodes(); ++u) {
+    if (visited[u] && u != v) out.push_back(u);
+  }
+  return out;
+}
+
+std::vector<size_t> CausalDag::Descendants(size_t v) const {
+  std::vector<bool> visited(num_nodes(), false);
+  CollectReachable(children_, v, &visited);
+  std::vector<size_t> out;
+  for (size_t u = 0; u < num_nodes(); ++u) {
+    if (visited[u] && u != v) out.push_back(u);
+  }
+  return out;
+}
+
+bool CausalDag::HasDirectedPath(size_t from, size_t to) const {
+  std::vector<bool> visited(num_nodes(), false);
+  CollectReachable(children_, from, &visited);
+  return visited[to];
+}
+
+bool CausalDag::WouldCreateCycle(size_t from, size_t to) const {
+  // Adding from -> to creates a cycle iff `from` is reachable from `to`.
+  return from == to || HasDirectedPath(to, from);
+}
+
+std::string CausalDag::ToString() const {
+  std::string out;
+  for (size_t u = 0; u < num_nodes(); ++u) {
+    for (size_t v : children_[u]) {
+      if (!out.empty()) out += "; ";
+      out += names_[u] + " -> " + names_[v];
+    }
+  }
+  return out;
+}
+
+}  // namespace faircap

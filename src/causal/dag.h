@@ -1,0 +1,75 @@
+// CausalDag: Pearl-style causal DAG over named variables (Section 3).
+// Nodes correspond to dataset attributes by name; edges encode direct
+// causal influence. The DAG is validated acyclic at construction.
+
+#ifndef FAIRCAP_CAUSAL_DAG_H_
+#define FAIRCAP_CAUSAL_DAG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+
+namespace faircap {
+
+/// Directed acyclic graph over named variables.
+class CausalDag {
+ public:
+  CausalDag() = default;
+
+  /// Builds a DAG from node names and (from, to) edges; fails on unknown
+  /// names, duplicate names/edges, self-loops, or cycles.
+  static Result<CausalDag> Create(
+      std::vector<std::string> node_names,
+      const std::vector<std::pair<std::string, std::string>>& edges);
+
+  size_t num_nodes() const { return names_.size(); }
+  size_t num_edges() const { return num_edges_; }
+  const std::vector<std::string>& node_names() const { return names_; }
+  const std::string& name(size_t v) const { return names_[v]; }
+
+  /// Node index by name, or NotFound.
+  Result<size_t> IndexOf(const std::string& name) const;
+  bool Contains(const std::string& name) const {
+    return index_.count(name) != 0;
+  }
+
+  bool HasEdge(size_t from, size_t to) const;
+  const std::vector<size_t>& Parents(size_t v) const { return parents_[v]; }
+  const std::vector<size_t>& Children(size_t v) const { return children_[v]; }
+
+  /// Adds an edge; fails if it would create a cycle or already exists.
+  Status AddEdge(const std::string& from, const std::string& to);
+
+  /// Removes an edge; fails if absent.
+  Status RemoveEdge(const std::string& from, const std::string& to);
+
+  /// Topological order (parents before children). Deterministic.
+  std::vector<size_t> TopologicalOrder() const;
+
+  /// All ancestors of `v` (excluding `v`).
+  std::vector<size_t> Ancestors(size_t v) const;
+
+  /// All descendants of `v` (excluding `v`).
+  std::vector<size_t> Descendants(size_t v) const;
+
+  /// True if a directed path from `from` to `to` exists (length >= 1).
+  bool HasDirectedPath(size_t from, size_t to) const;
+
+  /// Renders as "A -> B; A -> C; ..." for debugging.
+  std::string ToString() const;
+
+ private:
+  bool WouldCreateCycle(size_t from, size_t to) const;
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, size_t> index_;
+  std::vector<std::vector<size_t>> parents_;
+  std::vector<std::vector<size_t>> children_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_CAUSAL_DAG_H_

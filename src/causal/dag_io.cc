@@ -1,0 +1,90 @@
+#include "causal/dag_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace faircap {
+
+Result<CausalDag> ParseDag(const std::string& text) {
+  std::vector<std::string> names;
+  std::vector<std::pair<std::string, std::string>> edges;
+  auto note_name = [&names](const std::string& name) {
+    for (const std::string& existing : names) {
+      if (existing == name) return;
+    }
+    names.push_back(name);
+  };
+
+  // Statements are separated by newlines or semicolons; '#' starts a
+  // comment running to end of line.
+  std::string cleaned;
+  bool in_comment = false;
+  for (char c : text) {
+    if (c == '#') in_comment = true;
+    if (c == '\n') {
+      in_comment = false;
+      cleaned += ';';
+      continue;
+    }
+    if (!in_comment) cleaned += c;
+  }
+
+  for (const std::string& raw : Split(cleaned, ';')) {
+    const std::string statement = std::string(Trim(raw));
+    if (statement.empty()) continue;
+    // Split on "->" into a chain of node names.
+    std::vector<std::string> chain;
+    size_t pos = 0;
+    while (true) {
+      const size_t arrow = statement.find("->", pos);
+      if (arrow == std::string::npos) {
+        chain.emplace_back(Trim(statement.substr(pos)));
+        break;
+      }
+      chain.emplace_back(Trim(statement.substr(pos, arrow - pos)));
+      pos = arrow + 2;
+    }
+    for (const std::string& name : chain) {
+      if (name.empty()) {
+        return Status::InvalidArgument("malformed DAG statement: '" +
+                                       statement + "'");
+      }
+      if (name.find_first_of(" \t") != std::string::npos) {
+        return Status::InvalidArgument("node name contains whitespace: '" +
+                                       name + "'");
+      }
+      note_name(name);
+    }
+    for (size_t i = 0; i + 1 < chain.size(); ++i) {
+      edges.emplace_back(chain[i], chain[i + 1]);
+    }
+  }
+  return CausalDag::Create(std::move(names), edges);
+}
+
+Result<CausalDag> ReadDagFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  std::ostringstream content;
+  content << in.rdbuf();
+  return ParseDag(content.str());
+}
+
+std::string DagToText(const CausalDag& dag) {
+  std::string out;
+  std::vector<bool> mentioned(dag.num_nodes(), false);
+  for (size_t u = 0; u < dag.num_nodes(); ++u) {
+    for (size_t v : dag.Children(u)) {
+      out += dag.name(u) + " -> " + dag.name(v) + ";\n";
+      mentioned[u] = mentioned[v] = true;
+    }
+  }
+  for (size_t v = 0; v < dag.num_nodes(); ++v) {
+    if (!mentioned[v]) out += dag.name(v) + ";\n";
+  }
+  return out;
+}
+
+}  // namespace faircap

@@ -1,0 +1,35 @@
+// Text serialization of causal DAGs in a DOT-like edge-list dialect:
+//
+//   # comments and blank lines are ignored
+//   Age -> Education;
+//   Education -> Income; Age -> Income
+//   Orphan;                       # node with no edges
+//
+// Semicolons or newlines separate statements; "A -> B -> C" chains are
+// allowed. Node names are collected from statements in order of first
+// appearance.
+
+#ifndef FAIRCAP_CAUSAL_DAG_IO_H_
+#define FAIRCAP_CAUSAL_DAG_IO_H_
+
+#include <string>
+
+#include "causal/dag.h"
+#include "util/result.h"
+
+namespace faircap {
+
+/// Parses the edge-list dialect above. Fails on malformed statements,
+/// self-loops, duplicate edges, or cycles.
+Result<CausalDag> ParseDag(const std::string& text);
+
+/// Reads a DAG from a file.
+Result<CausalDag> ReadDagFile(const std::string& path);
+
+/// Serializes a DAG in the same dialect (one edge per line; isolated
+/// nodes emitted as bare statements).
+std::string DagToText(const CausalDag& dag);
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_CAUSAL_DAG_IO_H_

@@ -1,0 +1,400 @@
+#include "causal/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "causal/backdoor.h"
+#include "causal/linear_model.h"
+#include "causal/logistic.h"
+
+namespace faircap {
+
+Result<CateEstimator> CateEstimator::Create(const DataFrame* df,
+                                            const CausalDag* dag,
+                                            CateOptions options) {
+  if (df == nullptr || dag == nullptr) {
+    return Status::InvalidArgument("df and dag must be non-null");
+  }
+  FAIRCAP_ASSIGN_OR_RETURN(const size_t outcome_attr,
+                           df->schema().OutcomeIndex());
+  const std::string& outcome_name = df->schema().attribute(outcome_attr).name;
+  FAIRCAP_ASSIGN_OR_RETURN(const size_t outcome_node,
+                           dag->IndexOf(outcome_name));
+  return CateEstimator(df, dag, options, outcome_attr, outcome_node);
+}
+
+CateEstimator::CateEstimator(const DataFrame* df, const CausalDag* dag,
+                             CateOptions options, size_t outcome_attr,
+                             size_t outcome_node)
+    : df_(df),
+      dag_(dag),
+      options_(options),
+      outcome_attr_(outcome_attr),
+      outcome_node_(outcome_node),
+      mu_(new std::mutex) {}
+
+Result<std::vector<size_t>> CateEstimator::AdjustmentAttrs(
+    const Pattern& intervention) const {
+  const std::vector<size_t> treatment_attrs = intervention.Attributes();
+  std::string key;
+  for (size_t a : treatment_attrs) {
+    key += std::to_string(a);
+    key += ',';
+  }
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    const auto it = adjustment_cache_.find(key);
+    if (it != adjustment_cache_.end()) return it->second;
+  }
+
+  // Map treatment attributes to DAG nodes (attributes absent from the DAG
+  // contribute no backdoor paths).
+  std::vector<size_t> treatment_nodes;
+  for (size_t attr : treatment_attrs) {
+    const std::string& name = df_->schema().attribute(attr).name;
+    const Result<size_t> node = dag_->IndexOf(name);
+    if (node.ok()) treatment_nodes.push_back(*node);
+  }
+  std::vector<size_t> adjustment_attrs;
+  if (!treatment_nodes.empty()) {
+    FAIRCAP_ASSIGN_OR_RETURN(
+        const std::vector<size_t> z_nodes,
+        ParentAdjustmentSet(*dag_, treatment_nodes, outcome_node_));
+    for (size_t node : z_nodes) {
+      const Result<size_t> attr = df_->schema().IndexOf(dag_->name(node));
+      // DAG nodes without a backing column (latent) cannot be adjusted for.
+      if (attr.ok() && *attr != outcome_attr_) {
+        adjustment_attrs.push_back(*attr);
+      }
+    }
+    std::sort(adjustment_attrs.begin(), adjustment_attrs.end());
+  }
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    adjustment_cache_.emplace(key, adjustment_attrs);
+  }
+  return adjustment_attrs;
+}
+
+const Bitmap& CateEstimator::TreatedMask(const Pattern& intervention) const {
+  const std::string key = intervention.Key();
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    const auto it = treated_cache_.find(key);
+    if (it != treated_cache_.end()) return it->second;
+  }
+  Bitmap mask = intervention.Evaluate(*df_);
+  std::lock_guard<std::mutex> lock(*mu_);
+  return treated_cache_.emplace(key, std::move(mask)).first->second;
+}
+
+Result<CateEstimate> CateEstimator::Estimate(const Pattern& intervention,
+                                             const Bitmap& group) const {
+  return Estimate(intervention, group, /*min_group_size=*/0);
+}
+
+Result<CateEstimate> CateEstimator::Estimate(const Pattern& intervention,
+                                             const Bitmap& group,
+                                             size_t min_group_size) const {
+  if (intervention.empty()) {
+    return Status::InvalidArgument("intervention pattern must be non-empty");
+  }
+  if (min_group_size == 0) min_group_size = options_.min_group_size;
+  FAIRCAP_RETURN_NOT_OK(intervention.Validate(*df_));
+  FAIRCAP_ASSIGN_OR_RETURN(const std::vector<size_t> adjustment,
+                           AdjustmentAttrs(intervention));
+  const Bitmap& treated = TreatedMask(intervention);
+  switch (options_.method) {
+    case CateMethod::kRegression:
+      return EstimateRegression(treated, group, adjustment, min_group_size);
+    case CateMethod::kStratified:
+      return EstimateStratified(treated, group, adjustment, min_group_size);
+    case CateMethod::kIpw:
+      return EstimateIpw(treated, group, adjustment, min_group_size);
+  }
+  return Status::Internal("unknown CATE method");
+}
+
+Result<CateEstimate> CateEstimator::EstimateRegression(
+    const Bitmap& treated, const Bitmap& group,
+    const std::vector<size_t>& adjustment, size_t min_group_size) const {
+  // Design: [intercept, T, one-hot(Z_cat levels 1..k-1)..., Z_num...].
+  struct Feature {
+    size_t attr;
+    bool categorical;
+    int32_t code;  // the level this column indicates (categorical)
+  };
+  std::vector<Feature> features;
+  for (size_t attr : adjustment) {
+    const Column& col = df_->column(attr);
+    if (col.type() == AttrType::kCategorical) {
+      // Drop the first level as the reference category.
+      for (size_t code = 1; code < col.num_categories(); ++code) {
+        features.push_back({attr, true, static_cast<int32_t>(code)});
+      }
+    } else {
+      features.push_back({attr, false, 0});
+    }
+  }
+  const size_t p = 2 + features.size();
+  OlsAccumulator acc(p);
+  const Column& outcome = df_->column(outcome_attr_);
+  std::vector<double> row(p);
+  size_t n_treated = 0, n_control = 0;
+  group.ForEach([&](size_t r) {
+    if (outcome.IsNull(r)) return;
+    row[0] = 1.0;
+    const bool is_treated = treated.Get(r);
+    row[1] = is_treated ? 1.0 : 0.0;
+    for (size_t f = 0; f < features.size(); ++f) {
+      const Feature& feat = features[f];
+      const Column& col = df_->column(feat.attr);
+      if (col.IsNull(r)) {
+        // Null confounders: treat as the reference level / zero.
+        row[2 + f] = 0.0;
+        continue;
+      }
+      if (feat.categorical) {
+        row[2 + f] = col.code(r) == feat.code ? 1.0 : 0.0;
+      } else {
+        row[2 + f] = col.numeric(r);
+      }
+    }
+    acc.AddRow(row.data(), outcome.numeric(r));
+    if (is_treated) ++n_treated; else ++n_control;
+  });
+
+  if (n_treated < min_group_size || n_control < min_group_size) {
+    return Status::FailedPrecondition(
+        "insufficient overlap: " + std::to_string(n_treated) + " treated / " +
+        std::to_string(n_control) + " control rows");
+  }
+  FAIRCAP_ASSIGN_OR_RETURN(const OlsFit fit, acc.Solve(options_.ridge));
+  CateEstimate est;
+  est.cate = fit.beta[1];
+  est.std_error = fit.std_errors[1];
+  est.n_treated = n_treated;
+  est.n_control = n_control;
+  return est;
+}
+
+std::vector<int64_t> CateEstimator::StratumIds(
+    const std::vector<size_t>& adjustment) const {
+  const size_t n = df_->num_rows();
+  std::vector<int64_t> ids(n, 0);
+  // Precompute quantile bin edges for numeric confounders.
+  std::vector<std::vector<double>> edges(adjustment.size());
+  for (size_t a = 0; a < adjustment.size(); ++a) {
+    const Column& col = df_->column(adjustment[a]);
+    if (col.type() != AttrType::kNumeric) continue;
+    std::vector<double> values;
+    values.reserve(n);
+    for (size_t r = 0; r < n; ++r) {
+      if (!col.IsNull(r)) values.push_back(col.numeric(r));
+    }
+    std::sort(values.begin(), values.end());
+    const size_t bins = std::max<size_t>(1, options_.numeric_confounder_bins);
+    for (size_t b = 1; b < bins && !values.empty(); ++b) {
+      edges[a].push_back(values[values.size() * b / bins]);
+    }
+  }
+  for (size_t r = 0; r < n; ++r) {
+    int64_t id = 0;
+    for (size_t a = 0; a < adjustment.size(); ++a) {
+      const Column& col = df_->column(adjustment[a]);
+      int64_t cell;
+      if (col.IsNull(r)) {
+        ids[r] = -1;
+        break;
+      }
+      if (col.type() == AttrType::kCategorical) {
+        cell = col.code(r);
+        id = id * static_cast<int64_t>(col.num_categories() + 1) + cell;
+      } else {
+        const auto& e = edges[a];
+        cell = static_cast<int64_t>(
+            std::upper_bound(e.begin(), e.end(), col.numeric(r)) - e.begin());
+        id = id * static_cast<int64_t>(e.size() + 2) + cell;
+      }
+    }
+    if (ids[r] != -1) ids[r] = id;
+  }
+  return ids;
+}
+
+Result<CateEstimate> CateEstimator::EstimateStratified(
+    const Bitmap& treated, const Bitmap& group,
+    const std::vector<size_t>& adjustment, size_t min_group_size) const {
+  const std::vector<int64_t> strata = StratumIds(adjustment);
+  struct Arm {
+    size_t n = 0;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+  };
+  struct Cell {
+    Arm treated;
+    Arm control;
+  };
+  std::map<int64_t, Cell> cells;
+  const Column& outcome = df_->column(outcome_attr_);
+  group.ForEach([&](size_t r) {
+    if (outcome.IsNull(r) || strata[r] < 0) return;
+    Cell& cell = cells[strata[r]];
+    Arm& arm = treated.Get(r) ? cell.treated : cell.control;
+    const double y = outcome.numeric(r);
+    ++arm.n;
+    arm.sum += y;
+    arm.sum_sq += y * y;
+  });
+
+  double weighted_effect = 0.0;
+  double weighted_var = 0.0;
+  size_t n_used = 0, n_treated = 0, n_control = 0;
+  for (const auto& [stratum, cell] : cells) {
+    if (cell.treated.n < options_.min_stratum_arm ||
+        cell.control.n < options_.min_stratum_arm) {
+      continue;  // no overlap in this stratum (positivity violation)
+    }
+    const size_t n_s = cell.treated.n + cell.control.n;
+    const double m1 = cell.treated.sum / static_cast<double>(cell.treated.n);
+    const double m0 = cell.control.sum / static_cast<double>(cell.control.n);
+    weighted_effect += static_cast<double>(n_s) * (m1 - m0);
+    // Within-arm variances for the standard error (0 when n=1).
+    auto arm_var = [](const Arm& arm) {
+      if (arm.n < 2) return 0.0;
+      const double mean = arm.sum / static_cast<double>(arm.n);
+      return std::max(0.0, (arm.sum_sq - arm.sum * mean) /
+                               static_cast<double>(arm.n - 1));
+    };
+    const double v1 = arm_var(cell.treated) / static_cast<double>(cell.treated.n);
+    const double v0 = arm_var(cell.control) / static_cast<double>(cell.control.n);
+    weighted_var += static_cast<double>(n_s) * static_cast<double>(n_s) *
+                    (v1 + v0);
+    n_used += n_s;
+    n_treated += cell.treated.n;
+    n_control += cell.control.n;
+  }
+  if (n_treated < min_group_size || n_control < min_group_size) {
+    return Status::FailedPrecondition(
+        "insufficient overlap after stratification: " +
+        std::to_string(n_treated) + " treated / " +
+        std::to_string(n_control) + " control rows");
+  }
+  CateEstimate est;
+  est.cate = weighted_effect / static_cast<double>(n_used);
+  est.std_error =
+      std::sqrt(weighted_var) / static_cast<double>(n_used);
+  est.n_treated = n_treated;
+  est.n_control = n_control;
+  return est;
+}
+
+
+Result<CateEstimate> CateEstimator::EstimateIpw(
+    const Bitmap& treated, const Bitmap& group,
+    const std::vector<size_t>& adjustment, size_t min_group_size) const {
+  // Propensity design: [intercept, one-hot(Z_cat levels 1..k-1), Z_num].
+  struct Feature {
+    size_t attr;
+    bool categorical;
+    int32_t code;
+  };
+  std::vector<Feature> features;
+  for (size_t attr : adjustment) {
+    const Column& col = df_->column(attr);
+    if (col.type() == AttrType::kCategorical) {
+      for (size_t code = 1; code < col.num_categories(); ++code) {
+        features.push_back({attr, true, static_cast<int32_t>(code)});
+      }
+    } else {
+      features.push_back({attr, false, 0});
+    }
+  }
+  const size_t p = 1 + features.size();
+
+  const Column& outcome = df_->column(outcome_attr_);
+  std::vector<double> design;
+  std::vector<double> labels;
+  std::vector<double> outcomes;
+  std::vector<uint8_t> is_treated_row;
+  group.ForEach([&](size_t r) {
+    if (outcome.IsNull(r)) return;
+    design.push_back(1.0);
+    for (const Feature& feat : features) {
+      const Column& col = df_->column(feat.attr);
+      if (col.IsNull(r)) {
+        design.push_back(0.0);
+      } else if (feat.categorical) {
+        design.push_back(col.code(r) == feat.code ? 1.0 : 0.0);
+      } else {
+        design.push_back(col.numeric(r));
+      }
+    }
+    const bool t = treated.Get(r);
+    labels.push_back(t ? 1.0 : 0.0);
+    outcomes.push_back(outcome.numeric(r));
+    is_treated_row.push_back(t ? 1 : 0);
+  });
+  const size_t n = labels.size();
+  size_t n_treated = 0;
+  for (uint8_t t : is_treated_row) n_treated += t;
+  const size_t n_control = n - n_treated;
+  if (n_treated < min_group_size || n_control < min_group_size) {
+    return Status::FailedPrecondition(
+        "insufficient overlap: " + std::to_string(n_treated) + " treated / " +
+        std::to_string(n_control) + " control rows");
+  }
+
+  FAIRCAP_ASSIGN_OR_RETURN(const LogisticFit propensity,
+                           FitLogistic(design, n, p, labels));
+
+  // Hajek (self-normalized) IPW with clipped propensities.
+  const double clip = options_.propensity_clip;
+  double sum_w1 = 0.0, sum_w1y = 0.0, sum_w0 = 0.0, sum_w0y = 0.0;
+  std::vector<double> w1_values, w0_values;  // for the variance estimate
+  std::vector<double> y1_values, y0_values;
+  for (size_t r = 0; r < n; ++r) {
+    const double e = std::clamp(
+        PredictLogistic(propensity.beta, &design[r * p]), clip, 1.0 - clip);
+    if (is_treated_row[r]) {
+      const double w = 1.0 / e;
+      sum_w1 += w;
+      sum_w1y += w * outcomes[r];
+      w1_values.push_back(w);
+      y1_values.push_back(outcomes[r]);
+    } else {
+      const double w = 1.0 / (1.0 - e);
+      sum_w0 += w;
+      sum_w0y += w * outcomes[r];
+      w0_values.push_back(w);
+      y0_values.push_back(outcomes[r]);
+    }
+  }
+  const double mean1 = sum_w1y / sum_w1;
+  const double mean0 = sum_w0y / sum_w0;
+
+  // Approximate variance of each weighted mean via the weighted residual
+  // sum of squares (Hajek linearization).
+  auto weighted_mean_var = [](const std::vector<double>& weights,
+                              const std::vector<double>& values, double mean,
+                              double weight_sum) {
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      const double d = weights[i] * (values[i] - mean);
+      acc += d * d;
+    }
+    return acc / (weight_sum * weight_sum);
+  };
+
+  CateEstimate est;
+  est.cate = mean1 - mean0;
+  est.std_error =
+      std::sqrt(weighted_mean_var(w1_values, y1_values, mean1, sum_w1) +
+                weighted_mean_var(w0_values, y0_values, mean0, sum_w0));
+  est.n_treated = n_treated;
+  est.n_control = n_control;
+  return est;
+}
+
+}  // namespace faircap

@@ -1,0 +1,137 @@
+// CATE estimation on observational data (Section 3). Given a causal DAG,
+// an outcome O, an intervention pattern P_int and a subpopulation B, we
+// estimate
+//
+//   CATE(T, O | B) = E_Z[ E[O | T=1, B, Z=z] - E[O | T=0, B, Z=z] ]
+//
+// where T = 1 iff the row satisfies P_int, and Z is a backdoor adjustment
+// set derived from the DAG (parents of the treatment attributes).
+// Two estimators are provided:
+//   * regression: O ~ alpha + beta*T + gamma' one-hot(Z); beta is the CATE
+//     (the default, mirroring DoWhy's linear-regression estimator);
+//   * stratified: exact matching over joint Z cells with overlap filtering.
+
+#ifndef FAIRCAP_CAUSAL_ESTIMATOR_H_
+#define FAIRCAP_CAUSAL_ESTIMATOR_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "causal/dag.h"
+#include "dataframe/dataframe.h"
+#include "mining/pattern.h"
+#include "util/result.h"
+
+namespace faircap {
+
+/// Estimation method.
+enum class CateMethod {
+  kRegression,  ///< linear adjustment (default)
+  kStratified,  ///< exact matching over confounder cells
+  kIpw,         ///< inverse propensity weighting (Hajek estimator)
+};
+
+/// Tuning knobs for CATE estimation.
+struct CateOptions {
+  CateMethod method = CateMethod::kRegression;
+  /// Minimum number of treated and of control rows for a valid estimate.
+  size_t min_group_size = 10;
+  /// Strata smaller than this (on either arm) are dropped (stratified).
+  size_t min_stratum_arm = 1;
+  /// Ridge added to the normal equations (regression).
+  double ridge = 1e-6;
+  /// Quantile bins for numeric confounders (stratified method).
+  size_t numeric_confounder_bins = 4;
+  /// Propensity clipping bounds (IPW method).
+  double propensity_clip = 0.02;
+};
+
+/// One CATE estimate.
+struct CateEstimate {
+  double cate = 0.0;
+  double std_error = 0.0;
+  size_t n_treated = 0;
+  size_t n_control = 0;
+  /// |cate| / std_error; 0 when std_error is 0.
+  double t_statistic() const {
+    return std_error > 0.0 ? cate / std_error : 0.0;
+  }
+};
+
+/// Estimates CATE values for intervention patterns over subpopulations of
+/// a fixed DataFrame under a fixed causal DAG. Thread-safe: internal
+/// caches (adjustment sets, treatment bitmaps) are mutex-guarded so the
+/// mining phase can fan out across grouping patterns.
+class CateEstimator {
+ public:
+  /// `df` and `dag` must outlive the estimator. DAG node names are matched
+  /// to schema attribute names; attributes absent from the DAG contribute
+  /// no confounders.
+  static Result<CateEstimator> Create(const DataFrame* df,
+                                      const CausalDag* dag,
+                                      CateOptions options = {});
+
+  /// Estimates the effect of `intervention` (T=1 iff the pattern matches)
+  /// on the outcome within the rows selected by `group`.
+  /// Fails (FailedPrecondition) when either arm is smaller than
+  /// `min_group_size` or no stratum has overlap.
+  Result<CateEstimate> Estimate(const Pattern& intervention,
+                                const Bitmap& group) const;
+
+  /// Same, with a per-call overlap floor (used for protected /
+  /// non-protected subgroup estimates, which are smaller than the full
+  /// group). `min_group_size` == 0 falls back to the configured floor.
+  Result<CateEstimate> Estimate(const Pattern& intervention,
+                                const Bitmap& group,
+                                size_t min_group_size) const;
+
+  /// Backdoor adjustment set (as DataFrame column indices) for the given
+  /// intervention's treatment attributes.
+  Result<std::vector<size_t>> AdjustmentAttrs(
+      const Pattern& intervention) const;
+
+  /// Bitmap of rows satisfying `intervention` over the full DataFrame
+  /// (cached across calls).
+  const Bitmap& TreatedMask(const Pattern& intervention) const;
+
+  const DataFrame& data() const { return *df_; }
+  size_t outcome_attr() const { return outcome_attr_; }
+  const CateOptions& options() const { return options_; }
+
+ private:
+  CateEstimator(const DataFrame* df, const CausalDag* dag,
+                CateOptions options, size_t outcome_attr, size_t outcome_node);
+
+  Result<CateEstimate> EstimateRegression(
+      const Bitmap& treated, const Bitmap& group,
+      const std::vector<size_t>& adjustment, size_t min_group_size) const;
+  Result<CateEstimate> EstimateStratified(
+      const Bitmap& treated, const Bitmap& group,
+      const std::vector<size_t>& adjustment, size_t min_group_size) const;
+  Result<CateEstimate> EstimateIpw(const Bitmap& treated, const Bitmap& group,
+                                   const std::vector<size_t>& adjustment,
+                                   size_t min_group_size) const;
+
+  /// Joint stratum id per row over `adjustment` attrs (numeric attrs are
+  /// quantile-binned); -1 where any confounder is null.
+  std::vector<int64_t> StratumIds(const std::vector<size_t>& adjustment) const;
+
+  const DataFrame* df_;
+  const CausalDag* dag_;
+  CateOptions options_;
+  size_t outcome_attr_;
+  size_t outcome_node_;
+
+  // Behind unique_ptr so the estimator stays movable (mutex is not).
+  std::unique_ptr<std::mutex> mu_;
+  mutable std::unordered_map<std::string, std::vector<size_t>>
+      adjustment_cache_;
+  mutable std::unordered_map<std::string, Bitmap> treated_cache_;
+};
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_CAUSAL_ESTIMATOR_H_

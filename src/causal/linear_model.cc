@@ -1,0 +1,130 @@
+#include "causal/linear_model.h"
+
+#include <cmath>
+
+namespace faircap {
+
+namespace {
+
+// In-place Cholesky factorization A = L L'. Returns false if A is not
+// positive definite. Lower triangle of `a` receives L.
+bool Cholesky(std::vector<double>& a, size_t p) {
+  for (size_t j = 0; j < p; ++j) {
+    double d = a[j * p + j];
+    for (size_t k = 0; k < j; ++k) d -= a[j * p + k] * a[j * p + k];
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    const double l_jj = std::sqrt(d);
+    a[j * p + j] = l_jj;
+    for (size_t i = j + 1; i < p; ++i) {
+      double s = a[i * p + j];
+      for (size_t k = 0; k < j; ++k) s -= a[i * p + k] * a[j * p + k];
+      a[i * p + j] = s / l_jj;
+    }
+  }
+  return true;
+}
+
+// Solves L L' x = b given the Cholesky factor in the lower triangle.
+void CholeskySolve(const std::vector<double>& l, size_t p,
+                   std::vector<double>& b) {
+  // Forward: L z = b.
+  for (size_t i = 0; i < p; ++i) {
+    double s = b[i];
+    for (size_t k = 0; k < i; ++k) s -= l[i * p + k] * b[k];
+    b[i] = s / l[i * p + i];
+  }
+  // Backward: L' x = z.
+  for (size_t i = p; i-- > 0;) {
+    double s = b[i];
+    for (size_t k = i + 1; k < p; ++k) s -= l[k * p + i] * b[k];
+    b[i] = s / l[i * p + i];
+  }
+}
+
+}  // namespace
+
+Result<std::vector<double>> SolveSpd(std::vector<double> a, size_t p,
+                                     std::vector<double> b) {
+  if (a.size() != p * p || b.size() != p) {
+    return Status::InvalidArgument("SolveSpd: dimension mismatch");
+  }
+  if (!Cholesky(a, p)) {
+    return Status::FailedPrecondition("matrix is not positive definite");
+  }
+  CholeskySolve(a, p, b);
+  return b;
+}
+
+Result<std::vector<double>> InvertSpd(std::vector<double> a, size_t p) {
+  if (a.size() != p * p) {
+    return Status::InvalidArgument("InvertSpd: dimension mismatch");
+  }
+  if (!Cholesky(a, p)) {
+    return Status::FailedPrecondition("matrix is not positive definite");
+  }
+  std::vector<double> inv(p * p, 0.0);
+  std::vector<double> e(p);
+  for (size_t col = 0; col < p; ++col) {
+    std::fill(e.begin(), e.end(), 0.0);
+    e[col] = 1.0;
+    CholeskySolve(a, p, e);
+    for (size_t row = 0; row < p; ++row) inv[row * p + col] = e[row];
+  }
+  return inv;
+}
+
+OlsAccumulator::OlsAccumulator(size_t p)
+    : p_(p), xtx_(p * p, 0.0), xty_(p, 0.0) {}
+
+void OlsAccumulator::AddRow(const double* x, double y) {
+  for (size_t i = 0; i < p_; ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;  // design rows are sparse one-hots
+    for (size_t j = i; j < p_; ++j) {
+      xtx_[i * p_ + j] += xi * x[j];
+    }
+    xty_[i] += xi * y;
+  }
+  yty_ += y * y;
+  ++n_;
+}
+
+Result<OlsFit> OlsAccumulator::Solve(double ridge) const {
+  if (n_ < p_) {
+    return Status::FailedPrecondition(
+        "OLS needs at least as many rows as features (" +
+        std::to_string(n_) + " < " + std::to_string(p_) + ")");
+  }
+  // Mirror the upper triangle and add the ridge.
+  std::vector<double> a(p_ * p_);
+  for (size_t i = 0; i < p_; ++i) {
+    for (size_t j = 0; j < p_; ++j) {
+      a[i * p_ + j] = i <= j ? xtx_[i * p_ + j] : xtx_[j * p_ + i];
+    }
+    a[i * p_ + i] += ridge;
+  }
+  FAIRCAP_ASSIGN_OR_RETURN(std::vector<double> inv, InvertSpd(a, p_));
+
+  OlsFit fit;
+  fit.n = n_;
+  fit.beta.assign(p_, 0.0);
+  for (size_t i = 0; i < p_; ++i) {
+    for (size_t j = 0; j < p_; ++j) {
+      fit.beta[i] += inv[i * p_ + j] * xty_[j];
+    }
+  }
+  // Residual sum of squares: y'y - 2 beta'X'y + beta'X'X beta, folded as
+  // y'y - beta'X'y (valid at the normal-equation solution up to ridge).
+  double beta_xty = 0.0;
+  for (size_t i = 0; i < p_; ++i) beta_xty += fit.beta[i] * xty_[i];
+  const double rss = std::max(0.0, yty_ - beta_xty);
+  const size_t dof = n_ > p_ ? n_ - p_ : 1;
+  fit.sigma2 = rss / static_cast<double>(dof);
+  fit.std_errors.resize(p_);
+  for (size_t i = 0; i < p_; ++i) {
+    fit.std_errors[i] = std::sqrt(std::max(0.0, fit.sigma2 * inv[i * p_ + i]));
+  }
+  return fit;
+}
+
+}  // namespace faircap

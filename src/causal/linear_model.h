@@ -1,0 +1,56 @@
+// Ordinary least squares via streaming normal equations. The regression
+// CATE estimator fits O ~ alpha + beta*T + gamma'Z and reads the treatment
+// effect off beta, so all we need is a small, dependency-free SPD solver.
+
+#ifndef FAIRCAP_CAUSAL_LINEAR_MODEL_H_
+#define FAIRCAP_CAUSAL_LINEAR_MODEL_H_
+
+#include <vector>
+
+#include "util/result.h"
+
+namespace faircap {
+
+/// Fitted OLS model.
+struct OlsFit {
+  std::vector<double> beta;        ///< coefficients, length p
+  std::vector<double> std_errors;  ///< standard errors, length p
+  double sigma2 = 0.0;             ///< residual variance estimate
+  size_t n = 0;                    ///< rows used
+};
+
+/// Solves A x = b for symmetric positive definite A (row-major p x p) via
+/// Cholesky. Fails when A is not positive definite.
+Result<std::vector<double>> SolveSpd(std::vector<double> a, size_t p,
+                                     std::vector<double> b);
+
+/// Inverts a symmetric positive definite matrix (row-major p x p).
+Result<std::vector<double>> InvertSpd(std::vector<double> a, size_t p);
+
+/// Accumulates X'X, X'y, y'y row by row, then solves the (ridge-stabilized)
+/// normal equations. Design rows never need to be materialized together.
+class OlsAccumulator {
+ public:
+  explicit OlsAccumulator(size_t p);
+
+  size_t num_features() const { return p_; }
+  size_t num_rows() const { return n_; }
+
+  /// Adds one design row `x` (length p) with response `y`.
+  void AddRow(const double* x, double y);
+
+  /// Solves (X'X + ridge*I) beta = X'y and computes standard errors.
+  /// Fails when fewer rows than features or a singular system.
+  Result<OlsFit> Solve(double ridge = 1e-8) const;
+
+ private:
+  size_t p_;
+  size_t n_ = 0;
+  std::vector<double> xtx_;  // p x p, row-major (upper kept in sync)
+  std::vector<double> xty_;  // p
+  double yty_ = 0.0;
+};
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_CAUSAL_LINEAR_MODEL_H_

@@ -1,0 +1,80 @@
+#include "causal/logistic.h"
+
+#include <cmath>
+
+#include "causal/linear_model.h"
+
+namespace faircap {
+
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+double PredictLogistic(const std::vector<double>& beta, const double* x) {
+  double z = 0.0;
+  for (size_t i = 0; i < beta.size(); ++i) z += beta[i] * x[i];
+  return Sigmoid(z);
+}
+
+Result<LogisticFit> FitLogistic(const std::vector<double>& x, size_t n,
+                                size_t p, const std::vector<double>& y,
+                                const LogisticOptions& options) {
+  if (x.size() != n * p || y.size() != n) {
+    return Status::InvalidArgument("FitLogistic: dimension mismatch");
+  }
+  if (n < p) {
+    return Status::FailedPrecondition(
+        "logistic regression needs at least as many rows as features");
+  }
+  LogisticFit fit;
+  fit.beta.assign(p, 0.0);
+
+  std::vector<double> hessian(p * p);
+  std::vector<double> gradient(p);
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    std::fill(hessian.begin(), hessian.end(), 0.0);
+    std::fill(gradient.begin(), gradient.end(), 0.0);
+    // Newton step: H = X'WX + ridge I, g = X'(y - mu) - ridge*beta.
+    for (size_t r = 0; r < n; ++r) {
+      const double* row = &x[r * p];
+      const double mu = PredictLogistic(fit.beta, row);
+      const double w = std::max(mu * (1.0 - mu), 1e-10);
+      const double resid = y[r] - mu;
+      for (size_t i = 0; i < p; ++i) {
+        gradient[i] += row[i] * resid;
+        for (size_t j = i; j < p; ++j) {
+          hessian[i * p + j] += w * row[i] * row[j];
+        }
+      }
+    }
+    for (size_t i = 0; i < p; ++i) {
+      gradient[i] -= options.ridge * fit.beta[i];
+      hessian[i * p + i] += options.ridge;
+      for (size_t j = 0; j < i; ++j) hessian[i * p + j] = hessian[j * p + i];
+    }
+    FAIRCAP_ASSIGN_OR_RETURN(const std::vector<double> delta,
+                             SolveSpd(hessian, p, gradient));
+    double max_step = 0.0;
+    for (size_t i = 0; i < p; ++i) {
+      fit.beta[i] += delta[i];
+      max_step = std::max(max_step, std::abs(delta[i]));
+    }
+    fit.iterations = iter + 1;
+    if (max_step < options.tolerance) {
+      fit.converged = true;
+      break;
+    }
+  }
+  return fit;
+}
+
+}  // namespace faircap

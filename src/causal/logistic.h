@@ -1,0 +1,38 @@
+// L2-regularized logistic regression via iteratively reweighted least
+// squares (IRLS). Used to model treatment propensities P(T=1 | Z) for the
+// inverse-propensity-weighting CATE estimator.
+
+#ifndef FAIRCAP_CAUSAL_LOGISTIC_H_
+#define FAIRCAP_CAUSAL_LOGISTIC_H_
+
+#include <vector>
+
+#include "util/result.h"
+
+namespace faircap {
+
+/// Fitted logistic model.
+struct LogisticFit {
+  std::vector<double> beta;  ///< coefficients, length p
+  size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Options for the IRLS solver.
+struct LogisticOptions {
+  size_t max_iterations = 50;
+  double tolerance = 1e-8;   ///< max |delta beta| convergence criterion
+  double ridge = 1e-6;       ///< L2 penalty (also stabilizes separation)
+};
+
+/// Fits P(y=1 | x) = sigmoid(beta'x) on row-major X (n x p) and binary y.
+Result<LogisticFit> FitLogistic(const std::vector<double>& x, size_t n,
+                                size_t p, const std::vector<double>& y,
+                                const LogisticOptions& options = {});
+
+/// sigmoid(beta'x) for one design row.
+double PredictLogistic(const std::vector<double>& beta, const double* x);
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_CAUSAL_LOGISTIC_H_

@@ -1,0 +1,273 @@
+#include "causal/pc.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+#include "causal/stats.h"
+
+namespace faircap {
+
+namespace {
+
+// Discretized view of the data: every variable becomes integer codes in
+// [0, card), with -1 for nulls.
+struct CodedData {
+  std::vector<std::vector<int32_t>> codes;  // [var][row]
+  std::vector<size_t> cards;
+  std::vector<std::string> names;
+  size_t num_rows = 0;
+};
+
+CodedData Encode(const DataFrame& df, const PcOptions& options) {
+  CodedData data;
+  const size_t n_all = df.num_rows();
+  const size_t n = options.max_rows > 0 && options.max_rows < n_all
+                       ? options.max_rows
+                       : n_all;
+  data.num_rows = n;
+  for (size_t attr = 0; attr < df.num_columns(); ++attr) {
+    const AttributeSpec& spec = df.schema().attribute(attr);
+    if (spec.role == AttrRole::kIgnored) continue;
+    const Column& col = df.column(attr);
+    std::vector<int32_t> codes(n, -1);
+    size_t card = 0;
+    if (col.type() == AttrType::kCategorical) {
+      for (size_t r = 0; r < n; ++r) codes[r] = col.code(r);
+      card = col.num_categories();
+    } else {
+      // Quantile-bin numeric variables.
+      std::vector<double> values;
+      values.reserve(n);
+      for (size_t r = 0; r < n; ++r) {
+        if (!col.IsNull(r)) values.push_back(col.numeric(r));
+      }
+      std::sort(values.begin(), values.end());
+      const size_t bins = std::max<size_t>(2, options.numeric_bins);
+      std::vector<double> edges;
+      for (size_t b = 1; b < bins && !values.empty(); ++b) {
+        edges.push_back(values[values.size() * b / bins]);
+      }
+      for (size_t r = 0; r < n; ++r) {
+        if (col.IsNull(r)) continue;
+        codes[r] = static_cast<int32_t>(
+            std::upper_bound(edges.begin(), edges.end(), col.numeric(r)) -
+            edges.begin());
+      }
+      card = edges.size() + 1;
+    }
+    if (card < 2) continue;  // constant column: no edges possible
+    data.codes.push_back(std::move(codes));
+    data.cards.push_back(card);
+    data.names.push_back(spec.name);
+  }
+  return data;
+}
+
+// Joint stratum ids over the conditioning set.
+std::vector<int64_t> StrataOf(const CodedData& data,
+                              const std::vector<size_t>& cond) {
+  std::vector<int64_t> strata(data.num_rows, 0);
+  for (size_t r = 0; r < data.num_rows; ++r) {
+    int64_t id = 0;
+    for (size_t v : cond) {
+      const int32_t c = data.codes[v][r];
+      if (c < 0) {
+        id = -1;
+        break;
+      }
+      id = id * static_cast<int64_t>(data.cards[v] + 1) + c;
+    }
+    strata[r] = id;
+  }
+  return strata;
+}
+
+bool Independent(const CodedData& data, size_t x, size_t y,
+                 const std::vector<size_t>& cond, double alpha) {
+  std::vector<int64_t> strata = StrataOf(data, cond);
+  // Rows with null in the conditioning set carry stratum -1; drop them by
+  // marking x as null there (ConditionalChiSquare skips nulls).
+  std::vector<int32_t> xs = data.codes[x];
+  for (size_t r = 0; r < data.num_rows; ++r) {
+    if (strata[r] < 0) xs[r] = -1;
+  }
+  const IndependenceTest t = ConditionalChiSquare(
+      xs, data.cards[x], data.codes[y], data.cards[y], strata);
+  if (!t.informative) return true;  // no power: treat as independent
+  return t.p_value > alpha;
+}
+
+// Enumerates size-k subsets of `pool` (excluding `skip`), invoking fn;
+// returns true if fn returned true for some subset (early exit).
+bool ForEachSubset(const std::vector<size_t>& pool, size_t k,
+                   const std::function<bool(const std::vector<size_t>&)>& fn) {
+  if (k > pool.size()) return false;
+  std::vector<size_t> idx(k);
+  for (size_t i = 0; i < k; ++i) idx[i] = i;
+  std::vector<size_t> subset(k);
+  for (;;) {
+    for (size_t i = 0; i < k; ++i) subset[i] = pool[idx[i]];
+    if (fn(subset)) return true;
+    // Next combination.
+    size_t i = k;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + pool.size() - k) {
+        ++idx[i];
+        for (size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return false;
+    }
+    if (k == 0) return false;
+  }
+}
+
+}  // namespace
+
+Result<CausalDag> RunPc(const DataFrame& df, const PcOptions& options) {
+  const CodedData data = Encode(df, options);
+  const size_t v = data.codes.size();
+  if (v == 0) {
+    return Status::FailedPrecondition("no usable attributes for PC");
+  }
+
+  // --- Skeleton search ---------------------------------------------------
+  std::vector<std::vector<bool>> adjacent(v, std::vector<bool>(v, true));
+  for (size_t i = 0; i < v; ++i) adjacent[i][i] = false;
+  // sepsets[i][j]: witness conditioning set that separated i and j.
+  std::vector<std::vector<std::vector<size_t>>> sepsets(
+      v, std::vector<std::vector<size_t>>(v));
+  std::vector<std::vector<bool>> has_sepset(v, std::vector<bool>(v, false));
+
+  for (size_t level = 0; level <= options.max_condition_size; ++level) {
+    bool any_tested = false;
+    for (size_t i = 0; i < v; ++i) {
+      for (size_t j = i + 1; j < v; ++j) {
+        if (!adjacent[i][j]) continue;
+        // Pool: neighbors of i or of j, excluding i and j.
+        std::vector<size_t> pool;
+        for (size_t k = 0; k < v; ++k) {
+          if (k == i || k == j) continue;
+          if (adjacent[i][k] || adjacent[j][k]) pool.push_back(k);
+        }
+        if (pool.size() < level) continue;
+        any_tested = true;
+        const bool separated = ForEachSubset(
+            pool, level, [&](const std::vector<size_t>& cond) {
+              if (Independent(data, i, j, cond, options.alpha)) {
+                sepsets[i][j] = cond;
+                sepsets[j][i] = cond;
+                has_sepset[i][j] = has_sepset[j][i] = true;
+                return true;
+              }
+              return false;
+            });
+        if (separated) {
+          adjacent[i][j] = adjacent[j][i] = false;
+        }
+      }
+    }
+    if (!any_tested) break;
+  }
+
+  // --- Orientation -------------------------------------------------------
+  // directed[i][j] == true means i -> j has been decided.
+  std::vector<std::vector<bool>> directed(v, std::vector<bool>(v, false));
+  auto is_undirected = [&](size_t i, size_t j) {
+    return adjacent[i][j] && !directed[i][j] && !directed[j][i];
+  };
+
+  // V-structures: i - k - j with i,j non-adjacent and k not in sepset(i,j).
+  for (size_t k = 0; k < v; ++k) {
+    for (size_t i = 0; i < v; ++i) {
+      if (i == k || !adjacent[i][k]) continue;
+      for (size_t j = i + 1; j < v; ++j) {
+        if (j == k || !adjacent[j][k] || adjacent[i][j]) continue;
+        const auto& sep = sepsets[i][j];
+        const bool k_in_sep =
+            std::find(sep.begin(), sep.end(), k) != sep.end();
+        if (has_sepset[i][j] && !k_in_sep) {
+          if (is_undirected(i, k)) directed[i][k] = true;
+          if (is_undirected(j, k)) directed[j][k] = true;
+        }
+      }
+    }
+  }
+
+  // Meek rules 1 and 2 to a fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < v; ++i) {
+      for (size_t j = 0; j < v; ++j) {
+        if (!is_undirected(i, j)) continue;
+        // Rule 1: exists k with k -> i and k,j non-adjacent  =>  i -> j.
+        for (size_t k = 0; k < v; ++k) {
+          if (k == i || k == j) continue;
+          if (directed[k][i] && !adjacent[k][j]) {
+            directed[i][j] = true;
+            changed = true;
+            break;
+          }
+        }
+        if (!is_undirected(i, j)) continue;
+        // Rule 2: i -> k -> j and i - j  =>  i -> j.
+        for (size_t k = 0; k < v; ++k) {
+          if (k == i || k == j) continue;
+          if (directed[i][k] && directed[k][j]) {
+            directed[i][j] = true;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Outcome sink constraint + deterministic completion.
+  const Result<size_t> outcome_attr = df.schema().OutcomeIndex();
+  std::string outcome_name;
+  if (outcome_attr.ok()) {
+    outcome_name = df.schema().attribute(*outcome_attr).name;
+  }
+  size_t outcome_var = v;
+  for (size_t i = 0; i < v; ++i) {
+    if (data.names[i] == outcome_name) outcome_var = i;
+  }
+
+  // Build edges, skipping anything that would create a cycle (possible
+  // with conflicting v-structures on finite data).
+  Result<CausalDag> dag_result = CausalDag::Create(data.names, {});
+  CausalDag dag = std::move(dag_result).ValueOrDie();
+  auto try_add = [&](size_t from, size_t to) {
+    (void)dag.AddEdge(data.names[from], data.names[to]);
+  };
+  // First the decided orientations (outcome edges forced inward).
+  for (size_t i = 0; i < v; ++i) {
+    for (size_t j = 0; j < v; ++j) {
+      if (!adjacent[i][j] || i == j) continue;
+      if (directed[i][j] && !directed[j][i]) {
+        if (i == outcome_var) continue;  // outcome is a sink
+        if (i < j || !directed[j][i]) try_add(i, j);
+      }
+    }
+  }
+  // Then the leftovers: orient toward the outcome when incident to it,
+  // otherwise from the lower to the higher index.
+  for (size_t i = 0; i < v; ++i) {
+    for (size_t j = i + 1; j < v; ++j) {
+      if (!is_undirected(i, j)) continue;
+      size_t from = i, to = j;
+      if (i == outcome_var) {
+        from = j;
+        to = i;
+      }
+      try_add(from, to);
+    }
+  }
+  return dag;
+}
+
+}  // namespace faircap

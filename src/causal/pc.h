@@ -1,0 +1,41 @@
+// PC causal discovery (Spirtes, Glymour & Scheines 2001), used to build
+// the "PC DAG" variant of the robustness study (Table 6). Skeleton search
+// with conditional-independence tests, v-structure orientation, Meek
+// rules, and a deterministic completion that orients leftover edges
+// toward the outcome (the outcome is treated as a sink — nothing in these
+// datasets is caused by the outcome).
+
+#ifndef FAIRCAP_CAUSAL_PC_H_
+#define FAIRCAP_CAUSAL_PC_H_
+
+#include <string>
+#include <vector>
+
+#include "causal/dag.h"
+#include "dataframe/dataframe.h"
+#include "util/result.h"
+
+namespace faircap {
+
+/// Tuning knobs for PC.
+struct PcOptions {
+  /// CI-test significance level: p > alpha => independent => remove edge.
+  double alpha = 0.01;
+  /// Maximum conditioning-set size.
+  size_t max_condition_size = 2;
+  /// Quantile bins used to discretize numeric attributes for the
+  /// chi-square CI test.
+  size_t numeric_bins = 4;
+  /// Rows subsampled for the CI tests (0 = use all rows). PC is
+  /// test-count-bound; sampling keeps Table 6 runs fast.
+  size_t max_rows = 0;
+};
+
+/// Runs PC over all non-ignored attributes of `df` and returns a DAG whose
+/// node names are the attribute names. The outcome attribute (if any) is
+/// constrained to be a sink.
+Result<CausalDag> RunPc(const DataFrame& df, const PcOptions& options = {});
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_CAUSAL_PC_H_

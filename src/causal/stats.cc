@@ -1,0 +1,206 @@
+#include "causal/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace faircap {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return std::nan("");
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return std::nan("");
+  const double m = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  const size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return std::nan("");
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return std::nan("");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double NormalCdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+namespace {
+
+// Lanczos approximation of log-gamma.
+double LogGamma(double x) {
+  static const double kCoef[] = {76.18009172947146,  -86.50532032941677,
+                                 24.01409824083091,  -1.231739572450155,
+                                 0.1208650973866179e-2, -0.5395239384953e-5};
+  double y = x;
+  double tmp = x + 5.5;
+  tmp -= (x + 0.5) * std::log(tmp);
+  double ser = 1.000000000190015;
+  for (double c : kCoef) ser += c / ++y;
+  return -tmp + std::log(2.5066282746310005 * ser / x);
+}
+
+// Regularized lower incomplete gamma P(s, x) via series expansion
+// (converges fast for x < s + 1).
+double GammaPSeries(double s, double x) {
+  double ap = s;
+  double sum = 1.0 / s;
+  double del = sum;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::abs(del) < std::abs(sum) * 1e-14) break;
+  }
+  return sum * std::exp(-x + s * std::log(x) - LogGamma(s));
+}
+
+// Regularized upper incomplete gamma Q(s, x) via continued fraction
+// (converges fast for x >= s + 1).
+double GammaQContinuedFraction(double s, double x) {
+  const double kTiny = 1e-300;
+  double b = x + 1.0 - s;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - s);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < 1e-14) break;
+  }
+  return std::exp(-x + s * std::log(x) - LogGamma(s)) * h;
+}
+
+}  // namespace
+
+double GammaQ(double s, double x) {
+  if (x < 0.0 || s <= 0.0) return std::nan("");
+  if (x == 0.0) return 1.0;
+  if (x < s + 1.0) return 1.0 - GammaPSeries(s, x);
+  return GammaQContinuedFraction(s, x);
+}
+
+double ChiSquarePValue(double statistic, size_t dof) {
+  if (dof == 0) return 1.0;
+  if (statistic <= 0.0) return 1.0;
+  return GammaQ(static_cast<double>(dof) / 2.0, statistic / 2.0);
+}
+
+IndependenceTest ChiSquareIndependence(const std::vector<double>& counts,
+                                       size_t r, size_t c) {
+  IndependenceTest out;
+  if (r < 2 || c < 2 || counts.size() != r * c) {
+    out.informative = false;
+    return out;
+  }
+  std::vector<double> row_sum(r, 0.0), col_sum(c, 0.0);
+  double total = 0.0;
+  for (size_t i = 0; i < r; ++i) {
+    for (size_t j = 0; j < c; ++j) {
+      const double v = counts[i * c + j];
+      row_sum[i] += v;
+      col_sum[j] += v;
+      total += v;
+    }
+  }
+  if (total <= 0.0) {
+    out.informative = false;
+    return out;
+  }
+  // Degrees of freedom use only rows/columns with mass.
+  size_t nonzero_rows = 0, nonzero_cols = 0;
+  for (double v : row_sum) nonzero_rows += v > 0.0 ? 1 : 0;
+  for (double v : col_sum) nonzero_cols += v > 0.0 ? 1 : 0;
+  if (nonzero_rows < 2 || nonzero_cols < 2) {
+    out.informative = false;
+    return out;
+  }
+  double stat = 0.0;
+  for (size_t i = 0; i < r; ++i) {
+    if (row_sum[i] <= 0.0) continue;
+    for (size_t j = 0; j < c; ++j) {
+      if (col_sum[j] <= 0.0) continue;
+      const double expected = row_sum[i] * col_sum[j] / total;
+      const double diff = counts[i * c + j] - expected;
+      stat += diff * diff / expected;
+    }
+  }
+  out.statistic = stat;
+  out.dof = (nonzero_rows - 1) * (nonzero_cols - 1);
+  out.p_value = ChiSquarePValue(stat, out.dof);
+  return out;
+}
+
+IndependenceTest ConditionalChiSquare(const std::vector<int32_t>& x,
+                                      size_t x_card,
+                                      const std::vector<int32_t>& y,
+                                      size_t y_card,
+                                      const std::vector<int64_t>& strata) {
+  IndependenceTest out;
+  if (x.size() != y.size() || x.size() != strata.size() || x_card < 2 ||
+      y_card < 2) {
+    out.informative = false;
+    return out;
+  }
+  // Bucket rows by stratum, then run a chi-square per stratum and sum.
+  std::map<int64_t, std::vector<double>> tables;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] < 0 || y[i] < 0) continue;  // skip nulls
+    auto [it, inserted] =
+        tables.try_emplace(strata[i], std::vector<double>(x_card * y_card));
+    it->second[static_cast<size_t>(x[i]) * y_card +
+               static_cast<size_t>(y[i])] += 1.0;
+  }
+  double stat = 0.0;
+  size_t dof = 0;
+  for (const auto& [stratum, counts] : tables) {
+    const IndependenceTest t = ChiSquareIndependence(counts, x_card, y_card);
+    if (!t.informative) continue;
+    stat += t.statistic;
+    dof += t.dof;
+  }
+  if (dof == 0) {
+    out.informative = false;
+    return out;
+  }
+  out.statistic = stat;
+  out.dof = dof;
+  out.p_value = ChiSquarePValue(stat, dof);
+  return out;
+}
+
+double FisherZPValue(double r, size_t n, size_t k) {
+  if (n <= k + 3) return 1.0;
+  r = std::clamp(r, -0.999999, 0.999999);
+  const double z = 0.5 * std::log((1.0 + r) / (1.0 - r));
+  const double se = 1.0 / std::sqrt(static_cast<double>(n - k - 3));
+  const double stat = std::abs(z) / se;
+  return 2.0 * (1.0 - NormalCdf(stat));
+}
+
+}  // namespace faircap

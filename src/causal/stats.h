@@ -1,0 +1,69 @@
+// Statistical primitives: moments, correlation, chi-square / G² and
+// Fisher-z independence tests. Used by the CATE estimators and the PC
+// causal-discovery algorithm.
+
+#ifndef FAIRCAP_CAUSAL_STATS_H_
+#define FAIRCAP_CAUSAL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/result.h"
+
+namespace faircap {
+
+/// Arithmetic mean; NaN for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance; NaN for n < 2.
+double Variance(const std::vector<double>& xs);
+
+/// Pearson correlation; NaN when either side is constant.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Standard normal CDF.
+double NormalCdf(double x);
+
+/// Regularized upper incomplete gamma Q(s, x); used for chi-square tails.
+double GammaQ(double s, double x);
+
+/// Upper-tail p-value of a chi-square statistic with `dof` degrees of
+/// freedom.
+double ChiSquarePValue(double statistic, size_t dof);
+
+/// Result of an independence test.
+struct IndependenceTest {
+  double statistic = 0.0;
+  size_t dof = 0;
+  double p_value = 1.0;
+  /// False when the test had no power (e.g. empty strata everywhere);
+  /// callers should treat that as "independent" for pruning purposes.
+  bool informative = true;
+};
+
+/// Pearson chi-square test of independence on an r x c contingency table
+/// (row-major `counts`, dimensions r, c).
+IndependenceTest ChiSquareIndependence(const std::vector<double>& counts,
+                                       size_t r, size_t c);
+
+/// Conditional independence test of two categorical variables given a set
+/// of categorical variables: chi-square within each stratum of the
+/// conditioning set, statistics and dof summed across strata.
+/// `x`, `y` are code vectors (non-negative; same length); `strata` is a
+/// parallel vector of stratum ids. `x_card`, `y_card` are the number of
+/// distinct codes.
+IndependenceTest ConditionalChiSquare(const std::vector<int32_t>& x,
+                                      size_t x_card,
+                                      const std::vector<int32_t>& y,
+                                      size_t y_card,
+                                      const std::vector<int64_t>& strata);
+
+/// Fisher z-test of zero partial correlation: given sample partial
+/// correlation `r`, sample size `n`, and conditioning-set size `k`,
+/// returns the two-sided p-value.
+double FisherZPValue(double r, size_t n, size_t k);
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_CAUSAL_STATS_H_

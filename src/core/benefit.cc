@@ -1,0 +1,33 @@
+#include "core/benefit.h"
+
+namespace faircap {
+
+double RuleBenefit(double utility, double utility_protected,
+                   double utility_nonprotected,
+                   const FairnessConstraint& fairness) {
+  switch (fairness.kind) {
+    case FairnessKind::kNone:
+      return utility;
+    case FairnessKind::kStatisticalParity:
+      if (utility_nonprotected >= utility_protected) {
+        // Denominator >= 1 by the branch condition.
+        return utility /
+               (1.0 + utility_nonprotected - utility_protected);
+      }
+      return utility;
+    case FairnessKind::kBoundedGroupLoss:
+      if (fairness.tau >= utility_protected) {
+        return utility / (1.0 + fairness.tau - utility_protected);
+      }
+      return utility;
+  }
+  return utility;
+}
+
+double RuleBenefit(const PrescriptionRule& rule,
+                   const FairnessConstraint& fairness) {
+  return RuleBenefit(rule.utility, rule.utility_protected,
+                     rule.utility_nonprotected, fairness);
+}
+
+}  // namespace faircap

@@ -1,0 +1,30 @@
+// Benefit: the fairness-aware treatment score used during intervention
+// mining (Sections 5.2 and 5.4). Without fairness, benefit == utility.
+// With SP fairness the score penalizes the gap between non-protected and
+// protected utility; with BGL it penalizes shortfall below tau.
+
+#ifndef FAIRCAP_CORE_BENEFIT_H_
+#define FAIRCAP_CORE_BENEFIT_H_
+
+#include "core/fairness.h"
+#include "core/rule.h"
+
+namespace faircap {
+
+/// Benefit of a rule given per-group utilities:
+///   SP:   utility / (1 + utility_p̄ - utility_p)  when utility_p̄ >= utility_p
+///         utility                                  otherwise
+///   BGL:  utility / (1 + tau - utility_p)          when tau >= utility_p
+///         utility                                  otherwise
+///   none: utility
+double RuleBenefit(double utility, double utility_protected,
+                   double utility_nonprotected,
+                   const FairnessConstraint& fairness);
+
+/// Overload reading the utilities off a rule.
+double RuleBenefit(const PrescriptionRule& rule,
+                   const FairnessConstraint& fairness);
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_CORE_BENEFIT_H_

@@ -1,0 +1,48 @@
+#include "core/cost.h"
+
+namespace faircap {
+
+namespace {
+
+std::string AtomKey(const std::string& attr, const std::string& value) {
+  return attr + "=" + value;
+}
+
+}  // namespace
+
+void InterventionCostModel::SetAtomCost(const std::string& attr,
+                                        const std::string& value,
+                                        double cost) {
+  atom_costs_[AtomKey(attr, value)] = cost;
+}
+
+void InterventionCostModel::SetAttributeCost(const std::string& attr,
+                                             double cost) {
+  attribute_costs_[attr] = cost;
+}
+
+double InterventionCostModel::AtomCost(const std::string& attr,
+                                       const std::string& value) const {
+  const auto atom_it = atom_costs_.find(AtomKey(attr, value));
+  if (atom_it != atom_costs_.end()) return atom_it->second;
+  const auto attr_it = attribute_costs_.find(attr);
+  if (attr_it != attribute_costs_.end()) return attr_it->second;
+  return default_atom_cost_;
+}
+
+double InterventionCostModel::PatternCost(const Pattern& pattern,
+                                          const Schema& schema) const {
+  double cost = 0.0;
+  for (const Predicate& p : pattern.predicates()) {
+    cost += AtomCost(schema.attribute(p.attr).name, p.value.ToString());
+  }
+  return cost;
+}
+
+double InterventionCostModel::RuleTotalCost(const PrescriptionRule& rule,
+                                            const Schema& schema) const {
+  return PatternCost(rule.intervention, schema) *
+         static_cast<double>(rule.support);
+}
+
+}  // namespace faircap

@@ -1,0 +1,53 @@
+// Intervention cost model — the Section 8 ("Considering constraints,
+// costs, and resources") extension. Each intervention atom (attribute =
+// value) can carry a cost (e.g. "move to the US" is costlier than "learn
+// Python"); a rule's per-individual cost is the sum of its atoms' costs,
+// and its total cost scales with the individuals it covers. A budget then
+// bounds the total cost of the selected ruleset.
+
+#ifndef FAIRCAP_CORE_COST_H_
+#define FAIRCAP_CORE_COST_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "core/rule.h"
+
+namespace faircap {
+
+/// Per-atom intervention costs with attribute-level and model-level
+/// defaults.
+class InterventionCostModel {
+ public:
+  /// Cost used when neither the atom nor its attribute has an override.
+  explicit InterventionCostModel(double default_atom_cost = 1.0)
+      : default_atom_cost_(default_atom_cost) {}
+
+  /// Sets the cost of prescribing `attr = value`.
+  void SetAtomCost(const std::string& attr, const std::string& value,
+                   double cost);
+
+  /// Sets the default cost for any prescription touching `attr`.
+  void SetAttributeCost(const std::string& attr, double cost);
+
+  double default_atom_cost() const { return default_atom_cost_; }
+
+  /// Cost of one atom, honoring atom > attribute > model precedence.
+  double AtomCost(const std::string& attr, const std::string& value) const;
+
+  /// Per-individual cost of an intervention pattern (sum over atoms).
+  double PatternCost(const Pattern& pattern, const Schema& schema) const;
+
+  /// Total cost of prescribing `rule` to everyone it covers.
+  double RuleTotalCost(const PrescriptionRule& rule,
+                       const Schema& schema) const;
+
+ private:
+  double default_atom_cost_;
+  std::unordered_map<std::string, double> attribute_costs_;
+  std::unordered_map<std::string, double> atom_costs_;  // "attr=value"
+};
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_CORE_COST_H_

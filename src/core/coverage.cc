@@ -1,0 +1,64 @@
+#include "core/coverage.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/ruleset.h"
+#include "util/string_util.h"
+
+namespace faircap {
+
+CoverageConstraint CoverageConstraint::Group(double theta,
+                                             double theta_protected) {
+  CoverageConstraint c;
+  c.kind = CoverageKind::kGroup;
+  c.theta = theta;
+  c.theta_protected = theta_protected;
+  return c;
+}
+
+CoverageConstraint CoverageConstraint::Rule(double theta,
+                                            double theta_protected) {
+  CoverageConstraint c = Group(theta, theta_protected);
+  c.kind = CoverageKind::kRule;
+  return c;
+}
+
+bool CoverageConstraint::RuleSatisfies(const PrescriptionRule& rule,
+                                       size_t population,
+                                       size_t population_protected) const {
+  if (kind != CoverageKind::kRule) return true;
+  const double need = theta * static_cast<double>(population);
+  const double need_p =
+      theta_protected * static_cast<double>(population_protected);
+  return static_cast<double>(rule.support) >= need &&
+         static_cast<double>(rule.support_protected) >= need_p;
+}
+
+bool CoverageConstraint::StatsSatisfy(const RulesetStats& stats) const {
+  return GroupShortfall(stats) <= 0.0;
+}
+
+double CoverageConstraint::GroupShortfall(const RulesetStats& stats) const {
+  if (kind != CoverageKind::kGroup) return 0.0;
+  const double shortfall =
+      std::max(0.0, theta - stats.coverage_fraction) +
+      std::max(0.0, theta_protected - stats.coverage_protected_fraction);
+  return shortfall;
+}
+
+std::string CoverageConstraint::ToString() const {
+  switch (kind) {
+    case CoverageKind::kNone:
+      return "no coverage constraint";
+    case CoverageKind::kGroup:
+      return "group coverage (theta=" + FormatDouble(theta) +
+             ", theta_p=" + FormatDouble(theta_protected) + ")";
+    case CoverageKind::kRule:
+      return "rule coverage (theta=" + FormatDouble(theta) +
+             ", theta_p=" + FormatDouble(theta_protected) + ")";
+  }
+  return "?";
+}
+
+}  // namespace faircap

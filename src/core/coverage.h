@@ -1,0 +1,51 @@
+// Coverage constraints (Section 4.5): group coverage (the ruleset as a
+// whole must reach a θ fraction of the population and a θ_p fraction of
+// the protected group) and rule coverage (every selected rule must).
+
+#ifndef FAIRCAP_CORE_COVERAGE_H_
+#define FAIRCAP_CORE_COVERAGE_H_
+
+#include <string>
+
+#include "core/rule.h"
+
+namespace faircap {
+
+struct RulesetStats;  // core/ruleset.h
+
+/// Which coverage definition applies.
+enum class CoverageKind { kNone, kGroup, kRule };
+
+/// A coverage constraint instance.
+struct CoverageConstraint {
+  CoverageKind kind = CoverageKind::kNone;
+  /// Minimum fraction of the whole population.
+  double theta = 0.0;
+  /// Minimum fraction of the protected subpopulation.
+  double theta_protected = 0.0;
+
+  static CoverageConstraint None() { return {}; }
+  static CoverageConstraint Group(double theta, double theta_protected);
+  static CoverageConstraint Rule(double theta, double theta_protected);
+
+  bool active() const { return kind != CoverageKind::kNone; }
+
+  /// Rule-scope test (always true unless kind == kRule).
+  /// `population` / `population_protected` are |D| and |P_p(D)|.
+  bool RuleSatisfies(const PrescriptionRule& rule, size_t population,
+                     size_t population_protected) const;
+
+  /// Group-scope test on ruleset statistics (always true unless
+  /// kind == kGroup).
+  bool StatsSatisfy(const RulesetStats& stats) const;
+
+  /// Shortfall of `stats` w.r.t. the group constraint, as a fraction in
+  /// [0, 2]; 0 when satisfied or not applicable.
+  double GroupShortfall(const RulesetStats& stats) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_CORE_COVERAGE_H_

@@ -1,0 +1,310 @@
+#include "core/faircap.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "core/benefit.h"
+#include "util/threadpool.h"
+#include "util/timer.h"
+
+namespace faircap {
+
+Result<FairCap> FairCap::Create(const DataFrame* df, const CausalDag* dag,
+                                Pattern protected_pattern,
+                                FairCapOptions options) {
+  if (df == nullptr || dag == nullptr) {
+    return Status::InvalidArgument("df and dag must be non-null");
+  }
+  FAIRCAP_RETURN_NOT_OK(protected_pattern.Validate(*df));
+  FAIRCAP_ASSIGN_OR_RETURN(const size_t outcome_attr,
+                           df->schema().OutcomeIndex());
+  if (protected_pattern.ConstrainsAttr(outcome_attr)) {
+    return Status::InvalidArgument(
+        "protected pattern must not reference the outcome");
+  }
+  FAIRCAP_ASSIGN_OR_RETURN(CateEstimator estimator,
+                           CateEstimator::Create(df, dag, options.cate));
+
+  // Optimization (i): mutable attributes with no causal path to the
+  // outcome cannot have a treatment effect; drop them up front.
+  std::vector<size_t> mutable_attrs =
+      df->schema().IndicesWithRole(AttrRole::kMutable);
+  if (options.prune_non_causal_attrs) {
+    const std::string& outcome_name =
+        df->schema().attribute(outcome_attr).name;
+    const Result<size_t> outcome_node = dag->IndexOf(outcome_name);
+    std::vector<size_t> kept;
+    for (size_t attr : mutable_attrs) {
+      const Result<size_t> node = dag->IndexOf(df->schema().attribute(attr).name);
+      if (!node.ok() || !outcome_node.ok()) {
+        kept.push_back(attr);  // unknown to the DAG: keep conservatively
+        continue;
+      }
+      if (dag->HasDirectedPath(*node, *outcome_node)) kept.push_back(attr);
+    }
+    mutable_attrs = std::move(kept);
+  }
+
+  Bitmap protected_mask = protected_pattern.Evaluate(*df);
+  return FairCap(df, dag, std::move(protected_pattern),
+                 std::move(protected_mask), std::move(estimator),
+                 std::move(mutable_attrs), std::move(options));
+}
+
+FairCap::FairCap(const DataFrame* df, const CausalDag* dag,
+                 Pattern protected_pattern, Bitmap protected_mask,
+                 CateEstimator estimator, std::vector<size_t> mutable_attrs,
+                 FairCapOptions options)
+    : df_(df),
+      dag_(dag),
+      protected_pattern_(std::move(protected_pattern)),
+      protected_mask_(std::move(protected_mask)),
+      estimator_(std::move(estimator)),
+      mutable_attrs_(std::move(mutable_attrs)),
+      options_(std::move(options)) {}
+
+Result<std::vector<FrequentPattern>> FairCap::MineGroupingPatterns() const {
+  const std::vector<size_t> immutable =
+      df_->schema().IndicesWithRole(AttrRole::kImmutable);
+  // Only categorical immutable attributes participate (numeric grouping
+  // attributes must be discretized by the caller).
+  std::vector<size_t> usable;
+  for (size_t attr : immutable) {
+    if (df_->column(attr).type() == AttrType::kCategorical) {
+      usable.push_back(attr);
+    }
+  }
+  AprioriOptions apriori = options_.apriori;
+  // Section 5.4: under a rule-coverage constraint every rule must cover a
+  // theta fraction of the population, so raise the Apriori threshold to
+  // theta — low-coverage grouping patterns can never yield a feasible
+  // rule and pruning them up front is what makes this the cheapest
+  // setting (Figure 3).
+  if (options_.coverage.kind == CoverageKind::kRule) {
+    apriori.min_support_fraction =
+        std::max(apriori.min_support_fraction, options_.coverage.theta);
+  }
+  FAIRCAP_ASSIGN_OR_RETURN(std::vector<FrequentPattern> groups,
+                           MineFrequentPatterns(*df_, usable, apriori));
+  // Same argument for the protected-coverage floor theta_p.
+  if (options_.coverage.kind == CoverageKind::kRule &&
+      options_.coverage.theta_protected > 0.0) {
+    const double need_protected = options_.coverage.theta_protected *
+                                  static_cast<double>(protected_mask_.Count());
+    std::vector<FrequentPattern> kept;
+    kept.reserve(groups.size());
+    for (auto& group : groups) {
+      const size_t covered_protected =
+          (group.coverage & protected_mask_).Count();
+      if (static_cast<double>(covered_protected) >= need_protected) {
+        kept.push_back(std::move(group));
+      }
+    }
+    groups = std::move(kept);
+  }
+  return groups;
+}
+
+PrescriptionRule FairCap::CostRule(const Pattern& grouping,
+                                   const Pattern& intervention) const {
+  PrescriptionRule rule;
+  rule.grouping = grouping;
+  rule.intervention = intervention;
+  rule.coverage = grouping.Evaluate(*df_);
+  rule.coverage_protected = rule.coverage & protected_mask_;
+  rule.support = rule.coverage.Count();
+  rule.support_protected = rule.coverage_protected.Count();
+
+  if (rule.support == 0 || intervention.empty()) return rule;
+
+  const Result<CateEstimate> overall =
+      estimator_.Estimate(intervention, rule.coverage);
+  if (overall.ok()) {
+    rule.utility = overall->cate;
+    rule.std_error = overall->std_error;
+  }
+  if (rule.support_protected > 0) {
+    const Result<CateEstimate> prot = estimator_.Estimate(
+        intervention, rule.coverage_protected, options_.min_subgroup_arm);
+    if (prot.ok()) {
+      rule.utility_protected = prot->cate;
+    } else {
+      rule.utility_protected_estimable = false;
+    }
+  }
+  Bitmap nonprotected = rule.coverage;
+  nonprotected.AndNot(protected_mask_);
+  if (nonprotected.Count() > 0) {
+    const Result<CateEstimate> nonprot = estimator_.Estimate(
+        intervention, nonprotected, options_.min_subgroup_arm);
+    if (nonprot.ok()) {
+      rule.utility_nonprotected = nonprot->cate;
+    } else {
+      rule.utility_nonprotected_estimable = false;
+    }
+  }
+  rule.benefit = RuleBenefit(rule, options_.fairness);
+  return rule;
+}
+
+Result<std::vector<PrescriptionRule>> FairCap::MineCandidateRules(
+    const std::vector<FrequentPattern>& groups,
+    size_t* num_evaluations) const {
+  const bool needs_group_utilities = options_.fairness.active();
+  std::vector<std::vector<PrescriptionRule>> per_group(groups.size());
+  std::vector<size_t> evals(groups.size(), 0);
+
+  auto mine_one = [&](size_t g) {
+    const FrequentPattern& group = groups[g];
+    Bitmap coverage_protected = group.coverage & protected_mask_;
+    Bitmap coverage_nonprotected = group.coverage;
+    coverage_nonprotected.AndNot(protected_mask_);
+
+    TreatmentEvaluator evaluator =
+        [&](const Pattern& intervention) -> std::optional<TreatmentEval> {
+      const Result<CateEstimate> overall =
+          estimator_.Estimate(intervention, group.coverage);
+      if (!overall.ok()) return std::nullopt;
+      TreatmentEval eval;
+      eval.cate = overall->cate;
+      // Non-positive treatments are never selectable (Section 4.3) and the
+      // lattice prunes on the overall CATE only, so their subgroup
+      // estimates would be wasted work.
+      if (overall->cate <= 0.0) {
+        eval.score = overall->cate;
+        eval.feasible = false;
+        return eval;
+      }
+      if (needs_group_utilities) {
+        double utility_protected = 0.0;
+        double utility_nonprotected = 0.0;
+        bool estimable = true;
+        if (coverage_protected.Count() > 0) {
+          const Result<CateEstimate> prot = estimator_.Estimate(
+              intervention, coverage_protected, options_.min_subgroup_arm);
+          if (prot.ok()) {
+            utility_protected = prot->cate;
+          } else {
+            estimable = false;
+          }
+        }
+        if (coverage_nonprotected.Count() > 0) {
+          const Result<CateEstimate> nonprot = estimator_.Estimate(
+              intervention, coverage_nonprotected,
+              options_.min_subgroup_arm);
+          if (nonprot.ok()) {
+            utility_nonprotected = nonprot->cate;
+          } else {
+            estimable = false;
+          }
+        }
+        eval.score = RuleBenefit(overall->cate, utility_protected,
+                                 utility_nonprotected, options_.fairness);
+        // A treatment whose subgroup effects cannot be estimated cannot
+        // have its fairness certified; under an active fairness
+        // constraint it is not selectable.
+        if (!estimable) eval.feasible = false;
+        // Individual-scope constraints restrict which treatments are
+        // selectable for this group (Section 5.4).
+        if (eval.feasible && options_.fairness.individual()) {
+          PrescriptionRule probe;
+          probe.utility = overall->cate;
+          probe.utility_protected = utility_protected;
+          probe.utility_nonprotected = utility_nonprotected;
+          eval.feasible = options_.fairness.RuleSatisfies(probe);
+        }
+      } else {
+        eval.score = overall->cate;
+      }
+      return eval;
+    };
+
+    const LatticeResult lattice = TraverseInterventionLattice(
+        *df_, mutable_attrs_, evaluator, options_.lattice);
+    evals[g] = lattice.num_evaluated;
+
+    auto emit = [&](const Pattern& intervention) {
+      PrescriptionRule rule = CostRule(group.pattern, intervention);
+      if (rule.utility <= 0.0) return;
+      if (options_.fairness.active() && !rule.GroupUtilitiesEstimable()) {
+        return;
+      }
+      if (options_.fairness.individual() &&
+          !options_.fairness.RuleSatisfies(rule)) {
+        return;
+      }
+      per_group[g].push_back(std::move(rule));
+    };
+
+    if (options_.keep_all_treatments) {
+      for (const auto& [pattern, eval] : lattice.positive) {
+        if (eval.feasible) emit(pattern);
+      }
+    } else if (lattice.best.has_value()) {
+      emit(*lattice.best);
+    }
+  };
+
+  if (options_.num_threads == 1 || groups.size() <= 1) {
+    for (size_t g = 0; g < groups.size(); ++g) mine_one(g);
+  } else {
+    ThreadPool pool(options_.num_threads);
+    pool.ParallelFor(groups.size(), mine_one);
+  }
+
+  std::vector<PrescriptionRule> candidates;
+  size_t total_evals = 0;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    total_evals += evals[g];
+    for (auto& rule : per_group[g]) candidates.push_back(std::move(rule));
+  }
+  if (num_evaluations != nullptr) *num_evaluations = total_evals;
+  return candidates;
+}
+
+Result<FairCapResult> FairCap::Run() const {
+  FairCapResult result;
+  StopWatch watch;
+
+  // Step 1: grouping patterns.
+  FAIRCAP_ASSIGN_OR_RETURN(const std::vector<FrequentPattern> groups,
+                           MineGroupingPatterns());
+  result.num_grouping_patterns = groups.size();
+  result.timings.group_mining_seconds = watch.ElapsedSeconds();
+
+  // Step 2: intervention patterns.
+  watch.Restart();
+  FAIRCAP_ASSIGN_OR_RETURN(
+      const std::vector<PrescriptionRule> candidates,
+      MineCandidateRules(groups, &result.num_treatment_evaluations));
+  result.num_candidate_rules = candidates.size();
+  result.timings.treatment_mining_seconds = watch.ElapsedSeconds();
+
+  // Step 3: greedy selection (budget-aware when a cost model is set).
+  watch.Restart();
+  std::vector<double> costs;
+  const std::vector<double>* costs_ptr = nullptr;
+  if (options_.cost_model != nullptr && options_.greedy.budget > 0.0) {
+    costs.reserve(candidates.size());
+    for (const PrescriptionRule& rule : candidates) {
+      costs.push_back(
+          options_.cost_model->RuleTotalCost(rule, df_->schema()));
+    }
+    costs_ptr = &costs;
+  }
+  const GreedyResult greedy =
+      GreedySelect(candidates, protected_mask_, options_.fairness,
+                   options_.coverage, options_.greedy, costs_ptr);
+  result.timings.selection_seconds = watch.ElapsedSeconds();
+
+  result.stats = greedy.stats;
+  result.constraints_satisfied = greedy.constraints_satisfied;
+  result.total_cost = greedy.total_cost;
+  result.rules.reserve(greedy.selected.size());
+  for (size_t idx : greedy.selected) {
+    result.rules.push_back(candidates[idx]);
+  }
+  return result;
+}
+
+}  // namespace faircap

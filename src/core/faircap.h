@@ -1,0 +1,137 @@
+// FairCap: the end-to-end three-step algorithm (Section 5).
+//   Step 1 — mine grouping patterns with Apriori over immutable attributes;
+//   Step 2 — per grouping pattern, lattice-traverse intervention patterns,
+//            scoring treatments by the fairness-aware benefit;
+//   Step 3 — greedily select a ruleset under fairness and coverage
+//            constraints.
+// All 18 problem variants (3 coverage x 6 fairness choices) are expressed
+// through FairCapOptions.
+
+#ifndef FAIRCAP_CORE_FAIRCAP_H_
+#define FAIRCAP_CORE_FAIRCAP_H_
+
+#include <memory>
+#include <vector>
+
+#include "causal/dag.h"
+#include "causal/estimator.h"
+#include "core/coverage.h"
+#include "core/fairness.h"
+#include "core/cost.h"
+#include "core/greedy.h"
+#include "core/rule.h"
+#include "core/ruleset.h"
+#include "dataframe/dataframe.h"
+#include "mining/apriori.h"
+#include "mining/lattice.h"
+#include "util/result.h"
+
+namespace faircap {
+
+/// All tuning knobs of the pipeline.
+struct FairCapOptions {
+  AprioriOptions apriori;
+  LatticeOptions lattice;
+  CateOptions cate;
+  GreedyOptions greedy;
+  FairnessConstraint fairness;
+  CoverageConstraint coverage;
+  /// Worker threads for intervention mining (0 = hardware concurrency,
+  /// 1 = sequential).
+  size_t num_threads = 0;
+  /// Drop mutable attributes with no directed path to the outcome in the
+  /// DAG (optimization (i) of Section 5.2).
+  bool prune_non_causal_attrs = true;
+  /// Overlap floor for the protected / non-protected subgroup CATEs
+  /// (smaller than the full-group floor because subgroups are smaller;
+  /// estimates stay unbiased, just noisier).
+  size_t min_subgroup_arm = 5;
+  /// Keep, per grouping pattern, every feasible positive treatment as a
+  /// candidate rather than only the best one. More candidates give greedy
+  /// more room; the paper keeps the best treatment per group.
+  bool keep_all_treatments = false;
+  /// Optional intervention cost model (Section 8 extension). When set and
+  /// greedy.budget > 0, selection maximizes marginal score per unit cost
+  /// and the total ruleset cost never exceeds the budget.
+  std::shared_ptr<const InterventionCostModel> cost_model;
+};
+
+/// Wall-clock seconds per pipeline step (Figure 3).
+struct StepTimings {
+  double group_mining_seconds = 0.0;
+  double treatment_mining_seconds = 0.0;
+  double selection_seconds = 0.0;
+  double total() const {
+    return group_mining_seconds + treatment_mining_seconds +
+           selection_seconds;
+  }
+};
+
+/// Output of a full pipeline run.
+struct FairCapResult {
+  std::vector<PrescriptionRule> rules;  ///< the selected ruleset
+  RulesetStats stats;
+  StepTimings timings;
+  bool constraints_satisfied = false;
+  /// Total intervention cost (0 unless a cost model and budget were set).
+  double total_cost = 0.0;
+  size_t num_grouping_patterns = 0;
+  size_t num_candidate_rules = 0;
+  size_t num_treatment_evaluations = 0;
+};
+
+/// The FairCap solver. Holds borrowed references to the data and DAG; both
+/// must outlive the solver.
+class FairCap {
+ public:
+  /// Validates inputs and prepares the estimator. `protected_pattern`
+  /// defines P_p over immutable attributes (it may reference any
+  /// attribute, but must not reference the outcome).
+  static Result<FairCap> Create(const DataFrame* df, const CausalDag* dag,
+                                Pattern protected_pattern,
+                                FairCapOptions options = {});
+
+  /// Runs all three steps and returns the selected ruleset with metrics.
+  Result<FairCapResult> Run() const;
+
+  /// Step 1 only: grouping patterns over immutable attributes.
+  Result<std::vector<FrequentPattern>> MineGroupingPatterns() const;
+
+  /// Step 2 only: candidate prescription rules for the given grouping
+  /// patterns (parallel across patterns). Also usable with externally
+  /// supplied grouping patterns (baseline adapters, Section 7.1).
+  Result<std::vector<PrescriptionRule>> MineCandidateRules(
+      const std::vector<FrequentPattern>& groups,
+      size_t* num_evaluations = nullptr) const;
+
+  /// Builds a fully-costed PrescriptionRule from explicit patterns: CATE
+  /// estimates for overall / protected / non-protected plus coverage.
+  /// Utilities default to 0 where the paper defines them so (empty
+  /// coverage) or where estimation is impossible (no overlap).
+  PrescriptionRule CostRule(const Pattern& grouping,
+                            const Pattern& intervention) const;
+
+  const Bitmap& protected_mask() const { return protected_mask_; }
+  const CateEstimator& estimator() const { return estimator_; }
+  const FairCapOptions& options() const { return options_; }
+
+  /// Mutable attributes that survive DAG pruning (optimization (i)).
+  const std::vector<size_t>& mutable_attrs() const { return mutable_attrs_; }
+
+ private:
+  FairCap(const DataFrame* df, const CausalDag* dag, Pattern protected_pattern,
+          Bitmap protected_mask, CateEstimator estimator,
+          std::vector<size_t> mutable_attrs, FairCapOptions options);
+
+  const DataFrame* df_;
+  const CausalDag* dag_;
+  Pattern protected_pattern_;
+  Bitmap protected_mask_;
+  CateEstimator estimator_;
+  std::vector<size_t> mutable_attrs_;
+  FairCapOptions options_;
+};
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_CORE_FAIRCAP_H_

@@ -1,0 +1,77 @@
+#include "core/fairness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/ruleset.h"
+#include "util/string_util.h"
+
+namespace faircap {
+
+FairnessConstraint FairnessConstraint::GroupSP(double epsilon) {
+  FairnessConstraint c;
+  c.kind = FairnessKind::kStatisticalParity;
+  c.scope = FairnessScope::kGroup;
+  c.epsilon = epsilon;
+  return c;
+}
+
+FairnessConstraint FairnessConstraint::IndividualSP(double epsilon) {
+  FairnessConstraint c = GroupSP(epsilon);
+  c.scope = FairnessScope::kIndividual;
+  return c;
+}
+
+FairnessConstraint FairnessConstraint::GroupBGL(double tau) {
+  FairnessConstraint c;
+  c.kind = FairnessKind::kBoundedGroupLoss;
+  c.scope = FairnessScope::kGroup;
+  c.tau = tau;
+  return c;
+}
+
+FairnessConstraint FairnessConstraint::IndividualBGL(double tau) {
+  FairnessConstraint c = GroupBGL(tau);
+  c.scope = FairnessScope::kIndividual;
+  return c;
+}
+
+bool FairnessConstraint::RuleSatisfies(const PrescriptionRule& rule) const {
+  if (!individual()) return true;
+  if (kind == FairnessKind::kStatisticalParity) {
+    return rule.FairnessGap() <= epsilon;
+  }
+  return rule.utility_protected >= tau;
+}
+
+bool FairnessConstraint::StatsSatisfy(const RulesetStats& stats) const {
+  return GroupViolation(stats) <= 0.0;
+}
+
+double FairnessConstraint::GroupViolation(const RulesetStats& stats) const {
+  if (!group()) return 0.0;
+  if (kind == FairnessKind::kStatisticalParity) {
+    return std::max(0.0, std::abs(stats.exp_utility_protected -
+                                  stats.exp_utility_nonprotected) -
+                             epsilon);
+  }
+  return std::max(0.0, tau - stats.exp_utility_protected);
+}
+
+std::string FairnessConstraint::ToString() const {
+  switch (kind) {
+    case FairnessKind::kNone:
+      return "no fairness constraint";
+    case FairnessKind::kStatisticalParity:
+      return std::string(scope == FairnessScope::kGroup ? "group" :
+                                                          "individual") +
+             " SP (epsilon=" + FormatDouble(epsilon) + ")";
+    case FairnessKind::kBoundedGroupLoss:
+      return std::string(scope == FairnessScope::kGroup ? "group" :
+                                                          "individual") +
+             " BGL (tau=" + FormatDouble(tau) + ")";
+  }
+  return "?";
+}
+
+}  // namespace faircap

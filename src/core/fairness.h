@@ -1,0 +1,65 @@
+// Fairness constraints (Section 4.6): statistical parity (SP) and bounded
+// group loss (BGL), each at group or individual scope — four constraint
+// families, plus "none".
+//
+//   SP  group:      |ExpUtility_p(R) - ExpUtility_p̄(R)| <= epsilon
+//   SP  individual: for every rule, |utility_p(r) - utility_p̄(r)| <= epsilon
+//   BGL group:      ExpUtility_p(R) >= tau
+//   BGL individual: for every rule, utility_p(r) >= tau
+
+#ifndef FAIRCAP_CORE_FAIRNESS_H_
+#define FAIRCAP_CORE_FAIRNESS_H_
+
+#include <string>
+
+#include "core/rule.h"
+
+namespace faircap {
+
+struct RulesetStats;  // core/ruleset.h
+
+/// Which fairness definition applies.
+enum class FairnessKind { kNone, kStatisticalParity, kBoundedGroupLoss };
+
+/// Group-level (on the ruleset) or individual-level (on every rule).
+enum class FairnessScope { kGroup, kIndividual };
+
+/// A fairness constraint instance.
+struct FairnessConstraint {
+  FairnessKind kind = FairnessKind::kNone;
+  FairnessScope scope = FairnessScope::kGroup;
+  /// SP threshold (same unit as the outcome).
+  double epsilon = 0.0;
+  /// BGL threshold (minimum protected utility).
+  double tau = 0.0;
+
+  static FairnessConstraint None() { return {}; }
+  static FairnessConstraint GroupSP(double epsilon);
+  static FairnessConstraint IndividualSP(double epsilon);
+  static FairnessConstraint GroupBGL(double tau);
+  static FairnessConstraint IndividualBGL(double tau);
+
+  bool active() const { return kind != FairnessKind::kNone; }
+  bool individual() const {
+    return active() && scope == FairnessScope::kIndividual;
+  }
+  bool group() const { return active() && scope == FairnessScope::kGroup; }
+
+  /// Individual-scope test for one rule (always true for group scope or
+  /// no constraint, since those do not restrict single rules).
+  bool RuleSatisfies(const PrescriptionRule& rule) const;
+
+  /// Group-scope test on ruleset statistics (always true for individual
+  /// scope or no constraint).
+  bool StatsSatisfy(const RulesetStats& stats) const;
+
+  /// Amount by which `stats` violates the group constraint (0 when
+  /// satisfied or not applicable). Used by greedy to steer selection.
+  double GroupViolation(const RulesetStats& stats) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_CORE_FAIRNESS_H_

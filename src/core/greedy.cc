@@ -1,0 +1,200 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/benefit.h"
+
+namespace faircap {
+
+namespace {
+
+// Normalized score of a ruleset (higher is better). `coverage_active` keeps
+// the coverage term in play until the coverage constraint is satisfied
+// (Section 5.3: "once the coverage constraints are met, the focus shifts
+// to maximizing benefit and utility"). With no coverage constraint the
+// coverage term stays active — the paper's unconstrained objective still
+// rewards broadly applicable rules through ExpUtility, and retaining the
+// term reproduces its high-coverage unconstrained solutions.
+// The benefit term uses the ruleset *mean* benefit (benefit(R) read as a
+// set-level score): a redundant or low-benefit addition drags the mean
+// down, which is what lets the marginal-gain stopping rule fire before
+// max_rules.
+double ScoreOf(const RulesetStats& stats, double benefit_sum,
+               double utility_scale, bool coverage_active,
+               const GreedyOptions& options) {
+  double score = 0.0;
+  if (coverage_active) {
+    score += options.weight_coverage *
+             (stats.coverage_fraction + stats.coverage_protected_fraction);
+  }
+  const double mean_benefit =
+      stats.num_rules == 0
+          ? 0.0
+          : benefit_sum / static_cast<double>(stats.num_rules);
+  score += options.weight_benefit * mean_benefit / utility_scale;
+  score += options.weight_utility * stats.exp_utility / utility_scale;
+  return score;
+}
+
+}  // namespace
+
+GreedyResult GreedySelect(const std::vector<PrescriptionRule>& candidates,
+                          const Bitmap& protected_mask,
+                          const FairnessConstraint& fairness,
+                          const CoverageConstraint& coverage,
+                          const GreedyOptions& options,
+                          const std::vector<double>* candidate_costs) {
+  GreedyResult result;
+  const bool budgeted = options.budget > 0.0 && candidate_costs != nullptr;
+  const size_t population = protected_mask.size();
+  const size_t population_protected = protected_mask.Count();
+
+  // Matroid pre-filter: rule coverage and individual fairness restrict
+  // single rules, so infeasible candidates can never enter any solution.
+  std::vector<size_t> eligible;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const PrescriptionRule& rule = candidates[i];
+    if (rule.utility <= 0.0) continue;  // only improving rules (Section 4.3)
+    if (!coverage.RuleSatisfies(rule, population, population_protected)) {
+      continue;
+    }
+    if (!fairness.RuleSatisfies(rule)) continue;
+    eligible.push_back(i);
+  }
+  if (eligible.empty()) {
+    result.stats = ComputeRulesetStats(candidates, {}, protected_mask);
+    result.constraints_satisfied =
+        fairness.StatsSatisfy(result.stats) &&
+        coverage.StatsSatisfy(result.stats);
+    return result;
+  }
+
+  // Scale so the benefit/utility terms are comparable with coverage
+  // fractions regardless of outcome units (dollars vs probabilities).
+  double utility_scale = 0.0;
+  for (size_t i : eligible) {
+    utility_scale = std::max(utility_scale, candidates[i].utility);
+  }
+  if (utility_scale <= 0.0) utility_scale = 1.0;
+
+  std::vector<size_t> selected;
+  std::vector<bool> taken(candidates.size(), false);
+  RulesetStats current_stats =
+      ComputeRulesetStats(candidates, selected, protected_mask);
+  double current_benefit_sum = 0.0;
+  double current_score = 0.0;
+
+  while (selected.size() < options.max_rules) {
+    const bool coverage_met = coverage.StatsSatisfy(current_stats);
+    const bool coverage_active =
+        !coverage.active() || !coverage_met;
+
+    double best_gain = -std::numeric_limits<double>::infinity();
+    double best_ranking = -std::numeric_limits<double>::infinity();
+    size_t best_idx = candidates.size();
+    RulesetStats best_stats;
+    double best_benefit_sum = 0.0;
+
+    for (size_t i : eligible) {
+      if (taken[i]) continue;
+      if (budgeted &&
+          result.total_cost + (*candidate_costs)[i] > options.budget) {
+        continue;
+      }
+      std::vector<size_t> trial = selected;
+      trial.push_back(i);
+      const RulesetStats trial_stats =
+          ComputeRulesetStats(candidates, trial, protected_mask);
+
+      // Group-fairness steering: once coverage is in hand, do not accept a
+      // rule that makes the group constraint (more) violated.
+      if (coverage_met || !coverage.active()) {
+        const double violation_now = fairness.GroupViolation(current_stats);
+        const double violation_after = fairness.GroupViolation(trial_stats);
+        if (violation_after > violation_now && violation_after > 0.0) {
+          continue;
+        }
+      }
+
+      const double benefit_i = RuleBenefit(candidates[i], fairness);
+      const double trial_benefit_sum = current_benefit_sum + benefit_i;
+      const double trial_score = ScoreOf(trial_stats, trial_benefit_sum,
+                                         utility_scale, coverage_active,
+                                         options);
+      const double gain = trial_score - current_score;
+      // Under a budget, rank by gain per unit cost (budgeted max-coverage
+      // heuristic); otherwise by raw gain.
+      const double ranking =
+          budgeted ? gain / std::max((*candidate_costs)[i], 1e-12) : gain;
+      if (ranking > best_ranking) {
+        best_ranking = ranking;
+        best_gain = gain;
+        best_idx = i;
+        best_stats = trial_stats;
+        best_benefit_sum = trial_benefit_sum;
+      }
+    }
+
+    if (best_idx == candidates.size()) break;
+    // Stop on negligible marginal gain — but never before coverage
+    // constraints are met if they still can be improved.
+    if (best_gain < options.min_marginal_gain && coverage_met) break;
+    if (best_gain <= 0.0 && !coverage.active()) break;
+
+    taken[best_idx] = true;
+    selected.push_back(best_idx);
+    if (budgeted) result.total_cost += (*candidate_costs)[best_idx];
+    current_stats = best_stats;
+    current_benefit_sum = best_benefit_sum;
+    current_score = ScoreOf(current_stats, current_benefit_sum, utility_scale,
+                            !coverage.active() ||
+                                !coverage.StatsSatisfy(current_stats),
+                            options);
+  }
+
+  // Final trim: while the group fairness constraint is violated, drop the
+  // rule whose removal shrinks the violation most, as long as coverage
+  // stays satisfied (or was never satisfied anyway).
+  bool changed = true;
+  while (changed && fairness.GroupViolation(current_stats) > 0.0 &&
+         selected.size() > 1) {
+    changed = false;
+    double best_violation = fairness.GroupViolation(current_stats);
+    size_t drop_pos = selected.size();
+    RulesetStats best_stats;
+    const bool coverage_was_met = coverage.StatsSatisfy(current_stats);
+    for (size_t pos = 0; pos < selected.size(); ++pos) {
+      std::vector<size_t> trial = selected;
+      trial.erase(trial.begin() + static_cast<ptrdiff_t>(pos));
+      const RulesetStats trial_stats =
+          ComputeRulesetStats(candidates, trial, protected_mask);
+      if (coverage_was_met && !coverage.StatsSatisfy(trial_stats)) continue;
+      const double v = fairness.GroupViolation(trial_stats);
+      if (v < best_violation) {
+        best_violation = v;
+        drop_pos = pos;
+        best_stats = trial_stats;
+      }
+    }
+    if (drop_pos < selected.size()) {
+      current_benefit_sum -=
+          RuleBenefit(candidates[selected[drop_pos]], fairness);
+      if (budgeted) {
+        result.total_cost -= (*candidate_costs)[selected[drop_pos]];
+      }
+      selected.erase(selected.begin() + static_cast<ptrdiff_t>(drop_pos));
+      current_stats = best_stats;
+      changed = true;
+    }
+  }
+
+  result.selected = std::move(selected);
+  result.stats = current_stats;
+  result.constraints_satisfied = fairness.StatsSatisfy(current_stats) &&
+                                 coverage.StatsSatisfy(current_stats);
+  return result;
+}
+
+}  // namespace faircap

@@ -1,0 +1,56 @@
+#include "core/metrics.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace faircap {
+
+namespace {
+
+std::string FormatCell(double v, const char* fmt) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsHeader(bool with_runtime) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-42s %7s %9s %9s %12s %12s %12s %12s",
+                "setting", "#rules", "coverage", "cov-prot", "exp-util",
+                "util-nonpro", "util-pro", "unfairness");
+  out = buf;
+  if (with_runtime) out += "      time(s)";
+  return out;
+}
+
+std::string MetricsRow(const SolutionRow& row, bool with_runtime) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf), "%-42s %7zu %8.2f%% %8.2f%% %12.2f %12.2f %12.2f %12.2f",
+      row.label.c_str(), row.stats.num_rules,
+      100.0 * row.stats.coverage_fraction,
+      100.0 * row.stats.coverage_protected_fraction, row.stats.exp_utility,
+      row.stats.exp_utility_nonprotected, row.stats.exp_utility_protected,
+      row.stats.unfairness);
+  std::string out = buf;
+  if (with_runtime && row.runtime_seconds >= 0.0) {
+    out += "   " + FormatCell(row.runtime_seconds, "%10.2f");
+  }
+  return out;
+}
+
+void PrintMetricsTable(std::ostream& os, const std::string& title,
+                       const std::vector<SolutionRow>& rows,
+                       bool with_runtime) {
+  os << "== " << title << " ==\n";
+  os << MetricsHeader(with_runtime) << "\n";
+  for (const SolutionRow& row : rows) {
+    os << MetricsRow(row, with_runtime) << "\n";
+  }
+  os << "\n";
+}
+
+}  // namespace faircap

@@ -1,0 +1,38 @@
+// Table formatting of solution metrics: the columns reported in Tables
+// 4/5/6 of the paper (#rules, coverage, coverage protected, expected
+// utilities, unfairness).
+
+#ifndef FAIRCAP_CORE_METRICS_H_
+#define FAIRCAP_CORE_METRICS_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/ruleset.h"
+
+namespace faircap {
+
+/// One labeled row of a results table.
+struct SolutionRow {
+  std::string label;
+  RulesetStats stats;
+  double runtime_seconds = -1.0;  ///< negative = omit
+};
+
+/// Renders the Table-4-style header.
+std::string MetricsHeader(bool with_runtime = false);
+
+/// Renders one row: label, #rules, coverage%, coverage-protected%,
+/// exp-utility, exp-utility non-protected, exp-utility protected,
+/// unfairness [, runtime].
+std::string MetricsRow(const SolutionRow& row, bool with_runtime = false);
+
+/// Prints a full table to `os`.
+void PrintMetricsTable(std::ostream& os, const std::string& title,
+                       const std::vector<SolutionRow>& rows,
+                       bool with_runtime = false);
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_CORE_METRICS_H_

@@ -1,0 +1,133 @@
+#include "core/report.h"
+
+#include <cmath>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace faircap {
+
+namespace {
+
+// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  return FormatDouble(v);
+}
+
+}  // namespace
+
+std::string PatternToJson(const Pattern& pattern, const Schema& schema) {
+  std::string out = "[";
+  const auto& preds = pattern.predicates();
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"attr\":\"";
+    out += JsonEscape(schema.attribute(preds[i].attr).name);
+    out += "\",\"op\":\"";
+    out += CompareOpName(preds[i].op);
+    out += "\",\"value\":";
+    if (preds[i].value.is_numeric()) {
+      out += JsonNumber(preds[i].value.numeric());
+    } else {
+      out += '"';
+      out += JsonEscape(preds[i].value.ToString());
+      out += '"';
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+std::string RuleToJson(const PrescriptionRule& rule, const Schema& schema) {
+  std::string out = "{";
+  out += "\"grouping\":" + PatternToJson(rule.grouping, schema);
+  out += ",\"intervention\":" + PatternToJson(rule.intervention, schema);
+  out += ",\"utility\":" + JsonNumber(rule.utility);
+  out += ",\"utility_protected\":" + JsonNumber(rule.utility_protected);
+  out += ",\"utility_nonprotected\":" + JsonNumber(rule.utility_nonprotected);
+  out += ",\"std_error\":" + JsonNumber(rule.std_error);
+  out += ",\"support\":" + std::to_string(rule.support);
+  out += ",\"support_protected\":" + std::to_string(rule.support_protected);
+  out += "}";
+  return out;
+}
+
+std::string StatsToJson(const RulesetStats& stats) {
+  std::string out = "{";
+  out += "\"num_rules\":" + std::to_string(stats.num_rules);
+  out += ",\"population\":" + std::to_string(stats.population);
+  out += ",\"population_protected\":" +
+         std::to_string(stats.population_protected);
+  out += ",\"covered\":" + std::to_string(stats.covered);
+  out += ",\"covered_protected\":" + std::to_string(stats.covered_protected);
+  out += ",\"coverage_fraction\":" + JsonNumber(stats.coverage_fraction);
+  out += ",\"coverage_protected_fraction\":" +
+         JsonNumber(stats.coverage_protected_fraction);
+  out += ",\"exp_utility\":" + JsonNumber(stats.exp_utility);
+  out += ",\"exp_utility_protected\":" +
+         JsonNumber(stats.exp_utility_protected);
+  out += ",\"exp_utility_nonprotected\":" +
+         JsonNumber(stats.exp_utility_nonprotected);
+  out += ",\"unfairness\":" + JsonNumber(stats.unfairness);
+  out += "}";
+  return out;
+}
+
+std::string ResultToJson(const FairCapResult& result, const Schema& schema) {
+  std::string out = "{";
+  out += "\"stats\":" + StatsToJson(result.stats);
+  out += ",\"timings\":{";
+  out += "\"group_mining_seconds\":" +
+         JsonNumber(result.timings.group_mining_seconds);
+  out += ",\"treatment_mining_seconds\":" +
+         JsonNumber(result.timings.treatment_mining_seconds);
+  out += ",\"selection_seconds\":" +
+         JsonNumber(result.timings.selection_seconds);
+  out += "}";
+  out += ",\"constraints_satisfied\":";
+  out += result.constraints_satisfied ? "true" : "false";
+  out += ",\"total_cost\":" + JsonNumber(result.total_cost);
+  out += ",\"rules\":[";
+  for (size_t i = 0; i < result.rules.size(); ++i) {
+    if (i > 0) out += ",";
+    out += RuleToJson(result.rules[i], schema);
+  }
+  out += "]}";
+  return out;
+}
+
+Status WriteResultJson(const FairCapResult& result, const Schema& schema,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << ResultToJson(result, schema) << "\n";
+  if (!out) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace faircap

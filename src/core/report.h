@@ -1,0 +1,42 @@
+// JSON export of FairCap solutions: rules (patterns, utilities, coverage),
+// ruleset statistics, and step timings. Intended for downstream dashboards
+// and for archiving experiment outputs; the format is stable and documented
+// here.
+//
+// {
+//   "stats": { "num_rules": 3, "coverage_fraction": 0.97, ... },
+//   "timings": { "group_mining_seconds": ..., ... },
+//   "rules": [
+//     { "grouping": [ {"attr": "Age", "op": "=", "value": "25-34"} ],
+//       "intervention": [ ... ],
+//       "utility": 44009.0, "utility_protected": ..., ... }, ... ]
+// }
+
+#ifndef FAIRCAP_CORE_REPORT_H_
+#define FAIRCAP_CORE_REPORT_H_
+
+#include <string>
+
+#include "core/faircap.h"
+
+namespace faircap {
+
+/// Serializes a pattern as a JSON array of {attr, op, value} objects.
+std::string PatternToJson(const Pattern& pattern, const Schema& schema);
+
+/// Serializes one rule as a JSON object.
+std::string RuleToJson(const PrescriptionRule& rule, const Schema& schema);
+
+/// Serializes ruleset statistics as a JSON object.
+std::string StatsToJson(const RulesetStats& stats);
+
+/// Serializes a full FairCapResult as a JSON document.
+std::string ResultToJson(const FairCapResult& result, const Schema& schema);
+
+/// Writes ResultToJson to a file.
+Status WriteResultJson(const FairCapResult& result, const Schema& schema,
+                       const std::string& path);
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_CORE_REPORT_H_

@@ -1,0 +1,25 @@
+#include "core/rule.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace faircap {
+
+double PrescriptionRule::FairnessGap() const {
+  return std::abs(utility_nonprotected - utility_protected);
+}
+
+std::string PrescriptionRule::ToString(const Schema& schema) const {
+  std::string out = "IF ";
+  out += grouping.ToString(schema);
+  out += " THEN ";
+  out += intervention.ToString(schema);
+  out += " (utility=" + FormatDouble(utility);
+  out += ", protected=" + FormatDouble(utility_protected);
+  out += ", non-protected=" + FormatDouble(utility_nonprotected);
+  out += ", support=" + std::to_string(support) + ")";
+  return out;
+}
+
+}  // namespace faircap

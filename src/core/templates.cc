@@ -1,0 +1,92 @@
+#include "core/templates.h"
+
+#include "util/string_util.h"
+
+namespace faircap {
+
+namespace {
+
+std::string DescribePredicate(const Predicate& p, const Schema& schema,
+                              bool as_condition) {
+  const std::string& attr = schema.attribute(p.attr).name;
+  const std::string value = p.value.ToString();
+  if (as_condition) {
+    switch (p.op) {
+      case CompareOp::kEq: return attr + " " + value;
+      case CompareOp::kNe: return attr + " other than " + value;
+      case CompareOp::kLt: return attr + " below " + value;
+      case CompareOp::kGt: return attr + " above " + value;
+      case CompareOp::kLe: return attr + " at most " + value;
+      case CompareOp::kGe: return attr + " at least " + value;
+    }
+  } else {
+    // Imperative form for interventions.
+    switch (p.op) {
+      case CompareOp::kEq: return "set " + attr + " to " + value;
+      case CompareOp::kNe: return "move " + attr + " away from " + value;
+      case CompareOp::kLt: return "bring " + attr + " below " + value;
+      case CompareOp::kGt: return "raise " + attr + " above " + value;
+      case CompareOp::kLe: return "keep " + attr + " at most " + value;
+      case CompareOp::kGe: return "keep " + attr + " at least " + value;
+    }
+  }
+  return attr;
+}
+
+std::string JoinClauses(const std::vector<std::string>& clauses) {
+  std::string out;
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    if (i > 0) out += i + 1 == clauses.size() ? " and " : ", ";
+    out += clauses[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RuleToNaturalLanguage(const PrescriptionRule& rule,
+                                  const Schema& schema,
+                                  const TemplateOptions& options) {
+  std::string out;
+  if (rule.grouping.empty()) {
+    out += "For everyone, ";
+  } else {
+    std::vector<std::string> conditions;
+    for (const Predicate& p : rule.grouping.predicates()) {
+      conditions.push_back(DescribePredicate(p, schema, /*as_condition=*/true));
+    }
+    out += "For individuals with " + JoinClauses(conditions) + ", ";
+  }
+
+  std::vector<std::string> actions;
+  for (const Predicate& p : rule.intervention.predicates()) {
+    actions.push_back(DescribePredicate(p, schema, /*as_condition=*/false));
+  }
+  out += actions.empty() ? "no action is prescribed" : JoinClauses(actions);
+
+  out += " (expected gain " + options.utility_unit +
+         FormatDouble(rule.utility);
+  if (options.include_group_utilities) {
+    out += "; protected " + options.utility_unit +
+           FormatDouble(rule.utility_protected) + ", non-protected " +
+           options.utility_unit + FormatDouble(rule.utility_nonprotected);
+  }
+  if (options.include_support) {
+    out += ", applies to " + std::to_string(rule.support) + " individuals";
+  }
+  out += ").";
+  return out;
+}
+
+std::string RulesetToNaturalLanguage(
+    const std::vector<PrescriptionRule>& rules, const Schema& schema,
+    const TemplateOptions& options) {
+  std::string out;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    out += std::to_string(i + 1) + ". " +
+           RuleToNaturalLanguage(rules[i], schema, options) + "\n";
+  }
+  return out;
+}
+
+}  // namespace faircap

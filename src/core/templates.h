@@ -1,0 +1,40 @@
+// Natural-language rendering of prescription rules (Section 7.1: "The
+// generated rules were translated into natural language using simple,
+// manually constructed templates"). Produces sentences like
+//
+//   "For individuals with AgeGroup 25-34 and Dependents yes, set Role to
+//    frontend (expected gain 44009; protected 13000, non-protected 46000,
+//    applies to 1090 individuals)."
+
+#ifndef FAIRCAP_CORE_TEMPLATES_H_
+#define FAIRCAP_CORE_TEMPLATES_H_
+
+#include <string>
+
+#include "core/rule.h"
+
+namespace faircap {
+
+/// Options controlling the rendering.
+struct TemplateOptions {
+  /// Unit printed before utilities (e.g. "$"); empty for probabilities.
+  std::string utility_unit;
+  /// Include the per-group utilities in the sentence.
+  bool include_group_utilities = true;
+  /// Include the number of covered individuals.
+  bool include_support = true;
+};
+
+/// Renders one rule as an English sentence.
+std::string RuleToNaturalLanguage(const PrescriptionRule& rule,
+                                  const Schema& schema,
+                                  const TemplateOptions& options = {});
+
+/// Renders a whole ruleset as a numbered list.
+std::string RulesetToNaturalLanguage(
+    const std::vector<PrescriptionRule>& rules, const Schema& schema,
+    const TemplateOptions& options = {});
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_CORE_TEMPLATES_H_

@@ -1,0 +1,288 @@
+#include "data/german.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace faircap {
+
+namespace {
+
+const std::string& Cat(const ScmRow& row, const std::string& name) {
+  return row.at(name).str();
+}
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+Result<Scm> MakeGermanScm(const GermanConfig& config) {
+  Scm scm;
+
+  // ---------------- Immutable attributes (5) ----------------
+  FAIRCAP_RETURN_NOT_OK(scm.AddCategoricalRoot(
+      "Gender", AttrRole::kImmutable, {"male", "female"}, {0.69, 0.31}));
+  {
+    ScmAttribute status;
+    status.spec = {"PersonalStatus", AttrType::kCategorical,
+                   AttrRole::kImmutable};
+    status.parents = {"Gender"};
+    status.sampler = [](const ScmRow& row, Rng& rng) {
+      static const std::vector<std::string> kStatuses = {"single", "married",
+                                                         "divorced"};
+      // P(female) * P(single | female) = 0.31 * 0.30 = 9.3% protected.
+      if (Cat(row, "Gender") == "female") {
+        return Value(kStatuses[rng.NextCategorical({0.30, 0.55, 0.15})]);
+      }
+      return Value(kStatuses[rng.NextCategorical({0.45, 0.45, 0.10})]);
+    };
+    FAIRCAP_RETURN_NOT_OK(scm.Add(std::move(status)));
+  }
+  FAIRCAP_RETURN_NOT_OK(scm.AddCategoricalRoot(
+      "AgeGroup", AttrRole::kImmutable, {"19-25", "26-40", "41-60", "60+"},
+      {0.20, 0.45, 0.27, 0.08}));
+  FAIRCAP_RETURN_NOT_OK(scm.AddCategoricalRoot(
+      "ForeignWorker", AttrRole::kImmutable, {"yes", "no"}, {0.10, 0.90}));
+  {
+    ScmAttribute dependents;
+    dependents.spec = {"Dependents", AttrType::kCategorical,
+                       AttrRole::kImmutable};
+    dependents.parents = {"AgeGroup", "PersonalStatus"};
+    dependents.sampler = [](const ScmRow& row, Rng& rng) {
+      double p = 0.2;
+      if (Cat(row, "PersonalStatus") == "married") p = 0.55;
+      if (Cat(row, "AgeGroup") == "19-25") p *= 0.5;
+      return Value(rng.NextBernoulli(p) ? "1+" : "0");
+    };
+    FAIRCAP_RETURN_NOT_OK(scm.Add(std::move(dependents)));
+  }
+
+  // ---------------- Mutable attributes (15) ----------------
+  {
+    ScmAttribute job;
+    job.spec = {"Job", AttrType::kCategorical, AttrRole::kMutable};
+    job.parents = {"AgeGroup", "Gender"};
+    job.sampler = [](const ScmRow& row, Rng& rng) {
+      static const std::vector<std::string> kJobs = {"unskilled", "skilled",
+                                                     "management"};
+      double unskilled = 0.25, skilled = 0.60, management = 0.15;
+      if (Cat(row, "AgeGroup") == "19-25") {
+        unskilled += 0.15;
+        management -= 0.08;
+      }
+      if (Cat(row, "Gender") == "female") management -= 0.04;
+      auto clamp = [](double v) { return std::max(v, 0.02); };
+      return Value(kJobs[rng.NextCategorical(
+          {clamp(unskilled), clamp(skilled), clamp(management)})]);
+    };
+    FAIRCAP_RETURN_NOT_OK(scm.Add(std::move(job)));
+  }
+  {
+    ScmAttribute employment;
+    employment.spec = {"EmploymentDuration", AttrType::kCategorical,
+                       AttrRole::kMutable};
+    employment.parents = {"AgeGroup"};
+    employment.sampler = [](const ScmRow& row, Rng& rng) {
+      static const std::vector<std::string> kDurations = {"<1y", "1-4y",
+                                                          ">4y"};
+      if (Cat(row, "AgeGroup") == "19-25") {
+        return Value(kDurations[rng.NextCategorical({0.5, 0.4, 0.1})]);
+      }
+      return Value(kDurations[rng.NextCategorical({0.15, 0.40, 0.45})]);
+    };
+    FAIRCAP_RETURN_NOT_OK(scm.Add(std::move(employment)));
+  }
+  {
+    ScmAttribute checking;
+    checking.spec = {"CheckingBalance", AttrType::kCategorical,
+                     AttrRole::kMutable};
+    checking.parents = {"Job", "EmploymentDuration"};
+    checking.sampler = [](const ScmRow& row, Rng& rng) {
+      static const std::vector<std::string> kLevels = {"none", "<200DM",
+                                                       ">=200DM"};
+      double none = 0.40, low = 0.35, high = 0.25;
+      if (Cat(row, "Job") == "management") {
+        none -= 0.15;
+        high += 0.15;
+      }
+      if (Cat(row, "EmploymentDuration") == ">4y") {
+        none -= 0.08;
+        high += 0.08;
+      }
+      auto clamp = [](double v) { return std::max(v, 0.02); };
+      return Value(
+          kLevels[rng.NextCategorical({clamp(none), clamp(low), clamp(high)})]);
+    };
+    FAIRCAP_RETURN_NOT_OK(scm.Add(std::move(checking)));
+  }
+  {
+    ScmAttribute savings;
+    savings.spec = {"SavingsBalance", AttrType::kCategorical,
+                    AttrRole::kMutable};
+    savings.parents = {"Job"};
+    savings.sampler = [](const ScmRow& row, Rng& rng) {
+      static const std::vector<std::string> kLevels = {"low", "medium",
+                                                       "high"};
+      if (Cat(row, "Job") == "management") {
+        return Value(kLevels[rng.NextCategorical({0.35, 0.35, 0.30})]);
+      }
+      return Value(kLevels[rng.NextCategorical({0.60, 0.27, 0.13})]);
+    };
+    FAIRCAP_RETURN_NOT_OK(scm.Add(std::move(savings)));
+  }
+  FAIRCAP_RETURN_NOT_OK(scm.AddCategoricalRoot(
+      "CreditHistory", AttrRole::kMutable, {"bad", "ok", "good"},
+      {0.20, 0.50, 0.30}));
+  FAIRCAP_RETURN_NOT_OK(scm.AddCategoricalRoot(
+      "Purpose", AttrRole::kMutable,
+      {"new_car", "used_car", "furniture", "education", "business", "other"},
+      {0.22, 0.12, 0.28, 0.08, 0.18, 0.12}));
+  {
+    ScmAttribute housing;
+    housing.spec = {"Housing", AttrType::kCategorical, AttrRole::kMutable};
+    housing.parents = {"AgeGroup", "Job"};
+    housing.sampler = [](const ScmRow& row, Rng& rng) {
+      static const std::vector<std::string> kKinds = {"rent", "own", "free"};
+      double rent = 0.45, own = 0.40, free = 0.15;
+      if (Cat(row, "AgeGroup") == "19-25") {
+        rent += 0.20;
+        own -= 0.20;
+      }
+      if (Cat(row, "Job") == "management") {
+        own += 0.15;
+        rent -= 0.10;
+      }
+      auto clamp = [](double v) { return std::max(v, 0.02); };
+      return Value(
+          kKinds[rng.NextCategorical({clamp(rent), clamp(own), clamp(free)})]);
+    };
+    FAIRCAP_RETURN_NOT_OK(scm.Add(std::move(housing)));
+  }
+  {
+    ScmAttribute property;
+    property.spec = {"Property", AttrType::kCategorical, AttrRole::kMutable};
+    property.parents = {"Housing"};
+    property.sampler = [](const ScmRow& row, Rng& rng) {
+      static const std::vector<std::string> kKinds = {"none", "car",
+                                                      "real_estate"};
+      if (Cat(row, "Housing") == "own") {
+        return Value(kKinds[rng.NextCategorical({0.15, 0.35, 0.50})]);
+      }
+      return Value(kKinds[rng.NextCategorical({0.45, 0.40, 0.15})]);
+    };
+    FAIRCAP_RETURN_NOT_OK(scm.Add(std::move(property)));
+  }
+  FAIRCAP_RETURN_NOT_OK(scm.AddCategoricalRoot(
+      "InstallmentRate", AttrRole::kMutable, {"low", "medium", "high"},
+      {0.30, 0.40, 0.30}));
+  FAIRCAP_RETURN_NOT_OK(scm.AddCategoricalRoot(
+      "OtherDebtors", AttrRole::kMutable, {"none", "co-applicant",
+                                           "guarantor"},
+      {0.85, 0.08, 0.07}));
+  FAIRCAP_RETURN_NOT_OK(scm.AddCategoricalRoot(
+      "ExistingCredits", AttrRole::kMutable, {"1", "2", "3+"},
+      {0.60, 0.30, 0.10}));
+  FAIRCAP_RETURN_NOT_OK(scm.AddCategoricalRoot(
+      "Telephone", AttrRole::kMutable, {"yes", "no"}, {0.40, 0.60}));
+  FAIRCAP_RETURN_NOT_OK(scm.AddCategoricalRoot(
+      "ResidenceDuration", AttrRole::kMutable, {"<1y", "1-4y", ">4y"},
+      {0.15, 0.45, 0.40}));
+  {
+    ScmAttribute amount;
+    amount.spec = {"CreditAmountBand", AttrType::kCategorical,
+                   AttrRole::kMutable};
+    amount.parents = {"Purpose"};
+    amount.sampler = [](const ScmRow& row, Rng& rng) {
+      static const std::vector<std::string> kBands = {"small", "medium",
+                                                      "large"};
+      if (Cat(row, "Purpose") == "business") {
+        return Value(kBands[rng.NextCategorical({0.15, 0.40, 0.45})]);
+      }
+      return Value(kBands[rng.NextCategorical({0.40, 0.40, 0.20})]);
+    };
+    FAIRCAP_RETURN_NOT_OK(scm.Add(std::move(amount)));
+  }
+  FAIRCAP_RETURN_NOT_OK(scm.AddCategoricalRoot(
+      "OtherInstallmentPlans", AttrRole::kMutable, {"none", "bank", "stores"},
+      {0.80, 0.12, 0.08}));
+
+  // ---------------- Outcome ----------------
+  {
+    ScmAttribute risk;
+    risk.spec = {"CreditRisk", AttrType::kNumeric, AttrRole::kOutcome};
+    risk.parents = {"Gender",          "PersonalStatus",  "AgeGroup",
+                    "CheckingBalance", "SavingsBalance",  "CreditHistory",
+                    "Purpose",         "Housing",         "Job",
+                    "EmploymentDuration", "Property",     "InstallmentRate",
+                    "CreditAmountBand"};
+    const double attenuation = config.protected_attenuation;
+    risk.sampler = [attenuation](const ScmRow& row, Rng& rng) {
+      const bool is_protected = Cat(row, "Gender") == "female" &&
+                                Cat(row, "PersonalStatus") == "single";
+      const double mult = is_protected ? attenuation : 1.0;
+
+      // Contributions of the *mutable* attributes (attenuated for the
+      // protected group — the planted disparity).
+      double mutable_score = 0.0;
+      const std::string& checking = Cat(row, "CheckingBalance");
+      if (checking == ">=200DM") mutable_score += 1.6;
+      else if (checking == "<200DM") mutable_score += 0.4;
+
+      const std::string& savings = Cat(row, "SavingsBalance");
+      if (savings == "medium") mutable_score += 0.35;
+      else if (savings == "high") mutable_score += 0.7;
+
+      const std::string& history = Cat(row, "CreditHistory");
+      if (history == "good") mutable_score += 0.5;
+      else if (history == "bad") mutable_score -= 0.7;
+
+      const std::string& purpose = Cat(row, "Purpose");
+      if (purpose == "furniture") mutable_score += 0.25;
+      else if (purpose == "used_car") mutable_score += 0.35;
+      else if (purpose == "education") mutable_score -= 0.15;
+
+      if (Cat(row, "Housing") == "own") mutable_score += 0.9;
+
+      const std::string& job = Cat(row, "Job");
+      if (job == "skilled") mutable_score += 0.7;
+      else if (job == "management") mutable_score += 0.9;
+
+      if (Cat(row, "EmploymentDuration") == ">4y") mutable_score += 0.35;
+      else if (Cat(row, "EmploymentDuration") == "<1y") mutable_score -= 0.2;
+
+      if (Cat(row, "Property") == "real_estate") mutable_score += 0.3;
+      if (Cat(row, "InstallmentRate") == "high") mutable_score -= 0.25;
+      if (Cat(row, "CreditAmountBand") == "large") mutable_score -= 0.3;
+
+      // Immutable contributions (not attenuated).
+      double base = -1.3;
+      const std::string& age = Cat(row, "AgeGroup");
+      if (age == "19-25") base -= 0.3;
+      else if (age == "41-60") base += 0.15;
+      else if (age == "60+") base += 0.2;
+
+      const double p = Sigmoid(base + mult * mutable_score);
+      return Value(rng.NextBernoulli(p) ? 1.0 : 0.0);
+    };
+    FAIRCAP_RETURN_NOT_OK(scm.Add(std::move(risk)));
+  }
+  return scm;
+}
+
+Result<GermanData> MakeGerman(const GermanConfig& config) {
+  FAIRCAP_ASSIGN_OR_RETURN(const Scm scm, MakeGermanScm(config));
+  FAIRCAP_ASSIGN_OR_RETURN(DataFrame df,
+                           scm.Generate(config.num_rows, config.seed));
+  FAIRCAP_ASSIGN_OR_RETURN(CausalDag dag, scm.Dag());
+  FAIRCAP_ASSIGN_OR_RETURN(const size_t gender_attr,
+                           df.schema().IndexOf("Gender"));
+  FAIRCAP_ASSIGN_OR_RETURN(const size_t status_attr,
+                           df.schema().IndexOf("PersonalStatus"));
+  Pattern protected_pattern(
+      {Predicate(gender_attr, CompareOp::kEq, Value("female")),
+       Predicate(status_attr, CompareOp::kEq, Value("single"))});
+  GermanData data{std::move(df), std::move(dag),
+                  std::move(protected_pattern)};
+  return data;
+}
+
+}  // namespace faircap

@@ -1,0 +1,41 @@
+// Synthetic German Credit dataset (substitute for the UCI dataset used in
+// the paper; see DESIGN.md §2). 1000 rows, 20 attributes + binary credit
+// outcome, protected group = single females (≈9.2% of rows). Mutable
+// financial attributes (checking balance, savings, housing, job skill, …)
+// carry planted effects on the probability of a good credit score, with a
+// protected-group attenuation so the BGL-fairness phenomena of Table 4
+// reproduce.
+
+#ifndef FAIRCAP_DATA_GERMAN_H_
+#define FAIRCAP_DATA_GERMAN_H_
+
+#include "data/scm.h"
+#include "mining/pattern.h"
+
+namespace faircap {
+
+/// Knobs for the generator.
+struct GermanConfig {
+  size_t num_rows = 1000;
+  uint64_t seed = 7;
+  /// Multiplier applied to mutable-attribute effects for single females
+  /// (1.0 = no disparity).
+  double protected_attenuation = 0.5;
+};
+
+/// A generated dataset with its ground truth.
+struct GermanData {
+  DataFrame df;
+  CausalDag dag;
+  Pattern protected_pattern;  ///< Gender = female AND PersonalStatus = single
+};
+
+/// Builds the SCM.
+Result<Scm> MakeGermanScm(const GermanConfig& config = {});
+
+/// Generates the dataset, DAG, and protected pattern.
+Result<GermanData> MakeGerman(const GermanConfig& config = {});
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_DATA_GERMAN_H_

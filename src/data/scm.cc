@@ -1,0 +1,124 @@
+#include "data/scm.h"
+
+namespace faircap {
+
+Status Scm::Add(ScmAttribute attribute) {
+  if (index_.count(attribute.spec.name) != 0) {
+    return Status::AlreadyExists("attribute '" + attribute.spec.name +
+                                 "' already in SCM");
+  }
+  for (const std::string& parent : attribute.parents) {
+    if (index_.count(parent) == 0) {
+      return Status::NotFound("parent '" + parent + "' of '" +
+                              attribute.spec.name +
+                              "' must be added before its children");
+    }
+  }
+  if (!attribute.sampler) {
+    return Status::InvalidArgument("attribute '" + attribute.spec.name +
+                                   "' has no sampler");
+  }
+  index_.emplace(attribute.spec.name, attributes_.size());
+  attributes_.push_back(std::move(attribute));
+  return Status::OK();
+}
+
+Status Scm::AddCategoricalRoot(const std::string& name, AttrRole role,
+                               std::vector<std::string> categories,
+                               std::vector<double> weights) {
+  if (categories.size() != weights.size() || categories.empty()) {
+    return Status::InvalidArgument(
+        "categories and weights must be non-empty and equal-length");
+  }
+  ScmAttribute attr;
+  attr.spec = {name, AttrType::kCategorical, role};
+  attr.sampler = [categories = std::move(categories),
+                  weights = std::move(weights)](const ScmRow&, Rng& rng) {
+    return Value(categories[rng.NextCategorical(weights)]);
+  };
+  return Add(std::move(attr));
+}
+
+Result<Schema> Scm::BuildSchema() const {
+  std::vector<AttributeSpec> specs;
+  specs.reserve(attributes_.size());
+  for (const ScmAttribute& attr : attributes_) specs.push_back(attr.spec);
+  return Schema::Create(std::move(specs));
+}
+
+Result<DataFrame> Scm::Generate(size_t num_rows, uint64_t seed) const {
+  FAIRCAP_ASSIGN_OR_RETURN(Schema schema, BuildSchema());
+  DataFrame df = DataFrame::Create(std::move(schema));
+  df.Reserve(num_rows);
+  Rng rng(seed);
+  ScmRow row;
+  std::vector<Value> values(attributes_.size());
+  for (size_t r = 0; r < num_rows; ++r) {
+    row.clear();
+    for (size_t a = 0; a < attributes_.size(); ++a) {
+      Value v = attributes_[a].sampler(row, rng);
+      row.emplace(attributes_[a].spec.name, v);
+      values[a] = std::move(v);
+    }
+    FAIRCAP_RETURN_NOT_OK(df.AppendRow(values));
+  }
+  return df;
+}
+
+Result<CausalDag> Scm::Dag() const {
+  std::vector<std::string> names;
+  std::vector<std::pair<std::string, std::string>> edges;
+  names.reserve(attributes_.size());
+  for (const ScmAttribute& attr : attributes_) {
+    names.push_back(attr.spec.name);
+    for (const std::string& parent : attr.parents) {
+      edges.emplace_back(parent, attr.spec.name);
+    }
+  }
+  return CausalDag::Create(std::move(names), edges);
+}
+
+Result<CausalDag> MakeLayeredDag(const Schema& schema, DagVariant variant) {
+  FAIRCAP_ASSIGN_OR_RETURN(const size_t outcome, schema.OutcomeIndex());
+  const std::string& outcome_name = schema.attribute(outcome).name;
+  std::vector<std::string> names;
+  std::vector<std::string> immutable;
+  std::vector<std::string> mutables;
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    const AttributeSpec& spec = schema.attribute(i);
+    if (spec.role == AttrRole::kIgnored) continue;
+    names.push_back(spec.name);
+    if (spec.role == AttrRole::kImmutable) immutable.push_back(spec.name);
+    if (spec.role == AttrRole::kMutable) mutables.push_back(spec.name);
+  }
+  std::vector<std::pair<std::string, std::string>> edges;
+  switch (variant) {
+    case DagVariant::kOneLayerIndependent:
+      for (const std::string& name : names) {
+        if (name != outcome_name) edges.emplace_back(name, outcome_name);
+      }
+      break;
+    case DagVariant::kTwoLayerMutable:
+      // Immutable attributes confound the mutable ones but do not reach
+      // the outcome directly.
+      for (const std::string& i : immutable) {
+        for (const std::string& m : mutables) edges.emplace_back(i, m);
+      }
+      for (const std::string& m : mutables) {
+        edges.emplace_back(m, outcome_name);
+      }
+      break;
+    case DagVariant::kTwoLayer:
+      for (const std::string& i : immutable) {
+        for (const std::string& m : mutables) edges.emplace_back(i, m);
+        edges.emplace_back(i, outcome_name);
+      }
+      for (const std::string& m : mutables) {
+        edges.emplace_back(m, outcome_name);
+      }
+      break;
+  }
+  return CausalDag::Create(std::move(names), edges);
+}
+
+}  // namespace faircap

@@ -1,0 +1,76 @@
+// Structural causal model (SCM) driven data synthesis. The paper evaluates
+// on the Stack Overflow survey and German Credit; neither ships here, so
+// the generators in this directory sample from hand-built SCMs whose DAGs
+// and effect sizes are calibrated to the paper (see DESIGN.md §2).
+// The Scm class is the shared machinery: attributes are added in
+// topological order with explicit parents and a sampling function; it
+// produces both the DataFrame and the ground-truth CausalDag.
+
+#ifndef FAIRCAP_DATA_SCM_H_
+#define FAIRCAP_DATA_SCM_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "causal/dag.h"
+#include "dataframe/dataframe.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace faircap {
+
+/// Values of all already-sampled attributes of the row being generated.
+using ScmRow = std::unordered_map<std::string, Value>;
+
+/// Sampling function: parents' values (plus every earlier attribute) in
+/// `row`, randomness from `rng`; returns this attribute's value.
+using ScmSampler = std::function<Value(const ScmRow& row, Rng& rng)>;
+
+/// One endogenous variable of the SCM.
+struct ScmAttribute {
+  AttributeSpec spec;
+  std::vector<std::string> parents;  ///< must already be in the SCM
+  ScmSampler sampler;
+};
+
+/// A structural causal model that can synthesize datasets.
+class Scm {
+ public:
+  /// Adds an attribute; parents must have been added before (this keeps
+  /// insertion order a valid topological order).
+  Status Add(ScmAttribute attribute);
+
+  /// Convenience: categorical root sampled from fixed weights.
+  Status AddCategoricalRoot(const std::string& name, AttrRole role,
+                            std::vector<std::string> categories,
+                            std::vector<double> weights);
+
+  /// Samples `num_rows` rows.
+  Result<DataFrame> Generate(size_t num_rows, uint64_t seed) const;
+
+  /// Ground-truth DAG (edges parent -> child).
+  Result<CausalDag> Dag() const;
+
+  Result<Schema> BuildSchema() const;
+
+ private:
+  std::vector<ScmAttribute> attributes_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+/// DAG variants for the robustness study (Table 6), built from schema
+/// roles alone:
+enum class DagVariant {
+  kOneLayerIndependent,  ///< every attribute -> outcome, nothing else
+  kTwoLayerMutable,      ///< immutable -> each mutable; mutable -> outcome
+  kTwoLayer,             ///< immutable -> mutable and -> outcome; mutable -> outcome
+};
+
+/// Builds the requested layered DAG over `schema`'s non-ignored attributes.
+Result<CausalDag> MakeLayeredDag(const Schema& schema, DagVariant variant);
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_DATA_SCM_H_

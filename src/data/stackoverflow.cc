@@ -1,0 +1,413 @@
+#include "data/stackoverflow.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace faircap {
+
+namespace {
+
+// Category of an already-sampled attribute.
+const std::string& Cat(const ScmRow& row, const std::string& name) {
+  return row.at(name).str();
+}
+
+// Weighted pick keyed on a parent's category, with a fallback row.
+struct WeightTable {
+  std::vector<std::string> categories;
+  std::vector<std::pair<std::string, std::vector<double>>> by_parent;
+  std::vector<double> fallback;
+
+  Value Sample(const std::string& parent_value, Rng& rng) const {
+    for (const auto& [key, weights] : by_parent) {
+      if (key == parent_value) {
+        return Value(categories[rng.NextCategorical(weights)]);
+      }
+    }
+    return Value(categories[rng.NextCategorical(fallback)]);
+  }
+};
+
+const std::vector<std::string> kLowGdpCountries = {
+    "india", "brazil", "nigeria", "pakistan", "other_low"};
+
+bool IsLowGdp(const std::string& country) {
+  return std::find(kLowGdpCountries.begin(), kLowGdpCountries.end(),
+                   country) != kLowGdpCountries.end();
+}
+
+double CountryBase(const std::string& country) {
+  if (country == "us") return 70000.0;
+  if (country == "canada") return 55000.0;
+  if (country == "uk") return 52000.0;
+  if (country == "germany") return 50000.0;
+  if (country == "other_high") return 45000.0;
+  if (country == "india") return 10000.0;
+  if (country == "brazil") return 12000.0;
+  if (country == "nigeria") return 7000.0;
+  if (country == "pakistan") return 7000.0;
+  return 9000.0;  // other_low
+}
+
+}  // namespace
+
+Result<Scm> MakeStackOverflowScm(const StackOverflowConfig& config) {
+  Scm scm;
+
+  // ---------------- Immutable attributes ----------------
+  FAIRCAP_RETURN_NOT_OK(scm.AddCategoricalRoot(
+      "Gender", AttrRole::kImmutable, {"male", "female", "nonbinary"},
+      {0.65, 0.30, 0.05}));
+  FAIRCAP_RETURN_NOT_OK(scm.AddCategoricalRoot(
+      "Ethnicity", AttrRole::kImmutable,
+      {"white", "south_asian", "east_asian", "black", "hispanic", "other"},
+      {0.55, 0.15, 0.10, 0.08, 0.08, 0.04}));
+  FAIRCAP_RETURN_NOT_OK(scm.AddCategoricalRoot(
+      "AgeGroup", AttrRole::kImmutable, {"18-24", "25-34", "35-44", "45+"},
+      {0.20, 0.40, 0.25, 0.15}));
+  // Low-GDP mass: 0.09+0.04+0.03+0.025+0.03 = 0.215 (Table 3: 21.5%).
+  FAIRCAP_RETURN_NOT_OK(scm.AddCategoricalRoot(
+      "Country", AttrRole::kImmutable,
+      {"us", "germany", "uk", "canada", "other_high", "india", "brazil",
+       "nigeria", "pakistan", "other_low"},
+      {0.27, 0.11, 0.09, 0.07, 0.245, 0.09, 0.04, 0.03, 0.025, 0.03}));
+
+  {
+    ScmAttribute gdp;
+    gdp.spec = {"GdpGroup", AttrType::kCategorical, AttrRole::kImmutable};
+    gdp.parents = {"Country"};
+    gdp.sampler = [](const ScmRow& row, Rng&) {
+      return Value(IsLowGdp(Cat(row, "Country")) ? "low" : "high");
+    };
+    FAIRCAP_RETURN_NOT_OK(scm.Add(std::move(gdp)));
+  }
+  {
+    ScmAttribute dependents;
+    dependents.spec = {"Dependents", AttrType::kCategorical,
+                       AttrRole::kImmutable};
+    dependents.parents = {"AgeGroup"};
+    dependents.sampler = [](const ScmRow& row, Rng& rng) {
+      const std::string& age = Cat(row, "AgeGroup");
+      double p = 0.10;
+      if (age == "25-34") p = 0.35;
+      else if (age == "35-44") p = 0.55;
+      else if (age == "45+") p = 0.60;
+      return Value(rng.NextBernoulli(p) ? "yes" : "no");
+    };
+    FAIRCAP_RETURN_NOT_OK(scm.Add(std::move(dependents)));
+  }
+  {
+    ScmAttribute years;
+    years.spec = {"YearsCoding", AttrType::kCategorical, AttrRole::kImmutable};
+    years.parents = {"AgeGroup"};
+    years.sampler = [](const ScmRow& row, Rng& rng) {
+      static const WeightTable table = {
+          {"0-2", "3-5", "6-8", "9+"},
+          {{"18-24", {0.55, 0.35, 0.09, 0.01}},
+           {"25-34", {0.15, 0.35, 0.30, 0.20}},
+           {"35-44", {0.05, 0.15, 0.30, 0.50}},
+           {"45+", {0.03, 0.07, 0.20, 0.70}}},
+          {0.25, 0.25, 0.25, 0.25}};
+      return table.Sample(Cat(row, "AgeGroup"), rng);
+    };
+    FAIRCAP_RETURN_NOT_OK(scm.Add(std::move(years)));
+  }
+  FAIRCAP_RETURN_NOT_OK(scm.AddCategoricalRoot(
+      "ParentsEducation", AttrRole::kImmutable,
+      {"primary", "secondary", "tertiary"}, {0.20, 0.45, 0.35}));
+  {
+    ScmAttribute student;
+    student.spec = {"Student", AttrType::kCategorical, AttrRole::kImmutable};
+    student.parents = {"AgeGroup"};
+    student.sampler = [](const ScmRow& row, Rng& rng) {
+      const std::string& age = Cat(row, "AgeGroup");
+      double p = 0.02;
+      if (age == "18-24") p = 0.50;
+      else if (age == "25-34") p = 0.12;
+      else if (age == "35-44") p = 0.04;
+      return Value(rng.NextBernoulli(p) ? "yes" : "no");
+    };
+    FAIRCAP_RETURN_NOT_OK(scm.Add(std::move(student)));
+  }
+  {
+    // Reporting rates differ by country; no causal path to salary. This is
+    // the planted spurious correlation the IDS/FRL baselines pick up
+    // ("US and straight => high salary", Section 7.2).
+    ScmAttribute orientation;
+    orientation.spec = {"SexualOrientation", AttrType::kCategorical,
+                        AttrRole::kImmutable};
+    orientation.parents = {"Country"};
+    orientation.sampler = [](const ScmRow& row, Rng& rng) {
+      const bool low = IsLowGdp(Cat(row, "Country"));
+      const double p_straight = low ? 0.97 : 0.88;
+      return Value(rng.NextBernoulli(p_straight) ? "straight" : "other");
+    };
+    FAIRCAP_RETURN_NOT_OK(scm.Add(std::move(orientation)));
+  }
+
+  // ---------------- Mutable attributes ----------------
+  {
+    ScmAttribute education;
+    education.spec = {"Education", AttrType::kCategorical, AttrRole::kMutable};
+    education.parents = {"AgeGroup", "ParentsEducation", "Country", "Gender",
+                         "Student"};
+    education.sampler = [](const ScmRow& row, Rng& rng) {
+      // Base odds shifted by parents' education, age, and country wealth.
+      double none = 0.30, bachelors = 0.45, masters = 0.20, phd = 0.05;
+      const std::string& parents = Cat(row, "ParentsEducation");
+      if (parents == "tertiary") {
+        none -= 0.12; masters += 0.08; phd += 0.04;
+      } else if (parents == "primary") {
+        none += 0.12; masters -= 0.08; phd -= 0.04;
+      }
+      if (Cat(row, "AgeGroup") == "18-24") {
+        none += 0.25; masters -= 0.12; phd -= 0.04;
+      }
+      if (IsLowGdp(Cat(row, "Country"))) {
+        none += 0.08; phd -= 0.02;
+      }
+      if (Cat(row, "Student") == "yes") none += 0.15;
+      auto clamp = [](double v) { return std::max(v, 0.01); };
+      return Value(std::vector<std::string>{
+          "none", "bachelors", "masters",
+          "phd"}[rng.NextCategorical({clamp(none), clamp(bachelors),
+                                      clamp(masters), clamp(phd)})]);
+    };
+    FAIRCAP_RETURN_NOT_OK(scm.Add(std::move(education)));
+  }
+  {
+    ScmAttribute role;
+    role.spec = {"Role", AttrType::kCategorical, AttrRole::kMutable};
+    role.parents = {"Education", "AgeGroup", "Gender", "Ethnicity"};
+    role.sampler = [](const ScmRow& row, Rng& rng) {
+      double backend = 0.22, frontend = 0.15, fullstack = 0.22,
+             data_scientist = 0.08, qa = 0.08, devops = 0.10, manager = 0.07,
+             intern = 0.08;
+      const std::string& education = Cat(row, "Education");
+      if (education == "phd") {
+        data_scientist += 0.20; intern -= 0.04; qa -= 0.04;
+      } else if (education == "none") {
+        data_scientist -= 0.05; frontend += 0.05;
+      }
+      if (Cat(row, "AgeGroup") == "18-24") {
+        intern += 0.15; manager -= 0.05;
+      } else if (Cat(row, "AgeGroup") == "45+") {
+        manager += 0.12; intern -= 0.06;
+      }
+      if (Cat(row, "Gender") == "female") {
+        qa += 0.04; frontend += 0.04; backend -= 0.05;
+      }
+      auto clamp = [](double v) { return std::max(v, 0.01); };
+      static const std::vector<std::string> kRoles = {
+          "backend",  "frontend", "fullstack", "data_scientist",
+          "qa",       "devops",   "manager",   "intern"};
+      return Value(kRoles[rng.NextCategorical(
+          {clamp(backend), clamp(frontend), clamp(fullstack),
+           clamp(data_scientist), clamp(qa), clamp(devops), clamp(manager),
+           clamp(intern)})]);
+    };
+    FAIRCAP_RETURN_NOT_OK(scm.Add(std::move(role)));
+  }
+  {
+    ScmAttribute major;
+    major.spec = {"UndergradMajor", AttrType::kCategorical,
+                  AttrRole::kMutable};
+    major.parents = {"Education", "Student"};
+    major.sampler = [](const ScmRow& row, Rng& rng) {
+      if (Cat(row, "Education") == "none" && Cat(row, "Student") == "no") {
+        // Mostly no degree -> no major.
+        if (rng.NextBernoulli(0.7)) return Value("none");
+      }
+      static const std::vector<std::string> kMajors = {
+          "cs", "other_eng", "business", "arts", "none"};
+      return Value(
+          kMajors[rng.NextCategorical({0.42, 0.25, 0.12, 0.09, 0.12})]);
+    };
+    FAIRCAP_RETURN_NOT_OK(scm.Add(std::move(major)));
+  }
+  {
+    ScmAttribute hours;
+    hours.spec = {"HoursComputer", AttrType::kCategorical, AttrRole::kMutable};
+    hours.parents = {"Role"};
+    hours.sampler = [](const ScmRow& row, Rng& rng) {
+      static const WeightTable table = {
+          {"<5", "5-8", "9-12", ">12"},
+          {{"manager", {0.25, 0.50, 0.20, 0.05}},
+           {"intern", {0.30, 0.45, 0.20, 0.05}},
+           {"backend", {0.05, 0.40, 0.40, 0.15}},
+           {"devops", {0.05, 0.40, 0.40, 0.15}}},
+          {0.10, 0.45, 0.33, 0.12}};
+      return table.Sample(Cat(row, "Role"), rng);
+    };
+    FAIRCAP_RETURN_NOT_OK(scm.Add(std::move(hours)));
+  }
+  {
+    ScmAttribute remote;
+    remote.spec = {"RemoteWork", AttrType::kCategorical, AttrRole::kMutable};
+    remote.parents = {"Country"};
+    remote.sampler = [](const ScmRow& row, Rng& rng) {
+      const bool low = IsLowGdp(Cat(row, "Country"));
+      static const std::vector<std::string> kModes = {"remote", "hybrid",
+                                                      "office"};
+      if (low) return Value(kModes[rng.NextCategorical({0.20, 0.25, 0.55})]);
+      return Value(kModes[rng.NextCategorical({0.35, 0.40, 0.25})]);
+    };
+    FAIRCAP_RETURN_NOT_OK(scm.Add(std::move(remote)));
+  }
+  {
+    ScmAttribute langs;
+    langs.spec = {"LanguagesCount", AttrType::kCategorical,
+                  AttrRole::kMutable};
+    langs.parents = {"YearsCoding"};
+    langs.sampler = [](const ScmRow& row, Rng& rng) {
+      static const WeightTable table = {
+          {"1-2", "3-5", "6+"},
+          {{"0-2", {0.60, 0.35, 0.05}},
+           {"3-5", {0.35, 0.50, 0.15}},
+           {"6-8", {0.20, 0.55, 0.25}},
+           {"9+", {0.12, 0.50, 0.38}}},
+          {0.3, 0.5, 0.2}};
+      return table.Sample(Cat(row, "YearsCoding"), rng);
+    };
+    FAIRCAP_RETURN_NOT_OK(scm.Add(std::move(langs)));
+  }
+  {
+    ScmAttribute open_source;
+    open_source.spec = {"OpenSource", AttrType::kCategorical,
+                        AttrRole::kMutable};
+    open_source.parents = {"Student"};
+    open_source.sampler = [](const ScmRow& row, Rng& rng) {
+      const double p = Cat(row, "Student") == "yes" ? 0.45 : 0.30;
+      return Value(rng.NextBernoulli(p) ? "yes" : "no");
+    };
+    FAIRCAP_RETURN_NOT_OK(scm.Add(std::move(open_source)));
+  }
+  {
+    ScmAttribute company;
+    company.spec = {"CompanySize", AttrType::kCategorical, AttrRole::kMutable};
+    company.parents = {"Country"};
+    company.sampler = [](const ScmRow& row, Rng& rng) {
+      const bool low = IsLowGdp(Cat(row, "Country"));
+      static const std::vector<std::string> kSizes = {"small", "medium",
+                                                      "large"};
+      if (low) return Value(kSizes[rng.NextCategorical({0.45, 0.35, 0.20})]);
+      return Value(kSizes[rng.NextCategorical({0.30, 0.35, 0.35})]);
+    };
+    FAIRCAP_RETURN_NOT_OK(scm.Add(std::move(company)));
+  }
+  {
+    ScmAttribute certs;
+    certs.spec = {"Certifications", AttrType::kCategorical,
+                  AttrRole::kMutable};
+    certs.parents = {"Education"};
+    certs.sampler = [](const ScmRow& row, Rng& rng) {
+      const double p = Cat(row, "Education") == "none" ? 0.35 : 0.25;
+      return Value(rng.NextBernoulli(p) ? "yes" : "no");
+    };
+    FAIRCAP_RETURN_NOT_OK(scm.Add(std::move(certs)));
+  }
+  // Deliberately disconnected from Salary: exercises the optimization that
+  // prunes mutable attributes with no causal path to the outcome.
+  FAIRCAP_RETURN_NOT_OK(scm.AddCategoricalRoot(
+      "DatabasesUsed", AttrRole::kMutable, {"sql", "nosql", "both", "none"},
+      {0.4, 0.15, 0.35, 0.1}));
+
+  // ---------------- Outcome ----------------
+  {
+    ScmAttribute salary;
+    salary.spec = {"Salary", AttrType::kNumeric, AttrRole::kOutcome};
+    salary.parents = {"Country",     "AgeGroup",       "YearsCoding",
+                      "Dependents",  "Education",      "Role",
+                      "UndergradMajor", "HoursComputer", "RemoteWork",
+                      "LanguagesCount", "OpenSource",   "CompanySize",
+                      "Certifications"};
+    const double attenuation = config.protected_attenuation;
+    const double noise = config.noise_stddev;
+    salary.sampler = [attenuation, noise](const ScmRow& row, Rng& rng) {
+      const std::string& country = Cat(row, "Country");
+      const bool low_gdp = IsLowGdp(country);
+      const double mult = low_gdp ? attenuation : 1.0;
+
+      double effects = 0.0;
+      const std::string& age = Cat(row, "AgeGroup");
+      if (age == "25-34") effects += 8000.0;
+      else if (age == "35-44") effects += 14000.0;
+      else if (age == "45+") effects += 16000.0;
+
+      const std::string& years = Cat(row, "YearsCoding");
+      if (years == "3-5") effects += 4000.0;
+      else if (years == "6-8") effects += 9000.0;
+      else if (years == "9+") effects += 14000.0;
+
+      const std::string& education = Cat(row, "Education");
+      if (education == "bachelors") effects += 15000.0;
+      else if (education == "masters") effects += 20000.0;
+      else if (education == "phd") effects += 25000.0;
+
+      const std::string& major = Cat(row, "UndergradMajor");
+      if (major == "cs") effects += 22000.0;
+      else if (major == "other_eng") effects += 8000.0;
+      else if (major == "business") effects += 4000.0;
+
+      const std::string& role = Cat(row, "Role");
+      if (role == "backend") effects += 25000.0;
+      else if (role == "fullstack") effects += 22000.0;
+      else if (role == "data_scientist") effects += 30000.0;
+      else if (role == "devops") effects += 24000.0;
+      else if (role == "manager") effects += 28000.0;
+      else if (role == "qa") effects += 8000.0;
+      else if (role == "frontend") {
+        effects += 10000.0;
+        // The paper's headline rule: front-end work pays off strongly for
+        // 25-34-year-olds with dependents (CATE ~ $44K overall).
+        if (age == "25-34" && Cat(row, "Dependents") == "yes") {
+          effects += 38000.0;
+        }
+      }
+
+      const std::string& hours = Cat(row, "HoursComputer");
+      if (hours == "5-8") effects += 8000.0;
+      else if (hours == "9-12") effects += 18000.0;
+      else if (hours == ">12") effects += 12000.0;
+
+      const std::string& remote = Cat(row, "RemoteWork");
+      if (remote == "remote") effects += 6000.0;
+      else if (remote == "hybrid") effects += 3000.0;
+
+      const std::string& langs = Cat(row, "LanguagesCount");
+      if (langs == "3-5") effects += 3000.0;
+      else if (langs == "6+") effects += 5000.0;
+
+      const std::string& company = Cat(row, "CompanySize");
+      if (company == "medium") effects += 4000.0;
+      else if (company == "large") effects += 8000.0;
+
+      if (Cat(row, "OpenSource") == "yes") effects += 2000.0;
+      if (Cat(row, "Certifications") == "yes") effects += 1500.0;
+
+      const double salary_value = 15000.0 + CountryBase(country) +
+                                  mult * effects +
+                                  rng.NextGaussian(0.0, noise);
+      return Value(std::max(1000.0, salary_value));
+    };
+    FAIRCAP_RETURN_NOT_OK(scm.Add(std::move(salary)));
+  }
+  return scm;
+}
+
+Result<StackOverflowData> MakeStackOverflow(
+    const StackOverflowConfig& config) {
+  FAIRCAP_ASSIGN_OR_RETURN(const Scm scm, MakeStackOverflowScm(config));
+  FAIRCAP_ASSIGN_OR_RETURN(DataFrame df,
+                           scm.Generate(config.num_rows, config.seed));
+  FAIRCAP_ASSIGN_OR_RETURN(CausalDag dag, scm.Dag());
+  FAIRCAP_ASSIGN_OR_RETURN(const size_t gdp_attr,
+                           df.schema().IndexOf("GdpGroup"));
+  Pattern protected_pattern(
+      {Predicate(gdp_attr, CompareOp::kEq, Value("low"))});
+  StackOverflowData data{std::move(df), std::move(dag),
+                         std::move(protected_pattern)};
+  return data;
+}
+
+}  // namespace faircap

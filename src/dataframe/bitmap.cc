@@ -1,0 +1,89 @@
+#include "dataframe/bitmap.h"
+
+#include <cassert>
+
+namespace faircap {
+
+Bitmap::Bitmap(size_t num_bits, bool value)
+    : num_bits_(num_bits),
+      words_((num_bits + 63) / 64, value ? ~0ULL : 0ULL) {
+  if (value) ClearPadding();
+}
+
+void Bitmap::Set(size_t i) {
+  assert(i < num_bits_);
+  words_[i / 64] |= (1ULL << (i % 64));
+}
+
+void Bitmap::Clear(size_t i) {
+  assert(i < num_bits_);
+  words_[i / 64] &= ~(1ULL << (i % 64));
+}
+
+bool Bitmap::Get(size_t i) const {
+  assert(i < num_bits_);
+  return (words_[i / 64] >> (i % 64)) & 1ULL;
+}
+
+size_t Bitmap::Count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+  return n;
+}
+
+Bitmap& Bitmap::operator&=(const Bitmap& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+Bitmap& Bitmap::operator|=(const Bitmap& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+Bitmap& Bitmap::AndNot(const Bitmap& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+Bitmap Bitmap::operator&(const Bitmap& other) const {
+  Bitmap out = *this;
+  out &= other;
+  return out;
+}
+
+Bitmap Bitmap::operator|(const Bitmap& other) const {
+  Bitmap out = *this;
+  out |= other;
+  return out;
+}
+
+Bitmap Bitmap::operator~() const {
+  Bitmap out = *this;
+  for (auto& w : out.words_) w = ~w;
+  out.ClearPadding();
+  return out;
+}
+
+bool Bitmap::operator==(const Bitmap& other) const {
+  return num_bits_ == other.num_bits_ && words_ == other.words_;
+}
+
+std::vector<uint32_t> Bitmap::ToIndices() const {
+  std::vector<uint32_t> out;
+  out.reserve(Count());
+  ForEach([&out](size_t i) { out.push_back(static_cast<uint32_t>(i)); });
+  return out;
+}
+
+void Bitmap::ClearPadding() {
+  const size_t tail = num_bits_ % 64;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << tail) - 1;
+  }
+}
+
+}  // namespace faircap

@@ -1,0 +1,72 @@
+// Bitmap: fixed-size bitset over row indices. Pattern coverage, protected
+// group membership, and ruleset coverage are all row selections; set
+// algebra on bitmaps is the workhorse of the selection algorithms.
+
+#ifndef FAIRCAP_DATAFRAME_BITMAP_H_
+#define FAIRCAP_DATAFRAME_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace faircap {
+
+/// Fixed-length bitset with word-level set algebra.
+class Bitmap {
+ public:
+  Bitmap() : num_bits_(0) {}
+
+  /// Creates `num_bits` bits, all clear (or all set).
+  explicit Bitmap(size_t num_bits, bool value = false);
+
+  size_t size() const { return num_bits_; }
+
+  void Set(size_t i);
+  void Clear(size_t i);
+  bool Get(size_t i) const;
+  bool operator[](size_t i) const { return Get(i); }
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  bool AllZero() const { return Count() == 0; }
+
+  /// In-place intersection / union / difference with `other`.
+  /// Sizes must match.
+  Bitmap& operator&=(const Bitmap& other);
+  Bitmap& operator|=(const Bitmap& other);
+  Bitmap& AndNot(const Bitmap& other);
+
+  Bitmap operator&(const Bitmap& other) const;
+  Bitmap operator|(const Bitmap& other) const;
+  /// Complement within [0, size).
+  Bitmap operator~() const;
+
+  bool operator==(const Bitmap& other) const;
+
+  /// Indices of set bits, ascending.
+  std::vector<uint32_t> ToIndices() const;
+
+  /// Calls fn(i) for each set bit in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int tz = __builtin_ctzll(bits);
+        fn(w * 64 + static_cast<size_t>(tz));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+ private:
+  void ClearPadding();
+
+  size_t num_bits_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_DATAFRAME_BITMAP_H_

@@ -1,0 +1,88 @@
+#include "dataframe/column.h"
+
+#include <cmath>
+
+namespace faircap {
+
+Status Column::Append(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  if (type_ == AttrType::kCategorical) {
+    if (!v.is_string()) {
+      return Status::InvalidArgument(
+          "cannot append numeric value to categorical column");
+    }
+    codes_.push_back(GetOrAddCategory(v.str()));
+    return Status::OK();
+  }
+  if (!v.is_numeric()) {
+    return Status::InvalidArgument(
+        "cannot append string value to numeric column");
+  }
+  values_.push_back(v.numeric());
+  return Status::OK();
+}
+
+void Column::AppendNull() {
+  if (type_ == AttrType::kCategorical) {
+    codes_.push_back(kNullCode);
+  } else {
+    values_.push_back(std::nan(""));
+  }
+}
+
+bool Column::IsNull(size_t row) const {
+  if (type_ == AttrType::kCategorical) return codes_[row] == kNullCode;
+  return std::isnan(values_[row]);
+}
+
+Result<int32_t> Column::CodeOf(const std::string& category) const {
+  const auto it = dictionary_index_.find(category);
+  if (it == dictionary_index_.end()) {
+    return Status::NotFound("category '" + category + "' not in dictionary");
+  }
+  return it->second;
+}
+
+int32_t Column::GetOrAddCategory(const std::string& category) {
+  const auto it = dictionary_index_.find(category);
+  if (it != dictionary_index_.end()) return it->second;
+  const int32_t code = static_cast<int32_t>(dictionary_.size());
+  dictionary_.push_back(category);
+  dictionary_index_.emplace(category, code);
+  return code;
+}
+
+Value Column::GetValue(size_t row) const {
+  if (IsNull(row)) return Value::Null();
+  if (type_ == AttrType::kCategorical) {
+    return Value(dictionary_[static_cast<size_t>(codes_[row])]);
+  }
+  return Value(values_[row]);
+}
+
+Column Column::Take(const std::vector<uint32_t>& rows) const {
+  Column out(type_);
+  out.dictionary_ = dictionary_;
+  out.dictionary_index_ = dictionary_index_;
+  if (type_ == AttrType::kCategorical) {
+    out.codes_.reserve(rows.size());
+    for (uint32_t r : rows) out.codes_.push_back(codes_[r]);
+  } else {
+    out.values_.reserve(rows.size());
+    for (uint32_t r : rows) out.values_.push_back(values_[r]);
+  }
+  return out;
+}
+
+void Column::Reserve(size_t n) {
+  if (type_ == AttrType::kCategorical) {
+    codes_.reserve(n);
+  } else {
+    values_.reserve(n);
+  }
+}
+
+}  // namespace faircap

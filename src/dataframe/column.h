@@ -1,0 +1,81 @@
+// Column: typed columnar storage. Categorical columns are dictionary
+// encoded (int32 codes into a string dictionary); numeric columns hold
+// doubles. Nulls are code -1 / NaN respectively.
+
+#ifndef FAIRCAP_DATAFRAME_COLUMN_H_
+#define FAIRCAP_DATAFRAME_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dataframe/schema.h"
+#include "dataframe/value.h"
+#include "util/result.h"
+
+namespace faircap {
+
+/// One attribute's values for all rows.
+class Column {
+ public:
+  /// Null sentinel for categorical codes.
+  static constexpr int32_t kNullCode = -1;
+
+  explicit Column(AttrType type) : type_(type) {}
+
+  AttrType type() const { return type_; }
+  size_t size() const {
+    return type_ == AttrType::kCategorical ? codes_.size() : values_.size();
+  }
+
+  /// Appends a cell. Numeric values into categorical columns (and vice
+  /// versa) are rejected; nulls are always accepted.
+  Status Append(const Value& v);
+
+  void AppendNull();
+
+  bool IsNull(size_t row) const;
+
+  /// Categorical code at `row` (kNullCode when null). Categorical only.
+  int32_t code(size_t row) const { return codes_[row]; }
+
+  /// Numeric value at `row` (NaN when null). Numeric only.
+  double numeric(size_t row) const { return values_[row]; }
+
+  /// Dictionary string for `code`. Categorical only.
+  const std::string& CategoryName(int32_t code) const {
+    return dictionary_[static_cast<size_t>(code)];
+  }
+
+  /// Code of `category` if present, NotFound otherwise. Categorical only.
+  Result<int32_t> CodeOf(const std::string& category) const;
+
+  /// Code of `category`, inserting into the dictionary if new.
+  int32_t GetOrAddCategory(const std::string& category);
+
+  /// Number of distinct categories seen (categorical only).
+  size_t num_categories() const { return dictionary_.size(); }
+
+  /// Row-oriented view of one cell.
+  Value GetValue(size_t row) const;
+
+  /// New column containing `rows` (in order). Dictionary is shared content-
+  /// wise: the taken column re-uses the same codes and dictionary.
+  Column Take(const std::vector<uint32_t>& rows) const;
+
+  void Reserve(size_t n);
+
+ private:
+  AttrType type_;
+  // Categorical storage.
+  std::vector<int32_t> codes_;
+  std::vector<std::string> dictionary_;
+  std::unordered_map<std::string, int32_t> dictionary_index_;
+  // Numeric storage.
+  std::vector<double> values_;
+};
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_DATAFRAME_COLUMN_H_

@@ -1,0 +1,226 @@
+#include "dataframe/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace faircap {
+
+namespace {
+
+// Splits one CSV record honoring double-quote escaping. Returns false on a
+// dangling quote.
+bool SplitRecord(const std::string& line, char delim,
+                 std::vector<std::string>* out) {
+  out->clear();
+  std::string field;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delim) {
+      out->push_back(std::move(field));
+      field.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF line endings.
+    } else {
+      field += c;
+    }
+  }
+  if (in_quotes) return false;
+  out->push_back(std::move(field));
+  return true;
+}
+
+bool IsNullCell(const std::string& cell, const CsvOptions& options) {
+  const std::string_view trimmed = Trim(cell);
+  return trimmed.empty() || trimmed == options.null_token;
+}
+
+Result<DataFrame> ParseRows(std::istream& in, const Schema& schema,
+                            const CsvOptions& options, bool check_header) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IOError("CSV input is empty (no header)");
+  }
+  std::vector<std::string> cells;
+  if (!SplitRecord(line, options.delimiter, &cells)) {
+    return Status::IOError("unterminated quote in CSV header");
+  }
+  if (check_header) {
+    if (cells.size() != schema.num_attributes()) {
+      return Status::InvalidArgument(
+          "CSV header arity does not match schema");
+    }
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (std::string(Trim(cells[i])) != schema.attribute(i).name) {
+        return Status::InvalidArgument("CSV header column '" + cells[i] +
+                                       "' does not match schema attribute '" +
+                                       schema.attribute(i).name + "'");
+      }
+    }
+  }
+
+  DataFrame df = DataFrame::Create(schema);
+  std::vector<Value> row(schema.num_attributes());
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (!SplitRecord(line, options.delimiter, &cells)) {
+      return Status::IOError("unterminated quote at line " +
+                             std::to_string(line_no));
+    }
+    if (cells.size() != schema.num_attributes()) {
+      return Status::InvalidArgument(
+          "row at line " + std::to_string(line_no) + " has " +
+          std::to_string(cells.size()) + " cells, expected " +
+          std::to_string(schema.num_attributes()));
+    }
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (IsNullCell(cells[i], options)) {
+        row[i] = Value::Null();
+      } else if (schema.attribute(i).type == AttrType::kNumeric) {
+        double v = 0.0;
+        if (!ParseDouble(cells[i], &v)) {
+          return Status::InvalidArgument(
+              "cell '" + cells[i] + "' at line " + std::to_string(line_no) +
+              " is not numeric (attribute '" + schema.attribute(i).name +
+              "')");
+        }
+        row[i] = Value(v);
+      } else {
+        row[i] = Value(std::string(Trim(cells[i])));
+      }
+    }
+    FAIRCAP_RETURN_NOT_OK(df.AppendRow(row));
+  }
+  return df;
+}
+
+Result<Schema> InferSchema(std::istream& in, const CsvOptions& options) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IOError("CSV input is empty (no header)");
+  }
+  std::vector<std::string> header;
+  if (!SplitRecord(line, options.delimiter, &header)) {
+    return Status::IOError("unterminated quote in CSV header");
+  }
+  std::vector<bool> numeric(header.size(), true);
+  std::vector<bool> saw_value(header.size(), false);
+  std::vector<std::string> cells;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (!SplitRecord(line, options.delimiter, &cells)) {
+      return Status::IOError("unterminated quote in CSV body");
+    }
+    if (cells.size() != header.size()) {
+      return Status::InvalidArgument("ragged CSV row during inference");
+    }
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (IsNullCell(cells[i], options)) continue;
+      saw_value[i] = true;
+      double v = 0.0;
+      if (!ParseDouble(cells[i], &v)) numeric[i] = false;
+    }
+  }
+  std::vector<AttributeSpec> attrs;
+  attrs.reserve(header.size());
+  for (size_t i = 0; i < header.size(); ++i) {
+    AttributeSpec spec;
+    spec.name = std::string(Trim(header[i]));
+    // Columns that never produced a value stay categorical.
+    spec.type = (saw_value[i] && numeric[i]) ? AttrType::kNumeric
+                                             : AttrType::kCategorical;
+    spec.role = AttrRole::kImmutable;
+    attrs.push_back(std::move(spec));
+  }
+  return Schema::Create(std::move(attrs));
+}
+
+std::string EscapeCell(const std::string& cell, char delim) {
+  const bool needs_quotes =
+      cell.find(delim) != std::string::npos ||
+      cell.find('"') != std::string::npos ||
+      cell.find('\n') != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<DataFrame> ReadCsv(const std::string& path, const Schema& schema,
+                          const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  return ParseRows(in, schema, options, /*check_header=*/true);
+}
+
+Result<DataFrame> ParseCsv(const std::string& content, const Schema& schema,
+                           const CsvOptions& options) {
+  std::istringstream in(content);
+  return ParseRows(in, schema, options, /*check_header=*/true);
+}
+
+Result<DataFrame> ReadCsvInferSchema(const std::string& path,
+                                     const CsvOptions& options) {
+  std::ifstream probe(path);
+  if (!probe) return Status::IOError("cannot open '" + path + "' for reading");
+  FAIRCAP_ASSIGN_OR_RETURN(Schema schema, InferSchema(probe, options));
+  return ReadCsv(path, schema, options);
+}
+
+Result<DataFrame> ParseCsvInferSchema(const std::string& content,
+                                      const CsvOptions& options) {
+  std::istringstream probe(content);
+  FAIRCAP_ASSIGN_OR_RETURN(Schema schema, InferSchema(probe, options));
+  return ParseCsv(content, schema, options);
+}
+
+Status WriteCsv(const DataFrame& df, const std::string& path,
+                const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  const Schema& schema = df.schema();
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (i > 0) out << options.delimiter;
+    out << EscapeCell(schema.attribute(i).name, options.delimiter);
+  }
+  out << "\n";
+  for (size_t row = 0; row < df.num_rows(); ++row) {
+    for (size_t col = 0; col < df.num_columns(); ++col) {
+      if (col > 0) out << options.delimiter;
+      const Value v = df.GetValue(row, col);
+      if (v.is_null()) {
+        out << options.null_token;
+      } else {
+        out << EscapeCell(v.ToString(), options.delimiter);
+      }
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace faircap

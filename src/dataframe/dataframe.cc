@@ -1,0 +1,106 @@
+#include "dataframe/dataframe.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace faircap {
+
+DataFrame DataFrame::Create(Schema schema) {
+  DataFrame df;
+  df.columns_.reserve(schema.num_attributes());
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    df.columns_.emplace_back(schema.attribute(i).type);
+  }
+  df.schema_ = std::move(schema);
+  return df;
+}
+
+Result<const Column*> DataFrame::ColumnByName(const std::string& name) const {
+  FAIRCAP_ASSIGN_OR_RETURN(const size_t idx, schema_.IndexOf(name));
+  return &columns_[idx];
+}
+
+Status DataFrame::AppendRow(const std::vector<Value>& values) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument("row arity does not match schema");
+  }
+  // Validate all cells before mutating any column so a failed append leaves
+  // the table unchanged.
+  for (size_t i = 0; i < values.size(); ++i) {
+    const Value& v = values[i];
+    if (v.is_null()) continue;
+    const bool want_string = columns_[i].type() == AttrType::kCategorical;
+    if (want_string != v.is_string()) {
+      return Status::InvalidArgument(
+          "type mismatch for attribute '" + schema_.attribute(i).name + "'");
+    }
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    const Status st = columns_[i].Append(values[i]);
+    assert(st.ok());
+    (void)st;
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+DataFrame DataFrame::Take(const Bitmap& mask) const {
+  return TakeRows(mask.ToIndices());
+}
+
+DataFrame DataFrame::TakeRows(const std::vector<uint32_t>& rows) const {
+  DataFrame out;
+  out.schema_ = schema_;
+  out.columns_.reserve(columns_.size());
+  for (const Column& col : columns_) {
+    out.columns_.push_back(col.Take(rows));
+  }
+  out.num_rows_ = rows.size();
+  return out;
+}
+
+DataFrame DataFrame::SampleFraction(double fraction, Rng* rng) const {
+  assert(fraction >= 0.0 && fraction <= 1.0);
+  const size_t target = static_cast<size_t>(
+      std::llround(fraction * static_cast<double>(num_rows_)));
+  std::vector<size_t> perm = rng->Permutation(num_rows_);
+  std::vector<uint32_t> rows(perm.begin(), perm.begin() + target);
+  std::sort(rows.begin(), rows.end());
+  return TakeRows(rows);
+}
+
+double DataFrame::Mean(size_t col, const Bitmap& mask) const {
+  const Column& c = columns_[col];
+  assert(c.type() == AttrType::kNumeric);
+  double sum = 0.0;
+  size_t n = 0;
+  mask.ForEach([&](size_t row) {
+    const double v = c.numeric(row);
+    if (!std::isnan(v)) {
+      sum += v;
+      ++n;
+    }
+  });
+  if (n == 0) return std::nan("");
+  return sum / static_cast<double>(n);
+}
+
+double DataFrame::Mean(size_t col) const { return Mean(col, AllRows()); }
+
+Status DataFrame::SetRole(const std::string& name, AttrRole role) {
+  FAIRCAP_ASSIGN_OR_RETURN(const size_t idx, schema_.IndexOf(name));
+  // Rebuild the schema with the updated role; Schema validates invariants
+  // (e.g. at most one outcome).
+  std::vector<AttributeSpec> attrs = schema_.attributes();
+  attrs[idx].role = role;
+  FAIRCAP_ASSIGN_OR_RETURN(Schema updated, Schema::Create(std::move(attrs)));
+  schema_ = std::move(updated);
+  return Status::OK();
+}
+
+void DataFrame::Reserve(size_t n) {
+  for (Column& c : columns_) c.Reserve(n);
+}
+
+}  // namespace faircap

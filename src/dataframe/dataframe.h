@@ -1,0 +1,79 @@
+// DataFrame: the single-relation database instance D from Section 4 of the
+// paper. Columnar layout; row selections are Bitmaps so the mining and
+// selection algorithms compose with cheap set algebra.
+
+#ifndef FAIRCAP_DATAFRAME_DATAFRAME_H_
+#define FAIRCAP_DATAFRAME_DATAFRAME_H_
+
+#include <string>
+#include <vector>
+
+#include "dataframe/bitmap.h"
+#include "dataframe/column.h"
+#include "dataframe/schema.h"
+#include "dataframe/value.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace faircap {
+
+/// In-memory single-relation table.
+class DataFrame {
+ public:
+  DataFrame() = default;
+
+  /// Creates an empty table with the given schema.
+  static DataFrame Create(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column& column_mutable(size_t i) { return columns_[i]; }
+
+  /// Column by attribute name.
+  Result<const Column*> ColumnByName(const std::string& name) const;
+
+  /// Appends one row; `values` must match the schema arity and types.
+  Status AppendRow(const std::vector<Value>& values);
+
+  /// Cell accessor (row-oriented; for tests and display).
+  Value GetValue(size_t row, size_t col) const {
+    return columns_[col].GetValue(row);
+  }
+
+  /// Bitmap of all rows (all bits set).
+  Bitmap AllRows() const { return Bitmap(num_rows_, /*value=*/true); }
+
+  /// Materializes the subset of rows selected by `mask`, preserving order.
+  DataFrame Take(const Bitmap& mask) const;
+
+  /// Materializes the given rows, in order.
+  DataFrame TakeRows(const std::vector<uint32_t>& rows) const;
+
+  /// Uniform sample without replacement of ~`fraction` of the rows.
+  DataFrame SampleFraction(double fraction, Rng* rng) const;
+
+  /// Mean of numeric column `col` over rows in `mask`, skipping nulls.
+  /// Returns NaN when the selection has no non-null values.
+  double Mean(size_t col, const Bitmap& mask) const;
+
+  /// Mean over all rows.
+  double Mean(size_t col) const;
+
+  /// Re-assigns the causal role of attribute `name` (used by the attribute-
+  /// sweep experiments to toggle attributes in and out of mining).
+  Status SetRole(const std::string& name, AttrRole role);
+
+  void Reserve(size_t n);
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_DATAFRAME_DATAFRAME_H_

@@ -1,0 +1,112 @@
+#include "dataframe/discretize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace faircap {
+
+namespace {
+
+std::string IntervalLabel(double lo, double hi, bool first, bool last,
+                          int precision) {
+  char buf[96];
+  if (first && last) {
+    return "all";
+  }
+  if (first) {
+    std::snprintf(buf, sizeof(buf), "<%.*g", precision, hi);
+  } else if (last) {
+    std::snprintf(buf, sizeof(buf), ">=%.*g", precision, lo);
+  } else {
+    std::snprintf(buf, sizeof(buf), "[%.*g,%.*g)", precision, lo, precision,
+                  hi);
+  }
+  return buf;
+}
+
+}  // namespace
+
+Result<DataFrame> DiscretizeColumn(const DataFrame& df,
+                                   const std::string& name,
+                                   const DiscretizeOptions& options) {
+  FAIRCAP_ASSIGN_OR_RETURN(const size_t attr, df.schema().IndexOf(name));
+  const AttributeSpec& spec = df.schema().attribute(attr);
+  if (spec.type != AttrType::kNumeric) {
+    return Status::InvalidArgument("attribute '" + name + "' is not numeric");
+  }
+  if (spec.role == AttrRole::kOutcome) {
+    return Status::InvalidArgument("refusing to discretize the outcome");
+  }
+  if (options.num_bins < 1) {
+    return Status::InvalidArgument("num_bins must be >= 1");
+  }
+
+  const Column& col = df.column(attr);
+  std::vector<double> values;
+  values.reserve(df.num_rows());
+  for (size_t r = 0; r < df.num_rows(); ++r) {
+    if (!col.IsNull(r)) values.push_back(col.numeric(r));
+  }
+
+  // Bin edges (ascending, deduplicated).
+  std::vector<double> edges;
+  if (!values.empty()) {
+    if (options.strategy == BinningStrategy::kEqualFrequency) {
+      std::sort(values.begin(), values.end());
+      for (size_t b = 1; b < options.num_bins; ++b) {
+        edges.push_back(values[values.size() * b / options.num_bins]);
+      }
+    } else {
+      const auto [lo_it, hi_it] =
+          std::minmax_element(values.begin(), values.end());
+      const double lo = *lo_it, hi = *hi_it;
+      for (size_t b = 1; b < options.num_bins; ++b) {
+        edges.push_back(lo + (hi - lo) * static_cast<double>(b) /
+                                 static_cast<double>(options.num_bins));
+      }
+    }
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    // An edge at (or below) the minimum creates an empty first bin —
+    // degenerate (e.g. constant) columns collapse to fewer bins instead.
+    const double min_value =
+        *std::min_element(values.begin(), values.end());
+    edges.erase(std::remove_if(edges.begin(), edges.end(),
+                               [min_value](double e) {
+                                 return e <= min_value;
+                               }),
+                edges.end());
+  }
+
+  // Rebuild the frame with the column replaced.
+  std::vector<AttributeSpec> specs = df.schema().attributes();
+  specs[attr].type = AttrType::kCategorical;
+  FAIRCAP_ASSIGN_OR_RETURN(Schema new_schema, Schema::Create(std::move(specs)));
+  DataFrame out = DataFrame::Create(std::move(new_schema));
+  out.Reserve(df.num_rows());
+
+  std::vector<Value> row(df.num_columns());
+  for (size_t r = 0; r < df.num_rows(); ++r) {
+    for (size_t c = 0; c < df.num_columns(); ++c) {
+      if (c != attr) {
+        row[c] = df.GetValue(r, c);
+        continue;
+      }
+      if (col.IsNull(r)) {
+        row[c] = Value::Null();
+        continue;
+      }
+      const double v = col.numeric(r);
+      const size_t bin = static_cast<size_t>(
+          std::upper_bound(edges.begin(), edges.end(), v) - edges.begin());
+      const double lo = bin == 0 ? -HUGE_VAL : edges[bin - 1];
+      const double hi = bin == edges.size() ? HUGE_VAL : edges[bin];
+      row[c] = Value(IntervalLabel(lo, hi, bin == 0, bin == edges.size(),
+                                   options.label_precision));
+    }
+    FAIRCAP_RETURN_NOT_OK(out.AppendRow(row));
+  }
+  return out;
+}
+
+}  // namespace faircap

@@ -1,0 +1,42 @@
+// Discretization of numeric attributes into categorical bins. Grouping
+// patterns and intervention atoms require categorical attributes; a
+// dataset with numeric immutable attributes (age, income brackets) is
+// discretized up front, exactly as survey datasets ship pre-binned
+// ("25-34") in the paper.
+
+#ifndef FAIRCAP_DATAFRAME_DISCRETIZE_H_
+#define FAIRCAP_DATAFRAME_DISCRETIZE_H_
+
+#include <string>
+
+#include "dataframe/dataframe.h"
+#include "util/result.h"
+
+namespace faircap {
+
+/// How bin boundaries are chosen.
+enum class BinningStrategy {
+  kEqualFrequency,  ///< quantile bins (default; robust to skew)
+  kEqualWidth,      ///< uniform intervals over [min, max]
+};
+
+/// Options for discretization.
+struct DiscretizeOptions {
+  size_t num_bins = 4;
+  BinningStrategy strategy = BinningStrategy::kEqualFrequency;
+  /// Label style: "[lo, hi)" interval labels.
+  int label_precision = 6;
+};
+
+/// Returns a copy of `df` where numeric attribute `name` is replaced by a
+/// categorical attribute with interval labels (nulls stay null). The
+/// attribute keeps its name and role. Fails if the attribute is not
+/// numeric, is the outcome, or has fewer distinct values than bins
+/// require (degenerate columns collapse to a single bin instead).
+Result<DataFrame> DiscretizeColumn(const DataFrame& df,
+                                   const std::string& name,
+                                   const DiscretizeOptions& options = {});
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_DATAFRAME_DISCRETIZE_H_

@@ -1,0 +1,61 @@
+#include "dataframe/schema.h"
+
+namespace faircap {
+
+Result<Schema> Schema::Create(std::vector<AttributeSpec> attrs) {
+  Schema schema;
+  size_t outcome_count = 0;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    const AttributeSpec& spec = attrs[i];
+    if (spec.name.empty()) {
+      return Status::InvalidArgument("attribute name must be non-empty");
+    }
+    if (schema.index_.count(spec.name) != 0) {
+      return Status::AlreadyExists("duplicate attribute name '" + spec.name +
+                                   "'");
+    }
+    if (spec.role == AttrRole::kOutcome) {
+      ++outcome_count;
+      if (spec.type != AttrType::kNumeric) {
+        return Status::InvalidArgument(
+            "outcome attribute '" + spec.name +
+            "' must be numeric (binary outcomes use 0/1)");
+      }
+    }
+    schema.index_.emplace(spec.name, i);
+  }
+  if (outcome_count > 1) {
+    return Status::InvalidArgument("schema declares more than one outcome");
+  }
+  schema.attrs_ = std::move(attrs);
+  return schema;
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("unknown attribute '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Schema::Contains(const std::string& name) const {
+  return index_.count(name) != 0;
+}
+
+Result<size_t> Schema::OutcomeIndex() const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].role == AttrRole::kOutcome) return i;
+  }
+  return Status::NotFound("schema declares no outcome attribute");
+}
+
+std::vector<size_t> Schema::IndicesWithRole(AttrRole role) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].role == role) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace faircap

@@ -1,0 +1,69 @@
+// Schema: attribute names, types (categorical vs numeric), and causal
+// roles (immutable / mutable / outcome), per Section 4.2 of the paper.
+
+#ifndef FAIRCAP_DATAFRAME_SCHEMA_H_
+#define FAIRCAP_DATAFRAME_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace faircap {
+
+/// Storage/semantic type of an attribute.
+enum class AttrType {
+  kCategorical,  ///< dictionary-encoded strings
+  kNumeric,      ///< doubles
+};
+
+/// Causal role of an attribute (Section 4.2: M, I, and the outcome O).
+enum class AttrRole {
+  kImmutable,  ///< may appear in grouping patterns only
+  kMutable,    ///< may appear in intervention patterns only
+  kOutcome,    ///< the target variable O
+  kIgnored,    ///< excluded from mining (e.g. row ids)
+};
+
+/// Metadata for one attribute.
+struct AttributeSpec {
+  std::string name;
+  AttrType type = AttrType::kCategorical;
+  AttrRole role = AttrRole::kImmutable;
+};
+
+/// Ordered attribute list with name lookup. Validates that at most one
+/// attribute is the outcome.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema; fails on duplicate names or multiple outcomes.
+  static Result<Schema> Create(std::vector<AttributeSpec> attrs);
+
+  size_t num_attributes() const { return attrs_.size(); }
+  const AttributeSpec& attribute(size_t i) const { return attrs_[i]; }
+  const std::vector<AttributeSpec>& attributes() const { return attrs_; }
+
+  /// Index of the attribute named `name`, or error.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// True if an attribute with this name exists.
+  bool Contains(const std::string& name) const;
+
+  /// Index of the outcome attribute, or error if none is declared.
+  Result<size_t> OutcomeIndex() const;
+
+  /// Indices of all attributes with the given role, in schema order.
+  std::vector<size_t> IndicesWithRole(AttrRole role) const;
+
+ private:
+  std::vector<AttributeSpec> attrs_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_DATAFRAME_SCHEMA_H_

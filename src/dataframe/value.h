@@ -1,0 +1,81 @@
+// Value: a single typed cell. FairCap datasets mix categorical attributes
+// (dictionary-encoded strings) and numeric attributes (doubles); Value is
+// the row-oriented view used at API boundaries (row append, predicates,
+// rule rendering). Hot loops operate on columnar codes instead.
+
+#ifndef FAIRCAP_DATAFRAME_VALUE_H_
+#define FAIRCAP_DATAFRAME_VALUE_H_
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace faircap {
+
+enum class ValueType { kNull = 0, kNumeric, kString };
+
+/// A null, numeric (double), or string cell value.
+class Value {
+ public:
+  /// Constructs a null value.
+  Value() : data_(std::monostate{}) {}
+  Value(double v) : data_(v) {}                        // NOLINT
+  Value(int v) : data_(static_cast<double>(v)) {}      // NOLINT
+  Value(int64_t v) : data_(static_cast<double>(v)) {}  // NOLINT
+  Value(std::string v) : data_(std::move(v)) {}        // NOLINT
+  Value(const char* v) : data_(std::string(v)) {}      // NOLINT
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    switch (data_.index()) {
+      case 0: return ValueType::kNull;
+      case 1: return ValueType::kNumeric;
+      default: return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_numeric() const { return type() == ValueType::kNumeric; }
+  bool is_string() const { return type() == ValueType::kString; }
+
+  /// Numeric payload; only valid when is_numeric().
+  double numeric() const { return std::get<double>(data_); }
+
+  /// String payload; only valid when is_string().
+  const std::string& str() const { return std::get<std::string>(data_); }
+
+  /// Renders for display: "null", the number, or the string.
+  std::string ToString() const;
+
+  /// Strict equality: same type and payload. Null equals null.
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+ private:
+  std::variant<std::monostate, double, std::string> data_;
+};
+
+inline std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kNumeric: {
+      const double v = numeric();
+      if (std::floor(v) == v && std::abs(v) < 1e15) {
+        return std::to_string(static_cast<int64_t>(v));
+      }
+      char buf[64];
+      snprintf(buf, sizeof(buf), "%.6g", v);
+      return buf;
+    }
+    case ValueType::kString:
+      return str();
+  }
+  return "?";
+}
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_DATAFRAME_VALUE_H_

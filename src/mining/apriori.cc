@@ -1,0 +1,159 @@
+#include "mining/apriori.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace faircap {
+
+namespace {
+
+// An item is a frequent (attribute = category) predicate with its coverage.
+struct Item {
+  size_t attr;
+  int32_t code;
+  Bitmap coverage;
+  size_t support;
+};
+
+// A candidate/frequent itemset at some level: sorted item indices plus the
+// intersected coverage.
+struct ItemSet {
+  std::vector<uint32_t> items;  // indices into the item table, ascending
+  Bitmap coverage;
+  size_t support;
+};
+
+std::string ItemSetKey(const std::vector<uint32_t>& items) {
+  std::string key;
+  for (uint32_t it : items) {
+    key += std::to_string(it);
+    key += ',';
+  }
+  return key;
+}
+
+}  // namespace
+
+Result<std::vector<FrequentPattern>> MineFrequentPatterns(
+    const DataFrame& df, const std::vector<size_t>& attrs,
+    const AprioriOptions& options) {
+  if (options.min_support_fraction < 0.0 ||
+      options.min_support_fraction > 1.0) {
+    return Status::InvalidArgument("min_support_fraction must be in [0,1]");
+  }
+  for (size_t attr : attrs) {
+    if (attr >= df.num_columns()) {
+      return Status::OutOfRange("attribute index out of range");
+    }
+    if (df.column(attr).type() != AttrType::kCategorical) {
+      return Status::InvalidArgument(
+          "Apriori requires categorical attributes; discretize '" +
+          df.schema().attribute(attr).name + "' first");
+    }
+  }
+
+  const size_t n = df.num_rows();
+  const size_t min_support = static_cast<size_t>(
+      std::ceil(options.min_support_fraction * static_cast<double>(n)));
+
+  std::vector<FrequentPattern> out;
+  if (options.include_empty_pattern) {
+    out.push_back({Pattern::Empty(), df.AllRows(), n});
+  }
+  if (n == 0 || options.max_pattern_length == 0) return out;
+
+  // Level 1: count every (attr, code) pair in a single columnar pass, then
+  // build coverage bitmaps for the frequent ones.
+  std::vector<Item> items;
+  for (size_t attr : attrs) {
+    const Column& col = df.column(attr);
+    std::vector<size_t> counts(col.num_categories(), 0);
+    for (size_t row = 0; row < n; ++row) {
+      const int32_t c = col.code(row);
+      if (c != Column::kNullCode) ++counts[static_cast<size_t>(c)];
+    }
+    for (size_t code = 0; code < counts.size(); ++code) {
+      if (counts[code] < min_support || counts[code] == 0) continue;
+      Bitmap coverage(n);
+      for (size_t row = 0; row < n; ++row) {
+        if (col.code(row) == static_cast<int32_t>(code)) coverage.Set(row);
+      }
+      items.push_back({attr, static_cast<int32_t>(code), std::move(coverage),
+                       counts[code]});
+    }
+  }
+
+  auto make_pattern = [&](const std::vector<uint32_t>& item_ids) {
+    std::vector<Predicate> preds;
+    preds.reserve(item_ids.size());
+    for (uint32_t id : item_ids) {
+      const Item& item = items[id];
+      preds.emplace_back(
+          item.attr, CompareOp::kEq,
+          Value(df.column(item.attr).CategoryName(item.code)));
+    }
+    return Pattern(std::move(preds));
+  };
+
+  std::vector<ItemSet> level;
+  level.reserve(items.size());
+  for (uint32_t i = 0; i < items.size(); ++i) {
+    level.push_back({{i}, items[i].coverage, items[i].support});
+    out.push_back({make_pattern({i}), items[i].coverage, items[i].support});
+    if (out.size() >= options.max_patterns) return out;
+  }
+
+  // Levels 2..max: apriori-gen join (shared (k-1)-prefix) + subset pruning.
+  for (size_t k = 2; k <= options.max_pattern_length && level.size() > 1;
+       ++k) {
+    std::unordered_set<std::string> frequent_keys;
+    frequent_keys.reserve(level.size());
+    for (const ItemSet& s : level) frequent_keys.insert(ItemSetKey(s.items));
+
+    std::vector<ItemSet> next;
+    for (size_t a = 0; a < level.size(); ++a) {
+      for (size_t b = a + 1; b < level.size(); ++b) {
+        const auto& ia = level[a].items;
+        const auto& ib = level[b].items;
+        // Join requires identical prefixes and distinct last items.
+        if (!std::equal(ia.begin(), ia.end() - 1, ib.begin())) continue;
+        const uint32_t last_a = ia.back();
+        const uint32_t last_b = ib.back();
+        if (last_a >= last_b) continue;
+        // One predicate per attribute.
+        if (items[last_a].attr == items[last_b].attr) continue;
+
+        std::vector<uint32_t> candidate = ia;
+        candidate.push_back(last_b);
+
+        // Prune: every (k-1)-subset must be frequent.
+        bool all_subsets_frequent = true;
+        for (size_t drop = 0; drop + 2 < candidate.size(); ++drop) {
+          std::vector<uint32_t> subset;
+          subset.reserve(candidate.size() - 1);
+          for (size_t i = 0; i < candidate.size(); ++i) {
+            if (i != drop) subset.push_back(candidate[i]);
+          }
+          if (frequent_keys.count(ItemSetKey(subset)) == 0) {
+            all_subsets_frequent = false;
+            break;
+          }
+        }
+        if (!all_subsets_frequent) continue;
+
+        Bitmap coverage = level[a].coverage & items[last_b].coverage;
+        const size_t support = coverage.Count();
+        if (support < min_support) continue;
+        next.push_back({std::move(candidate), std::move(coverage), support});
+        out.push_back({make_pattern(next.back().items), next.back().coverage,
+                       support});
+        if (out.size() >= options.max_patterns) return out;
+      }
+    }
+    level = std::move(next);
+  }
+  return out;
+}
+
+}  // namespace faircap

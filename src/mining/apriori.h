@@ -1,0 +1,45 @@
+// Apriori frequent-pattern mining (Agrawal & Srikant 1994), used by FairCap
+// step 1 to mine grouping patterns over the immutable attributes
+// (Section 5.1). Items are (attribute = category) predicates; a pattern
+// constrains each attribute at most once.
+
+#ifndef FAIRCAP_MINING_APRIORI_H_
+#define FAIRCAP_MINING_APRIORI_H_
+
+#include <vector>
+
+#include "mining/pattern.h"
+#include "util/result.h"
+
+namespace faircap {
+
+/// A mined pattern together with its coverage.
+struct FrequentPattern {
+  Pattern pattern;
+  Bitmap coverage;
+  size_t support = 0;  ///< == coverage.Count()
+};
+
+/// Tuning knobs for Apriori.
+struct AprioriOptions {
+  /// Patterns must cover at least this fraction of rows (the paper's τ,
+  /// default 0.1 per Section 6).
+  double min_support_fraction = 0.1;
+  /// Maximum number of predicates per pattern.
+  size_t max_pattern_length = 3;
+  /// Safety cap on the total number of emitted patterns.
+  size_t max_patterns = 100000;
+  /// If true, also emit the empty pattern (covers everything).
+  bool include_empty_pattern = false;
+};
+
+/// Mines all frequent equality-conjunctions over the given categorical
+/// attributes. Numeric attributes in `attrs` are rejected (discretize
+/// first). Patterns are emitted level by level (singletons first).
+Result<std::vector<FrequentPattern>> MineFrequentPatterns(
+    const DataFrame& df, const std::vector<size_t>& attrs,
+    const AprioriOptions& options = {});
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_MINING_APRIORI_H_

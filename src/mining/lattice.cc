@@ -1,0 +1,128 @@
+#include "mining/lattice.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+namespace faircap {
+
+std::vector<Predicate> EnumerateInterventionAtoms(
+    const DataFrame& df, const std::vector<size_t>& mutable_attrs) {
+  std::vector<Predicate> atoms;
+  for (size_t attr : mutable_attrs) {
+    const Column& col = df.column(attr);
+    if (col.type() != AttrType::kCategorical) continue;
+    for (size_t code = 0; code < col.num_categories(); ++code) {
+      atoms.emplace_back(attr, CompareOp::kEq,
+                         Value(col.CategoryName(static_cast<int32_t>(code))));
+    }
+  }
+  return atoms;
+}
+
+LatticeResult TraverseInterventionLattice(
+    const DataFrame& df, const std::vector<size_t>& mutable_attrs,
+    const TreatmentEvaluator& evaluator, const LatticeOptions& options) {
+  LatticeResult result;
+  const std::vector<Predicate> atoms =
+      EnumerateInterventionAtoms(df, mutable_attrs);
+
+  struct Node {
+    std::vector<uint32_t> atom_ids;  // sorted, one per attribute
+    Pattern pattern;
+  };
+
+  auto consider = [&](const Pattern& pattern, const TreatmentEval& eval) {
+    if (!eval.feasible || eval.cate <= 0.0) return;
+    if (!result.best.has_value() || eval.score > result.best_eval.score) {
+      result.best = pattern;
+      result.best_eval = eval;
+    }
+  };
+
+  // Level 1: every atom.
+  std::vector<Node> level;
+  for (uint32_t i = 0; i < atoms.size(); ++i) {
+    if (result.num_evaluated >= options.max_evaluations) return result;
+    Pattern pattern = Pattern().With(atoms[i]);
+    const auto eval = evaluator(pattern);
+    ++result.num_evaluated;
+    if (!eval.has_value()) continue;
+    consider(pattern, *eval);
+    if (eval->cate > 0.0) {
+      result.positive.emplace_back(pattern, *eval);
+    }
+    if (eval->cate > 0.0 || !options.require_positive_parents) {
+      level.push_back({{i}, std::move(pattern)});
+    }
+  }
+
+  // Track which atom-id sets had positive CATE so children can check that
+  // every parent was positive before materializing.
+  auto key_of = [](const std::vector<uint32_t>& ids) {
+    std::string key;
+    for (uint32_t id : ids) {
+      key += std::to_string(id);
+      key += ',';
+    }
+    return key;
+  };
+  std::unordered_set<std::string> positive_keys;
+  for (const Node& node : level) positive_keys.insert(key_of(node.atom_ids));
+
+  for (size_t k = 2; k <= options.max_predicates && level.size() > 1; ++k) {
+    std::vector<Node> next;
+    std::unordered_set<std::string> next_keys;
+    for (size_t a = 0; a < level.size(); ++a) {
+      for (size_t b = a + 1; b < level.size(); ++b) {
+        const auto& ia = level[a].atom_ids;
+        const auto& ib = level[b].atom_ids;
+        if (!std::equal(ia.begin(), ia.end() - 1, ib.begin())) continue;
+        const uint32_t last_a = ia.back();
+        const uint32_t last_b = ib.back();
+        if (last_a >= last_b) continue;
+        // One predicate per attribute: conflicting assignments to the same
+        // attribute cannot both hold.
+        if (atoms[last_a].attr == atoms[last_b].attr) continue;
+
+        std::vector<uint32_t> candidate = ia;
+        candidate.push_back(last_b);
+
+        // Materialize only if all parents had positive CATE (Section 5.2).
+        if (options.require_positive_parents) {
+          bool all_parents_positive = true;
+          for (size_t drop = 0; drop + 2 < candidate.size(); ++drop) {
+            std::vector<uint32_t> parent;
+            for (size_t i = 0; i < candidate.size(); ++i) {
+              if (i != drop) parent.push_back(candidate[i]);
+            }
+            if (positive_keys.count(key_of(parent)) == 0) {
+              all_parents_positive = false;
+              break;
+            }
+          }
+          if (!all_parents_positive) continue;
+        }
+
+        if (result.num_evaluated >= options.max_evaluations) return result;
+        Pattern pattern = level[a].pattern.With(atoms[last_b]);
+        const auto eval = evaluator(pattern);
+        ++result.num_evaluated;
+        if (!eval.has_value()) continue;
+        consider(pattern, *eval);
+        if (eval->cate > 0.0) {
+          result.positive.emplace_back(pattern, *eval);
+          next_keys.insert(key_of(candidate));
+        }
+        if (eval->cate > 0.0 || !options.require_positive_parents) {
+          next.push_back({std::move(candidate), std::move(pattern)});
+        }
+      }
+    }
+    level = std::move(next);
+    positive_keys = std::move(next_keys);
+  }
+  return result;
+}
+
+}  // namespace faircap

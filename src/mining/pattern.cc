@@ -1,0 +1,88 @@
+#include "mining/pattern.h"
+
+#include <algorithm>
+
+namespace faircap {
+
+Pattern::Pattern(std::vector<Predicate> predicates)
+    : predicates_(std::move(predicates)) {
+  Canonicalize();
+}
+
+Pattern Pattern::With(Predicate p) const {
+  std::vector<Predicate> preds = predicates_;
+  preds.push_back(std::move(p));
+  return Pattern(std::move(preds));
+}
+
+Pattern Pattern::And(const Pattern& other) const {
+  std::vector<Predicate> preds = predicates_;
+  preds.insert(preds.end(), other.predicates_.begin(),
+               other.predicates_.end());
+  return Pattern(std::move(preds));
+}
+
+bool Pattern::ConstrainsAttr(size_t attr) const {
+  return std::any_of(predicates_.begin(), predicates_.end(),
+                     [attr](const Predicate& p) { return p.attr == attr; });
+}
+
+std::vector<size_t> Pattern::Attributes() const {
+  std::vector<size_t> attrs;
+  for (const Predicate& p : predicates_) attrs.push_back(p.attr);
+  std::sort(attrs.begin(), attrs.end());
+  attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+  return attrs;
+}
+
+Status Pattern::Validate(const DataFrame& df) const {
+  for (const Predicate& p : predicates_) {
+    FAIRCAP_RETURN_NOT_OK(p.Validate(df));
+  }
+  return Status::OK();
+}
+
+Bitmap Pattern::Evaluate(const DataFrame& df) const {
+  if (predicates_.empty()) return df.AllRows();
+  Bitmap out = predicates_[0].Evaluate(df);
+  for (size_t i = 1; i < predicates_.size(); ++i) {
+    if (out.AllZero()) break;
+    out &= predicates_[i].Evaluate(df);
+  }
+  return out;
+}
+
+bool Pattern::Matches(const DataFrame& df, size_t row) const {
+  return std::all_of(
+      predicates_.begin(), predicates_.end(),
+      [&df, row](const Predicate& p) { return p.Matches(df, row); });
+}
+
+std::string Pattern::ToString(const Schema& schema) const {
+  if (predicates_.empty()) return "TRUE";
+  std::string out;
+  for (size_t i = 0; i < predicates_.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += predicates_[i].ToString(schema);
+  }
+  return out;
+}
+
+std::string Pattern::Key() const {
+  std::string key;
+  for (const Predicate& p : predicates_) {
+    key += std::to_string(p.attr);
+    key += CompareOpName(p.op);
+    key += p.value.ToString();
+    key += '|';
+  }
+  return key;
+}
+
+void Pattern::Canonicalize() {
+  std::sort(predicates_.begin(), predicates_.end());
+  predicates_.erase(std::unique(predicates_.begin(), predicates_.end()),
+                    predicates_.end());
+}
+
+}  // namespace faircap

@@ -1,0 +1,69 @@
+// Pattern: a conjunction of predicates (Definition 4.1). Grouping patterns
+// range over immutable attributes; intervention patterns over mutable
+// attributes (Definition 4.3). Patterns are kept in canonical (sorted)
+// form so structurally equal patterns compare equal.
+
+#ifndef FAIRCAP_MINING_PATTERN_H_
+#define FAIRCAP_MINING_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "mining/predicate.h"
+
+namespace faircap {
+
+/// Conjunction of predicates over a DataFrame's attributes.
+class Pattern {
+ public:
+  Pattern() = default;
+  explicit Pattern(std::vector<Predicate> predicates);
+
+  /// The always-true pattern (covers every row).
+  static Pattern Empty() { return Pattern(); }
+
+  bool empty() const { return predicates_.empty(); }
+  size_t size() const { return predicates_.size(); }
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+
+  /// Returns a new pattern with `p` appended (canonicalized).
+  Pattern With(Predicate p) const;
+
+  /// Conjunction of two patterns (duplicates removed).
+  Pattern And(const Pattern& other) const;
+
+  /// True if some predicate constrains attribute `attr`.
+  bool ConstrainsAttr(size_t attr) const;
+
+  /// Attribute indices referenced by this pattern (sorted, deduplicated).
+  std::vector<size_t> Attributes() const;
+
+  /// Validates every predicate against `df`.
+  Status Validate(const DataFrame& df) const;
+
+  /// Rows of `df` covered by the pattern (Definition 4.2). The empty
+  /// pattern covers all rows.
+  Bitmap Evaluate(const DataFrame& df) const;
+
+  /// True if row `row` satisfies every predicate.
+  bool Matches(const DataFrame& df, size_t row) const;
+
+  /// Renders e.g. "Age = 25-34 AND Dependents = yes" ("TRUE" when empty).
+  std::string ToString(const Schema& schema) const;
+
+  /// Canonical key usable in hash maps (attribute indices + op + value).
+  std::string Key() const;
+
+  bool operator==(const Pattern& other) const {
+    return predicates_ == other.predicates_;
+  }
+
+ private:
+  void Canonicalize();
+
+  std::vector<Predicate> predicates_;
+};
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_MINING_PATTERN_H_

@@ -1,0 +1,122 @@
+#include "mining/predicate.h"
+
+#include <cmath>
+#include <tuple>
+
+namespace faircap {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+namespace {
+
+inline bool CompareNumeric(double lhs, CompareOp op, double rhs) {
+  switch (op) {
+    case CompareOp::kEq: return lhs == rhs;
+    case CompareOp::kNe: return lhs != rhs;
+    case CompareOp::kLt: return lhs < rhs;
+    case CompareOp::kGt: return lhs > rhs;
+    case CompareOp::kLe: return lhs <= rhs;
+    case CompareOp::kGe: return lhs >= rhs;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status Predicate::Validate(const DataFrame& df) const {
+  if (attr >= df.num_columns()) {
+    return Status::OutOfRange("predicate attribute index out of range");
+  }
+  const Column& col = df.column(attr);
+  if (value.is_null()) {
+    return Status::InvalidArgument("predicate value must not be null");
+  }
+  const bool col_categorical = col.type() == AttrType::kCategorical;
+  if (col_categorical != value.is_string()) {
+    return Status::InvalidArgument(
+        "predicate value type does not match column '" +
+        df.schema().attribute(attr).name + "'");
+  }
+  const bool ordered = op != CompareOp::kEq && op != CompareOp::kNe;
+  if (ordered && col_categorical) {
+    return Status::InvalidArgument(
+        "ordered comparison on categorical attribute '" +
+        df.schema().attribute(attr).name + "'");
+  }
+  return Status::OK();
+}
+
+bool Predicate::Matches(const DataFrame& df, size_t row) const {
+  const Column& col = df.column(attr);
+  if (col.IsNull(row)) return false;
+  if (col.type() == AttrType::kCategorical) {
+    const Result<int32_t> code = col.CodeOf(value.str());
+    // A category absent from the dictionary matches nothing under kEq and
+    // everything non-null under kNe.
+    if (!code.ok()) return op == CompareOp::kNe;
+    if (op == CompareOp::kEq) return col.code(row) == *code;
+    return col.code(row) != *code;
+  }
+  return CompareNumeric(col.numeric(row), op, value.numeric());
+}
+
+Bitmap Predicate::Evaluate(const DataFrame& df) const {
+  Bitmap out(df.num_rows());
+  const Column& col = df.column(attr);
+  if (col.type() == AttrType::kCategorical) {
+    const Result<int32_t> code_result = col.CodeOf(value.str());
+    if (!code_result.ok()) {
+      if (op == CompareOp::kNe) {
+        for (size_t row = 0; row < df.num_rows(); ++row) {
+          if (!col.IsNull(row)) out.Set(row);
+        }
+      }
+      return out;
+    }
+    const int32_t code = *code_result;
+    if (op == CompareOp::kEq) {
+      for (size_t row = 0; row < df.num_rows(); ++row) {
+        if (col.code(row) == code) out.Set(row);
+      }
+    } else {
+      for (size_t row = 0; row < df.num_rows(); ++row) {
+        const int32_t c = col.code(row);
+        if (c != Column::kNullCode && c != code) out.Set(row);
+      }
+    }
+    return out;
+  }
+  const double rhs = value.numeric();
+  for (size_t row = 0; row < df.num_rows(); ++row) {
+    const double v = col.numeric(row);
+    if (!std::isnan(v) && CompareNumeric(v, op, rhs)) out.Set(row);
+  }
+  return out;
+}
+
+std::string Predicate::ToString(const Schema& schema) const {
+  return schema.attribute(attr).name + " " + CompareOpName(op) + " " +
+         value.ToString();
+}
+
+bool Predicate::operator<(const Predicate& other) const {
+  return std::make_tuple(attr, static_cast<int>(op), value.ToString()) <
+         std::make_tuple(other.attr, static_cast<int>(other.op),
+                         other.value.ToString());
+}
+
+bool Predicate::operator==(const Predicate& other) const {
+  return attr == other.attr && op == other.op && value == other.value;
+}
+
+}  // namespace faircap

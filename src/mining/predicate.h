@@ -1,0 +1,56 @@
+// Predicate: A op a — the atom of grouping and intervention patterns
+// (Definition 4.1). Ordered comparisons are valid on numeric attributes
+// only; equality/inequality work on both.
+
+#ifndef FAIRCAP_MINING_PREDICATE_H_
+#define FAIRCAP_MINING_PREDICATE_H_
+
+#include <string>
+
+#include "dataframe/bitmap.h"
+#include "dataframe/dataframe.h"
+#include "dataframe/value.h"
+#include "util/status.h"
+
+namespace faircap {
+
+/// Comparison operator in a predicate.
+enum class CompareOp { kEq, kNe, kLt, kGt, kLe, kGe };
+
+/// Renders e.g. "=", "!=", "<".
+const char* CompareOpName(CompareOp op);
+
+/// A single comparison `attribute op constant`.
+struct Predicate {
+  size_t attr = 0;  ///< column index in the DataFrame's schema
+  CompareOp op = CompareOp::kEq;
+  Value value;
+
+  Predicate() = default;
+  Predicate(size_t attr_in, CompareOp op_in, Value value_in)
+      : attr(attr_in), op(op_in), value(std::move(value_in)) {}
+
+  /// Checks the predicate is well-formed against `df`: attribute index in
+  /// range, value type matches the column, ordered ops on numeric only.
+  Status Validate(const DataFrame& df) const;
+
+  /// True if row `row` of `df` satisfies the predicate. Null cells never
+  /// match (SQL semantics).
+  bool Matches(const DataFrame& df, size_t row) const;
+
+  /// Bitmap of all matching rows. One dictionary lookup, then a tight
+  /// columnar scan.
+  Bitmap Evaluate(const DataFrame& df) const;
+
+  /// Renders e.g. "Country = US".
+  std::string ToString(const Schema& schema) const;
+
+  /// Canonical ordering for pattern normalization: by attribute index,
+  /// then operator, then value text.
+  bool operator<(const Predicate& other) const;
+  bool operator==(const Predicate& other) const;
+};
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_MINING_PREDICATE_H_

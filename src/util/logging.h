@@ -1,0 +1,63 @@
+// Minimal leveled logging to stderr. Verbosity is process-global and off by
+// default so library code stays silent unless a harness opts in.
+
+#ifndef FAIRCAP_UTIL_LOGGING_H_
+#define FAIRCAP_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+
+namespace faircap {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+namespace internal {
+
+inline LogLevel& GlobalLogLevel() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+/// Stream that emits a single line on destruction if enabled.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << Name(level) << " " << file << ":" << line << "] ";
+  }
+  ~LogMessage() {
+    if (level_ >= GlobalLogLevel()) {
+      stream_ << "\n";
+      std::cerr << stream_.str();
+    }
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* Name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+    }
+    return "?";
+  }
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Sets the minimum level that is actually emitted.
+inline void SetLogLevel(LogLevel level) {
+  internal::GlobalLogLevel() = level;
+}
+
+#define FAIRCAP_LOG(level)                                              \
+  ::faircap::internal::LogMessage(::faircap::LogLevel::k##level,        \
+                                  __FILE__, __LINE__)                   \
+      .stream()
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_UTIL_LOGGING_H_

@@ -1,0 +1,34 @@
+// Small string helpers shared across CSV parsing and rule rendering.
+
+#ifndef FAIRCAP_UTIL_STRING_UTIL_H_
+#define FAIRCAP_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace faircap {
+
+/// Splits `s` on `delim`; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// Parses a double; returns false on malformed input.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Parses a signed 64-bit integer; returns false on malformed input.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// Formats a double compactly (trailing zeros trimmed, up to 6 significant
+/// decimals), matching the tables in the paper.
+std::string FormatDouble(double v);
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_UTIL_STRING_UTIL_H_

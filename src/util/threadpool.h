@@ -1,0 +1,53 @@
+// Fixed-size thread pool used to parallelize intervention-pattern mining
+// across grouping patterns (optimization (ii) in Section 5.2 of the paper).
+
+#ifndef FAIRCAP_UTIL_THREADPOOL_H_
+#define FAIRCAP_UTIL_THREADPOOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace faircap {
+
+/// Fixed-size worker pool. Submit() enqueues tasks; Wait() blocks until the
+/// queue drains and all in-flight tasks finish. The destructor joins all
+/// workers.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (0 means hardware concurrency).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_UTIL_THREADPOOL_H_

@@ -1,0 +1,203 @@
+#include "mining/apriori.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.h"
+
+namespace faircap {
+namespace {
+
+DataFrame Frame() {
+  auto schema = Schema::Create({
+      {"a", AttrType::kCategorical, AttrRole::kImmutable},
+      {"b", AttrType::kCategorical, AttrRole::kImmutable},
+      {"c", AttrType::kCategorical, AttrRole::kImmutable},
+  });
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  // 10 rows; a=x 60%, b=1 50%, (a=x ∧ b=1) 40%.
+  const char* rows[][3] = {
+      {"x", "1", "p"}, {"x", "1", "p"}, {"x", "1", "q"}, {"x", "1", "q"},
+      {"x", "2", "p"}, {"x", "2", "q"}, {"y", "1", "p"}, {"y", "2", "q"},
+      {"z", "2", "p"}, {"z", "2", "q"},
+  };
+  for (const auto& r : rows) {
+    EXPECT_TRUE(
+        df.AppendRow({Value(r[0]), Value(r[1]), Value(r[2])}).ok());
+  }
+  return df;
+}
+
+AprioriOptions Opts(double minsup, size_t maxlen) {
+  AprioriOptions o;
+  o.min_support_fraction = minsup;
+  o.max_pattern_length = maxlen;
+  return o;
+}
+
+TEST(AprioriTest, SingletonsRespectSupportThreshold) {
+  const DataFrame df = Frame();
+  const auto patterns = MineFrequentPatterns(df, {0, 1, 2}, Opts(0.55, 1));
+  ASSERT_TRUE(patterns.ok());
+  // Only a=x has support >= 5.5 -> 6.
+  ASSERT_EQ(patterns->size(), 1u);
+  EXPECT_EQ((*patterns)[0].support, 6u);
+}
+
+TEST(AprioriTest, PairsAreIntersections) {
+  const DataFrame df = Frame();
+  const auto patterns = MineFrequentPatterns(df, {0, 1}, Opts(0.4, 2));
+  ASSERT_TRUE(patterns.ok());
+  bool found_pair = false;
+  for (const auto& fp : *patterns) {
+    if (fp.pattern.size() == 2) {
+      found_pair = true;
+      EXPECT_EQ(fp.support, 4u);  // a=x ∧ b=1
+      EXPECT_EQ(fp.coverage.Count(), 4u);
+    }
+  }
+  EXPECT_TRUE(found_pair);
+}
+
+TEST(AprioriTest, SupportIsAntiMonotone) {
+  const DataFrame df = Frame();
+  const auto patterns = MineFrequentPatterns(df, {0, 1, 2}, Opts(0.1, 3));
+  ASSERT_TRUE(patterns.ok());
+  // Every returned pattern's support equals its coverage count, and any
+  // extension has support <= its parent.
+  for (const auto& fp : *patterns) {
+    EXPECT_EQ(fp.support, fp.coverage.Count());
+    EXPECT_GE(fp.support, 1u);  // 0.1 * 10
+  }
+  // Find support of a=x and of a=x ∧ b=1.
+  size_t support_x = 0, support_x1 = 0;
+  for (const auto& fp : *patterns) {
+    if (fp.pattern.size() == 1 &&
+        fp.pattern.predicates()[0].value == Value("x")) {
+      support_x = fp.support;
+    }
+    if (fp.pattern.size() == 2 && fp.pattern.ConstrainsAttr(0) &&
+        fp.pattern.ConstrainsAttr(1) &&
+        fp.pattern.predicates()[0].value == Value("x") &&
+        fp.pattern.predicates()[1].value == Value("1")) {
+      support_x1 = fp.support;
+    }
+  }
+  EXPECT_EQ(support_x, 6u);
+  EXPECT_EQ(support_x1, 4u);
+}
+
+TEST(AprioriTest, OnePredicatePerAttribute) {
+  const DataFrame df = Frame();
+  const auto patterns = MineFrequentPatterns(df, {0, 1, 2}, Opts(0.0, 3));
+  ASSERT_TRUE(patterns.ok());
+  for (const auto& fp : *patterns) {
+    const auto attrs = fp.pattern.Attributes();
+    EXPECT_EQ(attrs.size(), fp.pattern.size())
+        << fp.pattern.ToString(df.schema());
+  }
+}
+
+TEST(AprioriTest, MaxLengthRespected) {
+  const DataFrame df = Frame();
+  const auto patterns = MineFrequentPatterns(df, {0, 1, 2}, Opts(0.0, 2));
+  ASSERT_TRUE(patterns.ok());
+  for (const auto& fp : *patterns) {
+    EXPECT_LE(fp.pattern.size(), 2u);
+  }
+}
+
+TEST(AprioriTest, IncludeEmptyPattern) {
+  const DataFrame df = Frame();
+  AprioriOptions o = Opts(0.5, 1);
+  o.include_empty_pattern = true;
+  const auto patterns = MineFrequentPatterns(df, {0}, o);
+  ASSERT_TRUE(patterns.ok());
+  ASSERT_FALSE(patterns->empty());
+  EXPECT_TRUE((*patterns)[0].pattern.empty());
+  EXPECT_EQ((*patterns)[0].support, df.num_rows());
+}
+
+TEST(AprioriTest, RejectsNumericAttributes) {
+  auto schema = Schema::Create(
+      {{"n", AttrType::kNumeric, AttrRole::kImmutable}});
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  ASSERT_TRUE(df.AppendRow({Value(1.0)}).ok());
+  const auto patterns = MineFrequentPatterns(df, {0}, Opts(0.1, 1));
+  EXPECT_EQ(patterns.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AprioriTest, RejectsBadThresholdAndRange) {
+  const DataFrame df = Frame();
+  EXPECT_FALSE(MineFrequentPatterns(df, {0}, Opts(1.5, 1)).ok());
+  EXPECT_FALSE(MineFrequentPatterns(df, {17}, Opts(0.1, 1)).ok());
+}
+
+TEST(AprioriTest, EmptyFrameYieldsNothing) {
+  auto schema = Schema::Create(
+      {{"a", AttrType::kCategorical, AttrRole::kImmutable}});
+  const DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  const auto patterns = MineFrequentPatterns(df, {0}, Opts(0.1, 2));
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_TRUE(patterns->empty());
+}
+
+TEST(AprioriTest, ExhaustiveAgainstBruteForceOnRandomData) {
+  // Property: Apriori finds exactly the frequent equality conjunctions.
+  Rng rng(99);
+  auto schema = Schema::Create({
+      {"a", AttrType::kCategorical, AttrRole::kImmutable},
+      {"b", AttrType::kCategorical, AttrRole::kImmutable},
+      {"c", AttrType::kCategorical, AttrRole::kImmutable},
+  });
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  const std::vector<std::string> cats = {"u", "v", "w"};
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(df.AppendRow({Value(cats[rng.NextBounded(3)]),
+                              Value(cats[rng.NextBounded(3)]),
+                              Value(cats[rng.NextBounded(2)])})
+                    .ok());
+  }
+  const double minsup = 0.15;
+  const auto mined = MineFrequentPatterns(df, {0, 1, 2}, Opts(minsup, 3));
+  ASSERT_TRUE(mined.ok());
+  std::set<std::string> mined_keys;
+  for (const auto& fp : *mined) mined_keys.insert(fp.pattern.Key());
+
+  // Brute-force all 1- and 2-predicate combos.
+  const size_t need =
+      static_cast<size_t>(std::ceil(minsup * df.num_rows()));
+  size_t expected = 0;
+  for (size_t attr_a = 0; attr_a < 3; ++attr_a) {
+    for (const auto& va : cats) {
+      const Pattern pa({Predicate(attr_a, CompareOp::kEq, Value(va))});
+      const size_t sa = pa.Evaluate(df).Count();
+      if (sa >= need && sa > 0) {
+        ++expected;
+        EXPECT_TRUE(mined_keys.count(pa.Key())) << pa.ToString(df.schema());
+      }
+      for (size_t attr_b = attr_a + 1; attr_b < 3; ++attr_b) {
+        for (const auto& vb : cats) {
+          const Pattern pab =
+              pa.With(Predicate(attr_b, CompareOp::kEq, Value(vb)));
+          const size_t sab = pab.Evaluate(df).Count();
+          if (sab >= need && sab > 0) {
+            ++expected;
+            EXPECT_TRUE(mined_keys.count(pab.Key()))
+                << pab.ToString(df.schema());
+          }
+        }
+      }
+    }
+  }
+  // Count mined patterns of size <= 2 and triples separately.
+  size_t mined_up_to_2 = 0;
+  for (const auto& fp : *mined) {
+    if (fp.pattern.size() <= 2) ++mined_up_to_2;
+  }
+  EXPECT_EQ(mined_up_to_2, expected);
+}
+
+}  // namespace
+}  // namespace faircap

@@ -1,0 +1,131 @@
+// Randomized property tests over the graphical-identification stack:
+// on random DAGs, the parent adjustment set always satisfies the backdoor
+// criterion, minimal sets stay valid subsets, and d-separation is
+// symmetric and monotone under the right conditions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "causal/backdoor.h"
+#include "causal/d_separation.h"
+#include "util/random.h"
+
+namespace faircap {
+namespace {
+
+// Random DAG over n nodes: edge i -> j (i < j) with probability p.
+CausalDag RandomDag(size_t n, double p, Rng* rng) {
+  std::vector<std::string> names;
+  for (size_t i = 0; i < n; ++i) {
+    std::string name = "v";
+    name += std::to_string(i);
+    names.push_back(std::move(name));
+  }
+  std::vector<std::pair<std::string, std::string>> edges;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (rng->NextBernoulli(p)) edges.emplace_back(names[i], names[j]);
+    }
+  }
+  return CausalDag::Create(std::move(names), edges).ValueOrDie();
+}
+
+class GraphProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphProperty, ParentAdjustmentSetAlwaysValid) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const CausalDag dag = RandomDag(8, 0.3, &rng);
+    // Outcome: last node (most likely a sink-ish node by construction).
+    const size_t o = 7;
+    for (size_t t = 0; t < 7; ++t) {
+      // Skip treatments with the outcome as a parent (ill-posed).
+      const auto& parents = dag.Parents(t);
+      if (std::find(parents.begin(), parents.end(), o) != parents.end()) {
+        continue;
+      }
+      const auto z = ParentAdjustmentSet(dag, {t}, o);
+      ASSERT_TRUE(z.ok());
+      EXPECT_TRUE(IsValidBackdoorSet(dag, {t}, o, *z))
+          << "dag=" << dag.ToString() << " t=" << t;
+    }
+  }
+}
+
+TEST_P(GraphProperty, MinimalBackdoorSetIsValidSubset) {
+  Rng rng(GetParam() + 100);
+  for (int trial = 0; trial < 20; ++trial) {
+    const CausalDag dag = RandomDag(8, 0.3, &rng);
+    const size_t o = 7;
+    for (size_t t = 0; t < 7; ++t) {
+      const auto& parents = dag.Parents(t);
+      if (std::find(parents.begin(), parents.end(), o) != parents.end()) {
+        continue;
+      }
+      const auto z = ParentAdjustmentSet(dag, {t}, o);
+      ASSERT_TRUE(z.ok());
+      const auto minimal = MinimalBackdoorSet(dag, {t}, o, *z);
+      ASSERT_TRUE(minimal.ok());
+      EXPECT_LE(minimal->size(), z->size());
+      EXPECT_TRUE(IsValidBackdoorSet(dag, {t}, o, *minimal));
+      // Subset check.
+      for (size_t v : *minimal) {
+        EXPECT_NE(std::find(z->begin(), z->end(), v), z->end());
+      }
+    }
+  }
+}
+
+TEST_P(GraphProperty, DSeparationIsSymmetric) {
+  Rng rng(GetParam() + 200);
+  for (int trial = 0; trial < 30; ++trial) {
+    const CausalDag dag = RandomDag(7, 0.3, &rng);
+    const size_t x = rng.NextBounded(7);
+    size_t y = rng.NextBounded(7);
+    if (y == x) y = (y + 1) % 7;
+    std::vector<size_t> z;
+    for (size_t v = 0; v < 7; ++v) {
+      if (v != x && v != y && rng.NextBernoulli(0.3)) z.push_back(v);
+    }
+    EXPECT_EQ(DSeparated(dag, x, y, z), DSeparated(dag, y, x, z));
+  }
+}
+
+TEST_P(GraphProperty, AdjacentNodesNeverDSeparated) {
+  Rng rng(GetParam() + 300);
+  for (int trial = 0; trial < 20; ++trial) {
+    const CausalDag dag = RandomDag(7, 0.4, &rng);
+    for (size_t u = 0; u < 7; ++u) {
+      for (size_t v : dag.Children(u)) {
+        std::vector<size_t> z;
+        for (size_t w = 0; w < 7; ++w) {
+          if (w != u && w != v && rng.NextBernoulli(0.5)) z.push_back(w);
+        }
+        EXPECT_FALSE(DSeparated(dag, u, v, z));
+      }
+    }
+  }
+}
+
+TEST_P(GraphProperty, TopologicalOrderConsistentOnRandomDags) {
+  Rng rng(GetParam() + 400);
+  for (int trial = 0; trial < 20; ++trial) {
+    const CausalDag dag = RandomDag(10, 0.25, &rng);
+    const auto order = dag.TopologicalOrder();
+    ASSERT_EQ(order.size(), dag.num_nodes());
+    std::vector<size_t> position(dag.num_nodes());
+    for (size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+    for (size_t u = 0; u < dag.num_nodes(); ++u) {
+      for (size_t v : dag.Children(u)) {
+        EXPECT_LT(position[u], position[v]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace
+}  // namespace faircap

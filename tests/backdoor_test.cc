@@ -1,0 +1,112 @@
+#include "causal/backdoor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace faircap {
+namespace {
+
+// Confounded triangle: z -> t, z -> o, t -> o.
+CausalDag Confounded() {
+  return CausalDag::Create({"z", "t", "o"},
+                           {{"z", "t"}, {"z", "o"}, {"t", "o"}})
+      .ValueOrDie();
+}
+
+TEST(BackdoorTest, ConfounderIsValidAdjustment) {
+  const CausalDag dag = Confounded();
+  EXPECT_TRUE(IsValidBackdoorSet(dag, {1}, 2, {0}));
+  // Empty set leaves the backdoor path t <- z -> o open.
+  EXPECT_FALSE(IsValidBackdoorSet(dag, {1}, 2, {}));
+}
+
+TEST(BackdoorTest, DescendantOfTreatmentInvalid) {
+  // t -> m -> o; conditioning on the mediator m is not a backdoor set.
+  const CausalDag dag =
+      CausalDag::Create({"t", "m", "o"}, {{"t", "m"}, {"m", "o"}})
+          .ValueOrDie();
+  EXPECT_FALSE(IsValidBackdoorSet(dag, {0}, 2, {1}));
+  // No confounding at all: empty set is valid.
+  EXPECT_TRUE(IsValidBackdoorSet(dag, {0}, 2, {}));
+}
+
+TEST(BackdoorTest, TreatmentOrOutcomeInSetInvalid) {
+  const CausalDag dag = Confounded();
+  EXPECT_FALSE(IsValidBackdoorSet(dag, {1}, 2, {1}));
+  EXPECT_FALSE(IsValidBackdoorSet(dag, {1}, 2, {2}));
+}
+
+TEST(BackdoorTest, ParentAdjustmentSetIsParentsMinusTreatments) {
+  const CausalDag dag = Confounded();
+  const auto z = ParentAdjustmentSet(dag, {1}, 2);
+  ASSERT_TRUE(z.ok());
+  ASSERT_EQ(z->size(), 1u);
+  EXPECT_EQ((*z)[0], 0u);
+  EXPECT_TRUE(IsValidBackdoorSet(dag, {1}, 2, *z));
+}
+
+TEST(BackdoorTest, ParentSetAlwaysValidOnLargerGraph) {
+  // Richer graph: u -> z -> t -> o, z -> o, u -> o, t2 with own parent.
+  const CausalDag dag =
+      CausalDag::Create({"u", "z", "t", "o", "p2", "t2"},
+                        {{"u", "z"},
+                         {"z", "t"},
+                         {"t", "o"},
+                         {"z", "o"},
+                         {"u", "o"},
+                         {"p2", "t2"},
+                         {"t2", "o"},
+                         {"p2", "o"}})
+          .ValueOrDie();
+  for (const std::vector<size_t>& treatments :
+       {std::vector<size_t>{2}, std::vector<size_t>{5},
+        std::vector<size_t>{2, 5}}) {
+    const auto z = ParentAdjustmentSet(dag, treatments, 3);
+    ASSERT_TRUE(z.ok());
+    EXPECT_TRUE(IsValidBackdoorSet(dag, treatments, 3, *z));
+  }
+}
+
+TEST(BackdoorTest, MultiTreatmentParentsMerged) {
+  const CausalDag dag =
+      CausalDag::Create({"z1", "z2", "t1", "t2", "o"},
+                        {{"z1", "t1"}, {"z2", "t2"}, {"t1", "o"},
+                         {"t2", "o"}, {"z1", "o"}, {"z2", "o"},
+                         {"t1", "t2"}})
+          .ValueOrDie();
+  const auto z = ParentAdjustmentSet(dag, {2, 3}, 4);
+  ASSERT_TRUE(z.ok());
+  // t1 is a parent of t2 but is itself a treatment: excluded.
+  EXPECT_EQ(z->size(), 2u);
+  EXPECT_TRUE(std::find(z->begin(), z->end(), 2u) == z->end());
+}
+
+TEST(BackdoorTest, OutcomeParentOfTreatmentIsError) {
+  const CausalDag dag =
+      CausalDag::Create({"o", "t"}, {{"o", "t"}}).ValueOrDie();
+  const auto z = ParentAdjustmentSet(dag, {1}, 0);
+  EXPECT_EQ(z.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BackdoorTest, MinimalBackdoorSetShrinks) {
+  // Two confounders but only z1 lies on a backdoor path:
+  // z1 -> t, z1 -> o, z2 -> o only.
+  const CausalDag dag =
+      CausalDag::Create({"z1", "z2", "t", "o"},
+                        {{"z1", "t"}, {"z1", "o"}, {"z2", "o"}, {"t", "o"}})
+          .ValueOrDie();
+  const auto minimal = MinimalBackdoorSet(dag, {2}, 3, {0, 1});
+  ASSERT_TRUE(minimal.ok());
+  ASSERT_EQ(minimal->size(), 1u);
+  EXPECT_EQ((*minimal)[0], 0u);
+}
+
+TEST(BackdoorTest, MinimalRejectsInvalidStart) {
+  const CausalDag dag = Confounded();
+  const auto minimal = MinimalBackdoorSet(dag, {1}, 2, {});
+  EXPECT_EQ(minimal.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace faircap

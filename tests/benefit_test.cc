@@ -1,0 +1,65 @@
+#include "core/benefit.h"
+
+#include <gtest/gtest.h>
+
+namespace faircap {
+namespace {
+
+TEST(BenefitTest, NoFairnessIsUtility) {
+  EXPECT_DOUBLE_EQ(
+      RuleBenefit(42.0, 0.0, 100.0, FairnessConstraint::None()), 42.0);
+}
+
+TEST(BenefitTest, SPPenalizesGap) {
+  const FairnessConstraint sp = FairnessConstraint::GroupSP(10.0);
+  // Gap = 5 => utility / 6.
+  EXPECT_DOUBLE_EQ(RuleBenefit(60.0, 5.0, 10.0, sp), 10.0);
+  // No gap (protected ahead): benefit = utility.
+  EXPECT_DOUBLE_EQ(RuleBenefit(60.0, 10.0, 5.0, sp), 60.0);
+  // Equal utilities: denominator 1 => utility unchanged.
+  EXPECT_DOUBLE_EQ(RuleBenefit(60.0, 7.0, 7.0, sp), 60.0);
+}
+
+TEST(BenefitTest, SPMonotoneInGap) {
+  const FairnessConstraint sp = FairnessConstraint::IndividualSP(1.0);
+  double previous = RuleBenefit(50.0, 10.0, 10.0, sp);
+  for (double gap = 1.0; gap <= 40.0; gap += 1.0) {
+    const double b = RuleBenefit(50.0, 10.0, 10.0 + gap, sp);
+    EXPECT_LT(b, previous) << "gap " << gap;
+    previous = b;
+  }
+}
+
+TEST(BenefitTest, BGLPenalizesShortfall) {
+  const FairnessConstraint bgl = FairnessConstraint::GroupBGL(0.5);
+  // Protected utility above tau: benefit = utility.
+  EXPECT_DOUBLE_EQ(RuleBenefit(0.8, 0.6, 0.9, bgl), 0.8);
+  // Below tau: utility / (1 + tau - up) = 0.8 / 1.3.
+  EXPECT_NEAR(RuleBenefit(0.8, 0.2, 0.9, bgl), 0.8 / 1.3, 1e-12);
+  // Exactly at tau: denominator 1.
+  EXPECT_DOUBLE_EQ(RuleBenefit(0.8, 0.5, 0.9, bgl), 0.8);
+}
+
+TEST(BenefitTest, BGLIgnoresNonProtected) {
+  const FairnessConstraint bgl = FairnessConstraint::GroupBGL(0.5);
+  EXPECT_DOUBLE_EQ(RuleBenefit(0.8, 0.6, 0.1, bgl),
+                   RuleBenefit(0.8, 0.6, 100.0, bgl));
+}
+
+TEST(BenefitTest, RuleOverloadReadsFields) {
+  PrescriptionRule rule;
+  rule.utility = 60.0;
+  rule.utility_protected = 5.0;
+  rule.utility_nonprotected = 10.0;
+  EXPECT_DOUBLE_EQ(RuleBenefit(rule, FairnessConstraint::GroupSP(1.0)), 10.0);
+}
+
+TEST(BenefitTest, FairRuleAlwaysScoresAtLeastUnfairOfSameUtility) {
+  const FairnessConstraint sp = FairnessConstraint::GroupSP(5.0);
+  const double fair = RuleBenefit(100.0, 50.0, 50.0, sp);
+  const double unfair = RuleBenefit(100.0, 10.0, 90.0, sp);
+  EXPECT_GT(fair, unfair);
+}
+
+}  // namespace
+}  // namespace faircap

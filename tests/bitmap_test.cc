@@ -1,0 +1,107 @@
+#include "dataframe/bitmap.h"
+
+#include <gtest/gtest.h>
+
+namespace faircap {
+namespace {
+
+TEST(BitmapTest, StartsAllClear) {
+  Bitmap b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.AllZero());
+}
+
+TEST(BitmapTest, AllSetConstructorClearsPadding) {
+  Bitmap b(70, /*value=*/true);
+  EXPECT_EQ(b.Count(), 70u);
+  // Complement must also be consistent with the logical size.
+  EXPECT_EQ((~b).Count(), 0u);
+}
+
+TEST(BitmapTest, SetGetClear) {
+  Bitmap b(128);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(127);
+  EXPECT_TRUE(b.Get(0));
+  EXPECT_TRUE(b.Get(63));
+  EXPECT_TRUE(b.Get(64));
+  EXPECT_TRUE(b.Get(127));
+  EXPECT_FALSE(b.Get(1));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Clear(63);
+  EXPECT_FALSE(b.Get(63));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(BitmapTest, AndOrAndNot) {
+  Bitmap a(10), b(10);
+  a.Set(1);
+  a.Set(2);
+  a.Set(3);
+  b.Set(2);
+  b.Set(3);
+  b.Set(4);
+  EXPECT_EQ((a & b).Count(), 2u);
+  EXPECT_EQ((a | b).Count(), 4u);
+  Bitmap diff = a;
+  diff.AndNot(b);
+  EXPECT_EQ(diff.Count(), 1u);
+  EXPECT_TRUE(diff.Get(1));
+}
+
+TEST(BitmapTest, ComplementWithinSize) {
+  Bitmap a(10);
+  a.Set(0);
+  a.Set(9);
+  const Bitmap c = ~a;
+  EXPECT_EQ(c.Count(), 8u);
+  EXPECT_FALSE(c.Get(0));
+  EXPECT_TRUE(c.Get(5));
+}
+
+TEST(BitmapTest, EqualityAndCopies) {
+  Bitmap a(65), b(65);
+  a.Set(64);
+  b.Set(64);
+  EXPECT_TRUE(a == b);
+  b.Set(0);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(BitmapTest, ToIndicesAscending) {
+  Bitmap b(200);
+  b.Set(199);
+  b.Set(0);
+  b.Set(77);
+  const auto idx = b.ToIndices();
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx[0], 0u);
+  EXPECT_EQ(idx[1], 77u);
+  EXPECT_EQ(idx[2], 199u);
+}
+
+TEST(BitmapTest, ForEachVisitsEachSetBitOnce) {
+  Bitmap b(150);
+  for (size_t i = 0; i < 150; i += 7) b.Set(i);
+  size_t visits = 0;
+  size_t last = 0;
+  b.ForEach([&](size_t i) {
+    EXPECT_TRUE(b.Get(i));
+    EXPECT_TRUE(visits == 0 || i > last);
+    last = i;
+    ++visits;
+  });
+  EXPECT_EQ(visits, b.Count());
+}
+
+TEST(BitmapTest, EmptyBitmap) {
+  Bitmap b(0);
+  EXPECT_EQ(b.Count(), 0u);
+  b.ForEach([](size_t) { FAIL() << "no bits to visit"; });
+}
+
+}  // namespace
+}  // namespace faircap

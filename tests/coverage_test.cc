@@ -1,0 +1,70 @@
+#include "core/coverage.h"
+
+#include <gtest/gtest.h>
+
+#include "core/ruleset.h"
+
+namespace faircap {
+namespace {
+
+PrescriptionRule RuleWithSupport(size_t support, size_t support_protected) {
+  PrescriptionRule rule;
+  rule.support = support;
+  rule.support_protected = support_protected;
+  return rule;
+}
+
+RulesetStats StatsWithCoverage(double fraction, double fraction_protected) {
+  RulesetStats stats;
+  stats.coverage_fraction = fraction;
+  stats.coverage_protected_fraction = fraction_protected;
+  return stats;
+}
+
+TEST(CoverageTest, NoneAlwaysSatisfied) {
+  const CoverageConstraint none = CoverageConstraint::None();
+  EXPECT_FALSE(none.active());
+  EXPECT_TRUE(none.RuleSatisfies(RuleWithSupport(0, 0), 100, 10));
+  EXPECT_TRUE(none.StatsSatisfy(StatsWithCoverage(0, 0)));
+}
+
+TEST(CoverageTest, RuleCoverageChecksEveryRule) {
+  const CoverageConstraint c = CoverageConstraint::Rule(0.5, 0.3);
+  // population 100, protected 10: need support >= 50 and protected >= 3.
+  EXPECT_TRUE(c.RuleSatisfies(RuleWithSupport(50, 3), 100, 10));
+  EXPECT_FALSE(c.RuleSatisfies(RuleWithSupport(49, 3), 100, 10));
+  EXPECT_FALSE(c.RuleSatisfies(RuleWithSupport(50, 2), 100, 10));
+  // Rule-kind does not constrain group stats.
+  EXPECT_TRUE(c.StatsSatisfy(StatsWithCoverage(0.0, 0.0)));
+}
+
+TEST(CoverageTest, GroupCoverageChecksAggregate) {
+  const CoverageConstraint c = CoverageConstraint::Group(0.5, 0.3);
+  EXPECT_TRUE(c.StatsSatisfy(StatsWithCoverage(0.5, 0.3)));
+  EXPECT_FALSE(c.StatsSatisfy(StatsWithCoverage(0.49, 0.3)));
+  EXPECT_FALSE(c.StatsSatisfy(StatsWithCoverage(0.5, 0.29)));
+  // Group-kind does not constrain individual rules.
+  EXPECT_TRUE(c.RuleSatisfies(RuleWithSupport(0, 0), 100, 10));
+}
+
+TEST(CoverageTest, GroupShortfallAdds) {
+  const CoverageConstraint c = CoverageConstraint::Group(0.5, 0.4);
+  EXPECT_NEAR(c.GroupShortfall(StatsWithCoverage(0.3, 0.1)), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(c.GroupShortfall(StatsWithCoverage(0.9, 0.9)), 0.0);
+}
+
+TEST(CoverageTest, ZeroProtectedPopulationEdge) {
+  const CoverageConstraint c = CoverageConstraint::Rule(0.1, 0.5);
+  // With no protected individuals the protected requirement is 0 rows.
+  EXPECT_TRUE(c.RuleSatisfies(RuleWithSupport(10, 0), 100, 0));
+}
+
+TEST(CoverageTest, ToString) {
+  EXPECT_NE(CoverageConstraint::Group(0.5, 0.5).ToString().find("group"),
+            std::string::npos);
+  EXPECT_NE(CoverageConstraint::Rule(0.5, 0.5).ToString().find("rule"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace faircap

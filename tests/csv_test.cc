@@ -1,0 +1,113 @@
+#include "dataframe/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace faircap {
+namespace {
+
+Schema TestSchema() {
+  return Schema::Create({
+                            {"name", AttrType::kCategorical,
+                             AttrRole::kImmutable},
+                            {"score", AttrType::kNumeric, AttrRole::kOutcome},
+                        })
+      .ValueOrDie();
+}
+
+TEST(CsvTest, ParseBasic) {
+  const auto df = ParseCsv("name,score\nalice,1.5\nbob,2\n", TestSchema());
+  ASSERT_TRUE(df.ok()) << df.status().ToString();
+  EXPECT_EQ(df->num_rows(), 2u);
+  EXPECT_EQ(df->GetValue(0, 0), Value("alice"));
+  EXPECT_EQ(df->GetValue(1, 1), Value(2.0));
+}
+
+TEST(CsvTest, ParseQuotedFieldsAndEscapes) {
+  const auto df = ParseCsv(
+      "name,score\n\"smith, john\",1\n\"say \"\"hi\"\"\",2\n", TestSchema());
+  ASSERT_TRUE(df.ok()) << df.status().ToString();
+  EXPECT_EQ(df->GetValue(0, 0), Value("smith, john"));
+  EXPECT_EQ(df->GetValue(1, 0), Value("say \"hi\""));
+}
+
+TEST(CsvTest, NullTokensAndEmptyCells) {
+  const auto df = ParseCsv("name,score\nNA,\nalice,3\n", TestSchema());
+  ASSERT_TRUE(df.ok());
+  EXPECT_TRUE(df->GetValue(0, 0).is_null());
+  EXPECT_TRUE(df->GetValue(0, 1).is_null());
+}
+
+TEST(CsvTest, CrlfTolerated) {
+  const auto df = ParseCsv("name,score\r\nalice,1\r\n", TestSchema());
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df->num_rows(), 1u);
+  EXPECT_EQ(df->GetValue(0, 0), Value("alice"));
+}
+
+TEST(CsvTest, HeaderMismatchRejected) {
+  const auto df = ParseCsv("wrong,score\nalice,1\n", TestSchema());
+  EXPECT_EQ(df.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RaggedRowRejected) {
+  const auto df = ParseCsv("name,score\nalice\n", TestSchema());
+  EXPECT_EQ(df.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, NonNumericCellRejected) {
+  const auto df = ParseCsv("name,score\nalice,abc\n", TestSchema());
+  EXPECT_EQ(df.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, DanglingQuoteRejected) {
+  const auto df = ParseCsv("name,score\n\"alice,1\n", TestSchema());
+  EXPECT_EQ(df.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvTest, EmptyInputRejected) {
+  const auto df = ParseCsv("", TestSchema());
+  EXPECT_EQ(df.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvTest, SchemaInference) {
+  const auto df = ParseCsvInferSchema(
+      "a,b,c\nx,1,2.5\ny,2,NA\nz,3,7\n");
+  ASSERT_TRUE(df.ok()) << df.status().ToString();
+  EXPECT_EQ(df->schema().attribute(0).type, AttrType::kCategorical);
+  EXPECT_EQ(df->schema().attribute(1).type, AttrType::kNumeric);
+  EXPECT_EQ(df->schema().attribute(2).type, AttrType::kNumeric);
+  EXPECT_TRUE(df->GetValue(1, 2).is_null());
+}
+
+TEST(CsvTest, InferenceMixedColumnFallsBackToCategorical) {
+  const auto df = ParseCsvInferSchema("a\n1\nx\n");
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df->schema().attribute(0).type, AttrType::kCategorical);
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  DataFrame df = DataFrame::Create(TestSchema());
+  ASSERT_TRUE(df.AppendRow({Value("has,comma"), Value(1.5)}).ok());
+  ASSERT_TRUE(df.AppendRow({Value::Null(), Value(2.0)}).ok());
+
+  const std::string path = testing::TempDir() + "/faircap_csv_test.csv";
+  ASSERT_TRUE(WriteCsv(df, path).ok());
+  const auto loaded = ReadCsv(path, TestSchema());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_rows(), 2u);
+  EXPECT_EQ(loaded->GetValue(0, 0), Value("has,comma"));
+  EXPECT_TRUE(loaded->GetValue(1, 0).is_null());
+  EXPECT_EQ(loaded->GetValue(1, 1), Value(2.0));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileIsIOError) {
+  const auto df = ReadCsv("/nonexistent/path.csv", TestSchema());
+  EXPECT_EQ(df.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace faircap

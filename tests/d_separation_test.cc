@@ -1,0 +1,95 @@
+#include "causal/d_separation.h"
+
+#include <gtest/gtest.h>
+
+namespace faircap {
+namespace {
+
+// Classic structures.
+TEST(DSeparationTest, Chain) {
+  // x -> m -> y: dependent unconditionally, independent given m.
+  const CausalDag dag =
+      CausalDag::Create({"x", "m", "y"}, {{"x", "m"}, {"m", "y"}})
+          .ValueOrDie();
+  EXPECT_FALSE(DSeparated(dag, 0, 2, {}));
+  EXPECT_TRUE(DSeparated(dag, 0, 2, {1}));
+}
+
+TEST(DSeparationTest, Fork) {
+  // x <- z -> y: dependent unconditionally, independent given z.
+  const CausalDag dag =
+      CausalDag::Create({"z", "x", "y"}, {{"z", "x"}, {"z", "y"}})
+          .ValueOrDie();
+  EXPECT_FALSE(DSeparated(dag, 1, 2, {}));
+  EXPECT_TRUE(DSeparated(dag, 1, 2, {0}));
+}
+
+TEST(DSeparationTest, Collider) {
+  // x -> c <- y: independent unconditionally, dependent given c.
+  const CausalDag dag =
+      CausalDag::Create({"x", "y", "c"}, {{"x", "c"}, {"y", "c"}})
+          .ValueOrDie();
+  EXPECT_TRUE(DSeparated(dag, 0, 1, {}));
+  EXPECT_FALSE(DSeparated(dag, 0, 1, {2}));
+}
+
+TEST(DSeparationTest, ColliderDescendantOpensPath) {
+  // x -> c <- y, c -> d: conditioning on d also opens the collider.
+  const CausalDag dag = CausalDag::Create(
+                            {"x", "y", "c", "d"},
+                            {{"x", "c"}, {"y", "c"}, {"c", "d"}})
+                            .ValueOrDie();
+  EXPECT_TRUE(DSeparated(dag, 0, 1, {}));
+  EXPECT_FALSE(DSeparated(dag, 0, 1, {3}));
+}
+
+TEST(DSeparationTest, MDiagram) {
+  // Classic M-structure: a -> x, a -> c, b -> c, b -> y.
+  // x and y are marginally independent but dependent given c.
+  const CausalDag dag =
+      CausalDag::Create({"a", "b", "c", "x", "y"},
+                        {{"a", "x"}, {"a", "c"}, {"b", "c"}, {"b", "y"}})
+          .ValueOrDie();
+  const size_t x = 3, y = 4, c = 2, a = 0;
+  EXPECT_TRUE(DSeparated(dag, x, y, {}));
+  EXPECT_FALSE(DSeparated(dag, x, y, {c}));
+  // Conditioning additionally on a blocks the reopened path.
+  EXPECT_TRUE(DSeparated(dag, x, y, {c, a}));
+}
+
+TEST(DSeparationTest, DisconnectedNodes) {
+  const CausalDag dag = CausalDag::Create({"x", "y"}, {}).ValueOrDie();
+  EXPECT_TRUE(DSeparated(dag, 0, 1, {}));
+}
+
+TEST(DSeparationTest, DirectEdgeNeverSeparable) {
+  const CausalDag dag =
+      CausalDag::Create({"x", "y", "z"}, {{"x", "y"}, {"z", "x"}, {"z", "y"}})
+          .ValueOrDie();
+  EXPECT_FALSE(DSeparated(dag, 0, 1, {}));
+  EXPECT_FALSE(DSeparated(dag, 0, 1, {2}));
+}
+
+TEST(DSeparationTest, SetArguments) {
+  // x1 -> m, x2 -> m, m -> y1, m -> y2.
+  const CausalDag dag =
+      CausalDag::Create({"x1", "x2", "m", "y1", "y2"},
+                        {{"x1", "m"}, {"x2", "m"}, {"m", "y1"}, {"m", "y2"}})
+          .ValueOrDie();
+  EXPECT_FALSE(DSeparated(dag, {0, 1}, {3, 4}, {}));
+  EXPECT_TRUE(DSeparated(dag, {0, 1}, {3, 4}, {2}));
+}
+
+TEST(DSeparationTest, LongChainBlockedAnywhere) {
+  const CausalDag dag =
+      CausalDag::Create({"a", "b", "c", "d", "e"},
+                        {{"a", "b"}, {"b", "c"}, {"c", "d"}, {"d", "e"}})
+          .ValueOrDie();
+  EXPECT_FALSE(DSeparated(dag, 0, 4, {}));
+  for (size_t mid = 1; mid <= 3; ++mid) {
+    EXPECT_TRUE(DSeparated(dag, 0, 4, {mid})) << "blocking at " << mid;
+  }
+}
+
+}  // namespace
+}  // namespace faircap

@@ -1,0 +1,79 @@
+#include "causal/dag_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace faircap {
+namespace {
+
+TEST(DagIoTest, ParseEdgesAndChains) {
+  const auto dag = ParseDag("A -> B;\nB -> C -> D\n");
+  ASSERT_TRUE(dag.ok()) << dag.status().ToString();
+  EXPECT_EQ(dag->num_nodes(), 4u);
+  EXPECT_EQ(dag->num_edges(), 3u);
+  EXPECT_TRUE(dag->HasEdge(*dag->IndexOf("A"), *dag->IndexOf("B")));
+  EXPECT_TRUE(dag->HasEdge(*dag->IndexOf("C"), *dag->IndexOf("D")));
+}
+
+TEST(DagIoTest, CommentsAndBlankLinesIgnored) {
+  const auto dag = ParseDag(
+      "# a comment\n"
+      "\n"
+      "X -> Y  # trailing comment\n"
+      "  ;;  \n");
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(dag->num_nodes(), 2u);
+  EXPECT_EQ(dag->num_edges(), 1u);
+}
+
+TEST(DagIoTest, IsolatedNodeStatement) {
+  const auto dag = ParseDag("Lonely;\nA -> B\n");
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(dag->num_nodes(), 3u);
+  EXPECT_TRUE(dag->Contains("Lonely"));
+  EXPECT_TRUE(dag->Parents(*dag->IndexOf("Lonely")).empty());
+}
+
+TEST(DagIoTest, SemicolonsSeparateStatementsOnOneLine) {
+  const auto dag = ParseDag("A -> B; C -> D; A -> D");
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(dag->num_edges(), 3u);
+}
+
+TEST(DagIoTest, MalformedInputsRejected) {
+  EXPECT_FALSE(ParseDag("A -> ;").ok());        // dangling arrow
+  EXPECT_FALSE(ParseDag("-> B").ok());          // missing source
+  EXPECT_FALSE(ParseDag("A B -> C").ok());      // whitespace in name
+  EXPECT_FALSE(ParseDag("A -> A").ok());        // self-loop
+  EXPECT_FALSE(ParseDag("A -> B; B -> A").ok());  // cycle
+  EXPECT_FALSE(ParseDag("A -> B; A -> B").ok());  // duplicate edge
+}
+
+TEST(DagIoTest, RoundTripThroughText) {
+  const auto original = ParseDag("A -> B; B -> C; Solo;");
+  ASSERT_TRUE(original.ok());
+  const std::string text = DagToText(*original);
+  const auto reparsed = ParseDag(text);
+  ASSERT_TRUE(reparsed.ok()) << text;
+  EXPECT_EQ(reparsed->num_nodes(), original->num_nodes());
+  EXPECT_EQ(reparsed->num_edges(), original->num_edges());
+  EXPECT_TRUE(reparsed->Contains("Solo"));
+}
+
+TEST(DagIoTest, ReadFromFile) {
+  const std::string path = testing::TempDir() + "/faircap_dag_test.txt";
+  {
+    std::ofstream out(path);
+    out << "U -> V\nV -> W\n";
+  }
+  const auto dag = ReadDagFile(path);
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(dag->num_edges(), 2u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadDagFile("/nonexistent/dag.txt").ok());
+}
+
+}  // namespace
+}  // namespace faircap

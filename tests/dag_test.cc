@@ -1,0 +1,105 @@
+#include "causal/dag.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace faircap {
+namespace {
+
+CausalDag Diamond() {
+  // a -> b -> d, a -> c -> d
+  return CausalDag::Create({"a", "b", "c", "d"},
+                           {{"a", "b"}, {"a", "c"}, {"b", "d"}, {"c", "d"}})
+      .ValueOrDie();
+}
+
+TEST(DagTest, CreateBasics) {
+  const CausalDag dag = Diamond();
+  EXPECT_EQ(dag.num_nodes(), 4u);
+  EXPECT_EQ(dag.num_edges(), 4u);
+  EXPECT_TRUE(dag.HasEdge(0, 1));
+  EXPECT_FALSE(dag.HasEdge(1, 0));
+  EXPECT_EQ(*dag.IndexOf("c"), 2u);
+  EXPECT_FALSE(dag.IndexOf("zzz").ok());
+}
+
+TEST(DagTest, ParentsAndChildren) {
+  const CausalDag dag = Diamond();
+  const size_t d = *dag.IndexOf("d");
+  EXPECT_EQ(dag.Parents(d).size(), 2u);
+  EXPECT_EQ(dag.Children(*dag.IndexOf("a")).size(), 2u);
+  EXPECT_TRUE(dag.Parents(*dag.IndexOf("a")).empty());
+}
+
+TEST(DagTest, RejectsCycles) {
+  auto dag = CausalDag::Create({"a", "b"}, {{"a", "b"}, {"b", "a"}});
+  EXPECT_EQ(dag.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DagTest, RejectsSelfLoop) {
+  auto dag = CausalDag::Create({"a"}, {{"a", "a"}});
+  EXPECT_EQ(dag.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DagTest, RejectsDuplicateEdgeAndUnknownNode) {
+  auto dup = CausalDag::Create({"a", "b"}, {{"a", "b"}, {"a", "b"}});
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+  auto unknown = CausalDag::Create({"a"}, {{"a", "b"}});
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DagTest, RejectsDuplicateNodeName) {
+  auto dag = CausalDag::Create({"a", "a"}, {});
+  EXPECT_EQ(dag.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DagTest, AddRemoveEdge) {
+  CausalDag dag = Diamond();
+  EXPECT_TRUE(dag.AddEdge("a", "d").ok());
+  EXPECT_EQ(dag.num_edges(), 5u);
+  // d -> a would close a cycle.
+  EXPECT_FALSE(dag.AddEdge("d", "a").ok());
+  EXPECT_TRUE(dag.RemoveEdge("a", "d").ok());
+  EXPECT_FALSE(dag.RemoveEdge("a", "d").ok());
+  EXPECT_EQ(dag.num_edges(), 4u);
+}
+
+TEST(DagTest, TopologicalOrderRespectsEdges) {
+  const CausalDag dag = Diamond();
+  const auto order = dag.TopologicalOrder();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<size_t> position(4);
+  for (size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (size_t u = 0; u < 4; ++u) {
+    for (size_t v : dag.Children(u)) {
+      EXPECT_LT(position[u], position[v]);
+    }
+  }
+}
+
+TEST(DagTest, AncestorsAndDescendants) {
+  const CausalDag dag = Diamond();
+  const auto anc = dag.Ancestors(*dag.IndexOf("d"));
+  EXPECT_EQ(anc.size(), 3u);
+  const auto desc = dag.Descendants(*dag.IndexOf("a"));
+  EXPECT_EQ(desc.size(), 3u);
+  EXPECT_TRUE(dag.Ancestors(*dag.IndexOf("a")).empty());
+  EXPECT_TRUE(dag.Descendants(*dag.IndexOf("d")).empty());
+}
+
+TEST(DagTest, DirectedPath) {
+  const CausalDag dag = Diamond();
+  EXPECT_TRUE(dag.HasDirectedPath(*dag.IndexOf("a"), *dag.IndexOf("d")));
+  EXPECT_FALSE(dag.HasDirectedPath(*dag.IndexOf("b"), *dag.IndexOf("c")));
+  EXPECT_FALSE(dag.HasDirectedPath(*dag.IndexOf("d"), *dag.IndexOf("a")));
+}
+
+TEST(DagTest, ToStringListsEdges) {
+  const CausalDag dag =
+      CausalDag::Create({"x", "y"}, {{"x", "y"}}).ValueOrDie();
+  EXPECT_EQ(dag.ToString(), "x -> y");
+}
+
+}  // namespace
+}  // namespace faircap

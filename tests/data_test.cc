@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/german.h"
+#include "data/scm.h"
+#include "data/stackoverflow.h"
+
+namespace faircap {
+namespace {
+
+TEST(ScmTest, RejectsUnknownParentAndDuplicates) {
+  Scm scm;
+  ASSERT_TRUE(scm.AddCategoricalRoot("A", AttrRole::kImmutable, {"x", "y"},
+                                     {1.0, 1.0})
+                  .ok());
+  EXPECT_EQ(scm.AddCategoricalRoot("A", AttrRole::kImmutable, {"x"}, {1.0})
+                .code(),
+            StatusCode::kAlreadyExists);
+  ScmAttribute child;
+  child.spec = {"B", AttrType::kCategorical, AttrRole::kMutable};
+  child.parents = {"MISSING"};
+  child.sampler = [](const ScmRow&, Rng&) { return Value("v"); };
+  EXPECT_EQ(scm.Add(std::move(child)).code(), StatusCode::kNotFound);
+}
+
+TEST(ScmTest, GenerateIsDeterministicPerSeed) {
+  Scm scm;
+  ASSERT_TRUE(scm.AddCategoricalRoot("A", AttrRole::kImmutable, {"x", "y"},
+                                     {1.0, 3.0})
+                  .ok());
+  const auto df1 = scm.Generate(100, 42);
+  const auto df2 = scm.Generate(100, 42);
+  const auto df3 = scm.Generate(100, 43);
+  ASSERT_TRUE(df1.ok() && df2.ok() && df3.ok());
+  size_t same12 = 0, same13 = 0;
+  for (size_t r = 0; r < 100; ++r) {
+    if (df1->GetValue(r, 0) == df2->GetValue(r, 0)) ++same12;
+    if (df1->GetValue(r, 0) == df3->GetValue(r, 0)) ++same13;
+  }
+  EXPECT_EQ(same12, 100u);
+  EXPECT_LT(same13, 100u);
+}
+
+TEST(ScmTest, DagMatchesParentDeclarations) {
+  Scm scm;
+  ASSERT_TRUE(scm.AddCategoricalRoot("A", AttrRole::kImmutable, {"x", "y"},
+                                     {1.0, 1.0})
+                  .ok());
+  ScmAttribute b;
+  b.spec = {"B", AttrType::kCategorical, AttrRole::kMutable};
+  b.parents = {"A"};
+  b.sampler = [](const ScmRow& row, Rng&) { return row.at("A"); };
+  ASSERT_TRUE(scm.Add(std::move(b)).ok());
+  const auto dag = scm.Dag();
+  ASSERT_TRUE(dag.ok());
+  EXPECT_TRUE(dag->HasEdge(*dag->IndexOf("A"), *dag->IndexOf("B")));
+  EXPECT_EQ(dag->num_edges(), 1u);
+}
+
+TEST(LayeredDagTest, VariantsHaveExpectedShape) {
+  const auto schema = Schema::Create({
+      {"i1", AttrType::kCategorical, AttrRole::kImmutable},
+      {"i2", AttrType::kCategorical, AttrRole::kImmutable},
+      {"m1", AttrType::kCategorical, AttrRole::kMutable},
+      {"o", AttrType::kNumeric, AttrRole::kOutcome},
+  });
+  ASSERT_TRUE(schema.ok());
+
+  const auto indep =
+      MakeLayeredDag(*schema, DagVariant::kOneLayerIndependent);
+  ASSERT_TRUE(indep.ok());
+  EXPECT_EQ(indep->num_edges(), 3u);  // every non-outcome -> outcome
+
+  const auto two_mutable =
+      MakeLayeredDag(*schema, DagVariant::kTwoLayerMutable);
+  ASSERT_TRUE(two_mutable.ok());
+  // i1->m1, i2->m1, m1->o; immutables do NOT reach o directly.
+  EXPECT_EQ(two_mutable->num_edges(), 3u);
+  EXPECT_FALSE(two_mutable->HasEdge(*two_mutable->IndexOf("i1"),
+                                    *two_mutable->IndexOf("o")));
+
+  const auto two_layer = MakeLayeredDag(*schema, DagVariant::kTwoLayer);
+  ASSERT_TRUE(two_layer.ok());
+  // i1->m1, i2->m1, i1->o, i2->o, m1->o.
+  EXPECT_EQ(two_layer->num_edges(), 5u);
+  EXPECT_TRUE(two_layer->HasEdge(*two_layer->IndexOf("i1"),
+                                 *two_layer->IndexOf("o")));
+}
+
+TEST(StackOverflowTest, ShapeAndProtectedFraction) {
+  StackOverflowConfig config;
+  config.num_rows = 5000;
+  const auto data = MakeStackOverflow(config);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->df.num_rows(), 5000u);
+  EXPECT_EQ(data->df.num_columns(), 21u);  // 20 attributes + Salary
+  const double frac =
+      static_cast<double>(
+          data->protected_pattern.Evaluate(data->df).Count()) /
+      5000.0;
+  EXPECT_NEAR(frac, 0.215, 0.03);  // Table 3: 21.5%
+}
+
+TEST(StackOverflowTest, RolePartitionMatchesPaper) {
+  const auto data = MakeStackOverflow({.num_rows = 100});
+  ASSERT_TRUE(data.ok());
+  const Schema& schema = data->df.schema();
+  EXPECT_EQ(schema.IndicesWithRole(AttrRole::kImmutable).size(), 10u);
+  EXPECT_EQ(schema.IndicesWithRole(AttrRole::kMutable).size(), 10u);
+  EXPECT_TRUE(schema.OutcomeIndex().ok());
+}
+
+TEST(StackOverflowTest, DagIsAcyclicAndCoversAttributes) {
+  const auto data = MakeStackOverflow({.num_rows = 100});
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->dag.num_nodes(), data->df.num_columns());
+  EXPECT_EQ(data->dag.TopologicalOrder().size(), data->dag.num_nodes());
+  // Salary is a sink.
+  EXPECT_TRUE(data->dag.Children(*data->dag.IndexOf("Salary")).empty());
+}
+
+TEST(StackOverflowTest, ProtectedGroupEarnsLess) {
+  const auto data = MakeStackOverflow({.num_rows = 10000});
+  ASSERT_TRUE(data.ok());
+  const Bitmap prot = data->protected_pattern.Evaluate(data->df);
+  Bitmap nonprot = data->df.AllRows();
+  nonprot.AndNot(prot);
+  const size_t salary = *data->df.schema().IndexOf("Salary");
+  EXPECT_LT(data->df.Mean(salary, prot) + 20000.0,
+            data->df.Mean(salary, nonprot));
+}
+
+TEST(StackOverflowTest, PlantedCsMajorEffectVisible) {
+  // Raw difference (not CATE): CS majors earn materially more.
+  const auto data = MakeStackOverflow({.num_rows = 10000});
+  ASSERT_TRUE(data.ok());
+  const size_t major = *data->df.schema().IndexOf("UndergradMajor");
+  const size_t salary = *data->df.schema().IndexOf("Salary");
+  const Bitmap cs =
+      Pattern({Predicate(major, CompareOp::kEq, Value("cs"))})
+          .Evaluate(data->df);
+  Bitmap rest = data->df.AllRows();
+  rest.AndNot(cs);
+  EXPECT_GT(data->df.Mean(salary, cs), data->df.Mean(salary, rest) + 8000.0);
+}
+
+TEST(StackOverflowTest, DisconnectedAttributeHasNoPathToSalary) {
+  const auto data = MakeStackOverflow({.num_rows = 100});
+  ASSERT_TRUE(data.ok());
+  const size_t db = *data->dag.IndexOf("DatabasesUsed");
+  const size_t salary = *data->dag.IndexOf("Salary");
+  EXPECT_FALSE(data->dag.HasDirectedPath(db, salary));
+}
+
+TEST(GermanTest, ShapeAndProtectedFraction) {
+  const auto data = MakeGerman();
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->df.num_rows(), 1000u);
+  EXPECT_EQ(data->df.num_columns(), 21u);  // 20 attributes + CreditRisk
+  const double frac =
+      static_cast<double>(
+          data->protected_pattern.Evaluate(data->df).Count()) /
+      1000.0;
+  EXPECT_NEAR(frac, 0.092, 0.04);  // Table 3: 9.2%
+}
+
+TEST(GermanTest, RolePartitionMatchesPaper) {
+  const auto data = MakeGerman();
+  ASSERT_TRUE(data.ok());
+  const Schema& schema = data->df.schema();
+  EXPECT_EQ(schema.IndicesWithRole(AttrRole::kImmutable).size(), 5u);
+  EXPECT_EQ(schema.IndicesWithRole(AttrRole::kMutable).size(), 15u);
+}
+
+TEST(GermanTest, OutcomeIsBinary) {
+  const auto data = MakeGerman();
+  ASSERT_TRUE(data.ok());
+  const size_t risk = *data->df.schema().IndexOf("CreditRisk");
+  const Column& col = data->df.column(risk);
+  for (size_t r = 0; r < data->df.num_rows(); ++r) {
+    const double v = col.numeric(r);
+    EXPECT_TRUE(v == 0.0 || v == 1.0);
+  }
+  const double rate = data->df.Mean(risk);
+  EXPECT_GT(rate, 0.2);
+  EXPECT_LT(rate, 0.9);
+}
+
+TEST(GermanTest, CheckingBalanceEffectVisible) {
+  GermanConfig config;
+  config.num_rows = 5000;  // larger sample for a stable raw difference
+  const auto data = MakeGerman(config);
+  ASSERT_TRUE(data.ok());
+  const size_t checking = *data->df.schema().IndexOf("CheckingBalance");
+  const size_t risk = *data->df.schema().IndexOf("CreditRisk");
+  const Bitmap high =
+      Pattern({Predicate(checking, CompareOp::kEq, Value(">=200DM"))})
+          .Evaluate(data->df);
+  Bitmap rest = data->df.AllRows();
+  rest.AndNot(high);
+  EXPECT_GT(data->df.Mean(risk, high), data->df.Mean(risk, rest) + 0.1);
+}
+
+TEST(GermanTest, ProtectedAttenuationShowsUp) {
+  GermanConfig config;
+  config.num_rows = 20000;
+  const auto data = MakeGerman(config);
+  ASSERT_TRUE(data.ok());
+  const Bitmap prot = data->protected_pattern.Evaluate(data->df);
+  const size_t risk = *data->df.schema().IndexOf("CreditRisk");
+  Bitmap nonprot = data->df.AllRows();
+  nonprot.AndNot(prot);
+  EXPECT_LT(data->df.Mean(risk, prot), data->df.Mean(risk, nonprot));
+}
+
+}  // namespace
+}  // namespace faircap

@@ -1,0 +1,132 @@
+#include "dataframe/dataframe.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace faircap {
+namespace {
+
+DataFrame SmallFrame() {
+  auto schema = Schema::Create({
+      {"city", AttrType::kCategorical, AttrRole::kImmutable},
+      {"job", AttrType::kCategorical, AttrRole::kMutable},
+      {"income", AttrType::kNumeric, AttrRole::kOutcome},
+  });
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  EXPECT_TRUE(df.AppendRow({Value("nyc"), Value("dev"), Value(100.0)}).ok());
+  EXPECT_TRUE(df.AppendRow({Value("sf"), Value("dev"), Value(150.0)}).ok());
+  EXPECT_TRUE(df.AppendRow({Value("nyc"), Value("qa"), Value(80.0)}).ok());
+  EXPECT_TRUE(
+      df.AppendRow({Value("sf"), Value::Null(), Value::Null()}).ok());
+  return df;
+}
+
+TEST(DataFrameTest, BasicShapeAndAccess) {
+  const DataFrame df = SmallFrame();
+  EXPECT_EQ(df.num_rows(), 4u);
+  EXPECT_EQ(df.num_columns(), 3u);
+  EXPECT_EQ(df.GetValue(0, 0), Value("nyc"));
+  EXPECT_EQ(df.GetValue(1, 2), Value(150.0));
+  EXPECT_TRUE(df.GetValue(3, 1).is_null());
+}
+
+TEST(DataFrameTest, ColumnByName) {
+  const DataFrame df = SmallFrame();
+  const auto col = df.ColumnByName("income");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->type(), AttrType::kNumeric);
+  EXPECT_FALSE(df.ColumnByName("bogus").ok());
+}
+
+TEST(DataFrameTest, AppendRowRejectsArityMismatch) {
+  DataFrame df = SmallFrame();
+  EXPECT_EQ(df.AppendRow({Value("x")}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(df.num_rows(), 4u);
+}
+
+TEST(DataFrameTest, AppendRowRejectsTypeMismatchWithoutPartialWrite) {
+  DataFrame df = SmallFrame();
+  // Second cell bad: no column may grow.
+  EXPECT_FALSE(df.AppendRow({Value("la"), Value(3.0), Value(1.0)}).ok());
+  EXPECT_EQ(df.num_rows(), 4u);
+  for (size_t c = 0; c < df.num_columns(); ++c) {
+    EXPECT_EQ(df.column(c).size(), 4u);
+  }
+}
+
+TEST(DataFrameTest, CategoricalDictionaryEncoding) {
+  const DataFrame df = SmallFrame();
+  const Column& city = df.column(0);
+  EXPECT_EQ(city.num_categories(), 2u);
+  EXPECT_EQ(city.code(0), city.code(2));  // both nyc
+  EXPECT_NE(city.code(0), city.code(1));
+  EXPECT_EQ(city.CategoryName(city.code(1)), "sf");
+  EXPECT_FALSE(city.CodeOf("tokyo").ok());
+}
+
+TEST(DataFrameTest, NullHandling) {
+  const DataFrame df = SmallFrame();
+  EXPECT_TRUE(df.column(1).IsNull(3));
+  EXPECT_TRUE(df.column(2).IsNull(3));
+  EXPECT_FALSE(df.column(0).IsNull(3));
+}
+
+TEST(DataFrameTest, MeanSkipsNulls) {
+  const DataFrame df = SmallFrame();
+  EXPECT_DOUBLE_EQ(df.Mean(2), (100.0 + 150.0 + 80.0) / 3.0);
+}
+
+TEST(DataFrameTest, MeanOverMask) {
+  const DataFrame df = SmallFrame();
+  Bitmap mask(df.num_rows());
+  mask.Set(0);
+  mask.Set(2);
+  EXPECT_DOUBLE_EQ(df.Mean(2, mask), 90.0);
+}
+
+TEST(DataFrameTest, MeanOfEmptySelectionIsNaN) {
+  const DataFrame df = SmallFrame();
+  Bitmap mask(df.num_rows());
+  EXPECT_TRUE(std::isnan(df.Mean(2, mask)));
+}
+
+TEST(DataFrameTest, TakePreservesSchemaAndDictionary) {
+  const DataFrame df = SmallFrame();
+  Bitmap mask(df.num_rows());
+  mask.Set(1);
+  mask.Set(3);
+  const DataFrame sub = df.Take(mask);
+  EXPECT_EQ(sub.num_rows(), 2u);
+  EXPECT_EQ(sub.GetValue(0, 0), Value("sf"));
+  EXPECT_TRUE(sub.GetValue(1, 2).is_null());
+  // Dictionary survives: codes of "nyc" still resolvable even if unused.
+  EXPECT_TRUE(sub.column(0).CodeOf("nyc").ok());
+}
+
+TEST(DataFrameTest, SampleFraction) {
+  const DataFrame df = SmallFrame();
+  Rng rng(5);
+  const DataFrame half = df.SampleFraction(0.5, &rng);
+  EXPECT_EQ(half.num_rows(), 2u);
+  const DataFrame all = df.SampleFraction(1.0, &rng);
+  EXPECT_EQ(all.num_rows(), 4u);
+  const DataFrame none = df.SampleFraction(0.0, &rng);
+  EXPECT_EQ(none.num_rows(), 0u);
+}
+
+TEST(DataFrameTest, SetRoleRebuildsSchema) {
+  DataFrame df = SmallFrame();
+  ASSERT_TRUE(df.SetRole("job", AttrRole::kIgnored).ok());
+  EXPECT_EQ(df.schema().attribute(1).role, AttrRole::kIgnored);
+  // Cannot demote outcome to a second outcome elsewhere.
+  EXPECT_FALSE(df.SetRole("city", AttrRole::kOutcome).ok());
+}
+
+TEST(DataFrameTest, AllRowsMask) {
+  const DataFrame df = SmallFrame();
+  EXPECT_EQ(df.AllRows().Count(), df.num_rows());
+}
+
+}  // namespace
+}  // namespace faircap

@@ -1,0 +1,119 @@
+#include "dataframe/discretize.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace faircap {
+namespace {
+
+DataFrame NumericFrame(size_t n, uint64_t seed) {
+  auto schema = Schema::Create({
+      {"age", AttrType::kNumeric, AttrRole::kImmutable},
+      {"outcome", AttrType::kNumeric, AttrRole::kOutcome},
+  });
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(df.AppendRow({Value(rng.NextUniform(18.0, 70.0)),
+                              Value(rng.NextGaussian())})
+                    .ok());
+  }
+  return df;
+}
+
+TEST(DiscretizeTest, EqualFrequencyBinsAreBalanced) {
+  const DataFrame df = NumericFrame(1000, 1);
+  DiscretizeOptions options;
+  options.num_bins = 4;
+  const auto binned = DiscretizeColumn(df, "age", options);
+  ASSERT_TRUE(binned.ok()) << binned.status().ToString();
+  const size_t attr = *binned->schema().IndexOf("age");
+  const Column& col = binned->column(attr);
+  EXPECT_EQ(col.type(), AttrType::kCategorical);
+  EXPECT_EQ(col.num_categories(), 4u);
+  // Quantile bins: each holds ~25%.
+  std::vector<size_t> counts(4, 0);
+  for (size_t r = 0; r < binned->num_rows(); ++r) {
+    ++counts[static_cast<size_t>(col.code(r))];
+  }
+  for (size_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), 250.0, 30.0);
+  }
+}
+
+TEST(DiscretizeTest, RolePreservedAndOtherColumnsIntact) {
+  const DataFrame df = NumericFrame(100, 2);
+  const auto binned = DiscretizeColumn(df, "age");
+  ASSERT_TRUE(binned.ok());
+  EXPECT_EQ(binned->schema().attribute(0).role, AttrRole::kImmutable);
+  EXPECT_EQ(binned->num_rows(), df.num_rows());
+  for (size_t r = 0; r < 100; ++r) {
+    EXPECT_EQ(binned->GetValue(r, 1), df.GetValue(r, 1));
+  }
+}
+
+TEST(DiscretizeTest, NullsStayNull) {
+  auto schema = Schema::Create({
+      {"x", AttrType::kNumeric, AttrRole::kImmutable},
+  });
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  ASSERT_TRUE(df.AppendRow({Value(1.0)}).ok());
+  ASSERT_TRUE(df.AppendRow({Value::Null()}).ok());
+  ASSERT_TRUE(df.AppendRow({Value(2.0)}).ok());
+  const auto binned = DiscretizeColumn(df, "x");
+  ASSERT_TRUE(binned.ok());
+  EXPECT_FALSE(binned->GetValue(0, 0).is_null());
+  EXPECT_TRUE(binned->GetValue(1, 0).is_null());
+}
+
+TEST(DiscretizeTest, EqualWidthStrategy) {
+  auto schema = Schema::Create({
+      {"x", AttrType::kNumeric, AttrRole::kImmutable},
+  });
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  for (double v : {0.0, 1.0, 5.0, 9.0, 10.0}) {
+    ASSERT_TRUE(df.AppendRow({Value(v)}).ok());
+  }
+  DiscretizeOptions options;
+  options.num_bins = 2;
+  options.strategy = BinningStrategy::kEqualWidth;
+  const auto binned = DiscretizeColumn(df, "x", options);
+  ASSERT_TRUE(binned.ok());
+  const Column& col = binned->column(0);
+  // Boundary at 5: values {0,1} low bin, {5,9,10} high bin.
+  EXPECT_EQ(col.code(0), col.code(1));
+  EXPECT_EQ(col.code(2), col.code(4));
+  EXPECT_NE(col.code(0), col.code(2));
+}
+
+TEST(DiscretizeTest, ConstantColumnCollapsesToOneBin) {
+  auto schema = Schema::Create({
+      {"x", AttrType::kNumeric, AttrRole::kImmutable},
+  });
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(df.AppendRow({Value(7.0)}).ok());
+  const auto binned = DiscretizeColumn(df, "x");
+  ASSERT_TRUE(binned.ok());
+  EXPECT_EQ(binned->column(0).num_categories(), 1u);
+  EXPECT_EQ(binned->GetValue(0, 0), Value("all"));
+}
+
+TEST(DiscretizeTest, RejectsBadInputs) {
+  const DataFrame df = NumericFrame(10, 3);
+  EXPECT_FALSE(DiscretizeColumn(df, "missing").ok());
+  EXPECT_FALSE(DiscretizeColumn(df, "outcome").ok());  // refuses outcome
+  DiscretizeOptions zero_bins;
+  zero_bins.num_bins = 0;
+  EXPECT_FALSE(DiscretizeColumn(df, "age", zero_bins).ok());
+  // Categorical input rejected.
+  auto schema = Schema::Create({
+      {"c", AttrType::kCategorical, AttrRole::kImmutable},
+  });
+  DataFrame cat = DataFrame::Create(std::move(schema).ValueOrDie());
+  ASSERT_TRUE(cat.AppendRow({Value("x")}).ok());
+  EXPECT_FALSE(DiscretizeColumn(cat, "c").ok());
+}
+
+}  // namespace
+}  // namespace faircap

@@ -1,0 +1,83 @@
+#include "core/fairness.h"
+
+#include <gtest/gtest.h>
+
+#include "core/ruleset.h"
+
+namespace faircap {
+namespace {
+
+PrescriptionRule RuleWithUtilities(double u, double up, double unp) {
+  PrescriptionRule rule;
+  rule.utility = u;
+  rule.utility_protected = up;
+  rule.utility_nonprotected = unp;
+  return rule;
+}
+
+RulesetStats StatsWith(double up, double unp) {
+  RulesetStats stats;
+  stats.exp_utility_protected = up;
+  stats.exp_utility_nonprotected = unp;
+  stats.unfairness = unp - up;
+  return stats;
+}
+
+TEST(FairnessTest, NoneIsAlwaysSatisfied) {
+  const FairnessConstraint none = FairnessConstraint::None();
+  EXPECT_FALSE(none.active());
+  EXPECT_TRUE(none.RuleSatisfies(RuleWithUtilities(1, -100, 100)));
+  EXPECT_TRUE(none.StatsSatisfy(StatsWith(0, 1e9)));
+  EXPECT_DOUBLE_EQ(none.GroupViolation(StatsWith(0, 1e9)), 0.0);
+}
+
+TEST(FairnessTest, IndividualSPBoundsTheGap) {
+  const FairnessConstraint c = FairnessConstraint::IndividualSP(10.0);
+  EXPECT_TRUE(c.individual());
+  EXPECT_TRUE(c.RuleSatisfies(RuleWithUtilities(50, 45, 50)));
+  EXPECT_TRUE(c.RuleSatisfies(RuleWithUtilities(50, 50, 40)));  // |gap|=10
+  EXPECT_FALSE(c.RuleSatisfies(RuleWithUtilities(50, 30, 50)));
+  // Individual constraints do not restrict group stats.
+  EXPECT_TRUE(c.StatsSatisfy(StatsWith(0, 100)));
+}
+
+TEST(FairnessTest, GroupSPBoundsStatsGap) {
+  const FairnessConstraint c = FairnessConstraint::GroupSP(10.0);
+  EXPECT_TRUE(c.group());
+  EXPECT_TRUE(c.StatsSatisfy(StatsWith(50, 55)));
+  EXPECT_FALSE(c.StatsSatisfy(StatsWith(50, 65)));
+  // Symmetric: protected ahead also counts.
+  EXPECT_FALSE(c.StatsSatisfy(StatsWith(65, 50)));
+  EXPECT_DOUBLE_EQ(c.GroupViolation(StatsWith(50, 65)), 5.0);
+  // Group constraints do not restrict single rules.
+  EXPECT_TRUE(c.RuleSatisfies(RuleWithUtilities(1, 0, 1000)));
+}
+
+TEST(FairnessTest, IndividualBGLRequiresMinimumProtectedUtility) {
+  const FairnessConstraint c = FairnessConstraint::IndividualBGL(0.2);
+  EXPECT_TRUE(c.RuleSatisfies(RuleWithUtilities(1.0, 0.25, 0.9)));
+  EXPECT_TRUE(c.RuleSatisfies(RuleWithUtilities(1.0, 0.2, 0.9)));
+  EXPECT_FALSE(c.RuleSatisfies(RuleWithUtilities(1.0, 0.1, 0.9)));
+}
+
+TEST(FairnessTest, GroupBGLRequiresMinimumProtectedStats) {
+  const FairnessConstraint c = FairnessConstraint::GroupBGL(0.3);
+  EXPECT_TRUE(c.StatsSatisfy(StatsWith(0.35, 0.9)));
+  EXPECT_FALSE(c.StatsSatisfy(StatsWith(0.25, 0.9)));
+  EXPECT_NEAR(c.GroupViolation(StatsWith(0.25, 0.9)), 0.05, 1e-12);
+  // BGL ignores the non-protected side entirely.
+  EXPECT_TRUE(c.StatsSatisfy(StatsWith(0.35, 1e9)));
+}
+
+TEST(FairnessTest, ToStringIsInformative) {
+  EXPECT_NE(FairnessConstraint::GroupSP(10).ToString().find("group SP"),
+            std::string::npos);
+  EXPECT_NE(
+      FairnessConstraint::IndividualBGL(0.5).ToString().find("individual"),
+      std::string::npos);
+  EXPECT_NE(FairnessConstraint::None().ToString().find("no fairness"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace faircap

@@ -1,0 +1,196 @@
+// End-to-end runs on the (downsampled) synthetic Stack Overflow and German
+// datasets, checking the qualitative invariants the paper reports in
+// Tables 4-6 rather than absolute numbers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/causumx.h"
+#include "causal/pc.h"
+#include "core/faircap.h"
+#include "data/german.h"
+#include "data/stackoverflow.h"
+
+namespace faircap {
+namespace {
+
+class StackOverflowIntegration : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    StackOverflowConfig config;
+    config.num_rows = 6000;  // downsampled for test speed
+    auto result = MakeStackOverflow(config);
+    ASSERT_TRUE(result.ok());
+    data_ = new StackOverflowData(std::move(result).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+
+  static FairCapOptions Fast() {
+    FairCapOptions options;
+    options.apriori.min_support_fraction = 0.25;
+    options.apriori.max_pattern_length = 1;
+    options.lattice.max_predicates = 1;
+    options.num_threads = 0;  // exercise the thread pool
+    options.cate.min_group_size = 30;
+    return options;
+  }
+
+  static StackOverflowData* data_;
+};
+
+StackOverflowData* StackOverflowIntegration::data_ = nullptr;
+
+TEST_F(StackOverflowIntegration, UnconstrainedBeatsFairOnUtility) {
+  FairCapOptions unconstrained = Fast();
+  FairCapOptions fair = Fast();
+  fair.fairness = FairnessConstraint::GroupSP(10000.0);
+
+  const auto run_u = FairCap::Create(&data_->df, &data_->dag,
+                                     data_->protected_pattern, unconstrained)
+                         ->Run();
+  const auto run_f =
+      FairCap::Create(&data_->df, &data_->dag, data_->protected_pattern,
+                      fair)
+          ->Run();
+  ASSERT_TRUE(run_u.ok());
+  ASSERT_TRUE(run_f.ok());
+  ASSERT_FALSE(run_u->rules.empty());
+  ASSERT_FALSE(run_f->rules.empty());
+
+  // Table 4 shape: no-constraint utility >= fair utility; fair unfairness
+  // within epsilon; unconstrained gap exceeds it.
+  EXPECT_GE(run_u->stats.exp_utility, run_f->stats.exp_utility - 1e-6);
+  EXPECT_LE(std::abs(run_f->stats.unfairness), 10000.0 + 1e-6);
+  EXPECT_GT(run_u->stats.unfairness, 5000.0);
+}
+
+TEST_F(StackOverflowIntegration, ProtectedGetsLessWithoutFairness) {
+  const auto run = FairCap::Create(&data_->df, &data_->dag,
+                                   data_->protected_pattern, Fast())
+                       ->Run();
+  ASSERT_TRUE(run.ok());
+  EXPECT_GT(run->stats.exp_utility_nonprotected,
+            run->stats.exp_utility_protected);
+}
+
+TEST_F(StackOverflowIntegration, CauSumXMatchesNoFairnessShape) {
+  CauSumXOptions options;
+  options.apriori.min_support_fraction = 0.25;
+  options.apriori.max_pattern_length = 1;
+  options.lattice.max_predicates = 1;
+  options.cate.min_group_size = 30;
+  options.coverage_theta = 0.5;
+  const auto run =
+      RunCauSumX(&data_->df, &data_->dag, data_->protected_pattern, options);
+  ASSERT_TRUE(run.ok());
+  ASSERT_FALSE(run->rules.empty());
+  EXPECT_GT(run->stats.unfairness, 0.0);
+  EXPECT_GE(run->stats.coverage_fraction, 0.5);
+}
+
+TEST_F(StackOverflowIntegration, SampledQualityComparable) {
+  // Section 7.3: 25% sample gives comparable rule quality.
+  Rng rng(77);
+  const DataFrame sample = data_->df.SampleFraction(0.5, &rng);
+  const auto full = FairCap::Create(&data_->df, &data_->dag,
+                                    data_->protected_pattern, Fast())
+                        ->Run();
+  const auto sampled = FairCap::Create(&sample, &data_->dag,
+                                       data_->protected_pattern, Fast())
+                           ->Run();
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(sampled.ok());
+  ASSERT_FALSE(full->rules.empty());
+  ASSERT_FALSE(sampled->rules.empty());
+  EXPECT_NEAR(sampled->stats.exp_utility, full->stats.exp_utility,
+              0.5 * full->stats.exp_utility);
+}
+
+TEST_F(StackOverflowIntegration, PcDagYieldsComparableUtility) {
+  // Table 6: the PC-discovered DAG gives utilities in the same ballpark.
+  PcOptions pc_options;
+  pc_options.max_rows = 2000;
+  pc_options.max_condition_size = 1;
+  const auto pc_dag = RunPc(data_->df, pc_options);
+  ASSERT_TRUE(pc_dag.ok()) << pc_dag.status().ToString();
+
+  const auto original = FairCap::Create(&data_->df, &data_->dag,
+                                        data_->protected_pattern, Fast())
+                            ->Run();
+  const auto with_pc = FairCap::Create(&data_->df, &*pc_dag,
+                                       data_->protected_pattern, Fast())
+                           ->Run();
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(with_pc.ok());
+  ASSERT_FALSE(with_pc->rules.empty());
+  EXPECT_GT(with_pc->stats.exp_utility, 0.0);
+}
+
+TEST(GermanIntegration, BglFairnessRaisesProtectedUtility) {
+  auto data_result = MakeGerman();
+  ASSERT_TRUE(data_result.ok());
+  const GermanData data = std::move(data_result).ValueOrDie();
+
+  FairCapOptions base;
+  base.apriori.min_support_fraction = 0.3;
+  base.apriori.max_pattern_length = 1;
+  base.lattice.max_predicates = 2;
+  base.num_threads = 1;
+  base.cate.min_group_size = 10;
+
+  FairCapOptions fair = base;
+  fair.fairness = FairnessConstraint::GroupBGL(0.1);
+
+  const auto run_u =
+      FairCap::Create(&data.df, &data.dag, data.protected_pattern, base)
+          ->Run();
+  const auto run_f =
+      FairCap::Create(&data.df, &data.dag, data.protected_pattern, fair)
+          ->Run();
+  ASSERT_TRUE(run_u.ok());
+  ASSERT_TRUE(run_f.ok());
+  ASSERT_FALSE(run_u->rules.empty());
+  // Utilities on the binary outcome live in a plausible range.
+  EXPECT_GT(run_u->stats.exp_utility, 0.0);
+  EXPECT_LT(run_u->stats.exp_utility, 1.0);
+  if (!run_f->rules.empty()) {
+    EXPECT_GE(run_f->stats.exp_utility_protected, 0.0);
+  }
+}
+
+TEST(GermanIntegration, RuleCoverageShrinksRulesetAndGap) {
+  auto data_result = MakeGerman();
+  ASSERT_TRUE(data_result.ok());
+  const GermanData data = std::move(data_result).ValueOrDie();
+
+  FairCapOptions base;
+  base.apriori.min_support_fraction = 0.3;
+  base.apriori.max_pattern_length = 1;
+  base.lattice.max_predicates = 1;
+  base.num_threads = 1;
+  base.cate.min_group_size = 10;
+
+  FairCapOptions rule_cov = base;
+  rule_cov.coverage = CoverageConstraint::Rule(0.3, 0.3);
+
+  const auto run_u =
+      FairCap::Create(&data.df, &data.dag, data.protected_pattern, base)
+          ->Run();
+  const auto run_rc =
+      FairCap::Create(&data.df, &data.dag, data.protected_pattern, rule_cov)
+          ->Run();
+  ASSERT_TRUE(run_u.ok());
+  ASSERT_TRUE(run_rc.ok());
+  // Rule coverage prunes candidates: never more rules than unconstrained.
+  EXPECT_LE(run_rc->rules.size(), run_u->rules.size());
+  for (const auto& rule : run_rc->rules) {
+    EXPECT_GE(rule.support, static_cast<size_t>(0.3 * data.df.num_rows()));
+  }
+}
+
+}  // namespace
+}  // namespace faircap

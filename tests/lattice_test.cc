@@ -1,0 +1,174 @@
+#include "mining/lattice.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace faircap {
+namespace {
+
+DataFrame Frame() {
+  auto schema = Schema::Create({
+      {"t1", AttrType::kCategorical, AttrRole::kMutable},
+      {"t2", AttrType::kCategorical, AttrRole::kMutable},
+      {"o", AttrType::kNumeric, AttrRole::kOutcome},
+  });
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  EXPECT_TRUE(df.AppendRow({Value("a"), Value("p"), Value(1.0)}).ok());
+  EXPECT_TRUE(df.AppendRow({Value("b"), Value("q"), Value(2.0)}).ok());
+  return df;
+}
+
+TEST(LatticeTest, EnumeratesAtomsForAllCategories) {
+  const DataFrame df = Frame();
+  const auto atoms = EnumerateInterventionAtoms(df, {0, 1});
+  EXPECT_EQ(atoms.size(), 4u);  // a,b for t1; p,q for t2
+}
+
+TEST(LatticeTest, AtomsSkipNumericAttributes) {
+  const DataFrame df = Frame();
+  const auto atoms = EnumerateInterventionAtoms(df, {2});
+  EXPECT_TRUE(atoms.empty());
+}
+
+TEST(LatticeTest, SelectsHighestScoreFeasible) {
+  const DataFrame df = Frame();
+  TreatmentEvaluator eval =
+      [&df](const Pattern& p) -> std::optional<TreatmentEval> {
+    TreatmentEval e;
+    e.cate = 1.0;
+    // Score favors t1=b.
+    e.score = p.ToString(df.schema()).find("t1 = b") != std::string::npos
+                  ? 10.0
+                  : 1.0;
+    e.feasible = true;
+    return e;
+  };
+  LatticeOptions options;
+  options.max_predicates = 1;
+  const LatticeResult result =
+      TraverseInterventionLattice(df, {0, 1}, eval, options);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_EQ(result.best->ToString(df.schema()), "t1 = b");
+  EXPECT_DOUBLE_EQ(result.best_eval.score, 10.0);
+  EXPECT_EQ(result.num_evaluated, 4u);
+}
+
+TEST(LatticeTest, InfeasibleTreatmentsNeverSelected) {
+  const DataFrame df = Frame();
+  TreatmentEvaluator eval =
+      [](const Pattern&) -> std::optional<TreatmentEval> {
+    TreatmentEval e;
+    e.cate = 5.0;
+    e.score = 5.0;
+    e.feasible = false;
+    return e;
+  };
+  const LatticeResult result = TraverseInterventionLattice(df, {0, 1}, eval);
+  EXPECT_FALSE(result.best.has_value());
+}
+
+TEST(LatticeTest, NegativeCateNeverSelected) {
+  const DataFrame df = Frame();
+  TreatmentEvaluator eval =
+      [](const Pattern&) -> std::optional<TreatmentEval> {
+    TreatmentEval e;
+    e.cate = -1.0;
+    e.score = 100.0;
+    e.feasible = true;
+    return e;
+  };
+  const LatticeResult result = TraverseInterventionLattice(df, {0, 1}, eval);
+  EXPECT_FALSE(result.best.has_value());
+  EXPECT_TRUE(result.positive.empty());
+}
+
+TEST(LatticeTest, ChildrenOnlyMaterializedWhenAllParentsPositive) {
+  const DataFrame df = Frame();
+  std::map<std::string, int> eval_counts;
+  TreatmentEvaluator eval =
+      [&](const Pattern& p) -> std::optional<TreatmentEval> {
+    const std::string str = p.ToString(df.schema());
+    ++eval_counts[str];
+    TreatmentEval e;
+    // t2 atoms have negative CATE; so no level-2 node containing t2 may be
+    // evaluated.
+    e.cate = str.find("t2") != std::string::npos ? -1.0 : 1.0;
+    e.score = e.cate;
+    e.feasible = true;
+    return e;
+  };
+  LatticeOptions options;
+  options.max_predicates = 2;
+  const LatticeResult result =
+      TraverseInterventionLattice(df, {0, 1}, eval, options);
+  EXPECT_TRUE(result.best.has_value());
+  for (const auto& [pattern_str, count] : eval_counts) {
+    EXPECT_EQ(count, 1) << pattern_str << " evaluated more than once";
+    // Level-2 patterns join across attributes; all contain "AND". None may
+    // include a t2 predicate because those parents were negative.
+    if (pattern_str.find(" AND ") != std::string::npos) {
+      EXPECT_EQ(pattern_str.find("t2"), std::string::npos) << pattern_str;
+    }
+  }
+}
+
+TEST(LatticeTest, PairsCombineDistinctAttributesOnly) {
+  const DataFrame df = Frame();
+  size_t level2 = 0;
+  TreatmentEvaluator eval =
+      [&](const Pattern& p) -> std::optional<TreatmentEval> {
+    if (p.size() == 2) {
+      ++level2;
+      EXPECT_EQ(p.Attributes().size(), 2u);
+    }
+    TreatmentEval e;
+    e.cate = 1.0;
+    e.score = 1.0;
+    e.feasible = true;
+    return e;
+  };
+  LatticeOptions options;
+  options.max_predicates = 2;
+  TraverseInterventionLattice(df, {0, 1}, eval, options);
+  EXPECT_EQ(level2, 4u);  // {a,b} x {p,q}
+}
+
+TEST(LatticeTest, EvaluationCapRespected) {
+  const DataFrame df = Frame();
+  TreatmentEvaluator eval =
+      [](const Pattern&) -> std::optional<TreatmentEval> {
+    TreatmentEval e;
+    e.cate = 1.0;
+    e.score = 1.0;
+    e.feasible = true;
+    return e;
+  };
+  LatticeOptions options;
+  options.max_predicates = 2;
+  options.max_evaluations = 3;
+  const LatticeResult result =
+      TraverseInterventionLattice(df, {0, 1}, eval, options);
+  EXPECT_EQ(result.num_evaluated, 3u);
+}
+
+TEST(LatticeTest, NulloptEvaluationsAreSkipped) {
+  const DataFrame df = Frame();
+  TreatmentEvaluator eval =
+      [&df](const Pattern& p) -> std::optional<TreatmentEval> {
+    if (p.ToString(df.schema()).find("t1") != std::string::npos) {
+      return std::nullopt;  // unestimable
+    }
+    TreatmentEval e;
+    e.cate = 2.0;
+    e.score = 2.0;
+    e.feasible = true;
+    return e;
+  };
+  const LatticeResult result = TraverseInterventionLattice(df, {0, 1}, eval);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_EQ(result.best->Attributes()[0], 1u);
+}
+
+}  // namespace
+}  // namespace faircap

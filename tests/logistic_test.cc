@@ -1,0 +1,70 @@
+#include "causal/logistic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace faircap {
+namespace {
+
+TEST(LogisticTest, RecoversPlantedCoefficients) {
+  Rng rng(3);
+  const size_t n = 20000, p = 3;
+  std::vector<double> x(n * p), y(n);
+  const double beta_true[3] = {-0.5, 1.5, -2.0};
+  for (size_t r = 0; r < n; ++r) {
+    x[r * p] = 1.0;
+    x[r * p + 1] = rng.NextGaussian();
+    x[r * p + 2] = rng.NextGaussian();
+    double z = 0.0;
+    for (size_t j = 0; j < p; ++j) z += beta_true[j] * x[r * p + j];
+    y[r] = rng.NextBernoulli(1.0 / (1.0 + std::exp(-z))) ? 1.0 : 0.0;
+  }
+  const auto fit = FitLogistic(x, n, p, y);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  EXPECT_TRUE(fit->converged);
+  for (size_t j = 0; j < p; ++j) {
+    EXPECT_NEAR(fit->beta[j], beta_true[j], 0.1) << "coefficient " << j;
+  }
+}
+
+TEST(LogisticTest, PredictMatchesSigmoid) {
+  const std::vector<double> beta = {0.0, 1.0};
+  const double x_mid[2] = {1.0, 0.0};
+  EXPECT_NEAR(PredictLogistic(beta, x_mid), 0.5, 1e-12);
+  const double x_pos[2] = {1.0, 10.0};
+  EXPECT_GT(PredictLogistic(beta, x_pos), 0.99);
+  const double x_neg[2] = {1.0, -10.0};
+  EXPECT_LT(PredictLogistic(beta, x_neg), 0.01);
+}
+
+TEST(LogisticTest, SeparableDataStaysFiniteViaRidge) {
+  // Perfectly separable: y = 1 iff x > 0; unregularized MLE diverges.
+  std::vector<double> x, y;
+  for (int i = 0; i < 100; ++i) {
+    const double v = i < 50 ? -1.0 - i * 0.01 : 1.0 + i * 0.01;
+    x.push_back(1.0);
+    x.push_back(v);
+    y.push_back(v > 0 ? 1.0 : 0.0);
+  }
+  const auto fit = FitLogistic(x, 100, 2, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_TRUE(std::isfinite(fit->beta[0]));
+  EXPECT_TRUE(std::isfinite(fit->beta[1]));
+  EXPECT_GT(fit->beta[1], 1.0);  // still strongly positive
+}
+
+TEST(LogisticTest, DimensionMismatchRejected) {
+  EXPECT_FALSE(FitLogistic({1.0, 2.0}, 1, 3, {1.0}).ok());
+  EXPECT_FALSE(FitLogistic({1.0, 2.0}, 2, 1, {1.0}).ok());
+}
+
+TEST(LogisticTest, UnderdeterminedRejected) {
+  EXPECT_EQ(FitLogistic({1.0, 2.0}, 1, 2, {1.0}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace faircap

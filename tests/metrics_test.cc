@@ -1,0 +1,61 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace faircap {
+namespace {
+
+RulesetStats SampleStats() {
+  RulesetStats stats;
+  stats.num_rules = 7;
+  stats.coverage_fraction = 0.9951;
+  stats.coverage_protected_fraction = 0.5;
+  stats.exp_utility = 32634.2;
+  stats.exp_utility_nonprotected = 32626.98;
+  stats.exp_utility_protected = 18432.66;
+  stats.unfairness = 14194.32;
+  return stats;
+}
+
+TEST(MetricsTest, HeaderHasAllColumns) {
+  const std::string header = MetricsHeader();
+  for (const char* col : {"setting", "#rules", "coverage", "cov-prot",
+                          "exp-util", "util-nonpro", "util-pro",
+                          "unfairness"}) {
+    EXPECT_NE(header.find(col), std::string::npos) << col;
+  }
+  EXPECT_EQ(header.find("time"), std::string::npos);
+  EXPECT_NE(MetricsHeader(true).find("time"), std::string::npos);
+}
+
+TEST(MetricsTest, RowRendersValues) {
+  const SolutionRow row{"No constraints", SampleStats(), 1.5};
+  const std::string text = MetricsRow(row, /*with_runtime=*/true);
+  EXPECT_NE(text.find("No constraints"), std::string::npos);
+  EXPECT_NE(text.find("7"), std::string::npos);
+  EXPECT_NE(text.find("99.51%"), std::string::npos);
+  EXPECT_NE(text.find("32634.20"), std::string::npos);
+  EXPECT_NE(text.find("14194.32"), std::string::npos);
+  EXPECT_NE(text.find("1.50"), std::string::npos);
+}
+
+TEST(MetricsTest, RuntimeOmittedWhenNegative) {
+  const SolutionRow row{"x", SampleStats(), -1.0};
+  const std::string text = MetricsRow(row, /*with_runtime=*/true);
+  EXPECT_EQ(text.find("-1.0"), std::string::npos);
+}
+
+TEST(MetricsTest, TablePrintsTitleAndRows) {
+  std::ostringstream os;
+  PrintMetricsTable(os, "Table 4", {{"a", SampleStats(), -1.0},
+                                    {"b", SampleStats(), -1.0}});
+  const std::string text = os.str();
+  EXPECT_NE(text.find("== Table 4 =="), std::string::npos);
+  EXPECT_NE(text.find("\na"), std::string::npos);
+  EXPECT_NE(text.find("\nb"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace faircap

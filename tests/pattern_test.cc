@@ -1,0 +1,98 @@
+#include "mining/pattern.h"
+
+#include <gtest/gtest.h>
+
+namespace faircap {
+namespace {
+
+DataFrame Frame() {
+  auto schema = Schema::Create({
+      {"a", AttrType::kCategorical, AttrRole::kImmutable},
+      {"b", AttrType::kCategorical, AttrRole::kImmutable},
+  });
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  EXPECT_TRUE(df.AppendRow({Value("x"), Value("1")}).ok());
+  EXPECT_TRUE(df.AppendRow({Value("x"), Value("2")}).ok());
+  EXPECT_TRUE(df.AppendRow({Value("y"), Value("1")}).ok());
+  EXPECT_TRUE(df.AppendRow({Value("y"), Value("2")}).ok());
+  return df;
+}
+
+TEST(PatternTest, EmptyPatternCoversEverything) {
+  const DataFrame df = Frame();
+  EXPECT_EQ(Pattern::Empty().Evaluate(df).Count(), 4u);
+  EXPECT_TRUE(Pattern::Empty().Matches(df, 0));
+  EXPECT_EQ(Pattern::Empty().ToString(df.schema()), "TRUE");
+}
+
+TEST(PatternTest, ConjunctionIntersects) {
+  const DataFrame df = Frame();
+  const Pattern p({Predicate(0, CompareOp::kEq, Value("x")),
+                   Predicate(1, CompareOp::kEq, Value("1"))});
+  const Bitmap mask = p.Evaluate(df);
+  EXPECT_EQ(mask.Count(), 1u);
+  EXPECT_TRUE(mask.Get(0));
+}
+
+TEST(PatternTest, CanonicalizationSortsAndDedups) {
+  const Predicate p0(0, CompareOp::kEq, Value("x"));
+  const Predicate p1(1, CompareOp::kEq, Value("1"));
+  const Pattern ab({p0, p1});
+  const Pattern ba({p1, p0, p1});  // shuffled with duplicate
+  EXPECT_TRUE(ab == ba);
+  EXPECT_EQ(ab.Key(), ba.Key());
+  EXPECT_EQ(ba.size(), 2u);
+}
+
+TEST(PatternTest, WithAddsPredicate) {
+  const Pattern p =
+      Pattern().With(Predicate(0, CompareOp::kEq, Value("x")));
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_TRUE(p.ConstrainsAttr(0));
+  EXPECT_FALSE(p.ConstrainsAttr(1));
+}
+
+TEST(PatternTest, AndMergesPatterns) {
+  const Pattern a({Predicate(0, CompareOp::kEq, Value("x"))});
+  const Pattern b({Predicate(1, CompareOp::kEq, Value("1"))});
+  const Pattern merged = a.And(b);
+  EXPECT_EQ(merged.size(), 2u);
+  const DataFrame df = Frame();
+  EXPECT_EQ(merged.Evaluate(df).Count(), 1u);
+}
+
+TEST(PatternTest, AttributesDeduplicated) {
+  const Pattern p({Predicate(1, CompareOp::kEq, Value("1")),
+                   Predicate(0, CompareOp::kEq, Value("x")),
+                   Predicate(1, CompareOp::kNe, Value("2"))});
+  const auto attrs = p.Attributes();
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_EQ(attrs[0], 0u);
+  EXPECT_EQ(attrs[1], 1u);
+}
+
+TEST(PatternTest, ValidateChecksAllPredicates) {
+  const DataFrame df = Frame();
+  const Pattern good({Predicate(0, CompareOp::kEq, Value("x"))});
+  EXPECT_TRUE(good.Validate(df).ok());
+  const Pattern bad({Predicate(0, CompareOp::kEq, Value("x")),
+                     Predicate(1, CompareOp::kLt, Value("1"))});
+  EXPECT_FALSE(bad.Validate(df).ok());
+}
+
+TEST(PatternTest, ContradictoryPatternCoversNothing) {
+  const DataFrame df = Frame();
+  const Pattern p({Predicate(0, CompareOp::kEq, Value("x")),
+                   Predicate(0, CompareOp::kEq, Value("y"))});
+  EXPECT_EQ(p.Evaluate(df).Count(), 0u);
+}
+
+TEST(PatternTest, ToStringJoinsWithAnd) {
+  const DataFrame df = Frame();
+  const Pattern p({Predicate(0, CompareOp::kEq, Value("x")),
+                   Predicate(1, CompareOp::kEq, Value("1"))});
+  EXPECT_EQ(p.ToString(df.schema()), "a = x AND b = 1");
+}
+
+}  // namespace
+}  // namespace faircap

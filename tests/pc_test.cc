@@ -1,0 +1,151 @@
+#include "causal/pc.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace faircap {
+namespace {
+
+// Chain X -> M -> Y with strong dependence along edges.
+DataFrame MakeChain(size_t n, uint64_t seed) {
+  auto schema = Schema::Create({
+      {"X", AttrType::kCategorical, AttrRole::kImmutable},
+      {"M", AttrType::kCategorical, AttrRole::kMutable},
+      {"Y", AttrType::kNumeric, AttrRole::kOutcome},
+  });
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const bool x = rng.NextBernoulli(0.5);
+    const bool m = rng.NextBernoulli(x ? 0.85 : 0.15);
+    const double y = (m ? 4.0 : 0.0) + rng.NextGaussian(0.0, 1.0);
+    EXPECT_TRUE(
+        df.AppendRow({Value(x ? "1" : "0"), Value(m ? "1" : "0"), Value(y)})
+            .ok());
+  }
+  return df;
+}
+
+TEST(PcTest, ChainSkeletonRecovered) {
+  const DataFrame df = MakeChain(4000, 3);
+  const auto dag = RunPc(df);
+  ASSERT_TRUE(dag.ok()) << dag.status().ToString();
+  const size_t x = *dag->IndexOf("X");
+  const size_t m = *dag->IndexOf("M");
+  const size_t y = *dag->IndexOf("Y");
+  // X-M and M-Y adjacent (in some orientation); X-Y not adjacent.
+  EXPECT_TRUE(dag->HasEdge(x, m) || dag->HasEdge(m, x));
+  EXPECT_TRUE(dag->HasEdge(m, y) || dag->HasEdge(y, m));
+  EXPECT_FALSE(dag->HasEdge(x, y) || dag->HasEdge(y, x));
+}
+
+TEST(PcTest, OutcomeIsSink) {
+  const DataFrame df = MakeChain(4000, 5);
+  const auto dag = RunPc(df);
+  ASSERT_TRUE(dag.ok());
+  const size_t y = *dag->IndexOf("Y");
+  EXPECT_TRUE(dag->Children(y).empty());
+}
+
+TEST(PcTest, IndependentVariablesNotConnected) {
+  auto schema = Schema::Create({
+      {"A", AttrType::kCategorical, AttrRole::kImmutable},
+      {"B", AttrType::kCategorical, AttrRole::kImmutable},
+  });
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  Rng rng(7);
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(df.AppendRow({Value(rng.NextBernoulli(0.5) ? "1" : "0"),
+                              Value(rng.NextBernoulli(0.5) ? "1" : "0")})
+                    .ok());
+  }
+  const auto dag = RunPc(df);
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(dag->num_edges(), 0u);
+}
+
+TEST(PcTest, ColliderOriented) {
+  // X -> C <- Y with *additive* parent effects: PC should recover the
+  // v-structure exactly. (An XOR-style collider would be invisible to the
+  // marginal tests — a known PC limitation.)
+  auto schema = Schema::Create({
+      {"X", AttrType::kCategorical, AttrRole::kImmutable},
+      {"Y", AttrType::kCategorical, AttrRole::kImmutable},
+      {"C", AttrType::kCategorical, AttrRole::kMutable},
+  });
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  Rng rng(11);
+  for (int i = 0; i < 6000; ++i) {
+    const bool x = rng.NextBernoulli(0.5);
+    const bool y = rng.NextBernoulli(0.5);
+    const bool c =
+        rng.NextBernoulli(0.15 + (x ? 0.3 : 0.0) + (y ? 0.4 : 0.0));
+    ASSERT_TRUE(df.AppendRow({Value(x ? "1" : "0"), Value(y ? "1" : "0"),
+                              Value(c ? "1" : "0")})
+                    .ok());
+  }
+  const auto dag = RunPc(df);
+  ASSERT_TRUE(dag.ok());
+  const size_t x = *dag->IndexOf("X");
+  const size_t y = *dag->IndexOf("Y");
+  const size_t c = *dag->IndexOf("C");
+  EXPECT_TRUE(dag->HasEdge(x, c));
+  EXPECT_TRUE(dag->HasEdge(y, c));
+  EXPECT_FALSE(dag->HasEdge(x, y) || dag->HasEdge(y, x));
+}
+
+TEST(PcTest, NumericVariablesAreBinned) {
+  // Numeric M still detected as adjacent to its cause.
+  auto schema = Schema::Create({
+      {"X", AttrType::kCategorical, AttrRole::kImmutable},
+      {"M", AttrType::kNumeric, AttrRole::kOutcome},
+  });
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  Rng rng(13);
+  for (int i = 0; i < 3000; ++i) {
+    const bool x = rng.NextBernoulli(0.5);
+    ASSERT_TRUE(df.AppendRow({Value(x ? "1" : "0"),
+                              Value((x ? 3.0 : 0.0) +
+                                    rng.NextGaussian(0.0, 1.0))})
+                    .ok());
+  }
+  const auto dag = RunPc(df);
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(dag->num_edges(), 1u);
+  EXPECT_TRUE(dag->HasEdge(*dag->IndexOf("X"), *dag->IndexOf("M")));
+}
+
+TEST(PcTest, MaxRowsSubsampling) {
+  const DataFrame df = MakeChain(4000, 17);
+  PcOptions options;
+  options.max_rows = 1000;
+  const auto dag = RunPc(df, options);
+  ASSERT_TRUE(dag.ok());
+  // Skeleton still recovered from the subsample.
+  const size_t x = *dag->IndexOf("X");
+  const size_t m = *dag->IndexOf("M");
+  EXPECT_TRUE(dag->HasEdge(x, m) || dag->HasEdge(m, x));
+}
+
+TEST(PcTest, ConstantColumnsIgnored) {
+  auto schema = Schema::Create({
+      {"K", AttrType::kCategorical, AttrRole::kImmutable},
+      {"X", AttrType::kCategorical, AttrRole::kImmutable},
+  });
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  Rng rng(19);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(df.AppendRow({Value("const"),
+                              Value(rng.NextBernoulli(0.5) ? "1" : "0")})
+                    .ok());
+  }
+  const auto dag = RunPc(df);
+  ASSERT_TRUE(dag.ok());
+  // Constant column is dropped entirely.
+  EXPECT_FALSE(dag->Contains("K"));
+  EXPECT_TRUE(dag->Contains("X"));
+}
+
+}  // namespace
+}  // namespace faircap

@@ -1,0 +1,135 @@
+// Coverage for pipeline options not exercised elsewhere: keep-all-
+// treatments candidate expansion, IPW as the pipeline estimator,
+// discretized numeric grouping attributes feeding Apriori, and the
+// DAG-pruning toggle.
+
+#include <gtest/gtest.h>
+
+#include "core/faircap.h"
+#include "dataframe/discretize.h"
+#include "mining/apriori.h"
+#include "test_data.h"
+
+namespace faircap {
+namespace {
+
+TEST(PipelineOptionsTest, KeepAllTreatmentsYieldsMoreCandidates) {
+  const ToyData data = MakeToyData(3000);
+  FairCapOptions best_only;
+  best_only.apriori.min_support_fraction = 0.3;
+  best_only.lattice.max_predicates = 1;
+  best_only.num_threads = 1;
+  FairCapOptions keep_all = best_only;
+  keep_all.keep_all_treatments = true;
+
+  auto solver_best =
+      FairCap::Create(&data.df, &data.dag, data.protected_pattern, best_only);
+  auto solver_all =
+      FairCap::Create(&data.df, &data.dag, data.protected_pattern, keep_all);
+  ASSERT_TRUE(solver_best.ok() && solver_all.ok());
+  const auto groups = solver_best->MineGroupingPatterns();
+  ASSERT_TRUE(groups.ok());
+  const auto cand_best = solver_best->MineCandidateRules(*groups);
+  const auto cand_all = solver_all->MineCandidateRules(*groups);
+  ASSERT_TRUE(cand_best.ok() && cand_all.ok());
+  EXPECT_GT(cand_all->size(), cand_best->size());
+  // Best-only: at most one rule per grouping pattern.
+  EXPECT_LE(cand_best->size(), groups->size());
+}
+
+TEST(PipelineOptionsTest, IpwEstimatorRunsThroughPipeline) {
+  const ToyData data = MakeToyData(3000);
+  FairCapOptions options;
+  options.apriori.min_support_fraction = 0.3;
+  options.lattice.max_predicates = 1;
+  options.num_threads = 1;
+  options.cate.method = CateMethod::kIpw;
+  const auto result =
+      FairCap::Create(&data.df, &data.dag, data.protected_pattern, options)
+          ->Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->rules.empty());
+  // The planted T1=b effect (~8.4 overall) should be visible via IPW too.
+  EXPECT_GT(result->stats.exp_utility, 3.0);
+}
+
+TEST(PipelineOptionsTest, DiscretizedNumericGroupingAttribute) {
+  // Numeric immutable attribute -> discretize -> it participates in
+  // grouping patterns.
+  auto schema = Schema::Create({
+      {"age", AttrType::kNumeric, AttrRole::kImmutable},
+      {"T", AttrType::kCategorical, AttrRole::kMutable},
+      {"O", AttrType::kNumeric, AttrRole::kOutcome},
+  });
+  DataFrame raw = DataFrame::Create(std::move(schema).ValueOrDie());
+  Rng rng(12);
+  for (int i = 0; i < 2000; ++i) {
+    const double age = rng.NextUniform(20.0, 60.0);
+    const bool t = rng.NextBernoulli(0.5);
+    const double o = age * 0.1 + (t ? 5.0 : 0.0) + rng.NextGaussian();
+    ASSERT_TRUE(raw.AppendRow({Value(age), Value(t ? "1" : "0"), Value(o)})
+                    .ok());
+  }
+  const auto binned_result = DiscretizeColumn(raw, "age");
+  ASSERT_TRUE(binned_result.ok());
+  const DataFrame df = std::move(binned_result).ValueOrDie();
+  const CausalDag dag =
+      CausalDag::Create({"age", "T", "O"}, {{"age", "O"}, {"T", "O"}})
+          .ValueOrDie();
+  const size_t t_attr = *df.schema().IndexOf("T");
+  FairCapOptions options;
+  options.apriori.min_support_fraction = 0.2;
+  options.lattice.max_predicates = 1;
+  options.num_threads = 1;
+  auto solver = FairCap::Create(
+      &df, &dag, Pattern({Predicate(t_attr, CompareOp::kEq, Value("0"))}),
+      options);
+  ASSERT_TRUE(solver.ok());
+  const auto groups = solver->MineGroupingPatterns();
+  ASSERT_TRUE(groups.ok());
+  bool age_pattern_found = false;
+  const size_t age_attr = *df.schema().IndexOf("age");
+  for (const auto& g : *groups) {
+    if (g.pattern.ConstrainsAttr(age_attr)) age_pattern_found = true;
+  }
+  EXPECT_TRUE(age_pattern_found);
+}
+
+TEST(PipelineOptionsTest, DagPruningToggle) {
+  // A mutable attribute disconnected from the outcome is pruned when the
+  // toggle is on and kept when off.
+  auto schema = Schema::Create({
+      {"G", AttrType::kCategorical, AttrRole::kImmutable},
+      {"T", AttrType::kCategorical, AttrRole::kMutable},
+      {"Noise", AttrType::kCategorical, AttrRole::kMutable},
+      {"O", AttrType::kNumeric, AttrRole::kOutcome},
+  });
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(df.AppendRow({Value("g"), Value(rng.NextBernoulli(0.5) ? "1" : "0"),
+                              Value(rng.NextBernoulli(0.5) ? "a" : "b"),
+                              Value(rng.NextGaussian())})
+                    .ok());
+  }
+  const CausalDag dag =
+      CausalDag::Create({"G", "T", "Noise", "O"}, {{"T", "O"}, {"G", "O"}})
+          .ValueOrDie();
+  const size_t g = *df.schema().IndexOf("G");
+  const Pattern protected_pattern(
+      {Predicate(g, CompareOp::kEq, Value("g"))});
+
+  FairCapOptions pruned;
+  pruned.num_threads = 1;
+  FairCapOptions unpruned = pruned;
+  unpruned.prune_non_causal_attrs = false;
+
+  const auto s1 = FairCap::Create(&df, &dag, protected_pattern, pruned);
+  const auto s2 = FairCap::Create(&df, &dag, protected_pattern, unpruned);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_EQ(s1->mutable_attrs().size(), 1u);  // only T
+  EXPECT_EQ(s2->mutable_attrs().size(), 2u);  // T and Noise
+}
+
+}  // namespace
+}  // namespace faircap

@@ -1,0 +1,99 @@
+#include "mining/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace faircap {
+namespace {
+
+DataFrame Frame() {
+  auto schema = Schema::Create({
+      {"color", AttrType::kCategorical, AttrRole::kImmutable},
+      {"size", AttrType::kNumeric, AttrRole::kImmutable},
+  });
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  EXPECT_TRUE(df.AppendRow({Value("red"), Value(1.0)}).ok());
+  EXPECT_TRUE(df.AppendRow({Value("blue"), Value(2.0)}).ok());
+  EXPECT_TRUE(df.AppendRow({Value("red"), Value(3.0)}).ok());
+  EXPECT_TRUE(df.AppendRow({Value::Null(), Value::Null()}).ok());
+  return df;
+}
+
+TEST(PredicateTest, EqualityOnCategorical) {
+  const DataFrame df = Frame();
+  const Predicate p(0, CompareOp::kEq, Value("red"));
+  EXPECT_TRUE(p.Validate(df).ok());
+  const Bitmap mask = p.Evaluate(df);
+  EXPECT_EQ(mask.Count(), 2u);
+  EXPECT_TRUE(mask.Get(0));
+  EXPECT_TRUE(mask.Get(2));
+  EXPECT_TRUE(p.Matches(df, 0));
+  EXPECT_FALSE(p.Matches(df, 1));
+}
+
+TEST(PredicateTest, InequalityOnCategoricalExcludesNulls) {
+  const DataFrame df = Frame();
+  const Predicate p(0, CompareOp::kNe, Value("red"));
+  const Bitmap mask = p.Evaluate(df);
+  EXPECT_EQ(mask.Count(), 1u);  // only "blue"; null row excluded
+  EXPECT_TRUE(mask.Get(1));
+}
+
+TEST(PredicateTest, UnknownCategoryMatchesNothingUnderEq) {
+  const DataFrame df = Frame();
+  const Predicate p(0, CompareOp::kEq, Value("green"));
+  EXPECT_EQ(p.Evaluate(df).Count(), 0u);
+}
+
+TEST(PredicateTest, UnknownCategoryMatchesAllNonNullUnderNe) {
+  const DataFrame df = Frame();
+  const Predicate p(0, CompareOp::kNe, Value("green"));
+  EXPECT_EQ(p.Evaluate(df).Count(), 3u);
+}
+
+TEST(PredicateTest, OrderedOpsOnNumeric) {
+  const DataFrame df = Frame();
+  EXPECT_EQ(Predicate(1, CompareOp::kLt, Value(2.0)).Evaluate(df).Count(), 1u);
+  EXPECT_EQ(Predicate(1, CompareOp::kLe, Value(2.0)).Evaluate(df).Count(), 2u);
+  EXPECT_EQ(Predicate(1, CompareOp::kGt, Value(1.0)).Evaluate(df).Count(), 2u);
+  EXPECT_EQ(Predicate(1, CompareOp::kGe, Value(1.0)).Evaluate(df).Count(), 3u);
+  EXPECT_EQ(Predicate(1, CompareOp::kEq, Value(3.0)).Evaluate(df).Count(), 1u);
+  EXPECT_EQ(Predicate(1, CompareOp::kNe, Value(3.0)).Evaluate(df).Count(), 2u);
+}
+
+TEST(PredicateTest, NullCellsNeverMatch) {
+  const DataFrame df = Frame();
+  EXPECT_FALSE(Predicate(1, CompareOp::kGe, Value(0.0)).Matches(df, 3));
+  EXPECT_FALSE(Predicate(0, CompareOp::kNe, Value("red")).Matches(df, 3));
+}
+
+TEST(PredicateTest, ValidateRejectsBadShapes) {
+  const DataFrame df = Frame();
+  // Ordered op on categorical.
+  EXPECT_FALSE(Predicate(0, CompareOp::kLt, Value("red")).Validate(df).ok());
+  // Type mismatch.
+  EXPECT_FALSE(Predicate(0, CompareOp::kEq, Value(1.0)).Validate(df).ok());
+  EXPECT_FALSE(Predicate(1, CompareOp::kEq, Value("x")).Validate(df).ok());
+  // Null constant.
+  EXPECT_FALSE(Predicate(0, CompareOp::kEq, Value::Null()).Validate(df).ok());
+  // Out-of-range attribute.
+  EXPECT_FALSE(Predicate(9, CompareOp::kEq, Value("x")).Validate(df).ok());
+}
+
+TEST(PredicateTest, ToStringRendering) {
+  const DataFrame df = Frame();
+  EXPECT_EQ(Predicate(0, CompareOp::kEq, Value("red")).ToString(df.schema()),
+            "color = red");
+  EXPECT_EQ(Predicate(1, CompareOp::kGe, Value(2.0)).ToString(df.schema()),
+            "size >= 2");
+}
+
+TEST(PredicateTest, OrderingIsDeterministic) {
+  const Predicate a(0, CompareOp::kEq, Value("a"));
+  const Predicate b(1, CompareOp::kEq, Value("a"));
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_TRUE(a == Predicate(0, CompareOp::kEq, Value("a")));
+}
+
+}  // namespace
+}  // namespace faircap

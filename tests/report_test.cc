@@ -1,0 +1,96 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "test_data.h"
+
+namespace faircap {
+namespace {
+
+FairCapResult SmallResult(const ToyData& data) {
+  FairCapOptions options;
+  options.apriori.min_support_fraction = 0.3;
+  options.lattice.max_predicates = 1;
+  options.num_threads = 1;
+  auto solver =
+      FairCap::Create(&data.df, &data.dag, data.protected_pattern, options);
+  return std::move(solver->Run()).ValueOrDie();
+}
+
+TEST(ReportTest, PatternJsonShape) {
+  const ToyData data = MakeToyData(200);
+  const size_t group = *data.df.schema().IndexOf("Group");
+  const Pattern p({Predicate(group, CompareOp::kEq, Value("g1"))});
+  EXPECT_EQ(PatternToJson(p, data.df.schema()),
+            "[{\"attr\":\"Group\",\"op\":\"=\",\"value\":\"g1\"}]");
+  EXPECT_EQ(PatternToJson(Pattern::Empty(), data.df.schema()), "[]");
+}
+
+TEST(ReportTest, NumericValuesUnquotedStringsEscaped) {
+  auto schema = Schema::Create({
+                                   {"x\"y", AttrType::kNumeric,
+                                    AttrRole::kImmutable},
+                               })
+                    .ValueOrDie();
+  const Pattern p({Predicate(0, CompareOp::kGe, Value(2.5))});
+  const std::string json = PatternToJson(p, schema);
+  EXPECT_NE(json.find("\"value\":2.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("x\\\"y"), std::string::npos) << json;
+}
+
+TEST(ReportTest, ResultJsonContainsAllSections) {
+  const ToyData data = MakeToyData(2000);
+  const FairCapResult result = SmallResult(data);
+  const std::string json = ResultToJson(result, data.df.schema());
+  for (const char* key :
+       {"\"stats\":", "\"timings\":", "\"rules\":", "\"exp_utility\":",
+        "\"constraints_satisfied\":", "\"unfairness\":",
+        "\"coverage_fraction\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // Rule count in JSON matches the result.
+  size_t count = 0;
+  for (size_t pos = 0; (pos = json.find("\"grouping\":", pos)) !=
+                       std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, result.rules.size());
+}
+
+TEST(ReportTest, BalancedBracesSmokeCheck) {
+  const ToyData data = MakeToyData(1000);
+  const std::string json = ResultToJson(SmallResult(data), data.df.schema());
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(ReportTest, WriteToFile) {
+  const ToyData data = MakeToyData(500);
+  const FairCapResult result = SmallResult(data);
+  const std::string path = testing::TempDir() + "/faircap_report.json";
+  ASSERT_TRUE(WriteResultJson(result, data.df.schema(), path).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, ResultToJson(result, data.df.schema()) + "\n");
+  std::remove(path.c_str());
+  EXPECT_FALSE(
+      WriteResultJson(result, data.df.schema(), "/nonexistent/x.json").ok());
+}
+
+}  // namespace
+}  // namespace faircap

@@ -1,0 +1,137 @@
+#include "core/ruleset.h"
+
+#include <gtest/gtest.h>
+
+namespace faircap {
+namespace {
+
+// Builds a rule over a 10-row universe covering [begin, end).
+PrescriptionRule MakeRule(size_t begin, size_t end, double utility,
+                          double utility_p, double utility_np,
+                          const Bitmap& protected_mask) {
+  PrescriptionRule rule;
+  rule.coverage = Bitmap(protected_mask.size());
+  for (size_t i = begin; i < end; ++i) rule.coverage.Set(i);
+  rule.coverage_protected = rule.coverage & protected_mask;
+  rule.support = rule.coverage.Count();
+  rule.support_protected = rule.coverage_protected.Count();
+  rule.utility = utility;
+  rule.utility_protected = utility_p;
+  rule.utility_nonprotected = utility_np;
+  return rule;
+}
+
+// Protected rows: 0..4; non-protected: 5..9.
+Bitmap ProtectedMask() {
+  Bitmap mask(10);
+  for (size_t i = 0; i < 5; ++i) mask.Set(i);
+  return mask;
+}
+
+TEST(RulesetStatsTest, EmptyRuleset) {
+  const Bitmap mask = ProtectedMask();
+  const RulesetStats stats = ComputeRulesetStats({}, {}, mask);
+  EXPECT_EQ(stats.num_rules, 0u);
+  EXPECT_EQ(stats.covered, 0u);
+  EXPECT_DOUBLE_EQ(stats.exp_utility, 0.0);
+  EXPECT_DOUBLE_EQ(stats.exp_utility_protected, 0.0);
+  EXPECT_DOUBLE_EQ(stats.unfairness, 0.0);
+  EXPECT_EQ(stats.population, 10u);
+  EXPECT_EQ(stats.population_protected, 5u);
+}
+
+TEST(RulesetStatsTest, SingleRuleFullCoverage) {
+  const Bitmap mask = ProtectedMask();
+  const std::vector<PrescriptionRule> rules = {
+      MakeRule(0, 10, 100.0, 40.0, 120.0, mask)};
+  const RulesetStats stats = ComputeRulesetStats(rules, mask);
+  EXPECT_EQ(stats.num_rules, 1u);
+  EXPECT_EQ(stats.covered, 10u);
+  EXPECT_EQ(stats.covered_protected, 5u);
+  EXPECT_DOUBLE_EQ(stats.coverage_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(stats.coverage_protected_fraction, 1.0);
+  // Eq. (5): 10 tuples * 100 / |D|=10.
+  EXPECT_DOUBLE_EQ(stats.exp_utility, 100.0);
+  // Protected tuples get utility_p; non-protected get utility_np.
+  EXPECT_DOUBLE_EQ(stats.exp_utility_protected, 40.0);
+  EXPECT_DOUBLE_EQ(stats.exp_utility_nonprotected, 120.0);
+  EXPECT_DOUBLE_EQ(stats.unfairness, 80.0);
+}
+
+TEST(RulesetStatsTest, OverallUtilityNormalizedByPopulation) {
+  // Rule covers half the rows: Eq. (5) divides by |D| not by coverage.
+  const Bitmap mask = ProtectedMask();
+  const std::vector<PrescriptionRule> rules = {
+      MakeRule(0, 5, 100.0, 100.0, 100.0, mask)};
+  const RulesetStats stats = ComputeRulesetStats(rules, mask);
+  EXPECT_DOUBLE_EQ(stats.exp_utility, 50.0);  // 5 * 100 / 10
+  // Protected normalization is by covered-protected count (all 5).
+  EXPECT_DOUBLE_EQ(stats.exp_utility_protected, 100.0);
+  // No non-protected tuples covered.
+  EXPECT_DOUBLE_EQ(stats.exp_utility_nonprotected, 0.0);
+}
+
+TEST(RulesetStatsTest, OverlappingRulesMaxForOverallMinForProtected) {
+  const Bitmap mask = ProtectedMask();
+  // Two rules covering everything with different utilities.
+  const std::vector<PrescriptionRule> rules = {
+      MakeRule(0, 10, 100.0, 30.0, 110.0, mask),
+      MakeRule(0, 10, 80.0, 60.0, 90.0, mask)};
+  const RulesetStats stats = ComputeRulesetStats(rules, mask);
+  // Overall: every tuple takes max(100, 80) = 100.
+  EXPECT_DOUBLE_EQ(stats.exp_utility, 100.0);
+  // Protected worst-case: min(30, 60) = 30.
+  EXPECT_DOUBLE_EQ(stats.exp_utility_protected, 30.0);
+  // Non-protected best-case: max(110, 90) = 110.
+  EXPECT_DOUBLE_EQ(stats.exp_utility_nonprotected, 110.0);
+  EXPECT_DOUBLE_EQ(stats.unfairness, 80.0);
+}
+
+TEST(RulesetStatsTest, DisjointRules) {
+  const Bitmap mask = ProtectedMask();
+  // One rule on protected half, one on non-protected half.
+  const std::vector<PrescriptionRule> rules = {
+      MakeRule(0, 5, 50.0, 50.0, 0.0, mask),
+      MakeRule(5, 10, 70.0, 0.0, 70.0, mask)};
+  const RulesetStats stats = ComputeRulesetStats(rules, mask);
+  EXPECT_DOUBLE_EQ(stats.exp_utility, (5 * 50.0 + 5 * 70.0) / 10.0);
+  EXPECT_DOUBLE_EQ(stats.exp_utility_protected, 50.0);
+  EXPECT_DOUBLE_EQ(stats.exp_utility_nonprotected, 70.0);
+  EXPECT_DOUBLE_EQ(stats.unfairness, 20.0);
+}
+
+TEST(RulesetStatsTest, SelectedSubsetOnly) {
+  const Bitmap mask = ProtectedMask();
+  const std::vector<PrescriptionRule> candidates = {
+      MakeRule(0, 10, 100.0, 100.0, 100.0, mask),
+      MakeRule(0, 10, 999.0, 999.0, 999.0, mask)};
+  const RulesetStats stats = ComputeRulesetStats(candidates, {0}, mask);
+  EXPECT_EQ(stats.num_rules, 1u);
+  EXPECT_DOUBLE_EQ(stats.exp_utility, 100.0);
+}
+
+TEST(RulesetStatsTest, NegativeUnfairnessWhenProtectedDoBetter) {
+  const Bitmap mask = ProtectedMask();
+  const std::vector<PrescriptionRule> rules = {
+      MakeRule(0, 10, 50.0, 80.0, 40.0, mask)};
+  const RulesetStats stats = ComputeRulesetStats(rules, mask);
+  EXPECT_DOUBLE_EQ(stats.unfairness, -40.0);
+}
+
+TEST(RulesetObjectiveTest, TradesSizeAgainstUtility) {
+  RulesetStats small;
+  small.num_rules = 1;
+  small.exp_utility = 10.0;
+  RulesetStats big;
+  big.num_rules = 5;
+  big.exp_utility = 12.0;
+  // With a strong size penalty, the small set wins.
+  EXPECT_GT(RulesetObjective(small, 10, 1.0, 1.0),
+            RulesetObjective(big, 10, 1.0, 1.0));
+  // With utility-only weighting, the big set wins.
+  EXPECT_LT(RulesetObjective(small, 10, 0.0, 1.0),
+            RulesetObjective(big, 10, 0.0, 1.0));
+}
+
+}  // namespace
+}  // namespace faircap

@@ -1,0 +1,75 @@
+#include "dataframe/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace faircap {
+namespace {
+
+std::vector<AttributeSpec> BasicSpecs() {
+  return {
+      {"age", AttrType::kCategorical, AttrRole::kImmutable},
+      {"role", AttrType::kCategorical, AttrRole::kMutable},
+      {"salary", AttrType::kNumeric, AttrRole::kOutcome},
+  };
+}
+
+TEST(SchemaTest, CreateAndLookup) {
+  const auto schema = Schema::Create(BasicSpecs());
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_attributes(), 3u);
+  EXPECT_EQ(*schema->IndexOf("role"), 1u);
+  EXPECT_TRUE(schema->Contains("salary"));
+  EXPECT_FALSE(schema->Contains("bogus"));
+  EXPECT_FALSE(schema->IndexOf("bogus").ok());
+}
+
+TEST(SchemaTest, OutcomeIndex) {
+  const auto schema = Schema::Create(BasicSpecs());
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(*schema->OutcomeIndex(), 2u);
+}
+
+TEST(SchemaTest, MissingOutcomeIsNotFound) {
+  const auto schema = Schema::Create(
+      {{"a", AttrType::kCategorical, AttrRole::kImmutable}});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->OutcomeIndex().status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, RejectsDuplicateNames) {
+  const auto schema = Schema::Create(
+      {{"a", AttrType::kCategorical, AttrRole::kImmutable},
+       {"a", AttrType::kCategorical, AttrRole::kMutable}});
+  EXPECT_EQ(schema.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, RejectsEmptyName) {
+  const auto schema =
+      Schema::Create({{"", AttrType::kCategorical, AttrRole::kImmutable}});
+  EXPECT_EQ(schema.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, RejectsMultipleOutcomes) {
+  const auto schema = Schema::Create(
+      {{"o1", AttrType::kNumeric, AttrRole::kOutcome},
+       {"o2", AttrType::kNumeric, AttrRole::kOutcome}});
+  EXPECT_EQ(schema.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, RejectsCategoricalOutcome) {
+  const auto schema = Schema::Create(
+      {{"o", AttrType::kCategorical, AttrRole::kOutcome}});
+  EXPECT_EQ(schema.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, IndicesWithRole) {
+  const auto schema = Schema::Create(BasicSpecs());
+  ASSERT_TRUE(schema.ok());
+  const auto immutable = schema->IndicesWithRole(AttrRole::kImmutable);
+  ASSERT_EQ(immutable.size(), 1u);
+  EXPECT_EQ(immutable[0], 0u);
+  EXPECT_TRUE(schema->IndicesWithRole(AttrRole::kIgnored).empty());
+}
+
+}  // namespace
+}  // namespace faircap

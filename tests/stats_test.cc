@@ -1,0 +1,111 @@
+#include "causal/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace faircap {
+namespace {
+
+TEST(MomentsTest, MeanAndVariance) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Variance({1.0, 2.0, 3.0}), 1.0);
+  EXPECT_TRUE(std::isnan(Mean({})));
+  EXPECT_TRUE(std::isnan(Variance({5.0})));
+}
+
+TEST(CorrelationTest, PerfectAndNone) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+  EXPECT_TRUE(std::isnan(PearsonCorrelation({1, 1, 1}, {1, 2, 3})));
+}
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(GammaQTest, ChiSquareTailKnownValues) {
+  // Chi-square upper tails: P(X^2_1 > 3.841) ~ 0.05.
+  EXPECT_NEAR(ChiSquarePValue(3.841, 1), 0.05, 2e-3);
+  EXPECT_NEAR(ChiSquarePValue(5.991, 2), 0.05, 2e-3);
+  EXPECT_NEAR(ChiSquarePValue(0.0, 3), 1.0, 1e-12);
+  EXPECT_NEAR(ChiSquarePValue(100.0, 1), 0.0, 1e-6);
+  EXPECT_DOUBLE_EQ(ChiSquarePValue(5.0, 0), 1.0);
+}
+
+TEST(ChiSquareIndependenceTest, IndependentTable) {
+  // Perfectly proportional 2x2 table -> statistic 0.
+  const IndependenceTest t = ChiSquareIndependence({20, 30, 40, 60}, 2, 2);
+  ASSERT_TRUE(t.informative);
+  EXPECT_NEAR(t.statistic, 0.0, 1e-9);
+  EXPECT_NEAR(t.p_value, 1.0, 1e-9);
+  EXPECT_EQ(t.dof, 1u);
+}
+
+TEST(ChiSquareIndependenceTest, DependentTable) {
+  const IndependenceTest t = ChiSquareIndependence({50, 0, 0, 50}, 2, 2);
+  ASSERT_TRUE(t.informative);
+  EXPECT_GT(t.statistic, 50.0);
+  EXPECT_LT(t.p_value, 1e-6);
+}
+
+TEST(ChiSquareIndependenceTest, DegenerateTablesUninformative) {
+  // A row with no mass drops dof to 0.
+  const IndependenceTest t = ChiSquareIndependence({10, 20, 0, 0}, 2, 2);
+  EXPECT_FALSE(t.informative);
+  EXPECT_FALSE(ChiSquareIndependence({}, 0, 0).informative);
+}
+
+TEST(ConditionalChiSquareTest, ConditionalIndependenceDetected) {
+  // x and y both driven by stratum s; within each stratum independent.
+  Rng rng(3);
+  std::vector<int32_t> x, y;
+  std::vector<int64_t> s;
+  for (int i = 0; i < 4000; ++i) {
+    const int64_t stratum = static_cast<int64_t>(rng.NextBounded(2));
+    const double bias = stratum == 0 ? 0.2 : 0.8;
+    x.push_back(rng.NextBernoulli(bias) ? 1 : 0);
+    y.push_back(rng.NextBernoulli(bias) ? 1 : 0);
+    s.push_back(stratum);
+  }
+  // Marginally dependent...
+  const IndependenceTest marginal =
+      ConditionalChiSquare(x, 2, y, 2, std::vector<int64_t>(x.size(), 0));
+  ASSERT_TRUE(marginal.informative);
+  EXPECT_LT(marginal.p_value, 0.01);
+  // ...but conditionally independent.
+  const IndependenceTest conditional = ConditionalChiSquare(x, 2, y, 2, s);
+  ASSERT_TRUE(conditional.informative);
+  EXPECT_GT(conditional.p_value, 0.01);
+}
+
+TEST(ConditionalChiSquareTest, SkipsNullCodes) {
+  std::vector<int32_t> x = {0, 1, -1, 0, 1};
+  std::vector<int32_t> y = {0, 1, 0, 0, 1};
+  std::vector<int64_t> s(5, 0);
+  const IndependenceTest t = ConditionalChiSquare(x, 2, y, 2, s);
+  ASSERT_TRUE(t.informative);
+  // Remaining 4 rows are perfectly correlated.
+  EXPECT_LT(t.p_value, 0.2);
+}
+
+TEST(ConditionalChiSquareTest, MismatchedInputsUninformative) {
+  EXPECT_FALSE(
+      ConditionalChiSquare({0, 1}, 2, {0}, 2, {0, 0}).informative);
+  EXPECT_FALSE(
+      ConditionalChiSquare({0, 1}, 1, {0, 1}, 2, {0, 0}).informative);
+}
+
+TEST(FisherZTest, LargeSampleSmallCorrelation) {
+  EXPECT_GT(FisherZPValue(0.01, 100, 0), 0.5);
+  EXPECT_LT(FisherZPValue(0.5, 100, 0), 1e-4);
+  // Too few samples: no power.
+  EXPECT_DOUBLE_EQ(FisherZPValue(0.9, 4, 2), 1.0);
+}
+
+}  // namespace
+}  // namespace faircap

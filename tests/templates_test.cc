@@ -1,0 +1,86 @@
+#include "core/templates.h"
+
+#include <gtest/gtest.h>
+
+namespace faircap {
+namespace {
+
+Schema TestSchema() {
+  return Schema::Create({
+                            {"AgeGroup", AttrType::kCategorical,
+                             AttrRole::kImmutable},
+                            {"Dependents", AttrType::kCategorical,
+                             AttrRole::kImmutable},
+                            {"Role", AttrType::kCategorical,
+                             AttrRole::kMutable},
+                            {"Hours", AttrType::kNumeric, AttrRole::kMutable},
+                            {"Salary", AttrType::kNumeric,
+                             AttrRole::kOutcome},
+                        })
+      .ValueOrDie();
+}
+
+PrescriptionRule ExampleRule() {
+  PrescriptionRule rule;
+  rule.grouping = Pattern({Predicate(0, CompareOp::kEq, Value("25-34")),
+                           Predicate(1, CompareOp::kEq, Value("yes"))});
+  rule.intervention =
+      Pattern({Predicate(2, CompareOp::kEq, Value("frontend"))});
+  rule.utility = 44009.0;
+  rule.utility_protected = 13000.0;
+  rule.utility_nonprotected = 46000.0;
+  rule.support = 1090;
+  return rule;
+}
+
+TEST(TemplatesTest, FullSentence) {
+  TemplateOptions options;
+  options.utility_unit = "$";
+  const std::string text =
+      RuleToNaturalLanguage(ExampleRule(), TestSchema(), options);
+  EXPECT_NE(text.find("For individuals with AgeGroup 25-34 and Dependents "
+                      "yes"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("set Role to frontend"), std::string::npos);
+  EXPECT_NE(text.find("$44009"), std::string::npos);
+  EXPECT_NE(text.find("protected $13000"), std::string::npos);
+  EXPECT_NE(text.find("1090 individuals"), std::string::npos);
+}
+
+TEST(TemplatesTest, EmptyGroupingSaysForEveryone) {
+  PrescriptionRule rule = ExampleRule();
+  rule.grouping = Pattern::Empty();
+  const std::string text = RuleToNaturalLanguage(rule, TestSchema());
+  EXPECT_EQ(text.rfind("For everyone, ", 0), 0u) << text;
+}
+
+TEST(TemplatesTest, OrderedOpsRenderedAsPhrases) {
+  PrescriptionRule rule;
+  rule.grouping = Pattern({Predicate(0, CompareOp::kNe, Value("45+"))});
+  rule.intervention = Pattern({Predicate(3, CompareOp::kGe, Value(9.0))});
+  rule.utility = 1.0;
+  const std::string text = RuleToNaturalLanguage(rule, TestSchema());
+  EXPECT_NE(text.find("AgeGroup other than 45+"), std::string::npos) << text;
+  EXPECT_NE(text.find("keep Hours at least 9"), std::string::npos) << text;
+}
+
+TEST(TemplatesTest, OptionsSuppressDetails) {
+  TemplateOptions options;
+  options.include_group_utilities = false;
+  options.include_support = false;
+  const std::string text =
+      RuleToNaturalLanguage(ExampleRule(), TestSchema(), options);
+  EXPECT_EQ(text.find("protected"), std::string::npos);
+  EXPECT_EQ(text.find("individuals)"), std::string::npos);
+}
+
+TEST(TemplatesTest, RulesetIsNumberedList) {
+  const std::vector<PrescriptionRule> rules = {ExampleRule(), ExampleRule()};
+  const std::string text = RulesetToNaturalLanguage(rules, TestSchema());
+  EXPECT_NE(text.find("1. For individuals"), std::string::npos);
+  EXPECT_NE(text.find("2. For individuals"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace faircap

@@ -1,0 +1,191 @@
+// faircap_cli: run FairCap end-to-end on a CSV + DAG file from the shell.
+//
+//   faircap_cli --data=survey.csv --dag=survey.dag --outcome=Salary
+//               --mutable=Education,Role --protected="Gender=female"
+//               [--fairness=group-sp|indi-sp|group-bgl|indi-bgl]
+//               [--fairness-threshold=10000]
+//               [--coverage=group|rule --theta=0.5 --theta-p=0.5]
+//               [--min-support=0.1] [--max-rules=20] [--threads=0]
+//               [--natural-language]
+//
+// The CSV schema is inferred; every attribute not named in --mutable and
+// not the outcome is treated as immutable. The DAG file uses the
+// "A -> B;" dialect of causal/dag_io.h. The protected group is a
+// comma-separated conjunction of attr=value equalities.
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "causal/dag_io.h"
+#include "core/faircap.h"
+#include "core/metrics.h"
+#include "core/templates.h"
+#include "dataframe/csv.h"
+#include "util/string_util.h"
+
+using namespace faircap;
+
+namespace {
+
+struct CliArgs {
+  std::map<std::string, std::string> values;
+
+  static CliArgs Parse(int argc, char** argv) {
+    CliArgs args;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      arg = arg.substr(2);
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        args.values[arg] = "true";
+      } else {
+        args.values[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+    return args;
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : std::atof(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return values.count(key) != 0; }
+};
+
+int Fail(const std::string& message) {
+  std::cerr << "error: " << message << "\n";
+  return 1;
+}
+
+void PrintUsage() {
+  std::cout <<
+      "usage: faircap_cli --data=FILE.csv --dag=FILE.dag --outcome=ATTR \\\n"
+      "                   --mutable=A,B,C --protected=\"Attr=value[,Attr2=v2]\"\n"
+      "optional:\n"
+      "  --fairness=group-sp|indi-sp|group-bgl|indi-bgl\n"
+      "  --fairness-threshold=X      (SP epsilon / BGL tau)\n"
+      "  --coverage=group|rule --theta=0.5 --theta-p=0.5\n"
+      "  --min-support=0.1 --max-rules=20 --max-intervention-predicates=2\n"
+      "  --min-group-size=10 --min-subgroup-arm=5\n"
+      "  --threads=0 --natural-language --unit=$\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args = CliArgs::Parse(argc, argv);
+  if (args.Has("help") || !args.Has("data") || !args.Has("dag") ||
+      !args.Has("outcome") || !args.Has("protected")) {
+    PrintUsage();
+    return args.Has("help") ? 0 : 1;
+  }
+
+  // --- Data -----------------------------------------------------------
+  auto df_result = ReadCsvInferSchema(args.Get("data"));
+  if (!df_result.ok()) return Fail(df_result.status().ToString());
+  DataFrame df = std::move(df_result).ValueOrDie();
+
+  // Roles: outcome, mutable list, everything else immutable.
+  Status st = df.SetRole(args.Get("outcome"), AttrRole::kOutcome);
+  if (!st.ok()) return Fail(st.ToString());
+  for (const std::string& name : Split(args.Get("mutable"), ',')) {
+    const std::string trimmed = std::string(Trim(name));
+    if (trimmed.empty()) continue;
+    st = df.SetRole(trimmed, AttrRole::kMutable);
+    if (!st.ok()) return Fail(st.ToString());
+  }
+
+  // --- DAG -------------------------------------------------------------
+  auto dag_result = ReadDagFile(args.Get("dag"));
+  if (!dag_result.ok()) return Fail(dag_result.status().ToString());
+  const CausalDag dag = std::move(dag_result).ValueOrDie();
+
+  // --- Protected pattern ------------------------------------------------
+  std::vector<Predicate> predicates;
+  for (const std::string& clause : Split(args.Get("protected"), ',')) {
+    const size_t eq = clause.find('=');
+    if (eq == std::string::npos) {
+      return Fail("malformed --protected clause '" + clause + "'");
+    }
+    const std::string attr = std::string(Trim(clause.substr(0, eq)));
+    const std::string value = std::string(Trim(clause.substr(eq + 1)));
+    const auto idx = df.schema().IndexOf(attr);
+    if (!idx.ok()) return Fail(idx.status().ToString());
+    predicates.emplace_back(*idx, CompareOp::kEq, Value(value));
+  }
+  const Pattern protected_pattern(std::move(predicates));
+
+  // --- Options ----------------------------------------------------------
+  FairCapOptions options;
+  options.apriori.min_support_fraction = args.GetDouble("min-support", 0.1);
+  options.lattice.max_predicates = static_cast<size_t>(
+      args.GetDouble("max-intervention-predicates", 2));
+  options.greedy.max_rules =
+      static_cast<size_t>(args.GetDouble("max-rules", 20));
+  options.num_threads = static_cast<size_t>(args.GetDouble("threads", 0));
+  options.cate.min_group_size =
+      static_cast<size_t>(args.GetDouble("min-group-size", 10));
+  options.min_subgroup_arm = static_cast<size_t>(
+      args.GetDouble("min-subgroup-arm", 5));
+
+  const std::string fairness = args.Get("fairness");
+  const double threshold = args.GetDouble("fairness-threshold", 0.0);
+  if (fairness == "group-sp") {
+    options.fairness = FairnessConstraint::GroupSP(threshold);
+  } else if (fairness == "indi-sp") {
+    options.fairness = FairnessConstraint::IndividualSP(threshold);
+  } else if (fairness == "group-bgl") {
+    options.fairness = FairnessConstraint::GroupBGL(threshold);
+  } else if (fairness == "indi-bgl") {
+    options.fairness = FairnessConstraint::IndividualBGL(threshold);
+  } else if (!fairness.empty()) {
+    return Fail("unknown --fairness '" + fairness + "'");
+  }
+
+  const std::string coverage = args.Get("coverage");
+  const double theta = args.GetDouble("theta", 0.5);
+  const double theta_p = args.GetDouble("theta-p", theta);
+  if (coverage == "group") {
+    options.coverage = CoverageConstraint::Group(theta, theta_p);
+  } else if (coverage == "rule") {
+    options.coverage = CoverageConstraint::Rule(theta, theta_p);
+  } else if (!coverage.empty()) {
+    return Fail("unknown --coverage '" + coverage + "'");
+  }
+
+  // --- Run ---------------------------------------------------------------
+  auto solver = FairCap::Create(&df, &dag, protected_pattern, options);
+  if (!solver.ok()) return Fail(solver.status().ToString());
+  auto result = solver->Run();
+  if (!result.ok()) return Fail(result.status().ToString());
+
+  std::cout << "data: " << args.Get("data") << " (" << df.num_rows()
+            << " rows)\nprotected group: " << args.Get("protected") << " ("
+            << solver->protected_mask().Count() << " rows)\nconstraints: "
+            << options.fairness.ToString() << "; "
+            << options.coverage.ToString() << "\n\n";
+
+  PrintMetricsTable(std::cout, "solution",
+                    {{"FairCap", result->stats,
+                      result->timings.total()}},
+                    /*with_runtime=*/true);
+
+  if (args.Has("natural-language")) {
+    TemplateOptions nl;
+    nl.utility_unit = args.Get("unit");
+    std::cout << RulesetToNaturalLanguage(result->rules, df.schema(), nl);
+  } else {
+    for (const auto& rule : result->rules) {
+      std::cout << "  - " << rule.ToString(df.schema()) << "\n";
+    }
+  }
+  return 0;
+}
