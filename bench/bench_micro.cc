@@ -36,12 +36,54 @@ void BM_BitmapAnd(benchmark::State& state) {
 }
 BENCHMARK(BM_BitmapAnd)->Arg(10000)->Arg(100000)->Arg(1000000);
 
-void BM_PatternEvaluate(benchmark::State& state) {
-  const StackOverflowData& data = SharedData();
+Pattern SharedPattern(const StackOverflowData& data) {
   const size_t country = *data.df.schema().IndexOf("Country");
   const size_t age = *data.df.schema().IndexOf("AgeGroup");
-  const Pattern pattern({Predicate(country, CompareOp::kEq, Value("us")),
-                         Predicate(age, CompareOp::kEq, Value("25-34"))});
+  return Pattern({Predicate(country, CompareOp::kEq, Value("us")),
+                  Predicate(age, CompareOp::kEq, Value("25-34"))});
+}
+
+// Naive per-row scan: what every pattern-evaluation call site did before
+// the PredicateIndex engine.
+void BM_PatternEvaluateNaive(benchmark::State& state) {
+  const StackOverflowData& data = SharedData();
+  const Pattern pattern = SharedPattern(data);
+  for (auto _ : state) {
+    Bitmap mask = pattern.EvaluateNaive(data.df);
+    benchmark::DoNotOptimize(mask.Count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.df.num_rows()));
+}
+BENCHMARK(BM_PatternEvaluateNaive);
+
+// The seed's evaluation strategy: a fresh columnar scan per predicate on
+// every call (no memoization). This is the baseline the PredicateIndex
+// speedup in CHANGES.md is measured against.
+void BM_PatternEvaluateColumnarRescan(benchmark::State& state) {
+  const StackOverflowData& data = SharedData();
+  const Pattern pattern = SharedPattern(data);
+  for (auto _ : state) {
+    Bitmap mask = PredicateIndex::Scan(
+        data.df, pattern.predicates()[0].attr, pattern.predicates()[0].op,
+        pattern.predicates()[0].value);
+    mask &= PredicateIndex::Scan(
+        data.df, pattern.predicates()[1].attr, pattern.predicates()[1].op,
+        pattern.predicates()[1].value);
+    benchmark::DoNotOptimize(mask.Count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.df.num_rows()));
+}
+BENCHMARK(BM_PatternEvaluateColumnarRescan);
+
+// Index-backed evaluation (the production path): after the first call the
+// atom and conjunction masks are memoized, so repeated evaluation — the
+// dominant access pattern in steps 2 and 3 — is a hash lookup plus a
+// bitmap copy.
+void BM_PatternEvaluateIndexed(benchmark::State& state) {
+  const StackOverflowData& data = SharedData();
+  const Pattern pattern = SharedPattern(data);
   for (auto _ : state) {
     Bitmap mask = pattern.Evaluate(data.df);
     benchmark::DoNotOptimize(mask.Count());
@@ -49,7 +91,20 @@ void BM_PatternEvaluate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(data.df.num_rows()));
 }
-BENCHMARK(BM_PatternEvaluate);
+BENCHMARK(BM_PatternEvaluateIndexed);
+
+// Zero-copy variant used by TreatedMask and the mining hot loops.
+void BM_PatternEvaluateCachedRef(benchmark::State& state) {
+  const StackOverflowData& data = SharedData();
+  const Pattern pattern = SharedPattern(data);
+  for (auto _ : state) {
+    const Bitmap& mask = pattern.EvaluateCached(data.df);
+    benchmark::DoNotOptimize(mask.Count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.df.num_rows()));
+}
+BENCHMARK(BM_PatternEvaluateCachedRef);
 
 void BM_Apriori(benchmark::State& state) {
   const StackOverflowData& data = SharedData();

@@ -78,15 +78,7 @@ Result<std::vector<size_t>> CateEstimator::AdjustmentAttrs(
 }
 
 const Bitmap& CateEstimator::TreatedMask(const Pattern& intervention) const {
-  const std::string key = intervention.Key();
-  {
-    std::lock_guard<std::mutex> lock(*mu_);
-    const auto it = treated_cache_.find(key);
-    if (it != treated_cache_.end()) return it->second;
-  }
-  Bitmap mask = intervention.Evaluate(*df_);
-  std::lock_guard<std::mutex> lock(*mu_);
-  return treated_cache_.emplace(key, std::move(mask)).first->second;
+  return intervention.EvaluateCached(*df_);
 }
 
 Result<CateEstimate> CateEstimator::Estimate(const Pattern& intervention,

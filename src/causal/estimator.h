@@ -93,8 +93,9 @@ class CateEstimator {
   Result<std::vector<size_t>> AdjustmentAttrs(
       const Pattern& intervention) const;
 
-  /// Bitmap of rows satisfying `intervention` over the full DataFrame
-  /// (cached across calls).
+  /// Bitmap of rows satisfying `intervention` over the full DataFrame,
+  /// served from the DataFrame's shared PredicateIndex (memoized across
+  /// calls, call sites, and estimators over the same table).
   const Bitmap& TreatedMask(const Pattern& intervention) const;
 
   const DataFrame& data() const { return *df_; }
@@ -126,10 +127,11 @@ class CateEstimator {
   size_t outcome_node_;
 
   // Behind unique_ptr so the estimator stays movable (mutex is not).
+  // Treatment masks are NOT cached here: they come from the DataFrame's
+  // PredicateIndex, shared with the mining layer.
   std::unique_ptr<std::mutex> mu_;
   mutable std::unordered_map<std::string, std::vector<size_t>>
       adjustment_cache_;
-  mutable std::unordered_map<std::string, Bitmap> treated_cache_;
 };
 
 }  // namespace faircap

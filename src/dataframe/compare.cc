@@ -1,0 +1,17 @@
+#include "dataframe/compare.h"
+
+namespace faircap {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+}  // namespace faircap

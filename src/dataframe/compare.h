@@ -1,0 +1,33 @@
+// Comparison operators for row-selection atoms (`attribute op constant`).
+// Lives in the dataframe layer so the PredicateIndex evaluation engine and
+// the mining layer's Predicate share one vocabulary.
+
+#ifndef FAIRCAP_DATAFRAME_COMPARE_H_
+#define FAIRCAP_DATAFRAME_COMPARE_H_
+
+namespace faircap {
+
+/// Comparison operator in a predicate.
+enum class CompareOp { kEq, kNe, kLt, kGt, kLe, kGe };
+
+/// Renders e.g. "=", "!=", "<".
+const char* CompareOpName(CompareOp op);
+
+/// Scalar comparison under `op`. NaN operands compare false except under
+/// kNe (IEEE semantics); callers that want SQL null semantics must filter
+/// nulls before comparing.
+inline bool CompareNumeric(double lhs, CompareOp op, double rhs) {
+  switch (op) {
+    case CompareOp::kEq: return lhs == rhs;
+    case CompareOp::kNe: return lhs != rhs;
+    case CompareOp::kLt: return lhs < rhs;
+    case CompareOp::kGt: return lhs > rhs;
+    case CompareOp::kLe: return lhs <= rhs;
+    case CompareOp::kGe: return lhs >= rhs;
+  }
+  return false;
+}
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_DATAFRAME_COMPARE_H_

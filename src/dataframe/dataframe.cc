@@ -4,7 +4,46 @@
 #include <cassert>
 #include <cmath>
 
+#include "dataframe/predicate_index.h"
+
 namespace faircap {
+
+DataFrame::DataFrame() : index_(std::make_unique<PredicateIndex>()) {}
+
+DataFrame::~DataFrame() = default;
+
+DataFrame::DataFrame(const DataFrame& other)
+    : schema_(other.schema_),
+      columns_(other.columns_),
+      num_rows_(other.num_rows_),
+      index_(std::make_unique<PredicateIndex>()) {}
+
+DataFrame& DataFrame::operator=(const DataFrame& other) {
+  if (this != &other) {
+    schema_ = other.schema_;
+    columns_ = other.columns_;
+    num_rows_ = other.num_rows_;
+    InvalidateIndex();  // null-safe: the destination may be moved-from
+  }
+  return *this;
+}
+
+// Moves keep the warm index: the masks describe row contents, which move
+// along unchanged.
+DataFrame::DataFrame(DataFrame&& other) noexcept = default;
+
+DataFrame& DataFrame::operator=(DataFrame&& other) noexcept = default;
+
+void DataFrame::InvalidateIndex() {
+  if (index_ != nullptr) index_->Clear();
+}
+
+PredicateIndex& DataFrame::predicate_index() const {
+  // Only a moved-from table lacks an index; rebuilding here keeps such
+  // objects safe to reuse (single-threaded by definition at that point).
+  if (index_ == nullptr) index_ = std::make_unique<PredicateIndex>();
+  return *index_;
+}
 
 DataFrame DataFrame::Create(Schema schema) {
   DataFrame df;
@@ -42,6 +81,7 @@ Status DataFrame::AppendRow(const std::vector<Value>& values) {
     (void)st;
   }
   ++num_rows_;
+  InvalidateIndex();
   return Status::OK();
 }
 

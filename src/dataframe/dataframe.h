@@ -5,6 +5,7 @@
 #ifndef FAIRCAP_DATAFRAME_DATAFRAME_H_
 #define FAIRCAP_DATAFRAME_DATAFRAME_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,10 +18,17 @@
 
 namespace faircap {
 
+class PredicateIndex;  // dataframe/predicate_index.h
+
 /// In-memory single-relation table.
 class DataFrame {
  public:
-  DataFrame() = default;
+  DataFrame();
+  ~DataFrame();
+  DataFrame(const DataFrame& other);             ///< starts with a cold index
+  DataFrame& operator=(const DataFrame& other);  ///< starts with a cold index
+  DataFrame(DataFrame&& other) noexcept;         ///< keeps the warm index
+  DataFrame& operator=(DataFrame&& other) noexcept;
 
   /// Creates an empty table with the given schema.
   static DataFrame Create(Schema schema);
@@ -30,7 +38,16 @@ class DataFrame {
   size_t num_columns() const { return columns_.size(); }
 
   const Column& column(size_t i) const { return columns_[i]; }
-  Column& column_mutable(size_t i) { return columns_[i]; }
+  /// Mutable access invalidates the predicate index (values may change).
+  Column& column_mutable(size_t i) {
+    InvalidateIndex();
+    return columns_[i];
+  }
+
+  /// The shared predicate-evaluation engine over this table. Pattern and
+  /// predicate evaluation route through it; masks are memoized until the
+  /// next row mutation. Thread-safe for concurrent evaluation.
+  PredicateIndex& predicate_index() const;
 
   /// Column by attribute name.
   Result<const Column*> ColumnByName(const std::string& name) const;
@@ -69,9 +86,14 @@ class DataFrame {
   void Reserve(size_t n);
 
  private:
+  /// Drops all cached predicate masks (row data changed).
+  void InvalidateIndex();
+
   Schema schema_;
   std::vector<Column> columns_;
   size_t num_rows_ = 0;
+  /// Always non-null; mutable so const evaluation paths can memoize.
+  mutable std::unique_ptr<PredicateIndex> index_;
 };
 
 }  // namespace faircap

@@ -1,0 +1,258 @@
+#include "dataframe/predicate_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "dataframe/dataframe.h"
+
+namespace faircap {
+
+namespace {
+
+// Canonical byte key for an atom. Doubles are keyed by bit pattern so the
+// key is exact (distinct NaN payloads or signed zeros may alias to
+// separate, individually-correct entries).
+std::string AtomKey(size_t attr, CompareOp op, const Value& value) {
+  std::string key;
+  key.reserve(16 + (value.is_string() ? value.str().size() : 8));
+  key += std::to_string(attr);
+  key += static_cast<char>('0' + static_cast<int>(op));
+  if (value.is_string()) {
+    key += 's';
+    key += value.str();
+  } else if (value.is_numeric()) {
+    key += 'n';
+    const double v = value.numeric();
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    key.append(reinterpret_cast<const char*>(&bits), sizeof(bits));
+  } else {
+    key += '0';
+  }
+  return key;
+}
+
+std::string ConjunctionKey(const std::vector<uint32_t>& ids) {
+  std::string key;
+  key.reserve(ids.size() * sizeof(uint32_t));
+  for (uint32_t id : ids) {
+    key.append(reinterpret_cast<const char*>(&id), sizeof(id));
+  }
+  return key;
+}
+
+}  // namespace
+
+Bitmap PredicateIndex::Scan(const DataFrame& df, size_t attr, CompareOp op,
+                            const Value& value) {
+  Bitmap out(df.num_rows());
+  const Column& col = df.column(attr);
+  if (col.type() == AttrType::kCategorical) {
+    const Result<int32_t> code_result = col.CodeOf(value.str());
+    if (!code_result.ok()) {
+      // A category absent from the dictionary matches nothing under kEq
+      // and everything non-null under kNe.
+      if (op == CompareOp::kNe) {
+        for (size_t row = 0; row < df.num_rows(); ++row) {
+          if (!col.IsNull(row)) out.Set(row);
+        }
+      }
+      return out;
+    }
+    const int32_t code = *code_result;
+    if (op == CompareOp::kEq) {
+      for (size_t row = 0; row < df.num_rows(); ++row) {
+        if (col.code(row) == code) out.Set(row);
+      }
+    } else {
+      for (size_t row = 0; row < df.num_rows(); ++row) {
+        const int32_t c = col.code(row);
+        if (c != Column::kNullCode && c != code) out.Set(row);
+      }
+    }
+    return out;
+  }
+  const double rhs = value.numeric();
+  for (size_t row = 0; row < df.num_rows(); ++row) {
+    const double v = col.numeric(row);
+    if (!std::isnan(v) && CompareNumeric(v, op, rhs)) out.Set(row);
+  }
+  return out;
+}
+
+uint32_t PredicateIndex::EnsureAtom(const DataFrame& df, size_t attr,
+                                    CompareOp op, const Value& value) const {
+  // Batch-materializing sibling category masks pays off only while the
+  // whole set is small; past this cardinality each category gets its own
+  // on-demand scan so rare codes never allocate a mask nobody asked for.
+  constexpr size_t kBatchBuildMaxCategories = 64;
+
+  const std::string key = AtomKey(attr, op, value);
+  const Column& col = df.column(attr);
+  const bool batch = col.type() == AttrType::kCategorical &&
+                     op == CompareOp::kEq && value.is_string() &&
+                     col.num_categories() <= kBatchBuildMaxCategories &&
+                     col.CodeOf(value.str()).ok();
+  // Batch builds cover every sibling category at once, so racing requests
+  // for any category of the column coordinate on one column-level token.
+  const std::string build_token =
+      batch ? "col:" + std::to_string(attr) : key;
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      const auto it = atom_ids_.find(key);
+      if (it != atom_ids_.end()) {
+        ++hits_;
+        return it->second;
+      }
+      if (in_flight_.count(build_token) == 0) {
+        in_flight_.insert(build_token);
+        break;  // this thread builds
+      }
+      build_done_.wait(lock);  // another thread is scanning this atom/column
+    }
+  }
+
+  // Scan outside the lock; concurrent evaluation of other atoms proceeds.
+  std::vector<Bitmap> masks;
+  try {
+    if (batch) {
+      // Materialize every category's equality mask in one columnar pass:
+      // Apriori's level-1 items, lattice atoms, and treatment masks all
+      // ask for sibling categories of the same column.
+      masks.resize(col.num_categories());
+      for (Bitmap& m : masks) m = Bitmap(df.num_rows());
+      for (size_t row = 0; row < df.num_rows(); ++row) {
+        const int32_t c = col.code(row);
+        if (c != Column::kNullCode) masks[static_cast<size_t>(c)].Set(row);
+      }
+    } else {
+      masks.push_back(Scan(df, attr, op, value));
+    }
+  } catch (...) {
+    // Release waiters before propagating (e.g. a type-mismatched Value).
+    std::lock_guard<std::mutex> lock(mu_);
+    in_flight_.erase(build_token);
+    build_done_.notify_all();
+    throw;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++misses_;
+  uint32_t result_id = 0;
+  for (size_t i = 0; i < masks.size(); ++i) {
+    const std::string k =
+        batch ? AtomKey(attr, op,
+                        Value(col.CategoryName(static_cast<int32_t>(i))))
+              : key;
+    const auto it = atom_ids_.find(k);
+    uint32_t id;
+    if (it != atom_ids_.end()) {
+      id = it->second;  // a sibling single-scan got there first; keep it
+    } else {
+      id = static_cast<uint32_t>(atom_masks_.size());
+      atom_masks_.push_back(std::make_unique<Bitmap>(std::move(masks[i])));
+      atom_ids_.emplace(k, id);
+    }
+    if (k == key) result_id = id;
+  }
+  in_flight_.erase(build_token);
+  build_done_.notify_all();
+  return result_id;
+}
+
+const Bitmap& PredicateIndex::AtomMask(const DataFrame& df, size_t attr,
+                                       CompareOp op,
+                                       const Value& value) const {
+  const uint32_t id = EnsureAtom(df, attr, op, value);
+  std::lock_guard<std::mutex> lock(mu_);
+  return *atom_masks_[id];
+}
+
+const Bitmap& PredicateIndex::AllRowsMask(const DataFrame& df) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (all_rows_ == nullptr ||
+      all_rows_->size() != df.num_rows()) {
+    all_rows_ = std::make_unique<Bitmap>(df.num_rows(), /*value=*/true);
+  }
+  return *all_rows_;
+}
+
+const Bitmap& PredicateIndex::ConjunctionMask(
+    const DataFrame& df, const std::vector<PredicateAtom>& atoms) const {
+  if (atoms.empty()) return AllRowsMask(df);
+
+  std::vector<uint32_t> ids;
+  ids.reserve(atoms.size());
+  for (const PredicateAtom& atom : atoms) {
+    ids.push_back(EnsureAtom(df, atom.attr, atom.op, atom.value));
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+
+  const std::string key = ConjunctionKey(ids);
+  std::vector<const Bitmap*> masks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ids.size() == 1) {
+      // A one-atom conjunction IS the atom mask; no separate entry.
+      ++hits_;
+      return *atom_masks_[ids[0]];
+    }
+    const auto it = conjunctions_.find(key);
+    if (it != conjunctions_.end()) {
+      ++hits_;
+      return *it->second;
+    }
+    // Grab stable mask pointers under the lock; the compose below runs
+    // without it so concurrent evaluators don't serialize. Atom bitmaps
+    // are immutable once inserted.
+    masks.reserve(ids.size());
+    for (uint32_t id : ids) masks.push_back(atom_masks_[id].get());
+  }
+
+  // Intersect cheapest-first so the running mask empties as early as
+  // possible; each AND is word-level over the whole row universe.
+  std::sort(masks.begin(), masks.end(), [](const Bitmap* a, const Bitmap* b) {
+    return a->Count() < b->Count();
+  });
+  Bitmap out = *masks[0];
+  for (size_t i = 1; i < masks.size() && !out.AllZero(); ++i) {
+    out &= *masks[i];
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = conjunctions_.find(key);
+  if (it != conjunctions_.end()) {
+    // A racing evaluator of the same pattern landed first; keep its mask
+    // so previously returned references stay canonical.
+    ++hits_;
+    return *it->second;
+  }
+  ++misses_;
+  const auto inserted =
+      conjunctions_.emplace(key, std::make_unique<Bitmap>(std::move(out)));
+  return *inserted.first->second;
+}
+
+void PredicateIndex::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  atom_ids_.clear();
+  atom_masks_.clear();
+  conjunctions_.clear();
+  all_rows_.reset();
+}
+
+PredicateIndex::CacheStats PredicateIndex::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats stats;
+  stats.atom_masks = atom_masks_.size();
+  stats.conjunction_masks = conjunctions_.size();
+  stats.hits = hits_;
+  stats.misses = misses_;
+  return stats;
+}
+
+}  // namespace faircap

@@ -1,0 +1,114 @@
+// PredicateIndex: the shared row-selection engine. Every subgroup the
+// pipeline touches — Apriori items, grouping-pattern coverage, treatment
+// masks, protected-group membership — is a conjunction of
+// `attribute op constant` atoms over one DataFrame. The index memoizes the
+// bitmap of each atom (one columnar scan, ever) and of each conjunction
+// (word-level ANDs of atom masks), so repeated pattern evaluation costs a
+// hash lookup instead of a row scan.
+//
+// Thread-safe: the mining phase fans out across grouping patterns and all
+// of them evaluate through the one index attached to the DataFrame.
+// Returned references stay valid until Clear() (which DataFrame calls on
+// any row mutation).
+
+#ifndef FAIRCAP_DATAFRAME_PREDICATE_INDEX_H_
+#define FAIRCAP_DATAFRAME_PREDICATE_INDEX_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dataframe/bitmap.h"
+#include "dataframe/compare.h"
+#include "dataframe/value.h"
+
+namespace faircap {
+
+class DataFrame;
+
+/// One `attribute op constant` selection atom, the dataframe-layer view of
+/// a mining-layer Predicate.
+struct PredicateAtom {
+  size_t attr = 0;
+  CompareOp op = CompareOp::kEq;
+  Value value;
+
+  PredicateAtom() = default;
+  PredicateAtom(size_t attr_in, CompareOp op_in, Value value_in)
+      : attr(attr_in), op(op_in), value(std::move(value_in)) {}
+};
+
+/// Memoizing evaluation engine for predicate atoms and conjunctions.
+class PredicateIndex {
+ public:
+  PredicateIndex() = default;
+  PredicateIndex(const PredicateIndex&) = delete;
+  PredicateIndex& operator=(const PredicateIndex&) = delete;
+
+  /// Bitmap of rows of `df` satisfying `attr op value`. Memoized; the
+  /// first request for a categorical equality atom materializes the masks
+  /// of every category of that column in a single pass. The reference is
+  /// stable until Clear().
+  const Bitmap& AtomMask(const DataFrame& df, size_t attr, CompareOp op,
+                         const Value& value) const;
+
+  /// Bitmap of rows satisfying every atom (the empty conjunction selects
+  /// all rows). Atom masks are composed with word-level ANDs, cheapest
+  /// (most selective) mask first, with an early exit on an empty result.
+  /// Memoized per canonical atom-id set; stable until Clear().
+  const Bitmap& ConjunctionMask(const DataFrame& df,
+                                const std::vector<PredicateAtom>& atoms) const;
+
+  /// Uncached columnar scan for a single atom — the reference
+  /// implementation the cache is built on.
+  static Bitmap Scan(const DataFrame& df, size_t attr, CompareOp op,
+                     const Value& value);
+
+  /// Drops every cached mask (row data changed). Outstanding references
+  /// are invalidated.
+  void Clear();
+
+  /// Cache observability (for tests and benchmarks).
+  struct CacheStats {
+    size_t atom_masks = 0;         ///< distinct atom bitmaps held
+    size_t conjunction_masks = 0;  ///< distinct conjunction bitmaps held
+    size_t hits = 0;               ///< lookups served from cache
+    size_t misses = 0;             ///< lookups that had to scan/compose
+  };
+  CacheStats GetStats() const;
+
+ private:
+  /// Interns the atom, scanning (or batch-building) its mask on first
+  /// sight. Returns its dense id. Caller must NOT hold mu_.
+  uint32_t EnsureAtom(const DataFrame& df, size_t attr, CompareOp op,
+                      const Value& value) const;
+
+  /// All-rows mask, built on first use.
+  const Bitmap& AllRowsMask(const DataFrame& df) const;
+
+  mutable std::mutex mu_;
+  // Column scans and mask composition run outside mu_; concurrent
+  // first-touch builds of the same atom (or same column batch) coordinate
+  // through this in-flight key set instead of duplicating the scan.
+  mutable std::condition_variable build_done_;
+  mutable std::unordered_set<std::string> in_flight_;
+  // Atom key -> dense id; masks indexed by id (unique_ptr keeps references
+  // stable across vector growth).
+  mutable std::unordered_map<std::string, uint32_t> atom_ids_;
+  mutable std::vector<std::unique_ptr<Bitmap>> atom_masks_;
+  // Canonical sorted-id key -> conjunction mask.
+  mutable std::unordered_map<std::string, std::unique_ptr<Bitmap>>
+      conjunctions_;
+  mutable std::unique_ptr<Bitmap> all_rows_;
+  mutable size_t hits_ = 0;
+  mutable size_t misses_ = 0;
+};
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_DATAFRAME_PREDICATE_INDEX_H_

@@ -8,11 +8,13 @@ namespace faircap {
 
 namespace {
 
-// An item is a frequent (attribute = category) predicate with its coverage.
+// An item is a frequent (attribute = category) predicate. Its coverage
+// mask lives in the DataFrame's PredicateIndex; the borrowed reference is
+// valid for the whole mining run (the table is not mutated).
 struct Item {
   size_t attr;
   int32_t code;
-  Bitmap coverage;
+  const Bitmap* coverage;
   size_t support;
 };
 
@@ -63,8 +65,12 @@ Result<std::vector<FrequentPattern>> MineFrequentPatterns(
   }
   if (n == 0 || options.max_pattern_length == 0) return out;
 
-  // Level 1: count every (attr, code) pair in a single columnar pass, then
-  // build coverage bitmaps for the frequent ones.
+  // Level 1: count every (attr, code) pair in one columnar pass, then pull
+  // masks for the frequent codes only from the shared PredicateIndex (at
+  // most 1/min_support_fraction codes per attribute can be frequent, so
+  // high-cardinality columns never materialize masks for their rare
+  // categories). The masks stay cached for step 2 and rule costing.
+  PredicateIndex& index = df.predicate_index();
   std::vector<Item> items;
   for (size_t attr : attrs) {
     const Column& col = df.column(attr);
@@ -75,11 +81,10 @@ Result<std::vector<FrequentPattern>> MineFrequentPatterns(
     }
     for (size_t code = 0; code < counts.size(); ++code) {
       if (counts[code] < min_support || counts[code] == 0) continue;
-      Bitmap coverage(n);
-      for (size_t row = 0; row < n; ++row) {
-        if (col.code(row) == static_cast<int32_t>(code)) coverage.Set(row);
-      }
-      items.push_back({attr, static_cast<int32_t>(code), std::move(coverage),
+      const Bitmap& coverage = index.AtomMask(
+          df, attr, CompareOp::kEq,
+          Value(col.CategoryName(static_cast<int32_t>(code))));
+      items.push_back({attr, static_cast<int32_t>(code), &coverage,
                        counts[code]});
     }
   }
@@ -99,8 +104,8 @@ Result<std::vector<FrequentPattern>> MineFrequentPatterns(
   std::vector<ItemSet> level;
   level.reserve(items.size());
   for (uint32_t i = 0; i < items.size(); ++i) {
-    level.push_back({{i}, items[i].coverage, items[i].support});
-    out.push_back({make_pattern({i}), items[i].coverage, items[i].support});
+    level.push_back({{i}, *items[i].coverage, items[i].support});
+    out.push_back({make_pattern({i}), *items[i].coverage, items[i].support});
     if (out.size() >= options.max_patterns) return out;
   }
 
@@ -142,7 +147,7 @@ Result<std::vector<FrequentPattern>> MineFrequentPatterns(
         }
         if (!all_subsets_frequent) continue;
 
-        Bitmap coverage = level[a].coverage & items[last_b].coverage;
+        Bitmap coverage = level[a].coverage & *items[last_b].coverage;
         const size_t support = coverage.Count();
         if (support < min_support) continue;
         next.push_back({std::move(candidate), std::move(coverage), support});

@@ -43,11 +43,20 @@ Status Pattern::Validate(const DataFrame& df) const {
 }
 
 Bitmap Pattern::Evaluate(const DataFrame& df) const {
-  if (predicates_.empty()) return df.AllRows();
-  Bitmap out = predicates_[0].Evaluate(df);
-  for (size_t i = 1; i < predicates_.size(); ++i) {
-    if (out.AllZero()) break;
-    out &= predicates_[i].Evaluate(df);
+  return EvaluateCached(df);
+}
+
+const Bitmap& Pattern::EvaluateCached(const DataFrame& df) const {
+  std::vector<PredicateAtom> atoms;
+  atoms.reserve(predicates_.size());
+  for (const Predicate& p : predicates_) atoms.push_back(p.Atom());
+  return df.predicate_index().ConjunctionMask(df, atoms);
+}
+
+Bitmap Pattern::EvaluateNaive(const DataFrame& df) const {
+  Bitmap out(df.num_rows());
+  for (size_t row = 0; row < df.num_rows(); ++row) {
+    if (Matches(df, row)) out.Set(row);
   }
   return out;
 }

@@ -42,8 +42,19 @@ class Pattern {
   Status Validate(const DataFrame& df) const;
 
   /// Rows of `df` covered by the pattern (Definition 4.2). The empty
-  /// pattern covers all rows.
+  /// pattern covers all rows. Served from the DataFrame's shared
+  /// PredicateIndex: atom masks are memoized columnar scans, the
+  /// conjunction is word-level AND composition, and the composed mask is
+  /// memoized too.
   Bitmap Evaluate(const DataFrame& df) const;
+
+  /// Like Evaluate but returns the cached mask itself; the reference is
+  /// valid until the DataFrame is mutated.
+  const Bitmap& EvaluateCached(const DataFrame& df) const;
+
+  /// Uncached per-row reference scan — the semantics Evaluate must
+  /// reproduce bit for bit (used by property tests and benchmarks).
+  Bitmap EvaluateNaive(const DataFrame& df) const;
 
   /// True if row `row` satisfies every predicate.
   bool Matches(const DataFrame& df, size_t row) const;

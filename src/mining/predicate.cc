@@ -5,34 +5,6 @@
 
 namespace faircap {
 
-const char* CompareOpName(CompareOp op) {
-  switch (op) {
-    case CompareOp::kEq: return "=";
-    case CompareOp::kNe: return "!=";
-    case CompareOp::kLt: return "<";
-    case CompareOp::kGt: return ">";
-    case CompareOp::kLe: return "<=";
-    case CompareOp::kGe: return ">=";
-  }
-  return "?";
-}
-
-namespace {
-
-inline bool CompareNumeric(double lhs, CompareOp op, double rhs) {
-  switch (op) {
-    case CompareOp::kEq: return lhs == rhs;
-    case CompareOp::kNe: return lhs != rhs;
-    case CompareOp::kLt: return lhs < rhs;
-    case CompareOp::kGt: return lhs > rhs;
-    case CompareOp::kLe: return lhs <= rhs;
-    case CompareOp::kGe: return lhs >= rhs;
-  }
-  return false;
-}
-
-}  // namespace
-
 Status Predicate::Validate(const DataFrame& df) const {
   if (attr >= df.num_columns()) {
     return Status::OutOfRange("predicate attribute index out of range");
@@ -71,35 +43,17 @@ bool Predicate::Matches(const DataFrame& df, size_t row) const {
 }
 
 Bitmap Predicate::Evaluate(const DataFrame& df) const {
+  return EvaluateCached(df);
+}
+
+const Bitmap& Predicate::EvaluateCached(const DataFrame& df) const {
+  return df.predicate_index().AtomMask(df, attr, op, value);
+}
+
+Bitmap Predicate::EvaluateNaive(const DataFrame& df) const {
   Bitmap out(df.num_rows());
-  const Column& col = df.column(attr);
-  if (col.type() == AttrType::kCategorical) {
-    const Result<int32_t> code_result = col.CodeOf(value.str());
-    if (!code_result.ok()) {
-      if (op == CompareOp::kNe) {
-        for (size_t row = 0; row < df.num_rows(); ++row) {
-          if (!col.IsNull(row)) out.Set(row);
-        }
-      }
-      return out;
-    }
-    const int32_t code = *code_result;
-    if (op == CompareOp::kEq) {
-      for (size_t row = 0; row < df.num_rows(); ++row) {
-        if (col.code(row) == code) out.Set(row);
-      }
-    } else {
-      for (size_t row = 0; row < df.num_rows(); ++row) {
-        const int32_t c = col.code(row);
-        if (c != Column::kNullCode && c != code) out.Set(row);
-      }
-    }
-    return out;
-  }
-  const double rhs = value.numeric();
   for (size_t row = 0; row < df.num_rows(); ++row) {
-    const double v = col.numeric(row);
-    if (!std::isnan(v) && CompareNumeric(v, op, rhs)) out.Set(row);
+    if (Matches(df, row)) out.Set(row);
   }
   return out;
 }

@@ -8,17 +8,13 @@
 #include <string>
 
 #include "dataframe/bitmap.h"
+#include "dataframe/compare.h"
 #include "dataframe/dataframe.h"
+#include "dataframe/predicate_index.h"
 #include "dataframe/value.h"
 #include "util/status.h"
 
 namespace faircap {
-
-/// Comparison operator in a predicate.
-enum class CompareOp { kEq, kNe, kLt, kGt, kLe, kGe };
-
-/// Renders e.g. "=", "!=", "<".
-const char* CompareOpName(CompareOp op);
 
 /// A single comparison `attribute op constant`.
 struct Predicate {
@@ -38,9 +34,20 @@ struct Predicate {
   /// match (SQL semantics).
   bool Matches(const DataFrame& df, size_t row) const;
 
-  /// Bitmap of all matching rows. One dictionary lookup, then a tight
-  /// columnar scan.
+  /// Bitmap of all matching rows, served from the DataFrame's shared
+  /// PredicateIndex (memoized across calls and call sites).
   Bitmap Evaluate(const DataFrame& df) const;
+
+  /// Like Evaluate but returns the cached mask itself; the reference is
+  /// valid until the DataFrame is mutated.
+  const Bitmap& EvaluateCached(const DataFrame& df) const;
+
+  /// Uncached per-row reference scan — the semantics Evaluate must
+  /// reproduce bit for bit (used by property tests and benchmarks).
+  Bitmap EvaluateNaive(const DataFrame& df) const;
+
+  /// The dataframe-layer view of this predicate.
+  PredicateAtom Atom() const { return PredicateAtom(attr, op, value); }
 
   /// Renders e.g. "Country = US".
   std::string ToString(const Schema& schema) const;

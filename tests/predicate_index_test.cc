@@ -1,0 +1,157 @@
+// PredicateIndex engine tests: the index-backed Predicate/Pattern
+// evaluation must be bit-identical to the naive per-row scan on randomized
+// dataframes (the property the whole shared-engine refactor rests on),
+// masks must be memoized (stable references, cache hits), and any row
+// mutation must invalidate the cache.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dataframe/predicate_index.h"
+#include "mining/pattern.h"
+#include "util/random.h"
+
+namespace faircap {
+namespace {
+
+// Randomized table: a few categorical columns (varying cardinality), a few
+// numeric ones, nulls sprinkled into both.
+DataFrame RandomFrame(Rng* rng, size_t num_rows) {
+  auto schema = Schema::Create({
+      {"c0", AttrType::kCategorical, AttrRole::kImmutable},
+      {"c1", AttrType::kCategorical, AttrRole::kImmutable},
+      {"c2", AttrType::kCategorical, AttrRole::kMutable},
+      {"n0", AttrType::kNumeric, AttrRole::kImmutable},
+      {"n1", AttrType::kNumeric, AttrRole::kOutcome},
+  });
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  const std::vector<std::string> cats = {"a", "b", "c", "d", "e", "f"};
+  for (size_t i = 0; i < num_rows; ++i) {
+    auto cat = [&](size_t cardinality) {
+      if (rng->NextBernoulli(0.05)) return Value::Null();
+      return Value(cats[rng->NextBounded(cardinality)]);
+    };
+    auto num = [&] {
+      if (rng->NextBernoulli(0.05)) return Value::Null();
+      return Value(rng->NextUniform(-4.0, 4.0));
+    };
+    EXPECT_TRUE(df.AppendRow({cat(2), cat(4), cat(6), num(), num()}).ok());
+  }
+  return df;
+}
+
+// Random valid predicate: equality ops on categoricals (sometimes with a
+// category no row carries), any op on numerics.
+Predicate RandomPredicate(Rng* rng, const DataFrame& df) {
+  const size_t attr = rng->NextBounded(df.num_columns());
+  if (df.column(attr).type() == AttrType::kCategorical) {
+    const CompareOp op =
+        rng->NextBernoulli(0.5) ? CompareOp::kEq : CompareOp::kNe;
+    const std::vector<std::string> pool = {"a", "b", "c", "d", "e", "f",
+                                           "never-seen"};
+    return Predicate(attr, op, Value(pool[rng->NextBounded(pool.size())]));
+  }
+  const CompareOp ops[] = {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                           CompareOp::kGt, CompareOp::kLe, CompareOp::kGe};
+  return Predicate(attr, ops[rng->NextBounded(6)],
+                   Value(rng->NextUniform(-4.0, 4.0)));
+}
+
+class PredicateIndexProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PredicateIndexProperty, IndexedEvaluationMatchesNaiveScan) {
+  Rng rng(GetParam());
+  const DataFrame df = RandomFrame(&rng, 100 + rng.NextBounded(400));
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<Predicate> preds;
+    const size_t len = rng.NextBounded(4);  // 0..3, empty pattern included
+    for (size_t i = 0; i < len; ++i) preds.push_back(RandomPredicate(&rng, df));
+    const Pattern pattern(std::move(preds));
+
+    const Bitmap indexed = pattern.Evaluate(df);
+    const Bitmap naive = pattern.EvaluateNaive(df);
+    ASSERT_EQ(indexed.size(), naive.size());
+    EXPECT_TRUE(indexed == naive)
+        << "mismatch for pattern: " << pattern.ToString(df.schema());
+
+    for (const Predicate& p : pattern.predicates()) {
+      EXPECT_TRUE(p.Evaluate(df) == p.EvaluateNaive(df))
+          << "mismatch for predicate: " << p.ToString(df.schema());
+    }
+  }
+}
+
+TEST_P(PredicateIndexProperty, CachedMasksAreStableReferences) {
+  Rng rng(GetParam() + 17);
+  const DataFrame df = RandomFrame(&rng, 200);
+  const Predicate p = RandomPredicate(&rng, df);
+  const Bitmap& m1 = p.EvaluateCached(df);
+  const Bitmap& m2 = p.EvaluateCached(df);
+  EXPECT_EQ(&m1, &m2);
+
+  const Pattern pattern({RandomPredicate(&rng, df), RandomPredicate(&rng, df)});
+  const Bitmap& c1 = pattern.EvaluateCached(df);
+  const Bitmap& c2 = pattern.EvaluateCached(df);
+  EXPECT_EQ(&c1, &c2);
+
+  const PredicateIndex::CacheStats stats = df.predicate_index().GetStats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.atom_masks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredicateIndexProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(PredicateIndexTest, RowMutationInvalidatesCache) {
+  auto schema = Schema::Create({
+      {"g", AttrType::kCategorical, AttrRole::kImmutable},
+      {"o", AttrType::kNumeric, AttrRole::kOutcome},
+  });
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  ASSERT_TRUE(df.AppendRow({Value("x"), Value(1.0)}).ok());
+  const Predicate p(0, CompareOp::kEq, Value("x"));
+  EXPECT_EQ(p.Evaluate(df).Count(), 1u);
+  EXPECT_EQ(p.Evaluate(df).size(), 1u);
+
+  ASSERT_TRUE(df.AppendRow({Value("x"), Value(2.0)}).ok());
+  const Bitmap after = p.Evaluate(df);
+  EXPECT_EQ(after.size(), 2u);  // stale 1-row mask would fail here
+  EXPECT_EQ(after.Count(), 2u);
+  EXPECT_TRUE(after == p.EvaluateNaive(df));
+}
+
+TEST(PredicateIndexTest, CopiedFrameGetsIndependentIndex) {
+  auto schema = Schema::Create({
+      {"g", AttrType::kCategorical, AttrRole::kImmutable},
+      {"o", AttrType::kNumeric, AttrRole::kOutcome},
+  });
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  ASSERT_TRUE(df.AppendRow({Value("x"), Value(1.0)}).ok());
+  const Predicate p(0, CompareOp::kEq, Value("x"));
+  const Bitmap& original_mask = p.EvaluateCached(df);
+
+  DataFrame copy = df;
+  ASSERT_TRUE(copy.AppendRow({Value("y"), Value(2.0)}).ok());
+  EXPECT_EQ(p.Evaluate(copy).Count(), 1u);
+  EXPECT_EQ(p.Evaluate(copy).size(), 2u);
+  // The original's cache is untouched by the copy's mutation.
+  EXPECT_EQ(&p.EvaluateCached(df), &original_mask);
+  EXPECT_EQ(original_mask.size(), 1u);
+}
+
+TEST(PredicateIndexTest, EmptyPatternSelectsAllRows) {
+  auto schema = Schema::Create({
+      {"g", AttrType::kCategorical, AttrRole::kImmutable},
+      {"o", AttrType::kNumeric, AttrRole::kOutcome},
+  });
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(df.AppendRow({Value("x"), Value(1.0 * i)}).ok());
+  }
+  EXPECT_EQ(Pattern::Empty().Evaluate(df).Count(), 5u);
+  EXPECT_EQ(Pattern::Empty().EvaluateCached(df).Count(), 5u);
+}
+
+}  // namespace
+}  // namespace faircap
