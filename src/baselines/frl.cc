@@ -48,7 +48,7 @@ Result<std::vector<FrlRule>> FitFrl(const DataFrame& df,
       const size_t support = fresh.Count();
       if (support < options.min_new_coverage) continue;
       const double probability =
-          static_cast<double>((fresh & positive).Count()) /
+          static_cast<double>(fresh.AndCount(positive)) /
           static_cast<double>(support);
       // Monotonicity: the list must be "falling".
       if (probability > previous_probability) continue;

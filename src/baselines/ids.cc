@@ -52,7 +52,7 @@ Result<std::vector<IdsRule>> FitIds(const DataFrame& df,
   candidates.reserve(frequent.size());
   for (const FrequentPattern& fp : frequent) {
     if (fp.support == 0) continue;
-    const size_t pos = (fp.coverage & positive).Count();
+    const size_t pos = fp.coverage.AndCount(positive);
     const size_t neg = fp.support - pos;
     Candidate c;
     c.rule.antecedent = fp.pattern;

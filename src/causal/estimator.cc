@@ -77,8 +77,9 @@ Result<std::vector<size_t>> CateEstimator::AdjustmentAttrs(
   return adjustment_attrs;
 }
 
-const Bitmap& CateEstimator::TreatedMask(const Pattern& intervention) const {
-  return intervention.EvaluateCached(*df_);
+std::shared_ptr<const Bitmap> CateEstimator::TreatedMask(
+    const Pattern& intervention) const {
+  return intervention.EvaluateShared(*df_);
 }
 
 Result<CateEstimate> CateEstimator::Estimate(const Pattern& intervention,
@@ -96,7 +97,8 @@ Result<CateEstimate> CateEstimator::Estimate(const Pattern& intervention,
   FAIRCAP_RETURN_NOT_OK(intervention.Validate(*df_));
   FAIRCAP_ASSIGN_OR_RETURN(const std::vector<size_t> adjustment,
                            AdjustmentAttrs(intervention));
-  const Bitmap& treated = TreatedMask(intervention);
+  const std::shared_ptr<const Bitmap> treated_mask = TreatedMask(intervention);
+  const Bitmap& treated = *treated_mask;
   switch (options_.method) {
     case CateMethod::kRegression:
       return EstimateRegression(treated, group, adjustment, min_group_size);

@@ -95,8 +95,10 @@ class CateEstimator {
 
   /// Bitmap of rows satisfying `intervention` over the full DataFrame,
   /// served from the DataFrame's shared PredicateIndex (memoized across
-  /// calls, call sites, and estimators over the same table).
-  const Bitmap& TreatedMask(const Pattern& intervention) const;
+  /// calls, call sites, and estimators over the same table). Shared
+  /// ownership: the mask stays valid for the holder even if a
+  /// budget-capped index evicts it mid-estimate.
+  std::shared_ptr<const Bitmap> TreatedMask(const Pattern& intervention) const;
 
   const DataFrame& data() const { return *df_; }
   size_t outcome_attr() const { return outcome_attr_; }

@@ -95,7 +95,7 @@ Result<std::vector<FrequentPattern>> FairCap::MineGroupingPatterns() const {
     kept.reserve(groups.size());
     for (auto& group : groups) {
       const size_t covered_protected =
-          (group.coverage & protected_mask_).Count();
+          group.coverage.AndCount(protected_mask_);
       if (static_cast<double>(covered_protected) >= need_protected) {
         kept.push_back(std::move(group));
       }

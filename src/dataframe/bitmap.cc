@@ -31,6 +31,25 @@ size_t Bitmap::Count() const {
   return n;
 }
 
+size_t Bitmap::AndCount(const Bitmap& other) const {
+  assert(num_bits_ == other.num_bits_);
+  size_t n = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<size_t>(__builtin_popcountll(words_[i] & other.words_[i]));
+  }
+  return n;
+}
+
+size_t Bitmap::AndNotCount(const Bitmap& other) const {
+  assert(num_bits_ == other.num_bits_);
+  size_t n = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<size_t>(
+        __builtin_popcountll(words_[i] & ~other.words_[i]));
+  }
+  return n;
+}
+
 Bitmap& Bitmap::operator&=(const Bitmap& other) {
   assert(num_bits_ == other.num_bits_);
   for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];

@@ -29,6 +29,15 @@ class Bitmap {
   /// Number of set bits.
   size_t Count() const;
 
+  /// Fused `(*this & other).Count()` without materializing the
+  /// intersection — the workhorse of coverage/support counting, where only
+  /// the cardinality of an overlap is needed. Sizes must match.
+  size_t AndCount(const Bitmap& other) const;
+
+  /// Fused `(copy of *this).AndNot(other).Count()`: set bits of `*this`
+  /// not present in `other`. Sizes must match.
+  size_t AndNotCount(const Bitmap& other) const;
+
   bool AllZero() const { return Count() == 0; }
 
   /// In-place intersection / union / difference with `other`.

@@ -4,6 +4,40 @@
 
 namespace faircap {
 
+Result<Column> Column::FromCodes(std::vector<int32_t> codes,
+                                 std::vector<std::string> dictionary,
+                                 bool trusted) {
+  Column col(AttrType::kCategorical);
+  col.dictionary_index_.reserve(dictionary.size());
+  for (size_t i = 0; i < dictionary.size(); ++i) {
+    const auto inserted =
+        col.dictionary_index_.emplace(dictionary[i], static_cast<int32_t>(i));
+    if (!inserted.second) {
+      return Status::InvalidArgument("duplicate dictionary entry '" +
+                                     dictionary[i] + "'");
+    }
+  }
+  if (!trusted) {
+    const int32_t num_categories = static_cast<int32_t>(dictionary.size());
+    for (const int32_t code : codes) {
+      if (code != kNullCode && (code < 0 || code >= num_categories)) {
+        return Status::OutOfRange("category code " + std::to_string(code) +
+                                  " outside dictionary of size " +
+                                  std::to_string(dictionary.size()));
+      }
+    }
+  }
+  col.dictionary_ = std::move(dictionary);
+  col.codes_ = std::move(codes);
+  return col;
+}
+
+Column Column::FromNumeric(std::vector<double> values) {
+  Column col(AttrType::kNumeric);
+  col.values_ = std::move(values);
+  return col;
+}
+
 Status Column::Append(const Value& v) {
   if (v.is_null()) {
     AppendNull();

@@ -24,6 +24,18 @@ class Column {
 
   explicit Column(AttrType type) : type_(type) {}
 
+  /// Builds a categorical column wholesale from dictionary codes (the
+  /// columnar ingest path — no per-cell Value round trips). `codes` must
+  /// be kNullCode or indices into `dictionary`; dictionary entries must be
+  /// distinct. `trusted` skips the per-code range scan — only for callers
+  /// that minted every code from `dictionary` themselves.
+  static Result<Column> FromCodes(std::vector<int32_t> codes,
+                                  std::vector<std::string> dictionary,
+                                  bool trusted = false);
+
+  /// Builds a numeric column wholesale (nulls are NaN).
+  static Column FromNumeric(std::vector<double> values);
+
   AttrType type() const { return type_; }
   size_t size() const {
     return type_ == AttrType::kCategorical ? codes_.size() : values_.size();

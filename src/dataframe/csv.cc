@@ -10,7 +10,9 @@ namespace faircap {
 namespace {
 
 // Splits one CSV record honoring double-quote escaping. Returns false on a
-// dangling quote.
+// dangling quote. CR bytes are kept verbatim (quoted fields may legally
+// contain CRLF); the record reader strips the line-terminator CR before
+// records get here.
 bool SplitRecord(const std::string& line, char delim,
                  std::vector<std::string>* out) {
   out->clear();
@@ -34,14 +36,46 @@ bool SplitRecord(const std::string& line, char delim,
     } else if (c == delim) {
       out->push_back(std::move(field));
       field.clear();
-    } else if (c == '\r') {
-      // Tolerate CRLF line endings.
     } else {
       field += c;
     }
   }
   if (in_quotes) return false;
   out->push_back(std::move(field));
+  return true;
+}
+
+// Quote parity of one physical line (RFC-4180 escaping means parity
+// decides whether a quote is open: "" contributes two quotes).
+bool OddQuoteCount(const std::string& line) {
+  size_t quotes = 0;
+  for (const char c : line) quotes += (c == '"');
+  return (quotes % 2) != 0;
+}
+
+// Reads one *logical* record: a quoted field may contain the record
+// delimiter, so physical lines are joined (with the '\n' restored) until
+// the quote state closes. Parity is tracked per appended line, so a
+// record spanning L lines costs O(L) total, not O(L^2). The terminating
+// CR of a CRLF line ending is stripped; CRs inside an open quote are data
+// and survive. Returns false at end of input, advancing `line_no` by the
+// physical lines consumed.
+bool ReadRecord(std::istream& in, std::string* record, size_t* line_no) {
+  record->clear();
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  ++*line_no;
+  bool open = OddQuoteCount(line);
+  *record = std::move(line);
+  while (open && std::getline(in, line)) {
+    ++*line_no;
+    open ^= OddQuoteCount(line);
+    *record += '\n';
+    *record += line;
+  }
+  if (!record->empty() && record->back() == '\r' && !open) {
+    record->pop_back();
+  }
   return true;
 }
 
@@ -53,7 +87,8 @@ bool IsNullCell(const std::string& cell, const CsvOptions& options) {
 Result<DataFrame> ParseRows(std::istream& in, const Schema& schema,
                             const CsvOptions& options, bool check_header) {
   std::string line;
-  if (!std::getline(in, line)) {
+  size_t line_no = 0;
+  if (!ReadRecord(in, &line, &line_no)) {
     return Status::IOError("CSV input is empty (no header)");
   }
   std::vector<std::string> cells;
@@ -76,9 +111,7 @@ Result<DataFrame> ParseRows(std::istream& in, const Schema& schema,
 
   DataFrame df = DataFrame::Create(schema);
   std::vector<Value> row(schema.num_attributes());
-  size_t line_no = 1;
-  while (std::getline(in, line)) {
-    ++line_no;
+  while (ReadRecord(in, &line, &line_no)) {
     if (line.empty()) continue;
     if (!SplitRecord(line, options.delimiter, &cells)) {
       return Status::IOError("unterminated quote at line " +
@@ -113,7 +146,8 @@ Result<DataFrame> ParseRows(std::istream& in, const Schema& schema,
 
 Result<Schema> InferSchema(std::istream& in, const CsvOptions& options) {
   std::string line;
-  if (!std::getline(in, line)) {
+  size_t line_no = 0;
+  if (!ReadRecord(in, &line, &line_no)) {
     return Status::IOError("CSV input is empty (no header)");
   }
   std::vector<std::string> header;
@@ -123,7 +157,7 @@ Result<Schema> InferSchema(std::istream& in, const CsvOptions& options) {
   std::vector<bool> numeric(header.size(), true);
   std::vector<bool> saw_value(header.size(), false);
   std::vector<std::string> cells;
-  while (std::getline(in, line)) {
+  while (ReadRecord(in, &line, &line_no)) {
     if (line.empty()) continue;
     if (!SplitRecord(line, options.delimiter, &cells)) {
       return Status::IOError("unterminated quote in CSV body");
@@ -182,11 +216,16 @@ Result<DataFrame> ParseCsv(const std::string& content, const Schema& schema,
   return ParseRows(in, schema, options, /*check_header=*/true);
 }
 
-Result<DataFrame> ReadCsvInferSchema(const std::string& path,
-                                     const CsvOptions& options) {
+Result<Schema> InferCsvSchema(const std::string& path,
+                              const CsvOptions& options) {
   std::ifstream probe(path);
   if (!probe) return Status::IOError("cannot open '" + path + "' for reading");
-  FAIRCAP_ASSIGN_OR_RETURN(Schema schema, InferSchema(probe, options));
+  return InferSchema(probe, options);
+}
+
+Result<DataFrame> ReadCsvInferSchema(const std::string& path,
+                                     const CsvOptions& options) {
+  FAIRCAP_ASSIGN_OR_RETURN(Schema schema, InferCsvSchema(path, options));
   return ReadCsv(path, schema, options);
 }
 

@@ -30,6 +30,13 @@ Result<DataFrame> ReadCsv(const std::string& path, const Schema& schema,
 Result<DataFrame> ReadCsvInferSchema(const std::string& path,
                                      const CsvOptions& options = {});
 
+/// Inference pass only: the schema a CSV file would load under (numeric if
+/// every non-empty cell parses as a double, categorical otherwise; roles
+/// all kImmutable). Shared by the legacy loader and the streaming ingest
+/// path so both agree on types.
+Result<Schema> InferCsvSchema(const std::string& path,
+                              const CsvOptions& options = {});
+
 /// Parses CSV content from a string (same semantics as ReadCsv).
 Result<DataFrame> ParseCsv(const std::string& content, const Schema& schema,
                            const CsvOptions& options = {});

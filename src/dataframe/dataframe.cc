@@ -55,6 +55,30 @@ DataFrame DataFrame::Create(Schema schema) {
   return df;
 }
 
+Result<DataFrame> DataFrame::FromColumns(Schema schema,
+                                         std::vector<Column> columns) {
+  if (columns.size() != schema.num_attributes()) {
+    return Status::InvalidArgument(
+        "column count does not match schema arity");
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].type() != schema.attribute(i).type) {
+      return Status::InvalidArgument("column type mismatch for attribute '" +
+                                     schema.attribute(i).name + "'");
+    }
+    if (columns[i].size() != columns[0].size()) {
+      return Status::InvalidArgument(
+          "columns have unequal lengths (attribute '" +
+          schema.attribute(i).name + "')");
+    }
+  }
+  DataFrame df;
+  df.num_rows_ = columns.empty() ? 0 : columns[0].size();
+  df.columns_ = std::move(columns);
+  df.schema_ = std::move(schema);
+  return df;
+}
+
 Result<const Column*> DataFrame::ColumnByName(const std::string& name) const {
   FAIRCAP_ASSIGN_OR_RETURN(const size_t idx, schema_.IndexOf(name));
   return &columns_[idx];

@@ -33,6 +33,14 @@ class DataFrame {
   /// Creates an empty table with the given schema.
   static DataFrame Create(Schema schema);
 
+  /// Assembles a table wholesale from pre-built columns (the streaming
+  /// ingest path: parse straight into columnar storage, then adopt it here
+  /// with no per-row append). Column types and count must match the
+  /// schema; all columns must have equal length. The table starts with a
+  /// cold index; ingest warm-starts it afterwards.
+  static Result<DataFrame> FromColumns(Schema schema,
+                                       std::vector<Column> columns);
+
   const Schema& schema() const { return schema_; }
   size_t num_rows() const { return num_rows_; }
   size_t num_columns() const { return columns_.size(); }

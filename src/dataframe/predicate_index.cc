@@ -42,6 +42,17 @@ std::string ConjunctionKey(const std::vector<uint32_t>& ids) {
   return key;
 }
 
+// Bytes a mask contributes to the budget (its word storage).
+size_t BitmapBytes(const Bitmap& mask) {
+  return ((mask.size() + 63) / 64) * sizeof(uint64_t);
+}
+
+// Non-owning view of an atom / all-rows mask: those are never evicted, so
+// a shared_ptr over them only needs to satisfy the interface, not own.
+std::shared_ptr<const Bitmap> NonOwning(const Bitmap* mask) {
+  return std::shared_ptr<const Bitmap>(std::shared_ptr<void>(), mask);
+}
+
 }  // namespace
 
 Bitmap PredicateIndex::Scan(const DataFrame& df, size_t attr, CompareOp op,
@@ -81,13 +92,20 @@ Bitmap PredicateIndex::Scan(const DataFrame& df, size_t attr, CompareOp op,
   return out;
 }
 
+std::vector<Bitmap> PredicateIndex::BuildCategoryMasks(const DataFrame& df,
+                                                       size_t attr) {
+  const Column& col = df.column(attr);
+  std::vector<Bitmap> masks(col.num_categories());
+  for (Bitmap& m : masks) m = Bitmap(df.num_rows());
+  for (size_t row = 0; row < df.num_rows(); ++row) {
+    const int32_t c = col.code(row);
+    if (c != Column::kNullCode) masks[static_cast<size_t>(c)].Set(row);
+  }
+  return masks;
+}
+
 uint32_t PredicateIndex::EnsureAtom(const DataFrame& df, size_t attr,
                                     CompareOp op, const Value& value) const {
-  // Batch-materializing sibling category masks pays off only while the
-  // whole set is small; past this cardinality each category gets its own
-  // on-demand scan so rare codes never allocate a mask nobody asked for.
-  constexpr size_t kBatchBuildMaxCategories = 64;
-
   const std::string key = AtomKey(attr, op, value);
   const Column& col = df.column(attr);
   const bool batch = col.type() == AttrType::kCategorical &&
@@ -122,12 +140,7 @@ uint32_t PredicateIndex::EnsureAtom(const DataFrame& df, size_t attr,
       // Materialize every category's equality mask in one columnar pass:
       // Apriori's level-1 items, lattice atoms, and treatment masks all
       // ask for sibling categories of the same column.
-      masks.resize(col.num_categories());
-      for (Bitmap& m : masks) m = Bitmap(df.num_rows());
-      for (size_t row = 0; row < df.num_rows(); ++row) {
-        const int32_t c = col.code(row);
-        if (c != Column::kNullCode) masks[static_cast<size_t>(c)].Set(row);
-      }
+      masks = BuildCategoryMasks(df, attr);
     } else {
       masks.push_back(Scan(df, attr, op, value));
     }
@@ -182,7 +195,14 @@ const Bitmap& PredicateIndex::AllRowsMask(const DataFrame& df) const {
 
 const Bitmap& PredicateIndex::ConjunctionMask(
     const DataFrame& df, const std::vector<PredicateAtom>& atoms) const {
-  if (atoms.empty()) return AllRowsMask(df);
+  // The map (or the atom table) retains ownership of the referent; the
+  // reference is stable until Clear(), or until eviction under a budget.
+  return *ConjunctionMaskShared(df, atoms);
+}
+
+std::shared_ptr<const Bitmap> PredicateIndex::ConjunctionMaskShared(
+    const DataFrame& df, const std::vector<PredicateAtom>& atoms) const {
+  if (atoms.empty()) return NonOwning(&AllRowsMask(df));
 
   std::vector<uint32_t> ids;
   ids.reserve(atoms.size());
@@ -199,12 +219,13 @@ const Bitmap& PredicateIndex::ConjunctionMask(
     if (ids.size() == 1) {
       // A one-atom conjunction IS the atom mask; no separate entry.
       ++hits_;
-      return *atom_masks_[ids[0]];
+      return NonOwning(atom_masks_[ids[0]].get());
     }
     const auto it = conjunctions_.find(key);
     if (it != conjunctions_.end()) {
       ++hits_;
-      return *it->second;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return it->second.mask;
     }
     // Grab stable mask pointers under the lock; the compose below runs
     // without it so concurrent evaluators don't serialize. Atom bitmaps
@@ -224,17 +245,67 @@ const Bitmap& PredicateIndex::ConjunctionMask(
   }
 
   std::lock_guard<std::mutex> lock(mu_);
+  return InsertConjunctionLocked(key,
+                                 std::make_shared<Bitmap>(std::move(out)));
+}
+
+std::shared_ptr<Bitmap> PredicateIndex::InsertConjunctionLocked(
+    const std::string& key, std::shared_ptr<Bitmap> mask) const {
   const auto it = conjunctions_.find(key);
   if (it != conjunctions_.end()) {
     // A racing evaluator of the same pattern landed first; keep its mask
     // so previously returned references stay canonical.
     ++hits_;
-    return *it->second;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.mask;
   }
   ++misses_;
-  const auto inserted =
-      conjunctions_.emplace(key, std::make_unique<Bitmap>(std::move(out)));
-  return *inserted.first->second;
+  std::shared_ptr<Bitmap> result = std::move(mask);
+  lru_.push_front(key);
+  conjunction_bytes_ += BitmapBytes(*result);
+  conjunctions_.emplace(key, ConjunctionEntry{result, lru_.begin()});
+  EnforceBudgetLocked();
+  return result;
+}
+
+void PredicateIndex::EnforceBudgetLocked() const {
+  if (max_bytes_ == 0) return;
+  // Never evict the most-recently-touched entry: the caller that just
+  // inserted (or hit) it may still be using the reference.
+  while (conjunction_bytes_ > max_bytes_ && lru_.size() > 1) {
+    const auto it = conjunctions_.find(lru_.back());
+    conjunction_bytes_ -= BitmapBytes(*it->second.mask);
+    conjunctions_.erase(it);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void PredicateIndex::WarmStartCategoryMasks(const DataFrame& df, size_t attr,
+                                            std::vector<Bitmap> masks) const {
+  const Column& col = df.column(attr);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t code = 0; code < masks.size(); ++code) {
+    const std::string key =
+        AtomKey(attr, CompareOp::kEq,
+                Value(col.CategoryName(static_cast<int32_t>(code))));
+    if (atom_ids_.count(key) != 0) continue;
+    const uint32_t id = static_cast<uint32_t>(atom_masks_.size());
+    atom_masks_.push_back(std::make_unique<Bitmap>(std::move(masks[code])));
+    atom_ids_.emplace(key, id);
+    ++warm_atoms_;
+  }
+}
+
+void PredicateIndex::SetMemoryBudget(size_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_bytes_ = max_bytes;
+  EnforceBudgetLocked();
+}
+
+size_t PredicateIndex::memory_budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_bytes_;
 }
 
 void PredicateIndex::Clear() {
@@ -242,6 +313,8 @@ void PredicateIndex::Clear() {
   atom_ids_.clear();
   atom_masks_.clear();
   conjunctions_.clear();
+  lru_.clear();
+  conjunction_bytes_ = 0;
   all_rows_.reset();
 }
 
@@ -252,6 +325,10 @@ PredicateIndex::CacheStats PredicateIndex::GetStats() const {
   stats.conjunction_masks = conjunctions_.size();
   stats.hits = hits_;
   stats.misses = misses_;
+  for (const auto& mask : atom_masks_) stats.atom_bytes += BitmapBytes(*mask);
+  stats.conjunction_bytes = conjunction_bytes_;
+  stats.evictions = evictions_;
+  stats.warm_atom_masks = warm_atoms_;
   return stats;
 }
 

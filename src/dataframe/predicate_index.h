@@ -16,6 +16,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -46,9 +47,22 @@ struct PredicateAtom {
 /// Memoizing evaluation engine for predicate atoms and conjunctions.
 class PredicateIndex {
  public:
+  /// Batch-materializing sibling category masks pays off only while the
+  /// whole set is small; past this cardinality each category gets its own
+  /// on-demand scan so rare codes never allocate a mask nobody asked for.
+  /// The streaming-ingest warm start honors the same cap.
+  static constexpr size_t kBatchBuildMaxCategories = 64;
+
   PredicateIndex() = default;
   PredicateIndex(const PredicateIndex&) = delete;
   PredicateIndex& operator=(const PredicateIndex&) = delete;
+
+  /// Materializes every category's equality mask of categorical `attr` in
+  /// one columnar pass (`masks[code]` = rows carrying that code; null
+  /// rows in none). Shared by the index's lazy batch build and the
+  /// streaming-ingest warm start, so the two can never drift.
+  static std::vector<Bitmap> BuildCategoryMasks(const DataFrame& df,
+                                                size_t attr);
 
   /// Bitmap of rows of `df` satisfying `attr op value`. Memoized; the
   /// first request for a categorical equality atom materializes the masks
@@ -60,14 +74,47 @@ class PredicateIndex {
   /// Bitmap of rows satisfying every atom (the empty conjunction selects
   /// all rows). Atom masks are composed with word-level ANDs, cheapest
   /// (most selective) mask first, with an early exit on an empty result.
-  /// Memoized per canonical atom-id set; stable until Clear().
+  /// Memoized per canonical atom-id set; stable until Clear() — except
+  /// under a memory budget (SetMemoryBudget), where a cold conjunction
+  /// mask may be evicted by a later insertion. Callers that hold a mask
+  /// across further index calls while a budget is active must use
+  /// ConjunctionMaskShared instead.
   const Bitmap& ConjunctionMask(const DataFrame& df,
                                 const std::vector<PredicateAtom>& atoms) const;
+
+  /// Shared-ownership variant of ConjunctionMask: the returned pointer
+  /// keeps a multi-atom conjunction mask alive even if the budgeted cache
+  /// evicts it. The estimator holds treatment masks through this so long
+  /// regressions never race eviction. Caveat: for the empty and
+  /// single-atom conjunctions the pointer is a non-owning view of an atom
+  /// (or all-rows) mask — never evicted, but still invalidated by
+  /// Clear(), i.e. by row mutation; no mask handle may be held across
+  /// table mutation.
+  std::shared_ptr<const Bitmap> ConjunctionMaskShared(
+      const DataFrame& df, const std::vector<PredicateAtom>& atoms) const;
 
   /// Uncached columnar scan for a single atom — the reference
   /// implementation the cache is built on.
   static Bitmap Scan(const DataFrame& df, size_t attr, CompareOp op,
                      const Value& value);
+
+  /// Installs precomputed equality masks for every category of
+  /// categorical attribute `attr` (`masks[code]` = rows whose value is
+  /// `CategoryName(code)`). The streaming ingest path builds these while
+  /// the column codes are still hot, so the index starts warm and Apriori
+  /// / lattice / treatment evaluation never pay a first-touch column
+  /// scan. Categories already interned are left untouched.
+  void WarmStartCategoryMasks(const DataFrame& df, size_t attr,
+                              std::vector<Bitmap> masks) const;
+
+  /// Caps the bytes held by *conjunction* masks (atom masks are the
+  /// recompose primitives and are never evicted). 0 = unlimited (the
+  /// default). When an insertion pushes usage past the budget, the
+  /// least-recently-used conjunction masks are evicted; re-requests
+  /// recompose from the atom masks. Shrinking the budget evicts
+  /// immediately.
+  void SetMemoryBudget(size_t max_bytes);
+  size_t memory_budget() const;
 
   /// Drops every cached mask (row data changed). Outstanding references
   /// are invalidated.
@@ -79,6 +126,10 @@ class PredicateIndex {
     size_t conjunction_masks = 0;  ///< distinct conjunction bitmaps held
     size_t hits = 0;               ///< lookups served from cache
     size_t misses = 0;             ///< lookups that had to scan/compose
+    size_t atom_bytes = 0;         ///< bitmap bytes held by atom masks
+    size_t conjunction_bytes = 0;  ///< bitmap bytes held by conjunctions
+    size_t evictions = 0;          ///< conjunction masks evicted (budget)
+    size_t warm_atom_masks = 0;    ///< atom masks installed by ingest
   };
   CacheStats GetStats() const;
 
@@ -97,16 +148,36 @@ class PredicateIndex {
   // through this in-flight key set instead of duplicating the scan.
   mutable std::condition_variable build_done_;
   mutable std::unordered_set<std::string> in_flight_;
+  /// Inserts `mask` under `key`, wires it into the LRU, and evicts from
+  /// the cold end while over budget. Returns the canonical mask (an
+  /// earlier racing insert wins). Caller must hold mu_.
+  std::shared_ptr<Bitmap> InsertConjunctionLocked(
+      const std::string& key, std::shared_ptr<Bitmap> mask) const;
+
+  /// Evicts LRU-tail conjunctions until within budget. Caller holds mu_.
+  void EnforceBudgetLocked() const;
+
   // Atom key -> dense id; masks indexed by id (unique_ptr keeps references
   // stable across vector growth).
   mutable std::unordered_map<std::string, uint32_t> atom_ids_;
   mutable std::vector<std::unique_ptr<Bitmap>> atom_masks_;
-  // Canonical sorted-id key -> conjunction mask.
-  mutable std::unordered_map<std::string, std::unique_ptr<Bitmap>>
-      conjunctions_;
+  // Canonical sorted-id key -> conjunction mask, with an LRU list
+  // (most-recent first) driving budget eviction. shared_ptr ownership
+  // keeps masks handed out via ConjunctionMaskShared alive across
+  // eviction.
+  struct ConjunctionEntry {
+    std::shared_ptr<Bitmap> mask;
+    std::list<std::string>::iterator lru_pos;
+  };
+  mutable std::unordered_map<std::string, ConjunctionEntry> conjunctions_;
+  mutable std::list<std::string> lru_;
   mutable std::unique_ptr<Bitmap> all_rows_;
+  mutable size_t max_bytes_ = 0;  // 0 = unlimited
+  mutable size_t conjunction_bytes_ = 0;
   mutable size_t hits_ = 0;
   mutable size_t misses_ = 0;
+  mutable size_t evictions_ = 0;
+  mutable size_t warm_atoms_ = 0;
 };
 
 }  // namespace faircap

@@ -1,0 +1,201 @@
+#include "ingest/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace faircap {
+
+namespace {
+
+constexpr char kGroupAttr[] = "Group";
+constexpr char kProtectedLevel[] = "protected";
+constexpr char kGeneralLevel[] = "general";
+constexpr char kOutcomeAttr[] = "Outcome";
+
+constexpr char kLevelPrefix[] = "level_";
+constexpr size_t kLevelPrefixLen = sizeof(kLevelPrefix) - 1;
+
+std::string ImmutableName(size_t i) { return "I" + std::to_string(i + 1); }
+std::string MutableName(size_t t) { return "M" + std::to_string(t + 1); }
+
+// Word-length level names ("level_0", ...): real categorical data carries
+// words, not single characters, and loader benchmarks should see
+// realistic cell widths.
+std::string LevelName(size_t j) { return kLevelPrefix + std::to_string(j); }
+
+std::vector<std::string> Levels(size_t n) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t j = 0; j < n; ++j) out.push_back(LevelName(j));
+  return out;
+}
+
+// Level index encoded in the name ("level_3" -> 3).
+size_t LevelOf(const ScmRow& row, const std::string& attr) {
+  const std::string& v = row.at(attr).str();
+  return static_cast<size_t>(std::stoul(v.substr(kLevelPrefixLen)));
+}
+
+bool IsProtected(const ScmRow& row) {
+  return row.at(kGroupAttr).str() == kProtectedLevel;
+}
+
+Status ValidateConfig(const SyntheticConfig& config) {
+  if (config.num_rows == 0) {
+    return Status::InvalidArgument("num_rows must be positive");
+  }
+  if (config.categories_per_attr < 2) {
+    return Status::InvalidArgument("categories_per_attr must be >= 2");
+  }
+  if (config.num_mutable == 0) {
+    return Status::InvalidArgument(
+        "num_mutable must be >= 1 (no treatments to mine otherwise)");
+  }
+  if (config.protected_fraction <= 0.0 || config.protected_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        "protected_fraction must be in (0, 1)");
+  }
+  if (config.group_skew < 0.0 || config.group_skew > 1.0) {
+    return Status::InvalidArgument("group_skew must be in [0, 1]");
+  }
+  if (config.effect_heterogeneity < 0.0 || config.effect_heterogeneity > 1.0) {
+    return Status::InvalidArgument("effect_heterogeneity must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Scm> MakeSyntheticScm(const SyntheticConfig& config) {
+  FAIRCAP_RETURN_NOT_OK(ValidateConfig(config));
+  const size_t cats = config.categories_per_attr;
+
+  Scm scm;
+  FAIRCAP_RETURN_NOT_OK(scm.AddCategoricalRoot(
+      kGroupAttr, AttrRole::kImmutable, {kProtectedLevel, kGeneralLevel},
+      {config.protected_fraction, 1.0 - config.protected_fraction}));
+
+  // Immutable grouping attributes: each level distribution tilts one way
+  // for the general population and the other way inside the protected
+  // group, with `group_skew` interpolating between identical and reversed
+  // distributions.
+  for (size_t i = 0; i < config.num_immutable; ++i) {
+    std::vector<double> general(cats);
+    for (size_t j = 0; j < cats; ++j) {
+      general[j] = 1.0 + 0.25 * static_cast<double>((i + j) % cats);
+    }
+    std::vector<double> protected_w(cats);
+    for (size_t j = 0; j < cats; ++j) {
+      protected_w[j] = (1.0 - config.group_skew) * general[j] +
+                       config.group_skew * general[cats - 1 - j];
+    }
+    ScmAttribute attr;
+    attr.spec = {ImmutableName(i), AttrType::kCategorical,
+                 AttrRole::kImmutable};
+    attr.parents = {kGroupAttr};
+    attr.sampler = [levels = Levels(cats), general = std::move(general),
+                    protected_w = std::move(protected_w)](const ScmRow& row,
+                                                          Rng& rng) {
+      const std::vector<double>& w = IsProtected(row) ? protected_w : general;
+      return Value(levels[rng.NextCategorical(w)]);
+    };
+    FAIRCAP_RETURN_NOT_OK(scm.Add(std::move(attr)));
+  }
+
+  // Mutable treatment attributes, each confounded by the protected root
+  // and (when present) one immutable attribute: higher confounder levels
+  // shift mass toward higher treatment levels, so backdoor adjustment is
+  // exercised at scale.
+  for (size_t t = 0; t < config.num_mutable; ++t) {
+    ScmAttribute attr;
+    attr.spec = {MutableName(t), AttrType::kCategorical, AttrRole::kMutable};
+    attr.parents = {kGroupAttr};
+    std::string confounder;
+    if (config.num_immutable > 0) {
+      confounder = ImmutableName(t % config.num_immutable);
+      attr.parents.push_back(confounder);
+    }
+    attr.sampler = [levels = Levels(cats), cats, confounder](
+                       const ScmRow& row, Rng& rng) {
+      const size_t parent_level =
+          confounder.empty() ? 0 : LevelOf(row, confounder);
+      const double tilt =
+          0.35 * (static_cast<double>(parent_level + 1) /
+                  static_cast<double>(cats)) +
+          (IsProtected(row) ? -0.1 : 0.1);
+      std::vector<double> w(cats);
+      for (size_t j = 0; j < cats; ++j) {
+        w[j] = std::max(0.05, 1.0 + tilt * static_cast<double>(j));
+      }
+      return Value(levels[rng.NextCategorical(w)]);
+    };
+    FAIRCAP_RETURN_NOT_OK(scm.Add(std::move(attr)));
+  }
+
+  // Outcome: planted positive effects per treatment level, attenuated for
+  // the protected group and modulated by the first immutable attribute
+  // (the heterogeneity driver), plus a small non-attenuated contribution
+  // of that immutable attribute and Gaussian noise.
+  {
+    ScmAttribute outcome;
+    outcome.spec = {kOutcomeAttr, AttrType::kNumeric, AttrRole::kOutcome};
+    outcome.parents = {kGroupAttr};
+    std::string het_driver;
+    if (config.num_immutable > 0) {
+      het_driver = ImmutableName(0);
+      outcome.parents.push_back(het_driver);
+    }
+    for (size_t t = 0; t < config.num_mutable; ++t) {
+      outcome.parents.push_back(MutableName(t));
+    }
+    const size_t num_mutable = config.num_mutable;
+    const double attenuation = config.protected_attenuation;
+    const double heterogeneity = config.effect_heterogeneity;
+    const double effect_scale = config.effect_scale;
+    const double noise = config.noise_stddev;
+    outcome.sampler = [cats, num_mutable, het_driver, attenuation,
+                       heterogeneity, effect_scale,
+                       noise](const ScmRow& row, Rng& rng) {
+      const double het_level =
+          het_driver.empty()
+              ? 0.5
+              : static_cast<double>(LevelOf(row, het_driver)) /
+                    static_cast<double>(cats - 1);
+      const double het_mult = 1.0 + heterogeneity * (het_level - 0.5);
+      const double group_mult = IsProtected(row) ? attenuation : 1.0;
+      double effect = 0.0;
+      for (size_t t = 0; t < num_mutable; ++t) {
+        const double level =
+            static_cast<double>(LevelOf(row, MutableName(t))) /
+            static_cast<double>(cats - 1);
+        const double attr_weight =
+            0.5 + 0.5 * static_cast<double>(t + 1) /
+                      static_cast<double>(num_mutable);
+        effect += effect_scale * level * attr_weight;
+      }
+      const double base = 50.0 + 0.2 * effect_scale * het_level;
+      return Value(base + group_mult * het_mult * effect +
+                   rng.NextGaussian(0.0, noise));
+    };
+    FAIRCAP_RETURN_NOT_OK(scm.Add(std::move(outcome)));
+  }
+  return scm;
+}
+
+Result<SyntheticData> MakeSynthetic(const SyntheticConfig& config) {
+  FAIRCAP_ASSIGN_OR_RETURN(const Scm scm, MakeSyntheticScm(config));
+  FAIRCAP_ASSIGN_OR_RETURN(DataFrame df,
+                           scm.Generate(config.num_rows, config.seed));
+  FAIRCAP_ASSIGN_OR_RETURN(CausalDag dag, scm.Dag());
+  FAIRCAP_ASSIGN_OR_RETURN(const size_t group_attr,
+                           df.schema().IndexOf(kGroupAttr));
+  Pattern protected_pattern(
+      {Predicate(group_attr, CompareOp::kEq, Value(kProtectedLevel))});
+  SyntheticData data{std::move(df), std::move(dag),
+                     std::move(protected_pattern)};
+  return data;
+}
+
+}  // namespace faircap

@@ -147,9 +147,12 @@ Result<std::vector<FrequentPattern>> MineFrequentPatterns(
         }
         if (!all_subsets_frequent) continue;
 
-        Bitmap coverage = level[a].coverage & *items[last_b].coverage;
-        const size_t support = coverage.Count();
+        // Fused AND+popcount first: infrequent candidates (the vast
+        // majority at higher levels) never materialize a coverage bitmap.
+        const size_t support =
+            level[a].coverage.AndCount(*items[last_b].coverage);
         if (support < min_support) continue;
+        Bitmap coverage = level[a].coverage & *items[last_b].coverage;
         next.push_back({std::move(candidate), std::move(coverage), support});
         out.push_back({make_pattern(next.back().items), next.back().coverage,
                        support});

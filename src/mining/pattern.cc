@@ -43,7 +43,10 @@ Status Pattern::Validate(const DataFrame& df) const {
 }
 
 Bitmap Pattern::Evaluate(const DataFrame& df) const {
-  return EvaluateCached(df);
+  // Copy out of the shared handle, not the raw cached reference: under a
+  // PredicateIndex memory budget another thread's insertion could evict
+  // (and free) the mask mid-copy.
+  return *EvaluateShared(df);
 }
 
 const Bitmap& Pattern::EvaluateCached(const DataFrame& df) const {
@@ -51,6 +54,14 @@ const Bitmap& Pattern::EvaluateCached(const DataFrame& df) const {
   atoms.reserve(predicates_.size());
   for (const Predicate& p : predicates_) atoms.push_back(p.Atom());
   return df.predicate_index().ConjunctionMask(df, atoms);
+}
+
+std::shared_ptr<const Bitmap> Pattern::EvaluateShared(
+    const DataFrame& df) const {
+  std::vector<PredicateAtom> atoms;
+  atoms.reserve(predicates_.size());
+  for (const Predicate& p : predicates_) atoms.push_back(p.Atom());
+  return df.predicate_index().ConjunctionMaskShared(df, atoms);
 }
 
 Bitmap Pattern::EvaluateNaive(const DataFrame& df) const {

@@ -6,6 +6,7 @@
 #ifndef FAIRCAP_MINING_PATTERN_H_
 #define FAIRCAP_MINING_PATTERN_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -49,8 +50,16 @@ class Pattern {
   Bitmap Evaluate(const DataFrame& df) const;
 
   /// Like Evaluate but returns the cached mask itself; the reference is
-  /// valid until the DataFrame is mutated.
+  /// valid until the DataFrame is mutated (or, under a PredicateIndex
+  /// memory budget, until the mask is evicted).
   const Bitmap& EvaluateCached(const DataFrame& df) const;
+
+  /// Shared-ownership variant of EvaluateCached: the mask stays alive for
+  /// the holder even if a budget-capped PredicateIndex evicts it. Use when
+  /// the mask is held across further pattern evaluations (e.g. the CATE
+  /// estimators). Row mutation still invalidates single-predicate (and
+  /// empty) patterns' masks — see ConjunctionMaskShared.
+  std::shared_ptr<const Bitmap> EvaluateShared(const DataFrame& df) const;
 
   /// Uncached per-row reference scan — the semantics Evaluate must
   /// reproduce bit for bit (used by property tests and benchmarks).

@@ -52,6 +52,32 @@ TEST(BitmapTest, AndOrAndNot) {
   EXPECT_TRUE(diff.Get(1));
 }
 
+TEST(BitmapTest, AndCountMatchesMaterializedIntersection) {
+  // Multiple words plus a partial tail word.
+  Bitmap a(193), b(193);
+  for (size_t i = 0; i < 193; i += 3) a.Set(i);
+  for (size_t i = 0; i < 193; i += 5) b.Set(i);
+  EXPECT_EQ(a.AndCount(b), (a & b).Count());
+  EXPECT_EQ(b.AndCount(a), a.AndCount(b));
+  EXPECT_EQ(a.AndCount(a), a.Count());
+
+  Bitmap all(193, /*value=*/true);
+  EXPECT_EQ(a.AndCount(all), a.Count());
+  Bitmap none(193);
+  EXPECT_EQ(a.AndCount(none), 0u);
+  EXPECT_EQ(Bitmap(0).AndCount(Bitmap(0)), 0u);
+}
+
+TEST(BitmapTest, AndNotCountMatchesMaterializedDifference) {
+  Bitmap a(130), b(130);
+  for (size_t i = 0; i < 130; i += 2) a.Set(i);
+  for (size_t i = 0; i < 130; i += 4) b.Set(i);
+  Bitmap diff = a;
+  diff.AndNot(b);
+  EXPECT_EQ(a.AndNotCount(b), diff.Count());
+  EXPECT_EQ(a.AndNotCount(a), 0u);
+}
+
 TEST(BitmapTest, ComplementWithinSize) {
   Bitmap a(10);
   a.Set(0);

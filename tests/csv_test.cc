@@ -47,6 +47,38 @@ TEST(CsvTest, CrlfTolerated) {
   EXPECT_EQ(df->GetValue(0, 0), Value("alice"));
 }
 
+TEST(CsvTest, QuotedFieldMayContainRecordSeparators) {
+  // A quoted field legally contains the delimiter, embedded newlines, and
+  // CRLF sequences; only the terminating CR of the line ending is
+  // stripped.
+  const auto df = ParseCsv(
+      "name,score\n\"line1\nline2\",1\r\n\"a,b\r\nc\",2\r\n", TestSchema());
+  ASSERT_TRUE(df.ok()) << df.status().ToString();
+  ASSERT_EQ(df->num_rows(), 2u);
+  EXPECT_EQ(df->GetValue(0, 0), Value("line1\nline2"));
+  EXPECT_EQ(df->GetValue(1, 0), Value("a,b\r\nc"));
+}
+
+TEST(CsvTest, TrailingEmptyColumnIsNull) {
+  const auto df =
+      ParseCsv("name,score\nalice,\nbob,\r\n", TestSchema());
+  ASSERT_TRUE(df.ok()) << df.status().ToString();
+  ASSERT_EQ(df->num_rows(), 2u);
+  EXPECT_TRUE(df->GetValue(0, 1).is_null());
+  EXPECT_TRUE(df->GetValue(1, 1).is_null());  // CRLF after the empty cell
+}
+
+TEST(CsvTest, CrOnlyBlankLineSkipped) {
+  const auto df = ParseCsv("name,score\r\n\r\nalice,1\r\n", TestSchema());
+  ASSERT_TRUE(df.ok()) << df.status().ToString();
+  EXPECT_EQ(df->num_rows(), 1u);
+}
+
+TEST(CsvTest, UnterminatedQuoteAcrossLinesRejected) {
+  const auto df = ParseCsv("name,score\n\"open\nnever,1\n", TestSchema());
+  EXPECT_EQ(df.status().code(), StatusCode::kIOError);
+}
+
 TEST(CsvTest, HeaderMismatchRejected) {
   const auto df = ParseCsv("wrong,score\nalice,1\n", TestSchema());
   EXPECT_EQ(df.status().code(), StatusCode::kInvalidArgument);

@@ -145,10 +145,10 @@ TEST(EstimatorTest, TreatedMaskIsCachedAndCorrect) {
   const auto est = CateEstimator::Create(&data.df, &data.dag);
   ASSERT_TRUE(est.ok());
   const Pattern p = TreatYes(data.df);
-  const Bitmap& m1 = est->TreatedMask(p);
-  const Bitmap& m2 = est->TreatedMask(p);
-  EXPECT_EQ(&m1, &m2);  // same cached object
-  EXPECT_EQ(m1.Count(), p.Evaluate(data.df).Count());
+  const std::shared_ptr<const Bitmap> m1 = est->TreatedMask(p);
+  const std::shared_ptr<const Bitmap> m2 = est->TreatedMask(p);
+  EXPECT_EQ(m1.get(), m2.get());  // same cached object
+  EXPECT_EQ(m1->Count(), p.Evaluate(data.df).Count());
 }
 
 TEST(EstimatorTest, MultiAttributeIntervention) {

@@ -140,6 +140,115 @@ TEST(PredicateIndexTest, CopiedFrameGetsIndependentIndex) {
   EXPECT_EQ(original_mask.size(), 1u);
 }
 
+TEST(PredicateIndexTest, MemoryBudgetEvictsColdConjunctions) {
+  Rng rng(91);
+  const DataFrame df = RandomFrame(&rng, 512);
+  PredicateIndex& index = df.predicate_index();
+  // Budget of two conjunction masks (512 bits = 64 bytes each).
+  index.SetMemoryBudget(2 * 64);
+
+  // Create many distinct 2-atom conjunctions; the cache must stay within
+  // budget and keep evicting the cold tail.
+  std::vector<Pattern> patterns;
+  for (int t = 0; t < 12; ++t) {
+    Pattern p({RandomPredicate(&rng, df), RandomPredicate(&rng, df)});
+    if (p.predicates().size() < 2) continue;  // degenerate duplicate atoms
+    patterns.push_back(std::move(p));
+    patterns.back().Evaluate(df);
+  }
+  ASSERT_GT(patterns.size(), 4u);
+
+  const auto stats = index.GetStats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.conjunction_bytes, 2u * 64u);
+  EXPECT_LE(stats.conjunction_masks, 2u);
+
+  // Evicted conjunctions still evaluate correctly (recomposed from the
+  // never-evicted atom masks).
+  for (const Pattern& p : patterns) {
+    EXPECT_TRUE(p.Evaluate(df) == p.EvaluateNaive(df))
+        << p.ToString(df.schema());
+  }
+}
+
+TEST(PredicateIndexTest, SharedMaskSurvivesEviction) {
+  Rng rng(92);
+  const DataFrame df = RandomFrame(&rng, 256);
+  PredicateIndex& index = df.predicate_index();
+  index.SetMemoryBudget(64);  // roughly one 256-bit mask
+
+  Pattern held({Predicate(0, CompareOp::kEq, Value("a")),
+                Predicate(3, CompareOp::kGt, Value(0.0))});
+  const std::shared_ptr<const Bitmap> mask = held.EvaluateShared(df);
+  const Bitmap expected = held.EvaluateNaive(df);
+  ASSERT_TRUE(*mask == expected);
+
+  // Flood the cache so the held conjunction is evicted.
+  for (int t = 0; t < 10; ++t) {
+    Pattern({RandomPredicate(&rng, df), RandomPredicate(&rng, df)})
+        .Evaluate(df);
+  }
+  EXPECT_GT(index.GetStats().evictions, 0u);
+  // The shared_ptr keeps the evicted mask alive and intact.
+  EXPECT_TRUE(*mask == expected);
+}
+
+TEST(PredicateIndexTest, ShrinkingBudgetEvictsImmediately) {
+  Rng rng(93);
+  const DataFrame df = RandomFrame(&rng, 256);
+  PredicateIndex& index = df.predicate_index();
+  for (int t = 0; t < 8; ++t) {
+    Pattern({RandomPredicate(&rng, df), RandomPredicate(&rng, df)})
+        .Evaluate(df);
+  }
+  const auto before = index.GetStats();
+  ASSERT_GT(before.conjunction_masks, 1u);
+  index.SetMemoryBudget(1);  // smaller than any mask: keep only the MRU
+  const auto after = index.GetStats();
+  EXPECT_EQ(after.conjunction_masks, 1u);
+  EXPECT_EQ(index.memory_budget(), 1u);
+}
+
+TEST(PredicateIndexTest, WarmStartedMasksServeHitsAndMatchScans) {
+  auto schema = Schema::Create({
+      {"g", AttrType::kCategorical, AttrRole::kImmutable},
+      {"o", AttrType::kNumeric, AttrRole::kOutcome},
+  });
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  Rng rng(7);
+  const std::vector<std::string> cats = {"x", "y", "z"};
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(
+        df.AppendRow({Value(cats[rng.NextBounded(3)]), Value(1.0 * i)}).ok());
+  }
+
+  // Build the per-category masks externally (as ingest does) and install.
+  // masks[i] must correspond to dictionary code i, not insertion order of
+  // the test's category list.
+  const Column& col = df.column(0);
+  std::vector<Bitmap> masks;
+  masks.reserve(col.num_categories());
+  for (size_t code = 0; code < col.num_categories(); ++code) {
+    masks.push_back(PredicateIndex::Scan(
+        df, 0, CompareOp::kEq,
+        Value(col.CategoryName(static_cast<int32_t>(code)))));
+  }
+  df.predicate_index().WarmStartCategoryMasks(df, 0, std::move(masks));
+
+  const auto warm = df.predicate_index().GetStats();
+  EXPECT_EQ(warm.warm_atom_masks, 3u);
+  EXPECT_EQ(warm.atom_masks, 3u);
+  EXPECT_EQ(warm.misses, 0u);
+
+  for (const std::string& cat : cats) {
+    const Predicate p(0, CompareOp::kEq, Value(cat));
+    EXPECT_TRUE(p.Evaluate(df) == p.EvaluateNaive(df)) << cat;
+  }
+  const auto after = df.predicate_index().GetStats();
+  EXPECT_EQ(after.misses, 0u);  // every category request was a warm hit
+  EXPECT_GT(after.hits, 0u);
+}
+
 TEST(PredicateIndexTest, EmptyPatternSelectsAllRows) {
   auto schema = Schema::Create({
       {"g", AttrType::kCategorical, AttrRole::kImmutable},

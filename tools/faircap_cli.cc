@@ -1,20 +1,28 @@
-// faircap_cli: run FairCap end-to-end on a CSV + DAG file from the shell.
+// faircap_cli: FairCap from the shell, in four verbs.
 //
-//   faircap_cli --data=survey.csv --dag=survey.dag --outcome=Salary
+//   faircap_cli [run] --dataset=NAME [--rows=N] [--seed=S] [--set=k=v,...]
+//   faircap_cli [run] --data=survey.csv --dag=survey.dag --outcome=Salary
 //               --mutable=Education,Role --protected="Gender=female"
 //               [--fairness=group-sp|indi-sp|group-bgl|indi-bgl]
 //               [--fairness-threshold=10000]
 //               [--coverage=group|rule --theta=0.5 --theta-p=0.5]
 //               [--min-support=0.1] [--max-rules=20] [--threads=0]
-//               [--natural-language]
+//               [--index-budget-mb=64] [--natural-language]
+//   faircap_cli gen --dataset=synthetic --rows=1000000 --out=data.csv
+//               [--dag-out=data.dag] [--seed=S] [--set=k=v,...]
+//   faircap_cli ingest --data=data.csv [--chunk-kb=1024] [--compare-legacy]
+//   faircap_cli datasets
 //
-// The CSV schema is inferred; every attribute not named in --mutable and
-// not the outcome is treated as immutable. The DAG file uses the
-// "A -> B;" dialect of causal/dag_io.h. The protected group is a
-// comma-separated conjunction of attr=value equalities.
+// Every dataset — the paper generators, the synthetic scale workload, and
+// CSV+DAG files — loads through the DatasetRepository; file-backed data
+// comes in via the streaming columnar ingest path, so the pipeline starts
+// with a warm PredicateIndex. The protected group is a comma-separated
+// conjunction of attr=value equalities; the DAG file uses the "A -> B;"
+// dialect of causal/dag_io.h.
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -24,7 +32,10 @@
 #include "core/metrics.h"
 #include "core/templates.h"
 #include "dataframe/csv.h"
+#include "ingest/chunked_csv_reader.h"
+#include "ingest/repository.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 using namespace faircap;
 
@@ -33,9 +44,9 @@ namespace {
 struct CliArgs {
   std::map<std::string, std::string> values;
 
-  static CliArgs Parse(int argc, char** argv) {
+  static CliArgs Parse(int argc, char** argv, int first) {
     CliArgs args;
-    for (int i = 1; i < argc; ++i) {
+    for (int i = first; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg.rfind("--", 0) != 0) continue;
       arg = arg.substr(2);
@@ -67,61 +78,182 @@ int Fail(const std::string& message) {
 
 void PrintUsage() {
   std::cout <<
-      "usage: faircap_cli --data=FILE.csv --dag=FILE.dag --outcome=ATTR \\\n"
-      "                   --mutable=A,B,C --protected=\"Attr=value[,Attr2=v2]\"\n"
-      "optional:\n"
+      "usage: faircap_cli [run] --dataset=NAME | --data=FILE.csv --dag=FILE.dag\n"
+      "                   --outcome=ATTR --mutable=A,B,C\n"
+      "                   --protected=\"Attr=value[,Attr2=v2]\"\n"
+      "       faircap_cli gen --dataset=NAME --rows=N --out=FILE.csv\n"
+      "                   [--dag-out=FILE.dag] [--seed=S] [--set=k=v,...]\n"
+      "       faircap_cli ingest --data=FILE.csv [--chunk-kb=1024]\n"
+      "                   [--compare-legacy]\n"
+      "       faircap_cli datasets\n"
+      "run options:\n"
+      "  --rows=N --seed=S --set=k=v,...   (repository dataset knobs)\n"
       "  --fairness=group-sp|indi-sp|group-bgl|indi-bgl\n"
       "  --fairness-threshold=X      (SP epsilon / BGL tau)\n"
       "  --coverage=group|rule --theta=0.5 --theta-p=0.5\n"
       "  --min-support=0.1 --max-rules=20 --max-intervention-predicates=2\n"
-      "  --min-group-size=10 --min-subgroup-arm=5\n"
+      "  --min-group-size=10 --min-subgroup-arm=5 --index-budget-mb=0\n"
       "  --threads=0 --natural-language --unit=$\n";
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const CliArgs args = CliArgs::Parse(argc, argv);
-  if (args.Has("help") || !args.Has("data") || !args.Has("dag") ||
-      !args.Has("outcome") || !args.Has("protected")) {
-    PrintUsage();
-    return args.Has("help") ? 0 : 1;
-  }
-
-  // --- Data -----------------------------------------------------------
-  auto df_result = ReadCsvInferSchema(args.Get("data"));
-  if (!df_result.ok()) return Fail(df_result.status().ToString());
-  DataFrame df = std::move(df_result).ValueOrDie();
-
-  // Roles: outcome, mutable list, everything else immutable.
-  Status st = df.SetRole(args.Get("outcome"), AttrRole::kOutcome);
-  if (!st.ok()) return Fail(st.ToString());
-  for (const std::string& name : Split(args.Get("mutable"), ',')) {
-    const std::string trimmed = std::string(Trim(name));
-    if (trimmed.empty()) continue;
-    st = df.SetRole(trimmed, AttrRole::kMutable);
-    if (!st.ok()) return Fail(st.ToString());
-  }
-
-  // --- DAG -------------------------------------------------------------
-  auto dag_result = ReadDagFile(args.Get("dag"));
-  if (!dag_result.ok()) return Fail(dag_result.status().ToString());
-  const CausalDag dag = std::move(dag_result).ValueOrDie();
-
-  // --- Protected pattern ------------------------------------------------
-  std::vector<Predicate> predicates;
-  for (const std::string& clause : Split(args.Get("protected"), ',')) {
-    const size_t eq = clause.find('=');
+/// Repository request from the shared flags: --rows, --seed, and
+/// --set=k=v[,k2=v2...] for generator-specific knobs.
+DatasetRequest RequestFromArgs(const CliArgs& args, const std::string& name) {
+  DatasetRequest request;
+  request.name = name;
+  request.rows = static_cast<size_t>(args.GetDouble("rows", 0));
+  request.seed = static_cast<uint64_t>(args.GetDouble("seed", 0));
+  for (const std::string& kv : Split(args.Get("set"), ',')) {
+    if (std::string(Trim(kv)).empty()) continue;
+    const size_t eq = kv.find('=');
     if (eq == std::string::npos) {
-      return Fail("malformed --protected clause '" + clause + "'");
+      request.params[std::string(Trim(kv))] = "true";
+    } else {
+      request.params[std::string(Trim(kv.substr(0, eq)))] =
+          std::string(Trim(kv.substr(eq + 1)));
     }
-    const std::string attr = std::string(Trim(clause.substr(0, eq)));
-    const std::string value = std::string(Trim(clause.substr(eq + 1)));
-    const auto idx = df.schema().IndexOf(attr);
-    if (!idx.ok()) return Fail(idx.status().ToString());
-    predicates.emplace_back(*idx, CompareOp::kEq, Value(value));
   }
-  const Pattern protected_pattern(std::move(predicates));
+  return request;
+}
+
+/// Loads the run/gen dataset: either a named repository entry or a
+/// CSV+DAG pair routed through the repository's "file" factory (streaming
+/// ingest).
+Result<Dataset> LoadFromArgs(const CliArgs& args) {
+  if (args.Has("dataset")) {
+    return DatasetRepository::Global().Load(
+        RequestFromArgs(args, args.Get("dataset")));
+  }
+  if (!args.Has("data") || !args.Has("dag") || !args.Has("outcome")) {
+    return Status::InvalidArgument(
+        "need --dataset=NAME or --data/--dag/--outcome/--protected");
+  }
+  DatasetRequest request = RequestFromArgs(args, "file");
+  request.params["path"] = args.Get("data");
+  request.params["dag"] = args.Get("dag");
+  request.params["outcome"] = args.Get("outcome");
+  request.params["mutable"] = args.Get("mutable");
+  request.params["protected"] = args.Get("protected");
+  return DatasetRepository::Global().Load(request);
+}
+
+int RunDatasets() {
+  std::cout << "registered datasets:\n";
+  for (const auto& [name, description] : DatasetRepository::Global().List()) {
+    std::cout << "  " << name << " — " << description << "\n";
+  }
+  return 0;
+}
+
+int RunGen(const CliArgs& args) {
+  if (!args.Has("out")) return Fail("gen needs --out=FILE.csv");
+  const std::string dataset = args.Get("dataset", "synthetic");
+  auto loaded = DatasetRepository::Global().Load(
+      RequestFromArgs(args, dataset));
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+
+  const std::string out_path = args.Get("out");
+  const Status written = WriteCsv(loaded->df, out_path);
+  if (!written.ok()) return Fail(written.ToString());
+
+  std::string dag_path = args.Get("dag-out");
+  if (dag_path.empty()) {
+    // Replace the extension of the *filename* only; a dot in a directory
+    // component ("./big", "data.v2/out") is not an extension.
+    const size_t slash = out_path.rfind('/');
+    const size_t dot = out_path.rfind('.');
+    const bool has_ext =
+        dot != std::string::npos && (slash == std::string::npos || dot > slash);
+    dag_path = out_path.substr(0, has_ext ? dot : out_path.size()) + ".dag";
+  }
+  std::ofstream dag_out(dag_path);
+  if (!dag_out) return Fail("cannot open '" + dag_path + "' for writing");
+  dag_out << DagToText(loaded->dag);
+  if (!dag_out) return Fail("write failed for '" + dag_path + "'");
+
+  std::cout << "dataset: " << dataset << " (" << loaded->df.num_rows()
+            << " rows, " << loaded->df.num_columns() << " columns)\n"
+            << "csv: " << out_path << "\ndag: " << dag_path
+            << "\nprotected: "
+            << loaded->protected_pattern.ToString(loaded->df.schema()) << " ("
+            << loaded->protected_pattern.Evaluate(loaded->df).Count()
+            << " rows)\n";
+  return 0;
+}
+
+int RunIngest(const CliArgs& args) {
+  if (!args.Has("data")) return Fail("ingest needs --data=FILE.csv");
+  const std::string path = args.Get("data");
+  IngestOptions options;
+  options.chunk_bytes = static_cast<size_t>(
+      args.GetDouble("chunk-kb", 1024.0) * 1024.0);
+
+  IngestStats stats;
+  auto df = StreamCsvInferSchema(path, options, &stats);
+  if (!df.ok()) return Fail(df.status().ToString());
+
+  const auto index_stats = df->predicate_index().GetStats();
+  std::cout << "streamed " << stats.rows << " rows x " << df->num_columns()
+            << " columns (" << stats.bytes << " bytes, " << stats.chunks
+            << " chunks) in " << FormatDouble(stats.seconds) << "s — "
+            << FormatDouble(stats.RowsPerSecond() / 1e6)
+            << "M rows/s\nwarm index: " << index_stats.warm_atom_masks
+            << " category masks (" << index_stats.atom_bytes << " bytes)\n";
+
+  if (args.Has("compare-legacy")) {
+    StopWatch watch;
+    auto legacy = ReadCsvInferSchema(path);
+    if (!legacy.ok()) return Fail(legacy.status().ToString());
+    const double legacy_seconds = watch.ElapsedSeconds();
+    std::cout << "legacy loader: " << FormatDouble(legacy_seconds) << "s — "
+              << FormatDouble(stats.seconds > 0.0
+                                  ? legacy_seconds / stats.seconds
+                                  : 0.0)
+              << "x slower than streaming\n";
+  }
+  return 0;
+}
+
+int RunPipeline(const CliArgs& args) {
+  if (args.Has("help")) {
+    PrintUsage();
+    return 0;
+  }
+  auto loaded = LoadFromArgs(args);
+  if (!loaded.ok()) {
+    PrintUsage();
+    return Fail(loaded.status().ToString());
+  }
+  DataFrame df = std::move(loaded->df);
+  const CausalDag dag = std::move(loaded->dag);
+
+  // --- Protected pattern: dataset ground truth, overridable. -----------
+  Pattern protected_pattern = std::move(loaded->protected_pattern);
+  if (args.Has("protected")) {
+    std::vector<Predicate> predicates;
+    for (const std::string& clause : Split(args.Get("protected"), ',')) {
+      const size_t eq = clause.find('=');
+      if (eq == std::string::npos) {
+        return Fail("malformed --protected clause '" + clause + "'");
+      }
+      const std::string attr = std::string(Trim(clause.substr(0, eq)));
+      const std::string value = std::string(Trim(clause.substr(eq + 1)));
+      const auto idx = df.schema().IndexOf(attr);
+      if (!idx.ok()) return Fail(idx.status().ToString());
+      predicates.emplace_back(*idx, CompareOp::kEq, Value(value));
+    }
+    protected_pattern = Pattern(std::move(predicates));
+  }
+  if (protected_pattern.empty()) {
+    return Fail("no protected group: pass --protected=\"Attr=value\"");
+  }
+
+  // --- Index memory budget ----------------------------------------------
+  const double budget_mb = args.GetDouble("index-budget-mb", 0.0);
+  if (budget_mb > 0.0) {
+    df.predicate_index().SetMemoryBudget(
+        static_cast<size_t>(budget_mb * 1024.0 * 1024.0));
+  }
 
   // --- Options ----------------------------------------------------------
   FairCapOptions options;
@@ -167,8 +299,9 @@ int main(int argc, char** argv) {
   auto result = solver->Run();
   if (!result.ok()) return Fail(result.status().ToString());
 
-  std::cout << "data: " << args.Get("data") << " (" << df.num_rows()
-            << " rows)\nprotected group: " << args.Get("protected") << " ("
+  std::cout << "data: " << loaded->name << " (" << df.num_rows()
+            << " rows)\nprotected group: "
+            << protected_pattern.ToString(df.schema()) << " ("
             << solver->protected_mask().Count() << " rows)\nconstraints: "
             << options.fairness.ToString() << "; "
             << options.coverage.ToString() << "\n\n";
@@ -187,5 +320,35 @@ int main(int argc, char** argv) {
       std::cout << "  - " << rule.ToString(df.schema()) << "\n";
     }
   }
+  if (budget_mb > 0.0) {
+    const auto index_stats = df.predicate_index().GetStats();
+    std::cout << "\nindex: " << index_stats.atom_masks << " atom masks, "
+              << index_stats.conjunction_masks << " conjunction masks ("
+              << index_stats.conjunction_bytes << " bytes held, "
+              << index_stats.evictions << " evicted)\n";
+  }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string verb = "run";
+  int first_flag = 1;
+  if (argc > 1 && std::strncmp(argv[1], "--", 2) != 0) {
+    verb = argv[1];
+    first_flag = 2;
+  }
+  const CliArgs args = CliArgs::Parse(argc, argv, first_flag);
+
+  if (verb == "run") return RunPipeline(args);
+  if (verb == "gen") return RunGen(args);
+  if (verb == "ingest") return RunIngest(args);
+  if (verb == "datasets") return RunDatasets();
+  if (verb == "help") {
+    PrintUsage();
+    return 0;
+  }
+  PrintUsage();
+  return Fail("unknown verb '" + verb + "'");
 }
