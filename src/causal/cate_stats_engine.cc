@@ -1,0 +1,640 @@
+#include "causal/cate_stats_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+#include "causal/linear_model.h"
+#include "causal/logistic.h"
+
+namespace faircap {
+
+std::vector<double> QuantileBinEdges(const Column& col, size_t bins) {
+  std::vector<double> values;
+  values.reserve(col.size());
+  for (size_t r = 0; r < col.size(); ++r) {
+    if (!col.IsNull(r)) values.push_back(col.numeric(r));
+  }
+  std::sort(values.begin(), values.end());
+  std::vector<double> edges;
+  for (size_t b = 1; b < bins && !values.empty(); ++b) {
+    edges.push_back(values[values.size() * b / bins]);
+  }
+  return edges;
+}
+
+Result<CateEstimate> HajekIpwFromRows(
+    const std::vector<double>& design, size_t n, size_t p,
+    const std::vector<double>& labels, const std::vector<double>& outcomes,
+    const std::vector<uint8_t>& is_treated_row, double propensity_clip) {
+  FAIRCAP_ASSIGN_OR_RETURN(const LogisticFit propensity,
+                           FitLogistic(design, n, p, labels));
+
+  // Hajek (self-normalized) IPW with clipped propensities.
+  const double clip = propensity_clip;
+  double sum_w1 = 0.0, sum_w1y = 0.0, sum_w0 = 0.0, sum_w0y = 0.0;
+  std::vector<double> w1_values, w0_values;  // for the variance estimate
+  std::vector<double> y1_values, y0_values;
+  size_t n_treated = 0, n_control = 0;
+  for (size_t r = 0; r < n; ++r) {
+    const double e = std::clamp(
+        PredictLogistic(propensity.beta, &design[r * p]), clip, 1.0 - clip);
+    if (is_treated_row[r] != 0) {
+      const double w = 1.0 / e;
+      sum_w1 += w;
+      sum_w1y += w * outcomes[r];
+      w1_values.push_back(w);
+      y1_values.push_back(outcomes[r]);
+      ++n_treated;
+    } else {
+      const double w = 1.0 / (1.0 - e);
+      sum_w0 += w;
+      sum_w0y += w * outcomes[r];
+      w0_values.push_back(w);
+      y0_values.push_back(outcomes[r]);
+      ++n_control;
+    }
+  }
+  const double mean1 = sum_w1y / sum_w1;
+  const double mean0 = sum_w0y / sum_w0;
+
+  // Approximate variance of each weighted mean via the weighted residual
+  // sum of squares (Hajek linearization).
+  const auto weighted_mean_var = [](const std::vector<double>& weights,
+                                    const std::vector<double>& values,
+                                    double mean, double weight_sum) {
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      const double d = weights[i] * (values[i] - mean);
+      acc += d * d;
+    }
+    return acc / (weight_sum * weight_sum);
+  };
+
+  CateEstimate est;
+  est.cate = mean1 - mean0;
+  est.std_error =
+      std::sqrt(weighted_mean_var(w1_values, y1_values, mean1, sum_w1) +
+                weighted_mean_var(w0_values, y0_values, mean0, sum_w0));
+  est.n_treated = n_treated;
+  est.n_control = n_control;
+  return est;
+}
+
+std::shared_ptr<const ConfounderPartition> ConfounderPartition::Build(
+    const DataFrame& df, size_t outcome_attr,
+    const std::vector<size_t>& adjustment, const CateOptions& options) {
+  std::shared_ptr<ConfounderPartition> part(new ConfounderPartition());
+  const size_t n = df.num_rows();
+
+  // Per-confounder layout: design feature span (legacy enumeration order)
+  // and the radix base of the legacy stratum id.
+  struct ConfInfo {
+    const Column* col;
+    bool categorical;
+    int64_t base;
+    uint32_t feature_base;
+    std::vector<double> edges;
+  };
+  std::vector<ConfInfo> confs;
+  confs.reserve(adjustment.size());
+  for (size_t attr : adjustment) {
+    const Column& col = df.column(attr);
+    ConfInfo info;
+    info.col = &col;
+    info.categorical = col.type() == AttrType::kCategorical;
+    info.feature_base = static_cast<uint32_t>(part->features_.size());
+    if (info.categorical) {
+      // Drop the first level as the reference category.
+      for (size_t code = 1; code < col.num_categories(); ++code) {
+        part->features_.push_back({attr, true, static_cast<int32_t>(code)});
+      }
+      info.base = static_cast<int64_t>(col.num_categories() + 1);
+    } else {
+      part->numeric_features_.push_back(
+          static_cast<uint32_t>(part->features_.size()));
+      part->features_.push_back({attr, false, 0});
+      info.edges = QuantileBinEdges(
+          col, std::max<size_t>(1, options.numeric_confounder_bins));
+      info.base = static_cast<int64_t>(info.edges.size() + 2);
+    }
+    confs.push_back(std::move(info));
+  }
+
+  // Cache the numeric confounder columns with nulls as 0.0 — exactly the
+  // value the legacy design-matrix build substitutes.
+  part->numeric_values_.resize(part->numeric_features_.size());
+  for (size_t j = 0; j < part->numeric_features_.size(); ++j) {
+    const Column& col =
+        df.column(part->features_[part->numeric_features_[j]].attr);
+    std::vector<double>& vals = part->numeric_values_[j];
+    vals.resize(n);
+    for (size_t r = 0; r < n; ++r) {
+      vals[r] = col.IsNull(r) ? 0.0 : col.numeric(r);
+    }
+  }
+
+  // Intern each row's joint signature (code / quantile bin / null flag per
+  // confounder) into a dense cell id. Rows with a null outcome stay at
+  // cell -1: every estimator excludes them.
+  const Column& outcome = df.column(outcome_attr);
+  part->outcome_.resize(n);
+  part->cell_of_row_.assign(n, -1);
+  std::unordered_map<std::string, int32_t> cell_ids;
+  std::vector<int32_t> sig(confs.size());
+  std::string key;
+  for (size_t r = 0; r < n; ++r) {
+    const bool outcome_null = outcome.IsNull(r);
+    part->outcome_[r] = outcome_null ? 0.0 : outcome.numeric(r);
+    if (outcome_null) continue;
+    for (size_t a = 0; a < confs.size(); ++a) {
+      const ConfInfo& info = confs[a];
+      if (info.col->IsNull(r)) {
+        sig[a] = -1;
+      } else if (info.categorical) {
+        sig[a] = info.col->code(r);
+      } else {
+        sig[a] = static_cast<int32_t>(
+            std::upper_bound(info.edges.begin(), info.edges.end(),
+                             info.col->numeric(r)) -
+            info.edges.begin());
+      }
+    }
+    key.assign(reinterpret_cast<const char*>(sig.data()),
+               sig.size() * sizeof(int32_t));
+    const auto [it, inserted] =
+        cell_ids.emplace(key, static_cast<int32_t>(part->cells_.size()));
+    if (inserted) {
+      Cell cell;
+      int64_t id = 0;
+      bool any_null = false;
+      for (size_t a = 0; a < confs.size(); ++a) {
+        if (sig[a] < 0) {
+          any_null = true;
+          continue;
+        }
+        id = id * confs[a].base + sig[a];
+        if (confs[a].categorical && sig[a] >= 1) {
+          cell.onehot.push_back(confs[a].feature_base +
+                                static_cast<uint32_t>(sig[a] - 1));
+        }
+      }
+      cell.stratum_id = any_null ? -1 : id;
+      part->cells_.push_back(std::move(cell));
+    }
+    part->cell_of_row_[r] = it->second;
+  }
+
+  part->cells_by_stratum_.reserve(part->cells_.size());
+  for (uint32_t c = 0; c < part->cells_.size(); ++c) {
+    if (part->cells_[c].stratum_id >= 0) part->cells_by_stratum_.push_back(c);
+  }
+  std::sort(part->cells_by_stratum_.begin(), part->cells_by_stratum_.end(),
+            [&](uint32_t a, uint32_t b) {
+              return part->cells_[a].stratum_id < part->cells_[b].stratum_id;
+            });
+
+  size_t bytes = part->cell_of_row_.size() * sizeof(int32_t) +
+                 part->outcome_.size() * sizeof(double) +
+                 part->cells_by_stratum_.size() * sizeof(uint32_t);
+  for (const auto& vals : part->numeric_values_) {
+    bytes += vals.size() * sizeof(double);
+  }
+  for (const Cell& cell : part->cells_) {
+    bytes += sizeof(Cell) + cell.onehot.size() * sizeof(uint32_t);
+  }
+  part->bytes_ = bytes;
+  return part;
+}
+
+CateStatsEngine::CateStatsEngine(
+    const DataFrame* df, CateOptions options, std::vector<size_t> adjustment,
+    std::shared_ptr<const Bitmap> treated,
+    std::shared_ptr<const ConfounderPartition> partition)
+    : df_(df),
+      options_(options),
+      adjustment_(std::move(adjustment)),
+      treated_(std::move(treated)),
+      partition_(std::move(partition)) {}
+
+size_t CateStatsEngine::bytes() const {
+  // The treated mask is pinned by this engine via shared ownership (the
+  // PredicateIndex may have evicted its own copy), so its words count
+  // against whoever budgets the engine.
+  const size_t mask_bytes = ((treated_->size() + 63) / 64) * sizeof(uint64_t);
+  return sizeof(CateStatsEngine) + adjustment_.size() * sizeof(size_t) +
+         mask_bytes;
+}
+
+CateStatsEngine::Accum CateStatsEngine::MakeAccum() const {
+  Accum acc;
+  const size_t slots = partition_->cells().size() * 2;
+  acc.n.assign(slots, 0);
+  acc.sy.assign(slots, 0.0);
+  acc.syy.assign(slots, 0.0);
+  if (need_moments()) {
+    const size_t m = partition_->num_numeric();
+    acc.zsum.assign(slots * m, 0.0);
+    acc.zysum.assign(slots * m, 0.0);
+    acc.zzsum.assign(slots * (m * (m + 1) / 2), 0.0);
+  }
+  return acc;
+}
+
+void CateStatsEngine::Accumulate(const Bitmap& group,
+                                 const Bitmap* protected_mask, Accum* overall,
+                                 Accum* prot, Accum* nonprot) const {
+  const int32_t* cell_of_row = partition_->cell_of_row().data();
+  const double* y = partition_->outcome().data();
+  const uint64_t* gw = group.words();
+  const uint64_t* tw = treated_->words();
+  const uint64_t* pw =
+      protected_mask != nullptr ? protected_mask->words() : nullptr;
+  const size_t num_words = group.num_words();
+  const size_t m = partition_->num_numeric();
+  const size_t mm = m * (m + 1) / 2;
+  const bool moments = need_moments();
+  std::vector<const double*> zcols(m);
+  for (size_t j = 0; j < m; ++j) {
+    zcols[j] = partition_->numeric_values()[j].data();
+  }
+  std::vector<double> z(m);
+
+  // The treated mask drives the arm bit and the group (plus optional
+  // protected) masks the rows — three bitmaps walked word-at-a-time, 64
+  // rows per load, skipping empty group words.
+  for (size_t w = 0; w < num_words; ++w) {
+    uint64_t bits = gw[w];
+    if (bits == 0) continue;
+    const uint64_t tword = tw[w];
+    const uint64_t pword = pw != nullptr ? pw[w] : 0;
+    while (bits != 0) {
+      const int b = __builtin_ctzll(bits);
+      bits &= bits - 1;
+      const size_t r = w * 64 + static_cast<size_t>(b);
+      const int32_t c = cell_of_row[r];
+      if (c < 0) continue;
+      const int arm = static_cast<int>((tword >> b) & 1);
+      const size_t idx = static_cast<size_t>(c) * 2 + static_cast<size_t>(arm);
+      const double yr = y[r];
+      Accum* sub = nullptr;
+      if (pw != nullptr) sub = ((pword >> b) & 1) != 0 ? prot : nonprot;
+
+      ++overall->rows;
+      if (arm != 0) {
+        ++overall->n_treated;
+      } else {
+        ++overall->n_control;
+      }
+      ++overall->n[idx];
+      overall->sy[idx] += yr;
+      overall->syy[idx] += yr * yr;
+      if (sub != nullptr) {
+        ++sub->rows;
+        if (arm != 0) {
+          ++sub->n_treated;
+        } else {
+          ++sub->n_control;
+        }
+        ++sub->n[idx];
+        sub->sy[idx] += yr;
+        sub->syy[idx] += yr * yr;
+      }
+      if (moments) {
+        for (size_t j = 0; j < m; ++j) z[j] = zcols[j][r];
+        const size_t zbase = idx * m;
+        const size_t zzbase = idx * mm;
+        for (size_t j = 0, t = 0; j < m; ++j) {
+          overall->zsum[zbase + j] += z[j];
+          overall->zysum[zbase + j] += z[j] * yr;
+          if (sub != nullptr) {
+            sub->zsum[zbase + j] += z[j];
+            sub->zysum[zbase + j] += z[j] * yr;
+          }
+          for (size_t k = j; k < m; ++k, ++t) {
+            const double zz = z[j] * z[k];
+            overall->zzsum[zzbase + t] += zz;
+            if (sub != nullptr) sub->zzsum[zzbase + t] += zz;
+          }
+        }
+      }
+    }
+  }
+}
+
+Result<CateEstimate> CateStatsEngine::Solve(const Accum& acc,
+                                            const Slice& slice,
+                                            size_t min_group_size) const {
+  switch (options_.method) {
+    case CateMethod::kRegression:
+      return SolveRegression(acc, min_group_size);
+    case CateMethod::kStratified:
+      return SolveStratified(acc, min_group_size);
+    case CateMethod::kIpw:
+      return SolveIpw(acc, slice, min_group_size);
+  }
+  return Status::Internal("unknown CATE method");
+}
+
+Result<CateEstimate> CateStatsEngine::SolveRegression(
+    const Accum& acc, size_t min_group_size) const {
+  if (acc.n_treated < min_group_size || acc.n_control < min_group_size) {
+    return Status::FailedPrecondition(
+        "insufficient overlap: " + std::to_string(acc.n_treated) +
+        " treated / " + std::to_string(acc.n_control) + " control rows");
+  }
+  const auto& cells = partition_->cells();
+  const auto& nf = partition_->numeric_features();
+  const size_t m = partition_->num_numeric();
+  const size_t mm = m * (m + 1) / 2;
+  const size_t p = 2 + partition_->features().size();
+
+  // Assemble X'X / X'y / y'y from the cell stats: within a cell the
+  // design row is [1, arm, one-hot(c), z], with only z varying by row —
+  // so every X'X entry is a weighted count, a z-moment, or a z-product
+  // moment of the cell.
+  std::vector<double> xtx(p * p, 0.0);
+  std::vector<double> xty(p, 0.0);
+  double yty = 0.0;
+  for (size_t c = 0; c < cells.size(); ++c) {
+    const auto& onehot = cells[c].onehot;
+    for (int arm = 0; arm < 2; ++arm) {
+      const size_t idx = c * 2 + static_cast<size_t>(arm);
+      const uint32_t cnt = acc.n[idx];
+      if (cnt == 0) continue;
+      const double nd = static_cast<double>(cnt);
+      const double sy = acc.sy[idx];
+      xtx[0] += nd;
+      if (arm != 0) {
+        xtx[1] += nd;          // (0, T)
+        xtx[p + 1] += nd;      // (T, T)
+      }
+      xty[0] += sy;
+      if (arm != 0) xty[1] += sy;
+      yty += acc.syy[idx];
+      for (const uint32_t f : onehot) {
+        const size_t col = 2 + f;
+        xtx[col] += nd;                   // (0, f)
+        if (arm != 0) xtx[p + col] += nd; // (T, f)
+        xty[col] += sy;
+      }
+      for (size_t i = 0; i < onehot.size(); ++i) {
+        for (size_t j = i; j < onehot.size(); ++j) {
+          xtx[(2 + onehot[i]) * p + (2 + onehot[j])] += nd;
+        }
+      }
+      if (m > 0) {
+        const size_t zbase = idx * m;
+        for (size_t j = 0; j < m; ++j) {
+          const double sz = acc.zsum[zbase + j];
+          const size_t colj = 2 + nf[j];
+          xtx[colj] += sz;                   // (0, z_j)
+          if (arm != 0) xtx[p + colj] += sz; // (T, z_j)
+          for (const uint32_t f : onehot) {
+            const size_t a = 2 + f;
+            if (a <= colj) {
+              xtx[a * p + colj] += sz;
+            } else {
+              xtx[colj * p + a] += sz;
+            }
+          }
+          xty[colj] += acc.zysum[zbase + j];
+        }
+        const size_t zzbase = idx * mm;
+        for (size_t i = 0, t = 0; i < m; ++i) {
+          for (size_t j = i; j < m; ++j, ++t) {
+            xtx[(2 + nf[i]) * p + (2 + nf[j])] += acc.zzsum[zzbase + t];
+          }
+        }
+      }
+    }
+  }
+  FAIRCAP_ASSIGN_OR_RETURN(
+      const OlsFit fit,
+      SolveNormalEquations(xtx, xty, yty, acc.rows, p, options_.ridge));
+  CateEstimate est;
+  est.cate = fit.beta[1];
+  est.std_error = fit.std_errors[1];
+  est.n_treated = acc.n_treated;
+  est.n_control = acc.n_control;
+  return est;
+}
+
+Result<CateEstimate> CateStatsEngine::SolveStratified(
+    const Accum& acc, size_t min_group_size) const {
+  // The exact legacy combine (same arithmetic, same std::map-ascending
+  // stratum order), fed from the sliced cell stats — bit-for-bit equal.
+  double weighted_effect = 0.0;
+  double weighted_var = 0.0;
+  size_t n_used = 0, n_treated = 0, n_control = 0;
+  for (const uint32_t c : partition_->cells_by_stratum()) {
+    const size_t i1 = static_cast<size_t>(c) * 2 + 1;
+    const size_t i0 = static_cast<size_t>(c) * 2;
+    const size_t nt = acc.n[i1];
+    const size_t nc = acc.n[i0];
+    if (nt + nc == 0) continue;  // cell untouched by this subgroup
+    if (nt < options_.min_stratum_arm || nc < options_.min_stratum_arm) {
+      continue;  // no overlap in this stratum (positivity violation)
+    }
+    const size_t n_s = nt + nc;
+    const double m1 = acc.sy[i1] / static_cast<double>(nt);
+    const double m0 = acc.sy[i0] / static_cast<double>(nc);
+    weighted_effect += static_cast<double>(n_s) * (m1 - m0);
+    const auto arm_var = [](size_t n, double sum, double sum_sq) {
+      if (n < 2) return 0.0;
+      const double mean = sum / static_cast<double>(n);
+      return std::max(0.0,
+                      (sum_sq - sum * mean) / static_cast<double>(n - 1));
+    };
+    const double v1 =
+        arm_var(nt, acc.sy[i1], acc.syy[i1]) / static_cast<double>(nt);
+    const double v0 =
+        arm_var(nc, acc.sy[i0], acc.syy[i0]) / static_cast<double>(nc);
+    weighted_var += static_cast<double>(n_s) * static_cast<double>(n_s) *
+                    (v1 + v0);
+    n_used += n_s;
+    n_treated += nt;
+    n_control += nc;
+  }
+  if (n_treated < min_group_size || n_control < min_group_size) {
+    return Status::FailedPrecondition(
+        "insufficient overlap after stratification: " +
+        std::to_string(n_treated) + " treated / " +
+        std::to_string(n_control) + " control rows");
+  }
+  CateEstimate est;
+  est.cate = weighted_effect / static_cast<double>(n_used);
+  est.std_error = std::sqrt(weighted_var) / static_cast<double>(n_used);
+  est.n_treated = n_treated;
+  est.n_control = n_control;
+  return est;
+}
+
+Result<CateEstimate> CateStatsEngine::SolveIpw(const Accum& acc,
+                                               const Slice& slice,
+                                               size_t min_group_size) const {
+  if (acc.n_treated < min_group_size || acc.n_control < min_group_size) {
+    return Status::FailedPrecondition(
+        "insufficient overlap: " + std::to_string(acc.n_treated) +
+        " treated / " + std::to_string(acc.n_control) + " control rows");
+  }
+  if (partition_->num_numeric() > 0) {
+    // The propensity design varies within a cell; replay the legacy
+    // per-row path (design served from the partition's cached columns).
+    return SolveIpwRows(slice, min_group_size);
+  }
+
+  // Categorical-only confounders: the propensity design is constant per
+  // cell, so the logistic fit runs on grouped counts and the Hajek sums
+  // come straight from the cell stats.
+  const auto& cells = partition_->cells();
+  const size_t p = 1 + partition_->features().size();
+  std::vector<double> x;
+  std::vector<double> trials, successes;
+  std::vector<uint32_t> touched;
+  for (uint32_t c = 0; c < cells.size(); ++c) {
+    const uint32_t n1 = acc.n[static_cast<size_t>(c) * 2 + 1];
+    const uint32_t n0 = acc.n[static_cast<size_t>(c) * 2];
+    if (n1 + n0 == 0) continue;
+    const size_t base = x.size();
+    x.resize(base + p, 0.0);
+    x[base] = 1.0;
+    for (const uint32_t f : cells[c].onehot) x[base + 1 + f] = 1.0;
+    trials.push_back(static_cast<double>(n1 + n0));
+    successes.push_back(static_cast<double>(n1));
+    touched.push_back(c);
+  }
+  const Result<LogisticFit> propensity =
+      FitLogisticGrouped(x, touched.size(), p, trials, successes);
+  if (!propensity.ok()) return propensity.status();
+
+  const double clip = options_.propensity_clip;
+  double sum_w1 = 0.0, sum_w1y = 0.0, sum_w0 = 0.0, sum_w0y = 0.0;
+  std::vector<double> e_of(touched.size());
+  for (size_t i = 0; i < touched.size(); ++i) {
+    const double e = std::clamp(
+        PredictLogistic(propensity->beta, &x[i * p]), clip, 1.0 - clip);
+    e_of[i] = e;
+    const size_t c2 = static_cast<size_t>(touched[i]) * 2;
+    const double n1 = static_cast<double>(acc.n[c2 + 1]);
+    const double n0 = static_cast<double>(acc.n[c2]);
+    sum_w1 += n1 / e;
+    sum_w1y += acc.sy[c2 + 1] / e;
+    sum_w0 += n0 / (1.0 - e);
+    sum_w0y += acc.sy[c2] / (1.0 - e);
+  }
+  const double mean1 = sum_w1y / sum_w1;
+  const double mean0 = sum_w0y / sum_w0;
+
+  // Per-arm Hajek variance: within a cell the weight is constant, so
+  // Σ_r (w (y_r - mean))² = w² (Σy² - 2 mean Σy + n mean²).
+  double var1_acc = 0.0, var0_acc = 0.0;
+  for (size_t i = 0; i < touched.size(); ++i) {
+    const double e = e_of[i];
+    const size_t c2 = static_cast<size_t>(touched[i]) * 2;
+    const double n1 = static_cast<double>(acc.n[c2 + 1]);
+    const double n0 = static_cast<double>(acc.n[c2]);
+    const double w1 = 1.0 / e;
+    const double w0 = 1.0 / (1.0 - e);
+    const double ssd1 = std::max(
+        0.0, acc.syy[c2 + 1] - 2.0 * mean1 * acc.sy[c2 + 1] +
+                 n1 * mean1 * mean1);
+    const double ssd0 = std::max(
+        0.0, acc.syy[c2] - 2.0 * mean0 * acc.sy[c2] + n0 * mean0 * mean0);
+    var1_acc += w1 * w1 * ssd1;
+    var0_acc += w0 * w0 * ssd0;
+  }
+  CateEstimate est;
+  est.cate = mean1 - mean0;
+  est.std_error = std::sqrt(var1_acc / (sum_w1 * sum_w1) +
+                            var0_acc / (sum_w0 * sum_w0));
+  est.n_treated = acc.n_treated;
+  est.n_control = acc.n_control;
+  return est;
+}
+
+Result<CateEstimate> CateStatsEngine::SolveIpwRows(
+    const Slice& slice, size_t min_group_size) const {
+  (void)min_group_size;  // overlap already checked on the accumulated counts
+  const auto& cells = partition_->cells();
+  const int32_t* cell_of_row = partition_->cell_of_row().data();
+  const double* y = partition_->outcome().data();
+  const size_t m = partition_->num_numeric();
+  const auto& nf = partition_->numeric_features();
+  const size_t p = 1 + partition_->features().size();
+
+  std::vector<double> design;
+  std::vector<double> labels;
+  std::vector<double> outcomes;
+  std::vector<uint8_t> is_treated_row;
+  const uint64_t* gw = slice.group->words();
+  const uint64_t* tw = treated_->words();
+  const uint64_t* pw =
+      slice.protected_mask != nullptr ? slice.protected_mask->words() : nullptr;
+  const size_t num_words = slice.group->num_words();
+  for (size_t w = 0; w < num_words; ++w) {
+    uint64_t bits = gw[w];
+    if (pw != nullptr) bits &= slice.protected_member ? pw[w] : ~pw[w];
+    if (bits == 0) continue;
+    const uint64_t tword = tw[w];
+    while (bits != 0) {
+      const int b = __builtin_ctzll(bits);
+      bits &= bits - 1;
+      const size_t r = w * 64 + static_cast<size_t>(b);
+      const int32_t c = cell_of_row[r];
+      if (c < 0) continue;
+      const size_t base = design.size();
+      design.resize(base + p, 0.0);
+      design[base] = 1.0;
+      for (const uint32_t f : cells[c].onehot) design[base + 1 + f] = 1.0;
+      for (size_t j = 0; j < m; ++j) {
+        design[base + 1 + nf[j]] = partition_->numeric_values()[j][r];
+      }
+      const bool t = ((tword >> b) & 1) != 0;
+      labels.push_back(t ? 1.0 : 0.0);
+      outcomes.push_back(y[r]);
+      is_treated_row.push_back(t ? 1 : 0);
+    }
+  }
+  // Same ascending row order, same design values as the legacy loop —
+  // HajekIpwFromRows is the one shared implementation.
+  return HajekIpwFromRows(design, labels.size(), p, labels, outcomes,
+                          is_treated_row, options_.propensity_clip);
+}
+
+CateSubgroupEstimates CateStatsEngine::EstimateSubgroups(
+    const Bitmap& group, const Bitmap* protected_mask, size_t min_group_size,
+    size_t min_subgroup_size, bool skip_subgroups_unless_positive) const {
+  CateSubgroupEstimates out;
+  Accum overall = MakeAccum();
+  Accum prot, nonprot;
+  if (protected_mask != nullptr) {
+    prot = MakeAccum();
+    nonprot = MakeAccum();
+  }
+  Accumulate(group, protected_mask, &overall, &prot, &nonprot);
+  const Slice whole{&group, nullptr, false};
+  out.overall = Solve(overall, whole, min_group_size);
+  if (protected_mask == nullptr) return out;
+  if (skip_subgroups_unless_positive &&
+      (!out.overall.ok() || out.overall->cate <= 0.0)) {
+    return out;
+  }
+  const Slice prot_slice{&group, protected_mask, true};
+  const Slice nonprot_slice{&group, protected_mask, false};
+  out.protected_group = Solve(prot, prot_slice, min_subgroup_size);
+  out.nonprotected = Solve(nonprot, nonprot_slice, min_subgroup_size);
+  return out;
+}
+
+Result<CateEstimate> CateStatsEngine::EstimateSubgroup(
+    const Bitmap& group, size_t min_group_size) const {
+  Accum acc = MakeAccum();
+  Accum unused_prot, unused_nonprot;
+  Accumulate(group, nullptr, &acc, &unused_prot, &unused_nonprot);
+  const Slice whole{&group, nullptr, false};
+  return Solve(acc, whole, min_group_size);
+}
+
+}  // namespace faircap

@@ -1,0 +1,227 @@
+// CateStatsEngine: per-treatment sufficient-statistics engine behind the
+// batch CATE API. Step-2 mining scores every candidate treatment three
+// times — overall, protected, and non-protected CATE — and the legacy
+// per-call estimator redoes the full design-matrix / stratum pass over the
+// table each time. But for all three estimation methods the estimate for
+// ANY subgroup is a function of per-joint-confounder-stratum, per-arm
+// sufficient statistics:
+//
+//   * stratified:  per-(stratum, arm) {n, Σy, Σy²} reproduce the exact
+//     matching estimator bit for bit;
+//   * regression:  within a stratum the one-hot confounder block of the
+//     design row is constant, so X'X / X'y / y'y assemble from the same
+//     cell stats (plus small per-cell numeric-confounder moments);
+//   * IPW:         the propensity design is also cell-constant when the
+//     confounders are categorical, so the logistic fit runs on grouped
+//     per-cell counts and the Hajek sums come from the cell stats.
+//
+// The engine therefore partitions the table ONCE per adjustment set into
+// joint-confounder cells (ConfounderPartition, shared across treatments
+// with the same treatment attributes) and holds the treated mask via
+// shared ownership from the PredicateIndex. Any subgroup bitmap — rule
+// coverage, protected, non-protected — is answered by slicing: one
+// word-at-a-time pass ANDs the group mask against the partition,
+// accumulates the cell stats, and solves the small per-subgroup systems
+// instead of rebuilding design matrices. The batch entry point answers
+// the overall / protected / non-protected triple from a single pass by
+// splitting the accumulation on the protected bit, so the non-protected
+// bitmap is never materialized at all.
+
+#ifndef FAIRCAP_CAUSAL_CATE_STATS_ENGINE_H_
+#define FAIRCAP_CAUSAL_CATE_STATS_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "causal/estimator.h"
+#include "dataframe/dataframe.h"
+#include "util/result.h"
+
+namespace faircap {
+
+/// Quantile bin edges for a numeric confounder (the stratified method's
+/// binning). Shared by the legacy estimator's StratumIds and the
+/// partition build so the two can never drift.
+std::vector<double> QuantileBinEdges(const Column& col, size_t bins);
+
+/// Hajek (self-normalized) IPW from materialized per-row propensity
+/// design rows: fits the logistic propensity model, clips, and assembles
+/// the weighted means and their linearized variance. The single shared
+/// implementation behind the legacy per-call IPW estimator and the
+/// engine's numeric-confounder fallback — the two must stay bit-for-bit
+/// identical for the pinning tests to mean anything.
+Result<CateEstimate> HajekIpwFromRows(const std::vector<double>& design,
+                                      size_t n, size_t p,
+                                      const std::vector<double>& labels,
+                                      const std::vector<double>& outcomes,
+                                      const std::vector<uint8_t>& is_treated_row,
+                                      double propensity_clip);
+
+/// Immutable partition of a table's rows into joint-confounder cells for
+/// one adjustment set: rows agreeing on every categorical confounder code,
+/// every numeric confounder quantile bin, and every confounder null flag
+/// share a cell. Depends only on (table, outcome, adjustment set, binning
+/// options) — NOT on the treatment — so all treatments over the same
+/// attributes share one partition via shared_ptr.
+class ConfounderPartition {
+ public:
+  /// One regression design feature (mirrors the legacy enumeration:
+  /// categorical levels 1..k-1 one-hot, numeric attrs one column each).
+  struct Feature {
+    size_t attr;
+    bool categorical;
+    int32_t code;
+  };
+
+  struct Cell {
+    /// The legacy stratified-estimator joint stratum id; -1 when any
+    /// confounder is null in this cell (such rows are excluded from
+    /// stratification but kept, zero-featured, by regression and IPW).
+    int64_t stratum_id = -1;
+    /// Design feature indices that are 1 for every row of this cell
+    /// (ascending). Numeric features are per-row, not per-cell.
+    std::vector<uint32_t> onehot;
+  };
+
+  static std::shared_ptr<const ConfounderPartition> Build(
+      const DataFrame& df, size_t outcome_attr,
+      const std::vector<size_t>& adjustment, const CateOptions& options);
+
+  const std::vector<Feature>& features() const { return features_; }
+  /// For numeric feature j (j-th numeric confounder): its index into
+  /// features().
+  const std::vector<uint32_t>& numeric_features() const {
+    return numeric_features_;
+  }
+  size_t num_numeric() const { return numeric_features_.size(); }
+  /// Cell index per row; -1 where the outcome is null (row excluded from
+  /// every estimator).
+  const std::vector<int32_t>& cell_of_row() const { return cell_of_row_; }
+  const std::vector<Cell>& cells() const { return cells_; }
+  /// Cells with stratum_id >= 0, ascending by stratum_id — the iteration
+  /// order of the legacy stratified combine (a std::map over ids).
+  const std::vector<uint32_t>& cells_by_stratum() const {
+    return cells_by_stratum_;
+  }
+  /// Outcome value per row (unspecified where null).
+  const std::vector<double>& outcome() const { return outcome_; }
+  /// Cached numeric confounder column per numeric feature, with nulls as
+  /// 0.0 — exactly the value the legacy design-matrix build would use.
+  const std::vector<std::vector<double>>& numeric_values() const {
+    return numeric_values_;
+  }
+
+  /// Heap bytes held (row arrays + cell table), for cache budgeting.
+  size_t bytes() const { return bytes_; }
+
+ private:
+  ConfounderPartition() = default;
+
+  std::vector<Feature> features_;
+  std::vector<uint32_t> numeric_features_;
+  std::vector<int32_t> cell_of_row_;
+  std::vector<Cell> cells_;
+  std::vector<uint32_t> cells_by_stratum_;
+  std::vector<double> outcome_;
+  std::vector<std::vector<double>> numeric_values_;
+  size_t bytes_ = 0;
+};
+
+/// The per-treatment engine: treated mask + confounder partition +
+/// options. Immutable after construction, so concurrent subgroup queries
+/// need no locking; the estimator caches engines per treatment with the
+/// same shared-ownership/LRU discipline the PredicateIndex uses for
+/// conjunction masks.
+class CateStatsEngine {
+ public:
+  /// `df` must outlive the engine. `treated` and `partition` are shared
+  /// (the mask typically lives in the table's PredicateIndex; the
+  /// partition in the estimator's per-adjustment cache).
+  CateStatsEngine(const DataFrame* df, CateOptions options,
+                  std::vector<size_t> adjustment,
+                  std::shared_ptr<const Bitmap> treated,
+                  std::shared_ptr<const ConfounderPartition> partition);
+
+  /// One pass over `group` rows answers all requested subgroups. When
+  /// `protected_mask` is non-null the accumulation is split on the
+  /// protected bit, yielding group ∩ protected and group ∩ ¬protected
+  /// without materializing either bitmap. `min_group_size` floors the
+  /// overall estimate's arms, `min_subgroup_size` the subgroup ones.
+  /// With `skip_subgroups_unless_positive`, the subgroup systems are only
+  /// solved when the overall estimate succeeded with CATE > 0 (the
+  /// Section 5.2 lattice prunes on the overall sign, so subgroup solves
+  /// for non-positive treatments would be wasted work).
+  CateSubgroupEstimates EstimateSubgroups(
+      const Bitmap& group, const Bitmap* protected_mask,
+      size_t min_group_size, size_t min_subgroup_size,
+      bool skip_subgroups_unless_positive = false) const;
+
+  /// Single-subgroup slice (the batch path with no protected split).
+  Result<CateEstimate> EstimateSubgroup(const Bitmap& group,
+                                        size_t min_group_size) const;
+
+  const Bitmap& treated() const { return *treated_; }
+  const ConfounderPartition& partition() const { return *partition_; }
+  const CateOptions& options() const { return options_; }
+
+  /// Engine-held bytes excluding the shared partition and treated mask.
+  size_t bytes() const;
+
+ private:
+  /// Per-subgroup sufficient statistics, indexed cell-major with two arms
+  /// (idx = 2*cell + arm; arm 1 = treated). Numeric moment blocks are
+  /// allocated only for the regression method with numeric confounders.
+  struct Accum {
+    size_t rows = 0;  ///< subgroup rows with non-null outcome
+    size_t n_treated = 0;
+    size_t n_control = 0;
+    std::vector<uint32_t> n;    ///< [2C]
+    std::vector<double> sy;     ///< [2C]
+    std::vector<double> syy;    ///< [2C]
+    std::vector<double> zsum;   ///< [2C * m]   Σ z_j
+    std::vector<double> zysum;  ///< [2C * m]   Σ z_j y
+    std::vector<double> zzsum;  ///< [2C * mm]  Σ z_i z_j, upper-tri packed
+  };
+
+  /// Which rows a solve refers to (needed only by the IPW row-level
+  /// fallback, which must re-walk the subgroup).
+  struct Slice {
+    const Bitmap* group = nullptr;
+    const Bitmap* protected_mask = nullptr;  ///< null: no protected filter
+    bool protected_member = false;           ///< filter polarity
+  };
+
+  void Accumulate(const Bitmap& group, const Bitmap* protected_mask,
+                  Accum* overall, Accum* prot, Accum* nonprot) const;
+
+  Result<CateEstimate> Solve(const Accum& acc, const Slice& slice,
+                             size_t min_group_size) const;
+  Result<CateEstimate> SolveRegression(const Accum& acc,
+                                       size_t min_group_size) const;
+  Result<CateEstimate> SolveStratified(const Accum& acc,
+                                       size_t min_group_size) const;
+  Result<CateEstimate> SolveIpw(const Accum& acc, const Slice& slice,
+                                size_t min_group_size) const;
+  /// Legacy-identical per-row IPW (numeric confounders vary within a
+  /// cell, so the propensity design is not cell-constant); still serves
+  /// features from the partition's cached columns.
+  Result<CateEstimate> SolveIpwRows(const Slice& slice,
+                                    size_t min_group_size) const;
+
+  bool need_moments() const {
+    return options_.method == CateMethod::kRegression &&
+           partition_->num_numeric() > 0;
+  }
+  Accum MakeAccum() const;
+
+  const DataFrame* df_;
+  CateOptions options_;
+  std::vector<size_t> adjustment_;
+  std::shared_ptr<const Bitmap> treated_;
+  std::shared_ptr<const ConfounderPartition> partition_;
+};
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_CAUSAL_CATE_STATS_ENGINE_H_

@@ -5,10 +5,25 @@
 #include <map>
 
 #include "causal/backdoor.h"
+#include "causal/cate_stats_engine.h"
 #include "causal/linear_model.h"
-#include "causal/logistic.h"
 
 namespace faircap {
+
+namespace {
+
+// Canonical cache key for an adjustment attr list (keys the stratum-id
+// and confounder-partition caches).
+std::string AdjustmentKey(const std::vector<size_t>& adjustment) {
+  std::string key;
+  for (size_t a : adjustment) {
+    key += std::to_string(a);
+    key += ',';
+  }
+  return key;
+}
+
+}  // namespace
 
 Result<CateEstimator> CateEstimator::Create(const DataFrame* df,
                                             const CausalDag* dag,
@@ -177,21 +192,14 @@ std::vector<int64_t> CateEstimator::StratumIds(
     const std::vector<size_t>& adjustment) const {
   const size_t n = df_->num_rows();
   std::vector<int64_t> ids(n, 0);
-  // Precompute quantile bin edges for numeric confounders.
+  // Precompute quantile bin edges for numeric confounders (shared with
+  // the ConfounderPartition build so the two can never drift).
   std::vector<std::vector<double>> edges(adjustment.size());
   for (size_t a = 0; a < adjustment.size(); ++a) {
     const Column& col = df_->column(adjustment[a]);
     if (col.type() != AttrType::kNumeric) continue;
-    std::vector<double> values;
-    values.reserve(n);
-    for (size_t r = 0; r < n; ++r) {
-      if (!col.IsNull(r)) values.push_back(col.numeric(r));
-    }
-    std::sort(values.begin(), values.end());
-    const size_t bins = std::max<size_t>(1, options_.numeric_confounder_bins);
-    for (size_t b = 1; b < bins && !values.empty(); ++b) {
-      edges[a].push_back(values[values.size() * b / bins]);
-    }
+    edges[a] = QuantileBinEdges(
+        col, std::max<size_t>(1, options_.numeric_confounder_bins));
   }
   for (size_t r = 0; r < n; ++r) {
     int64_t id = 0;
@@ -217,10 +225,29 @@ std::vector<int64_t> CateEstimator::StratumIds(
   return ids;
 }
 
+std::shared_ptr<const std::vector<int64_t>> CateEstimator::StratumIdsCached(
+    const std::vector<size_t>& adjustment) const {
+  const std::string key = AdjustmentKey(adjustment);
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    const auto it = stratum_cache_.find(key);
+    if (it != stratum_cache_.end()) return it->second;
+  }
+  // Compute outside the lock (deterministic: a racing duplicate is
+  // identical, and the first insertion wins).
+  auto ids = std::make_shared<const std::vector<int64_t>>(
+      StratumIds(adjustment));
+  std::lock_guard<std::mutex> lock(*mu_);
+  const auto [it, inserted] = stratum_cache_.emplace(key, std::move(ids));
+  return it->second;
+}
+
 Result<CateEstimate> CateEstimator::EstimateStratified(
     const Bitmap& treated, const Bitmap& group,
     const std::vector<size_t>& adjustment, size_t min_group_size) const {
-  const std::vector<int64_t> strata = StratumIds(adjustment);
+  const std::shared_ptr<const std::vector<int64_t>> strata_ptr =
+      StratumIdsCached(adjustment);
+  const std::vector<int64_t>& strata = *strata_ptr;
   struct Arm {
     size_t n = 0;
     double sum = 0.0;
@@ -340,55 +367,131 @@ Result<CateEstimate> CateEstimator::EstimateIpw(
         std::to_string(n_control) + " control rows");
   }
 
-  FAIRCAP_ASSIGN_OR_RETURN(const LogisticFit propensity,
-                           FitLogistic(design, n, p, labels));
+  // Fit + clipped Hajek weighting via the one shared implementation (the
+  // sufficient-statistics engine's per-row fallback calls it too).
+  return HajekIpwFromRows(design, n, p, labels, outcomes, is_treated_row,
+                          options_.propensity_clip);
+}
 
-  // Hajek (self-normalized) IPW with clipped propensities.
-  const double clip = options_.propensity_clip;
-  double sum_w1 = 0.0, sum_w1y = 0.0, sum_w0 = 0.0, sum_w0y = 0.0;
-  std::vector<double> w1_values, w0_values;  // for the variance estimate
-  std::vector<double> y1_values, y0_values;
-  for (size_t r = 0; r < n; ++r) {
-    const double e = std::clamp(
-        PredictLogistic(propensity.beta, &design[r * p]), clip, 1.0 - clip);
-    if (is_treated_row[r]) {
-      const double w = 1.0 / e;
-      sum_w1 += w;
-      sum_w1y += w * outcomes[r];
-      w1_values.push_back(w);
-      y1_values.push_back(outcomes[r]);
-    } else {
-      const double w = 1.0 / (1.0 - e);
-      sum_w0 += w;
-      sum_w0y += w * outcomes[r];
-      w0_values.push_back(w);
-      y0_values.push_back(outcomes[r]);
+std::shared_ptr<const ConfounderPartition> CateEstimator::PartitionFor(
+    const std::vector<size_t>& adjustment) const {
+  const std::string key = AdjustmentKey(adjustment);
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    const auto it = partitions_.find(key);
+    if (it != partitions_.end()) {
+      if (auto alive = it->second.lock()) return alive;
     }
   }
-  const double mean1 = sum_w1y / sum_w1;
-  const double mean0 = sum_w0y / sum_w0;
+  // Build outside the lock; a racing duplicate build is identical and the
+  // first insertion wins.
+  std::shared_ptr<const ConfounderPartition> built =
+      ConfounderPartition::Build(*df_, outcome_attr_, adjustment, options_);
+  std::lock_guard<std::mutex> lock(*mu_);
+  auto& slot = partitions_[key];
+  if (auto alive = slot.lock()) return alive;
+  slot = built;
+  return built;
+}
 
-  // Approximate variance of each weighted mean via the weighted residual
-  // sum of squares (Hajek linearization).
-  auto weighted_mean_var = [](const std::vector<double>& weights,
-                              const std::vector<double>& values, double mean,
-                              double weight_sum) {
-    double acc = 0.0;
-    for (size_t i = 0; i < weights.size(); ++i) {
-      const double d = weights[i] * (values[i] - mean);
-      acc += d * d;
+size_t CateEstimator::EngineBytesLocked() const {
+  // Per-engine bytes include the treated mask each engine pins; the
+  // (shared) partitions are counted once each below.
+  size_t bytes = 0;
+  for (const auto& [key, entry] : engines_) bytes += entry.engine->bytes();
+  for (auto it = partitions_.begin(); it != partitions_.end();) {
+    if (auto alive = it->second.lock()) {
+      bytes += alive->bytes();
+      ++it;
+    } else {
+      it = partitions_.erase(it);  // expired: prune while we are here
     }
-    return acc / (weight_sum * weight_sum);
-  };
+  }
+  return bytes;
+}
 
-  CateEstimate est;
-  est.cate = mean1 - mean0;
-  est.std_error =
-      std::sqrt(weighted_mean_var(w1_values, y1_values, mean1, sum_w1) +
-                weighted_mean_var(w0_values, y0_values, mean0, sum_w0));
-  est.n_treated = n_treated;
-  est.n_control = n_control;
-  return est;
+void CateEstimator::EnforceEngineBudgetLocked() const {
+  if (engine_budget_ == 0) return;
+  // Never evict the most-recently-touched engine: the caller that just
+  // inserted (or hit) it is still using it. Partition bytes fall out
+  // automatically once the last engine holding a partition is dropped.
+  while (engine_lru_.size() > 1 && EngineBytesLocked() > engine_budget_) {
+    const auto it = engines_.find(engine_lru_.back());
+    engines_.erase(it);
+    engine_lru_.pop_back();
+    ++engine_evictions_;
+  }
+}
+
+Result<std::shared_ptr<const CateStatsEngine>> CateEstimator::EngineFor(
+    const Pattern& intervention) const {
+  if (intervention.empty()) {
+    return Status::InvalidArgument("intervention pattern must be non-empty");
+  }
+  FAIRCAP_RETURN_NOT_OK(intervention.Validate(*df_));
+  const std::string key = intervention.Key();
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    const auto it = engines_.find(key);
+    if (it != engines_.end()) {
+      ++engine_hits_;
+      engine_lru_.splice(engine_lru_.begin(), engine_lru_, it->second.lru_pos);
+      return it->second.engine;
+    }
+  }
+  FAIRCAP_ASSIGN_OR_RETURN(const std::vector<size_t> adjustment,
+                           AdjustmentAttrs(intervention));
+  std::shared_ptr<const ConfounderPartition> partition =
+      PartitionFor(adjustment);
+  std::shared_ptr<const Bitmap> treated = TreatedMask(intervention);
+  auto engine = std::make_shared<const CateStatsEngine>(
+      df_, options_, adjustment, std::move(treated), std::move(partition));
+
+  std::lock_guard<std::mutex> lock(*mu_);
+  const auto it = engines_.find(key);
+  if (it != engines_.end()) {
+    // A racing builder landed first; keep its engine canonical.
+    ++engine_hits_;
+    engine_lru_.splice(engine_lru_.begin(), engine_lru_, it->second.lru_pos);
+    return it->second.engine;
+  }
+  ++engine_misses_;
+  engine_lru_.push_front(key);
+  engines_.emplace(key, EngineEntry{engine, engine_lru_.begin()});
+  EnforceEngineBudgetLocked();
+  return engine;
+}
+
+Result<CateSubgroupEstimates> CateEstimator::EstimateSubgroups(
+    const Pattern& intervention, const Bitmap& group,
+    const Bitmap* protected_mask, size_t min_subgroup_size,
+    bool skip_subgroups_unless_positive) const {
+  FAIRCAP_ASSIGN_OR_RETURN(
+      const std::shared_ptr<const CateStatsEngine> engine,
+      EngineFor(intervention));
+  const size_t min_sub = min_subgroup_size != 0 ? min_subgroup_size
+                                                : options_.min_group_size;
+  return engine->EstimateSubgroups(group, protected_mask,
+                                   options_.min_group_size, min_sub,
+                                   skip_subgroups_unless_positive);
+}
+
+void CateEstimator::SetEngineMemoryBudget(size_t max_bytes) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  engine_budget_ = max_bytes;
+  EnforceEngineBudgetLocked();
+}
+
+CateEstimator::EngineCacheStats CateEstimator::GetEngineStats() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  EngineCacheStats stats;
+  stats.engines = engines_.size();
+  stats.bytes = EngineBytesLocked();  // also prunes expired partitions
+  stats.partitions = partitions_.size();
+  stats.hits = engine_hits_;
+  stats.misses = engine_misses_;
+  stats.evictions = engine_evictions_;
+  return stats;
 }
 
 }  // namespace faircap

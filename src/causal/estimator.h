@@ -14,6 +14,7 @@
 #ifndef FAIRCAP_CAUSAL_ESTIMATOR_H_
 #define FAIRCAP_CAUSAL_ESTIMATOR_H_
 
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -26,6 +27,9 @@
 #include "util/result.h"
 
 namespace faircap {
+
+class CateStatsEngine;       // causal/cate_stats_engine.h
+class ConfounderPartition;   // causal/cate_stats_engine.h
 
 /// Estimation method.
 enum class CateMethod {
@@ -61,10 +65,26 @@ struct CateEstimate {
   }
 };
 
+/// Result of one batch estimation: the same intervention's effect within
+/// the full group and within its protected / non-protected split, served
+/// by a single sufficient-statistics pass. Individual fields carry their
+/// own Status (e.g. insufficient overlap in one subgroup does not void
+/// the others); fields that were not requested (or were skipped by
+/// lattice-style short-circuiting) stay FailedPrecondition("not
+/// computed").
+struct CateSubgroupEstimates {
+  Result<CateEstimate> overall{Status::FailedPrecondition("not computed")};
+  Result<CateEstimate> protected_group{
+      Status::FailedPrecondition("not computed")};
+  Result<CateEstimate> nonprotected{
+      Status::FailedPrecondition("not computed")};
+};
+
 /// Estimates CATE values for intervention patterns over subpopulations of
 /// a fixed DataFrame under a fixed causal DAG. Thread-safe: internal
-/// caches (adjustment sets, treatment bitmaps) are mutex-guarded so the
-/// mining phase can fan out across grouping patterns.
+/// caches (adjustment sets, stratum ids, per-treatment engines) are
+/// mutex-guarded so the mining phase can fan out across grouping
+/// patterns. The table must not be mutated while the estimator lives.
 class CateEstimator {
  public:
   /// `df` and `dag` must outlive the estimator. DAG node names are matched
@@ -87,6 +107,46 @@ class CateEstimator {
   Result<CateEstimate> Estimate(const Pattern& intervention,
                                 const Bitmap& group,
                                 size_t min_group_size) const;
+
+  /// Batch sufficient-statistics path: estimates the intervention's
+  /// effect within `group` and, when `protected_mask` is non-null, within
+  /// group ∩ protected and group ∩ ¬protected — one word-driven pass over
+  /// the table (CateStatsEngine) instead of three design-matrix rebuilds,
+  /// and no non-protected bitmap is ever materialized. Engines are cached
+  /// per treatment and confounder partitions per adjustment set (LRU +
+  /// shared ownership, like the PredicateIndex conjunction cache).
+  /// `min_subgroup_size` floors the two subgroup estimates (0 = the
+  /// configured min_group_size). With `skip_subgroups_unless_positive`
+  /// the subgroup systems are solved only when the overall CATE came out
+  /// positive (the lattice prunes on the overall sign). The legacy
+  /// Estimate() path is kept verbatim as the pinning oracle.
+  Result<CateSubgroupEstimates> EstimateSubgroups(
+      const Pattern& intervention, const Bitmap& group,
+      const Bitmap* protected_mask, size_t min_subgroup_size = 0,
+      bool skip_subgroups_unless_positive = false) const;
+
+  /// The cached sufficient-statistics engine for `intervention`, built on
+  /// first use. Shared ownership: the engine stays valid for the holder
+  /// even if the budgeted LRU cache evicts it mid-use.
+  Result<std::shared_ptr<const CateStatsEngine>> EngineFor(
+      const Pattern& intervention) const;
+
+  /// Caps the bytes held by cached engines and confounder partitions
+  /// (mirrors PredicateIndex::SetMemoryBudget). 0 = unlimited (default).
+  /// Evicts least-recently-used engines immediately when shrinking;
+  /// partitions are freed when the last engine referencing them goes.
+  void SetEngineMemoryBudget(size_t max_bytes);
+
+  /// Engine-cache observability (tests and benchmarks).
+  struct EngineCacheStats {
+    size_t engines = 0;     ///< cached engines
+    size_t partitions = 0;  ///< alive confounder partitions
+    size_t bytes = 0;       ///< partition + engine bytes held
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t evictions = 0;
+  };
+  EngineCacheStats GetEngineStats() const;
 
   /// Backdoor adjustment set (as DataFrame column indices) for the given
   /// intervention's treatment attributes.
@@ -122,6 +182,23 @@ class CateEstimator {
   /// quantile-binned); -1 where any confounder is null.
   std::vector<int64_t> StratumIds(const std::vector<size_t>& adjustment) const;
 
+  /// Memoized StratumIds, keyed by the adjustment attr list. The ids
+  /// depend only on (table, adjustment, binning options), so every
+  /// Estimate call for a treatment over the same attributes shares one
+  /// computation; mutex-guarded like the adjustment cache.
+  std::shared_ptr<const std::vector<int64_t>> StratumIdsCached(
+      const std::vector<size_t>& adjustment) const;
+
+  /// Confounder partition for `adjustment`, built once and shared across
+  /// every treatment with the same attributes (weak-cached: alive as long
+  /// as some engine holds it).
+  std::shared_ptr<const ConfounderPartition> PartitionFor(
+      const std::vector<size_t>& adjustment) const;
+
+  /// Evicts LRU engines while over the engine budget. Caller holds mu_.
+  void EnforceEngineBudgetLocked() const;
+  size_t EngineBytesLocked() const;
+
   const DataFrame* df_;
   const CausalDag* dag_;
   CateOptions options_;
@@ -134,6 +211,27 @@ class CateEstimator {
   std::unique_ptr<std::mutex> mu_;
   mutable std::unordered_map<std::string, std::vector<size_t>>
       adjustment_cache_;
+  mutable std::unordered_map<std::string,
+                             std::shared_ptr<const std::vector<int64_t>>>
+      stratum_cache_;
+
+  // Per-treatment engine cache: Pattern::Key() -> engine, with an LRU
+  // list (most-recent first) driving byte-budget eviction. Partitions are
+  // weak-cached per adjustment key: they stay alive exactly as long as
+  // some engine (cached or handed out) references them.
+  struct EngineEntry {
+    std::shared_ptr<const CateStatsEngine> engine;
+    std::list<std::string>::iterator lru_pos;
+  };
+  mutable std::unordered_map<std::string, EngineEntry> engines_;
+  mutable std::list<std::string> engine_lru_;
+  mutable std::unordered_map<std::string,
+                             std::weak_ptr<const ConfounderPartition>>
+      partitions_;
+  mutable size_t engine_budget_ = 0;  // 0 = unlimited
+  mutable size_t engine_hits_ = 0;
+  mutable size_t engine_misses_ = 0;
+  mutable size_t engine_evictions_ = 0;
 };
 
 }  // namespace faircap

@@ -89,42 +89,52 @@ void OlsAccumulator::AddRow(const double* x, double y) {
   ++n_;
 }
 
-Result<OlsFit> OlsAccumulator::Solve(double ridge) const {
-  if (n_ < p_) {
+Result<OlsFit> SolveNormalEquations(const std::vector<double>& xtx,
+                                    const std::vector<double>& xty,
+                                    double yty, size_t n, size_t p,
+                                    double ridge) {
+  if (xtx.size() != p * p || xty.size() != p) {
+    return Status::InvalidArgument("SolveNormalEquations: dimension mismatch");
+  }
+  if (n < p) {
     return Status::FailedPrecondition(
         "OLS needs at least as many rows as features (" +
-        std::to_string(n_) + " < " + std::to_string(p_) + ")");
+        std::to_string(n) + " < " + std::to_string(p) + ")");
   }
   // Mirror the upper triangle and add the ridge.
-  std::vector<double> a(p_ * p_);
-  for (size_t i = 0; i < p_; ++i) {
-    for (size_t j = 0; j < p_; ++j) {
-      a[i * p_ + j] = i <= j ? xtx_[i * p_ + j] : xtx_[j * p_ + i];
+  std::vector<double> a(p * p);
+  for (size_t i = 0; i < p; ++i) {
+    for (size_t j = 0; j < p; ++j) {
+      a[i * p + j] = i <= j ? xtx[i * p + j] : xtx[j * p + i];
     }
-    a[i * p_ + i] += ridge;
+    a[i * p + i] += ridge;
   }
-  FAIRCAP_ASSIGN_OR_RETURN(std::vector<double> inv, InvertSpd(a, p_));
+  FAIRCAP_ASSIGN_OR_RETURN(std::vector<double> inv, InvertSpd(a, p));
 
   OlsFit fit;
-  fit.n = n_;
-  fit.beta.assign(p_, 0.0);
-  for (size_t i = 0; i < p_; ++i) {
-    for (size_t j = 0; j < p_; ++j) {
-      fit.beta[i] += inv[i * p_ + j] * xty_[j];
+  fit.n = n;
+  fit.beta.assign(p, 0.0);
+  for (size_t i = 0; i < p; ++i) {
+    for (size_t j = 0; j < p; ++j) {
+      fit.beta[i] += inv[i * p + j] * xty[j];
     }
   }
   // Residual sum of squares: y'y - 2 beta'X'y + beta'X'X beta, folded as
   // y'y - beta'X'y (valid at the normal-equation solution up to ridge).
   double beta_xty = 0.0;
-  for (size_t i = 0; i < p_; ++i) beta_xty += fit.beta[i] * xty_[i];
-  const double rss = std::max(0.0, yty_ - beta_xty);
-  const size_t dof = n_ > p_ ? n_ - p_ : 1;
+  for (size_t i = 0; i < p; ++i) beta_xty += fit.beta[i] * xty[i];
+  const double rss = std::max(0.0, yty - beta_xty);
+  const size_t dof = n > p ? n - p : 1;
   fit.sigma2 = rss / static_cast<double>(dof);
-  fit.std_errors.resize(p_);
-  for (size_t i = 0; i < p_; ++i) {
-    fit.std_errors[i] = std::sqrt(std::max(0.0, fit.sigma2 * inv[i * p_ + i]));
+  fit.std_errors.resize(p);
+  for (size_t i = 0; i < p; ++i) {
+    fit.std_errors[i] = std::sqrt(std::max(0.0, fit.sigma2 * inv[i * p + i]));
   }
   return fit;
+}
+
+Result<OlsFit> OlsAccumulator::Solve(double ridge) const {
+  return SolveNormalEquations(xtx_, xty_, yty_, n_, p_, ridge);
 }
 
 }  // namespace faircap

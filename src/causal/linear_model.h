@@ -27,6 +27,17 @@ Result<std::vector<double>> SolveSpd(std::vector<double> a, size_t p,
 /// Inverts a symmetric positive definite matrix (row-major p x p).
 Result<std::vector<double>> InvertSpd(std::vector<double> a, size_t p);
 
+/// Solves the ridge-stabilized normal equations from sufficient statistics
+/// alone: `xtx` is X'X with at least the upper triangle filled (i <= j;
+/// the lower triangle is ignored), `xty` is X'y, `yty` is y'y, `n` the row
+/// count behind the sums. This is the shared back half of OlsAccumulator
+/// and of the CATE sufficient-statistics engine, which assembles X'X from
+/// per-stratum accumulations instead of design rows.
+Result<OlsFit> SolveNormalEquations(const std::vector<double>& xtx,
+                                    const std::vector<double>& xty,
+                                    double yty, size_t n, size_t p,
+                                    double ridge = 1e-8);
+
 /// Accumulates X'X, X'y, y'y row by row, then solves the (ridge-stabilized)
 /// normal equations. Design rows never need to be materialized together.
 class OlsAccumulator {

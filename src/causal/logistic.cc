@@ -77,4 +77,62 @@ Result<LogisticFit> FitLogistic(const std::vector<double>& x, size_t n,
   return fit;
 }
 
+Result<LogisticFit> FitLogisticGrouped(const std::vector<double>& x, size_t g,
+                                       size_t p,
+                                       const std::vector<double>& trials,
+                                       const std::vector<double>& successes,
+                                       const LogisticOptions& options) {
+  if (x.size() != g * p || trials.size() != g || successes.size() != g) {
+    return Status::InvalidArgument("FitLogisticGrouped: dimension mismatch");
+  }
+  double n = 0.0;
+  for (double t : trials) n += t;
+  if (n < static_cast<double>(p)) {
+    return Status::FailedPrecondition(
+        "logistic regression needs at least as many rows as features");
+  }
+  LogisticFit fit;
+  fit.beta.assign(p, 0.0);
+
+  std::vector<double> hessian(p * p);
+  std::vector<double> gradient(p);
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    std::fill(hessian.begin(), hessian.end(), 0.0);
+    std::fill(gradient.begin(), gradient.end(), 0.0);
+    // Newton step over groups: every observation in group r shares the
+    // design row and mu, so H += trials*w x x' and g += (succ - trials*mu) x.
+    for (size_t r = 0; r < g; ++r) {
+      const double* row = &x[r * p];
+      if (trials[r] == 0.0) continue;
+      const double mu = PredictLogistic(fit.beta, row);
+      const double w = std::max(mu * (1.0 - mu), 1e-10) * trials[r];
+      const double resid = successes[r] - trials[r] * mu;
+      for (size_t i = 0; i < p; ++i) {
+        gradient[i] += row[i] * resid;
+        for (size_t j = i; j < p; ++j) {
+          hessian[i * p + j] += w * row[i] * row[j];
+        }
+      }
+    }
+    for (size_t i = 0; i < p; ++i) {
+      gradient[i] -= options.ridge * fit.beta[i];
+      hessian[i * p + i] += options.ridge;
+      for (size_t j = 0; j < i; ++j) hessian[i * p + j] = hessian[j * p + i];
+    }
+    FAIRCAP_ASSIGN_OR_RETURN(const std::vector<double> delta,
+                             SolveSpd(hessian, p, gradient));
+    double max_step = 0.0;
+    for (size_t i = 0; i < p; ++i) {
+      fit.beta[i] += delta[i];
+      max_step = std::max(max_step, std::abs(delta[i]));
+    }
+    fit.iterations = iter + 1;
+    if (max_step < options.tolerance) {
+      fit.converged = true;
+      break;
+    }
+  }
+  return fit;
+}
+
 }  // namespace faircap

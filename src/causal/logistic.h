@@ -30,6 +30,19 @@ Result<LogisticFit> FitLogistic(const std::vector<double>& x, size_t n,
                                 size_t p, const std::vector<double>& y,
                                 const LogisticOptions& options = {});
 
+/// Grouped-data variant: `x` holds g distinct design rows (row-major,
+/// g x p), group i standing for `trials[i]` observations of which
+/// `successes[i]` have y=1. Mathematically identical to FitLogistic on the
+/// expanded per-row data (the Newton matrices are the same sums, taken one
+/// group instead of one row at a time), so when confounders are all
+/// categorical the propensity model can be fit from per-stratum counts
+/// alone — no design matrix over the rows.
+Result<LogisticFit> FitLogisticGrouped(const std::vector<double>& x, size_t g,
+                                       size_t p,
+                                       const std::vector<double>& trials,
+                                       const std::vector<double>& successes,
+                                       const LogisticOptions& options = {});
+
 /// sigmoid(beta'x) for one design row.
 double PredictLogistic(const std::vector<double>& beta, const double* x);
 

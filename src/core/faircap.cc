@@ -107,6 +107,12 @@ Result<std::vector<FrequentPattern>> FairCap::MineGroupingPatterns() const {
 
 PrescriptionRule FairCap::CostRule(const Pattern& grouping,
                                    const Pattern& intervention) const {
+  return CostRule(grouping, intervention, /*eval=*/nullptr);
+}
+
+PrescriptionRule FairCap::CostRule(const Pattern& grouping,
+                                   const Pattern& intervention,
+                                   const TreatmentEval* eval) const {
   PrescriptionRule rule;
   rule.grouping = grouping;
   rule.intervention = intervention;
@@ -117,30 +123,79 @@ PrescriptionRule FairCap::CostRule(const Pattern& grouping,
 
   if (rule.support == 0 || intervention.empty()) return rule;
 
-  const Result<CateEstimate> overall =
-      estimator_.Estimate(intervention, rule.coverage);
-  if (overall.ok()) {
-    rule.utility = overall->cate;
-    rule.std_error = overall->std_error;
+  // A fairness-aware lattice evaluation already holds the three CATEs
+  // for exactly this coverage; reuse them instead of re-estimating.
+  if (eval != nullptr && eval->has_subgroup_utilities &&
+      eval->subgroups_estimable) {
+    rule.utility = eval->cate;
+    rule.std_error = eval->std_error;
+    rule.utility_protected = eval->utility_protected;
+    rule.utility_nonprotected = eval->utility_nonprotected;
+    rule.benefit = RuleBenefit(rule, options_.fairness);
+    return rule;
   }
-  if (rule.support_protected > 0) {
-    const Result<CateEstimate> prot = estimator_.Estimate(
-        intervention, rule.coverage_protected, options_.min_subgroup_arm);
-    if (prot.ok()) {
-      rule.utility_protected = prot->cate;
+
+  const size_t support_nonprotected = rule.support - rule.support_protected;
+  if (options_.use_batch_estimator) {
+    // One sufficient-statistics pass answers all three subgroups; the
+    // non-protected slice comes from the accumulation split, so its
+    // bitmap is never materialized.
+    const Result<CateSubgroupEstimates> batch = estimator_.EstimateSubgroups(
+        intervention, rule.coverage, &protected_mask_,
+        options_.min_subgroup_arm);
+    if (batch.ok()) {
+      if (batch->overall.ok()) {
+        rule.utility = batch->overall->cate;
+        rule.std_error = batch->overall->std_error;
+      }
+      if (rule.support_protected > 0) {
+        if (batch->protected_group.ok()) {
+          rule.utility_protected = batch->protected_group->cate;
+        } else {
+          rule.utility_protected_estimable = false;
+        }
+      }
+      if (support_nonprotected > 0) {
+        if (batch->nonprotected.ok()) {
+          rule.utility_nonprotected = batch->nonprotected->cate;
+        } else {
+          rule.utility_nonprotected_estimable = false;
+        }
+      }
     } else {
-      rule.utility_protected_estimable = false;
+      // An outright failure (e.g. the intervention does not validate)
+      // means no subgroup could be estimated — mirror the legacy oracle,
+      // whose per-subgroup calls would each have failed.
+      if (rule.support_protected > 0) rule.utility_protected_estimable = false;
+      if (support_nonprotected > 0) rule.utility_nonprotected_estimable = false;
     }
-  }
-  Bitmap nonprotected = rule.coverage;
-  nonprotected.AndNot(protected_mask_);
-  if (nonprotected.Count() > 0) {
-    const Result<CateEstimate> nonprot = estimator_.Estimate(
-        intervention, nonprotected, options_.min_subgroup_arm);
-    if (nonprot.ok()) {
-      rule.utility_nonprotected = nonprot->cate;
-    } else {
-      rule.utility_nonprotected_estimable = false;
+  } else {
+    // Legacy per-call oracle: three independent estimator passes.
+    const Result<CateEstimate> overall =
+        estimator_.Estimate(intervention, rule.coverage);
+    if (overall.ok()) {
+      rule.utility = overall->cate;
+      rule.std_error = overall->std_error;
+    }
+    if (rule.support_protected > 0) {
+      const Result<CateEstimate> prot = estimator_.Estimate(
+          intervention, rule.coverage_protected, options_.min_subgroup_arm);
+      if (prot.ok()) {
+        rule.utility_protected = prot->cate;
+      } else {
+        rule.utility_protected_estimable = false;
+      }
+    }
+    Bitmap nonprotected = rule.coverage;
+    nonprotected.AndNot(protected_mask_);
+    if (nonprotected.Count() > 0) {
+      const Result<CateEstimate> nonprot = estimator_.Estimate(
+          intervention, nonprotected, options_.min_subgroup_arm);
+      if (nonprot.ok()) {
+        rule.utility_nonprotected = nonprot->cate;
+      } else {
+        rule.utility_nonprotected_estimable = false;
+      }
     }
   }
   rule.benefit = RuleBenefit(rule, options_.fairness);
@@ -156,49 +211,85 @@ Result<std::vector<PrescriptionRule>> FairCap::MineCandidateRules(
 
   auto mine_one = [&](size_t g) {
     const FrequentPattern& group = groups[g];
-    Bitmap coverage_protected = group.coverage & protected_mask_;
-    Bitmap coverage_nonprotected = group.coverage;
-    coverage_nonprotected.AndNot(protected_mask_);
+    // Subgroup cardinalities come from fused word-level counts; the
+    // protected / non-protected coverage bitmaps are only materialized on
+    // the legacy pinning path (the batch engine splits the accumulation
+    // on the protected bit instead).
+    const size_t protected_count = group.coverage.AndCount(protected_mask_);
+    const size_t nonprotected_count =
+        group.coverage.AndNotCount(protected_mask_);
+    Bitmap coverage_protected;
+    Bitmap coverage_nonprotected;
+    if (!options_.use_batch_estimator) {
+      coverage_protected = group.coverage & protected_mask_;
+      coverage_nonprotected = group.coverage;
+      coverage_nonprotected.AndNot(protected_mask_);
+    }
 
     TreatmentEvaluator evaluator =
         [&](const Pattern& intervention) -> std::optional<TreatmentEval> {
-      const Result<CateEstimate> overall =
-          estimator_.Estimate(intervention, group.coverage);
-      if (!overall.ok()) return std::nullopt;
+      // Gather the overall estimate (and, on the batch path, the
+      // protected / non-protected slice from the same one-pass engine).
+      CateSubgroupEstimates ests;
+      if (options_.use_batch_estimator) {
+        Result<CateSubgroupEstimates> batch = estimator_.EstimateSubgroups(
+            intervention, group.coverage,
+            needs_group_utilities ? &protected_mask_ : nullptr,
+            options_.min_subgroup_arm,
+            /*skip_subgroups_unless_positive=*/true);
+        if (!batch.ok()) return std::nullopt;
+        ests = std::move(batch).ValueOrDie();
+      } else {
+        ests.overall = estimator_.Estimate(intervention, group.coverage);
+      }
+      if (!ests.overall.ok()) return std::nullopt;
+      const CateEstimate& overall = *ests.overall;
       TreatmentEval eval;
-      eval.cate = overall->cate;
+      eval.cate = overall.cate;
+      eval.std_error = overall.std_error;
       // Non-positive treatments are never selectable (Section 4.3) and the
       // lattice prunes on the overall CATE only, so their subgroup
       // estimates would be wasted work.
-      if (overall->cate <= 0.0) {
-        eval.score = overall->cate;
+      if (overall.cate <= 0.0) {
+        eval.score = overall.cate;
         eval.feasible = false;
         return eval;
       }
       if (needs_group_utilities) {
+        if (!options_.use_batch_estimator) {
+          // Legacy oracle: two further design-matrix passes.
+          if (protected_count > 0) {
+            ests.protected_group = estimator_.Estimate(
+                intervention, coverage_protected, options_.min_subgroup_arm);
+          }
+          if (nonprotected_count > 0) {
+            ests.nonprotected = estimator_.Estimate(
+                intervention, coverage_nonprotected,
+                options_.min_subgroup_arm);
+          }
+        }
         double utility_protected = 0.0;
         double utility_nonprotected = 0.0;
         bool estimable = true;
-        if (coverage_protected.Count() > 0) {
-          const Result<CateEstimate> prot = estimator_.Estimate(
-              intervention, coverage_protected, options_.min_subgroup_arm);
-          if (prot.ok()) {
-            utility_protected = prot->cate;
+        if (protected_count > 0) {
+          if (ests.protected_group.ok()) {
+            utility_protected = ests.protected_group->cate;
           } else {
             estimable = false;
           }
         }
-        if (coverage_nonprotected.Count() > 0) {
-          const Result<CateEstimate> nonprot = estimator_.Estimate(
-              intervention, coverage_nonprotected,
-              options_.min_subgroup_arm);
-          if (nonprot.ok()) {
-            utility_nonprotected = nonprot->cate;
+        if (nonprotected_count > 0) {
+          if (ests.nonprotected.ok()) {
+            utility_nonprotected = ests.nonprotected->cate;
           } else {
             estimable = false;
           }
         }
-        eval.score = RuleBenefit(overall->cate, utility_protected,
+        eval.utility_protected = utility_protected;
+        eval.utility_nonprotected = utility_nonprotected;
+        eval.subgroups_estimable = estimable;
+        eval.has_subgroup_utilities = true;
+        eval.score = RuleBenefit(overall.cate, utility_protected,
                                  utility_nonprotected, options_.fairness);
         // A treatment whose subgroup effects cannot be estimated cannot
         // have its fairness certified; under an active fairness
@@ -208,13 +299,13 @@ Result<std::vector<PrescriptionRule>> FairCap::MineCandidateRules(
         // selectable for this group (Section 5.4).
         if (eval.feasible && options_.fairness.individual()) {
           PrescriptionRule probe;
-          probe.utility = overall->cate;
+          probe.utility = overall.cate;
           probe.utility_protected = utility_protected;
           probe.utility_nonprotected = utility_nonprotected;
           eval.feasible = options_.fairness.RuleSatisfies(probe);
         }
       } else {
-        eval.score = overall->cate;
+        eval.score = overall.cate;
       }
       return eval;
     };
@@ -223,8 +314,8 @@ Result<std::vector<PrescriptionRule>> FairCap::MineCandidateRules(
         *df_, mutable_attrs_, evaluator, options_.lattice);
     evals[g] = lattice.num_evaluated;
 
-    auto emit = [&](const Pattern& intervention) {
-      PrescriptionRule rule = CostRule(group.pattern, intervention);
+    auto emit = [&](const Pattern& intervention, const TreatmentEval& eval) {
+      PrescriptionRule rule = CostRule(group.pattern, intervention, &eval);
       if (rule.utility <= 0.0) return;
       if (options_.fairness.active() && !rule.GroupUtilitiesEstimable()) {
         return;
@@ -238,10 +329,10 @@ Result<std::vector<PrescriptionRule>> FairCap::MineCandidateRules(
 
     if (options_.keep_all_treatments) {
       for (const auto& [pattern, eval] : lattice.positive) {
-        if (eval.feasible) emit(pattern);
+        if (eval.feasible) emit(pattern, eval);
       }
     } else if (lattice.best.has_value()) {
-      emit(*lattice.best);
+      emit(*lattice.best, lattice.best_eval);
     }
   };
 

@@ -50,6 +50,12 @@ struct FairCapOptions {
   /// candidate rather than only the best one. More candidates give greedy
   /// more room; the paper keeps the best treatment per group.
   bool keep_all_treatments = false;
+  /// Serve the three per-rule CATEs (overall / protected / non-protected)
+  /// from the batch sufficient-statistics engine — one pass per treatment
+  /// evaluation instead of three design-matrix rebuilds, with engines
+  /// cached per treatment. Disable to run the legacy per-call estimator
+  /// path (the pinning oracle used by tests and benchmarks).
+  bool use_batch_estimator = true;
   /// Optional intervention cost model (Section 8 extension). When set and
   /// greedy.budget > 0, selection maximizes marginal score per unit cost
   /// and the total ruleset cost never exceeds the budget.
@@ -110,6 +116,15 @@ class FairCap {
   /// coverage) or where estimation is impossible (no overlap).
   PrescriptionRule CostRule(const Pattern& grouping,
                             const Pattern& intervention) const;
+
+  /// Same, reusing a lattice evaluation of this (grouping, intervention)
+  /// pair: when `eval` carries the subgroup utilities (fairness-aware
+  /// mining estimated them against the grouping's coverage — the exact
+  /// bitmap the rule covers), the rule is costed without re-estimating
+  /// anything. Falls back to full estimation otherwise.
+  PrescriptionRule CostRule(const Pattern& grouping,
+                            const Pattern& intervention,
+                            const TreatmentEval* eval) const;
 
   const Bitmap& protected_mask() const { return protected_mask_; }
   const CateEstimator& estimator() const { return estimator_; }

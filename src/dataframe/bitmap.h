@@ -69,6 +69,27 @@ class Bitmap {
     }
   }
 
+  /// Raw word storage (bit i of word w is row w*64+i). Padding bits past
+  /// size() are always zero. The word-level view lets masked scans (e.g.
+  /// the sufficient-statistics engine's subgroup slicing) walk several
+  /// bitmaps in lockstep, 64 rows per load, skipping empty words.
+  const uint64_t* words() const { return words_.data(); }
+  size_t num_words() const { return words_.size(); }
+
+  /// Calls fn(i) for each bit set in both `*this` and `other`, ascending,
+  /// without materializing the intersection. Sizes must match.
+  template <typename Fn>
+  void ForEachAnd(const Bitmap& other, Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w] & other.words_[w];
+      while (bits != 0) {
+        const int tz = __builtin_ctzll(bits);
+        fn(w * 64 + static_cast<size_t>(tz));
+        bits &= bits - 1;
+      }
+    }
+  }
+
  private:
   void ClearPadding();
 

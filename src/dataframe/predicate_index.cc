@@ -47,8 +47,9 @@ size_t BitmapBytes(const Bitmap& mask) {
   return ((mask.size() + 63) / 64) * sizeof(uint64_t);
 }
 
-// Non-owning view of an atom / all-rows mask: those are never evicted, so
-// a shared_ptr over them only needs to satisfy the interface, not own.
+// Non-owning view of the all-rows mask: it is never evicted, so a
+// shared_ptr over it only needs to satisfy the interface, not own. (Atom
+// masks ARE evictable under a budget and use real shared ownership.)
 std::shared_ptr<const Bitmap> NonOwning(const Bitmap* mask) {
   return std::shared_ptr<const Bitmap>(std::shared_ptr<void>(), mask);
 }
@@ -104,6 +105,22 @@ std::vector<Bitmap> PredicateIndex::BuildCategoryMasks(const DataFrame& df,
   return masks;
 }
 
+void PredicateIndex::InstallAtomMaskLocked(uint32_t id,
+                                           std::shared_ptr<Bitmap> mask) const {
+  AtomEntry& entry = atom_masks_[id];
+  atom_bytes_ += BitmapBytes(*mask);
+  entry.mask = std::move(mask);
+  atom_lru_.push_front(id);
+  entry.lru_pos = atom_lru_.begin();
+}
+
+void PredicateIndex::TouchAtomLocked(uint32_t id) const {
+  AtomEntry& entry = atom_masks_[id];
+  if (entry.mask != nullptr) {
+    atom_lru_.splice(atom_lru_.begin(), atom_lru_, entry.lru_pos);
+  }
+}
+
 uint32_t PredicateIndex::EnsureAtom(const DataFrame& df, size_t attr,
                                     CompareOp op, const Value& value) const {
   const std::string key = AtomKey(attr, op, value);
@@ -121,8 +138,12 @@ uint32_t PredicateIndex::EnsureAtom(const DataFrame& df, size_t attr,
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
       const auto it = atom_ids_.find(key);
-      if (it != atom_ids_.end()) {
+      // An interned id whose mask was budget-evicted needs a rescan: the
+      // id (and thus every conjunction key embedding it) stays valid.
+      if (it != atom_ids_.end() &&
+          atom_masks_[it->second].mask != nullptr) {
         ++hits_;
+        TouchAtomLocked(it->second);
         return it->second;
       }
       if (in_flight_.count(build_token) == 0) {
@@ -163,25 +184,54 @@ uint32_t PredicateIndex::EnsureAtom(const DataFrame& df, size_t attr,
     const auto it = atom_ids_.find(k);
     uint32_t id;
     if (it != atom_ids_.end()) {
-      id = it->second;  // a sibling single-scan got there first; keep it
+      id = it->second;  // a sibling single-scan got there first; keep its id
+      if (atom_masks_[id].mask == nullptr) {
+        InstallAtomMaskLocked(id,
+                              std::make_shared<Bitmap>(std::move(masks[i])));
+      }
     } else {
       id = static_cast<uint32_t>(atom_masks_.size());
-      atom_masks_.push_back(std::make_unique<Bitmap>(std::move(masks[i])));
+      atom_masks_.emplace_back();
       atom_ids_.emplace(k, id);
+      InstallAtomMaskLocked(id,
+                            std::make_shared<Bitmap>(std::move(masks[i])));
     }
     if (k == key) result_id = id;
   }
+  // Keep the requested atom warmest so budget enforcement (atoms are the
+  // LRU-last tier) cannot evict the mask the caller is about to read.
+  TouchAtomLocked(result_id);
   in_flight_.erase(build_token);
   build_done_.notify_all();
+  EnforceBudgetLocked();
   return result_id;
+}
+
+std::pair<uint32_t, std::shared_ptr<const Bitmap>>
+PredicateIndex::EnsureAtomPinned(const DataFrame& df, size_t attr,
+                                 CompareOp op, const Value& value) const {
+  for (;;) {
+    const uint32_t id = EnsureAtom(df, attr, op, value);
+    std::lock_guard<std::mutex> lock(mu_);
+    // A concurrent insertion may have evicted the atom between EnsureAtom
+    // and here; rebuild in that (rare) case. EnsureAtom leaves the atom
+    // most-recently-used, so single-threaded this never loops.
+    if (atom_masks_[id].mask != nullptr) return {id, atom_masks_[id].mask};
+  }
 }
 
 const Bitmap& PredicateIndex::AtomMask(const DataFrame& df, size_t attr,
                                        CompareOp op,
                                        const Value& value) const {
-  const uint32_t id = EnsureAtom(df, attr, op, value);
-  std::lock_guard<std::mutex> lock(mu_);
-  return *atom_masks_[id];
+  // The raw reference is safe for transient same-thread use; holders that
+  // span further index calls under a budget must use AtomMaskShared.
+  return *EnsureAtomPinned(df, attr, op, value).second;
+}
+
+std::shared_ptr<const Bitmap> PredicateIndex::AtomMaskShared(
+    const DataFrame& df, size_t attr, CompareOp op,
+    const Value& value) const {
+  return EnsureAtomPinned(df, attr, op, value).second;
 }
 
 const Bitmap& PredicateIndex::AllRowsMask(const DataFrame& df) const {
@@ -204,22 +254,35 @@ std::shared_ptr<const Bitmap> PredicateIndex::ConjunctionMaskShared(
     const DataFrame& df, const std::vector<PredicateAtom>& atoms) const {
   if (atoms.empty()) return NonOwning(&AllRowsMask(df));
 
-  std::vector<uint32_t> ids;
-  ids.reserve(atoms.size());
+  // Pin each atom's mask while interning: the shared_ptr copies stay
+  // valid even if a later EnsureAtom call budget-evicts an atom from the
+  // cache, so composition never has to re-request (and can't livelock
+  // when the budget is smaller than the atom working set).
+  std::vector<std::pair<uint32_t, std::shared_ptr<const Bitmap>>> pinned;
+  pinned.reserve(atoms.size());
   for (const PredicateAtom& atom : atoms) {
-    ids.push_back(EnsureAtom(df, atom.attr, atom.op, atom.value));
+    pinned.push_back(EnsureAtomPinned(df, atom.attr, atom.op, atom.value));
   }
-  std::sort(ids.begin(), ids.end());
-  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  std::sort(pinned.begin(), pinned.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  pinned.erase(
+      std::unique(pinned.begin(), pinned.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.first == b.first;
+                  }),
+      pinned.end());
 
+  std::vector<uint32_t> ids;
+  ids.reserve(pinned.size());
+  for (const auto& [id, mask] : pinned) ids.push_back(id);
   const std::string key = ConjunctionKey(ids);
-  std::vector<const Bitmap*> masks;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (ids.size() == 1) {
+    if (pinned.size() == 1) {
       // A one-atom conjunction IS the atom mask; no separate entry.
       ++hits_;
-      return NonOwning(atom_masks_[ids[0]].get());
+      TouchAtomLocked(ids[0]);
+      return pinned[0].second;
     }
     const auto it = conjunctions_.find(key);
     if (it != conjunctions_.end()) {
@@ -227,15 +290,15 @@ std::shared_ptr<const Bitmap> PredicateIndex::ConjunctionMaskShared(
       lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
       return it->second.mask;
     }
-    // Grab stable mask pointers under the lock; the compose below runs
-    // without it so concurrent evaluators don't serialize. Atom bitmaps
-    // are immutable once inserted.
-    masks.reserve(ids.size());
-    for (uint32_t id : ids) masks.push_back(atom_masks_[id].get());
   }
 
   // Intersect cheapest-first so the running mask empties as early as
-  // possible; each AND is word-level over the whole row universe.
+  // possible; each AND is word-level over the whole row universe. The
+  // compose runs without the lock so concurrent evaluators don't
+  // serialize; the pinned copies own the inputs.
+  std::vector<const Bitmap*> masks;
+  masks.reserve(pinned.size());
+  for (const auto& [id, mask] : pinned) masks.push_back(mask.get());
   std::sort(masks.begin(), masks.end(), [](const Bitmap* a, const Bitmap* b) {
     return a->Count() < b->Count();
   });
@@ -270,14 +333,27 @@ std::shared_ptr<Bitmap> PredicateIndex::InsertConjunctionLocked(
 
 void PredicateIndex::EnforceBudgetLocked() const {
   if (max_bytes_ == 0) return;
-  // Never evict the most-recently-touched entry: the caller that just
-  // inserted (or hit) it may still be using the reference.
-  while (conjunction_bytes_ > max_bytes_ && lru_.size() > 1) {
+  // Conjunctions go first: they recompose cheaply from atom masks. Never
+  // evict the most-recently-touched entry — the caller that just inserted
+  // (or hit) it may still be using the reference.
+  while (conjunction_bytes_ + atom_bytes_ > max_bytes_ && lru_.size() > 1) {
     const auto it = conjunctions_.find(lru_.back());
     conjunction_bytes_ -= BitmapBytes(*it->second.mask);
     conjunctions_.erase(it);
     lru_.pop_back();
     ++evictions_;
+  }
+  // Atom tier, LRU last: only reached once no evictable conjunction
+  // remains. The dense id (and every conjunction key embedding it) stays
+  // valid; a re-request rescans the column into the same slot.
+  while (conjunction_bytes_ + atom_bytes_ > max_bytes_ &&
+         atom_lru_.size() > 1) {
+    const uint32_t id = atom_lru_.back();
+    AtomEntry& entry = atom_masks_[id];
+    atom_bytes_ -= BitmapBytes(*entry.mask);
+    entry.mask.reset();
+    atom_lru_.pop_back();
+    ++atom_evictions_;
   }
 }
 
@@ -291,10 +367,13 @@ void PredicateIndex::WarmStartCategoryMasks(const DataFrame& df, size_t attr,
                 Value(col.CategoryName(static_cast<int32_t>(code))));
     if (atom_ids_.count(key) != 0) continue;
     const uint32_t id = static_cast<uint32_t>(atom_masks_.size());
-    atom_masks_.push_back(std::make_unique<Bitmap>(std::move(masks[code])));
+    atom_masks_.emplace_back();
     atom_ids_.emplace(key, id);
+    InstallAtomMaskLocked(id,
+                          std::make_shared<Bitmap>(std::move(masks[code])));
     ++warm_atoms_;
   }
+  EnforceBudgetLocked();
 }
 
 void PredicateIndex::SetMemoryBudget(size_t max_bytes) {
@@ -312,22 +391,27 @@ void PredicateIndex::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   atom_ids_.clear();
   atom_masks_.clear();
+  atom_lru_.clear();
   conjunctions_.clear();
   lru_.clear();
   conjunction_bytes_ = 0;
+  atom_bytes_ = 0;
   all_rows_.reset();
 }
 
 PredicateIndex::CacheStats PredicateIndex::GetStats() const {
   std::lock_guard<std::mutex> lock(mu_);
   CacheStats stats;
-  stats.atom_masks = atom_masks_.size();
+  for (const AtomEntry& entry : atom_masks_) {
+    if (entry.mask != nullptr) ++stats.atom_masks;
+  }
   stats.conjunction_masks = conjunctions_.size();
   stats.hits = hits_;
   stats.misses = misses_;
-  for (const auto& mask : atom_masks_) stats.atom_bytes += BitmapBytes(*mask);
+  stats.atom_bytes = atom_bytes_;
   stats.conjunction_bytes = conjunction_bytes_;
   stats.evictions = evictions_;
+  stats.atom_evictions = atom_evictions_;
   stats.warm_atom_masks = warm_atoms_;
   return stats;
 }

@@ -67,9 +67,18 @@ class PredicateIndex {
   /// Bitmap of rows of `df` satisfying `attr op value`. Memoized; the
   /// first request for a categorical equality atom materializes the masks
   /// of every category of that column in a single pass. The reference is
-  /// stable until Clear().
+  /// stable until Clear() — except under a memory budget, where a cold
+  /// atom mask may be evicted (and transparently rebuilt on re-request);
+  /// callers that hold the reference across further index calls while a
+  /// budget is active must use AtomMaskShared instead.
   const Bitmap& AtomMask(const DataFrame& df, size_t attr, CompareOp op,
                          const Value& value) const;
+
+  /// Shared-ownership variant of AtomMask: the returned pointer keeps the
+  /// mask alive even if the budgeted cache evicts the atom.
+  std::shared_ptr<const Bitmap> AtomMaskShared(const DataFrame& df,
+                                               size_t attr, CompareOp op,
+                                               const Value& value) const;
 
   /// Bitmap of rows satisfying every atom (the empty conjunction selects
   /// all rows). Atom masks are composed with word-level ANDs, cheapest
@@ -107,12 +116,16 @@ class PredicateIndex {
   void WarmStartCategoryMasks(const DataFrame& df, size_t attr,
                               std::vector<Bitmap> masks) const;
 
-  /// Caps the bytes held by *conjunction* masks (atom masks are the
-  /// recompose primitives and are never evicted). 0 = unlimited (the
-  /// default). When an insertion pushes usage past the budget, the
-  /// least-recently-used conjunction masks are evicted; re-requests
-  /// recompose from the atom masks. Shrinking the budget evicts
-  /// immediately.
+  /// Caps the bytes held by cached masks — conjunctions AND atoms.
+  /// 0 = unlimited (the default). When an insertion pushes usage past the
+  /// budget, least-recently-used conjunction masks are evicted first;
+  /// atom masks are the recompose primitives, so they form the tier
+  /// behind the warm cap and are evicted LRU *last* — only when no
+  /// evictable conjunction remains (very-high-cardinality columns can
+  /// otherwise bloat a warm index). Evicted masks are transparently
+  /// rescanned or recomposed on re-request (atom ids stay stable, so
+  /// cached conjunction keys survive atom eviction). Shrinking the budget
+  /// evicts immediately.
   void SetMemoryBudget(size_t max_bytes);
   size_t memory_budget() const;
 
@@ -129,6 +142,7 @@ class PredicateIndex {
     size_t atom_bytes = 0;         ///< bitmap bytes held by atom masks
     size_t conjunction_bytes = 0;  ///< bitmap bytes held by conjunctions
     size_t evictions = 0;          ///< conjunction masks evicted (budget)
+    size_t atom_evictions = 0;     ///< atom masks evicted (budget, LRU last)
     size_t warm_atom_masks = 0;    ///< atom masks installed by ingest
   };
   CacheStats GetStats() const;
@@ -138,6 +152,14 @@ class PredicateIndex {
   /// sight. Returns its dense id. Caller must NOT hold mu_.
   uint32_t EnsureAtom(const DataFrame& df, size_t attr, CompareOp op,
                       const Value& value) const;
+
+  /// EnsureAtom plus a live shared_ptr to the mask. Pinning matters: a
+  /// later insertion can budget-evict the atom from the cache, and
+  /// without a pinned copy two atoms of one conjunction could evict each
+  /// other's masks forever under a tiny budget. Caller must NOT hold mu_.
+  std::pair<uint32_t, std::shared_ptr<const Bitmap>> EnsureAtomPinned(
+      const DataFrame& df, size_t attr, CompareOp op,
+      const Value& value) const;
 
   /// All-rows mask, built on first use.
   const Bitmap& AllRowsMask(const DataFrame& df) const;
@@ -157,10 +179,26 @@ class PredicateIndex {
   /// Evicts LRU-tail conjunctions until within budget. Caller holds mu_.
   void EnforceBudgetLocked() const;
 
-  // Atom key -> dense id; masks indexed by id (unique_ptr keeps references
-  // stable across vector growth).
+  /// Inserts the freshly scanned `mask` for atom id `id`, charging the
+  /// budget and wiring the atom LRU. Caller must hold mu_.
+  void InstallAtomMaskLocked(uint32_t id, std::shared_ptr<Bitmap> mask) const;
+
+  /// Most-recently-used touch of an atom. Caller must hold mu_.
+  void TouchAtomLocked(uint32_t id) const;
+
+  // Atom key -> dense id; masks indexed by id. Ids are stable forever
+  // (conjunction keys embed them); under a budget the *mask* of a cold
+  // atom may be dropped (entry.mask == nullptr) and is rescanned on
+  // re-request. shared_ptr ownership keeps masks handed out via
+  // AtomMaskShared / single-atom ConjunctionMaskShared alive across
+  // eviction.
+  struct AtomEntry {
+    std::shared_ptr<Bitmap> mask;
+    std::list<uint32_t>::iterator lru_pos;  // valid iff mask != nullptr
+  };
   mutable std::unordered_map<std::string, uint32_t> atom_ids_;
-  mutable std::vector<std::unique_ptr<Bitmap>> atom_masks_;
+  mutable std::vector<AtomEntry> atom_masks_;
+  mutable std::list<uint32_t> atom_lru_;  // most-recent first
   // Canonical sorted-id key -> conjunction mask, with an LRU list
   // (most-recent first) driving budget eviction. shared_ptr ownership
   // keeps masks handed out via ConjunctionMaskShared alive across
@@ -174,9 +212,11 @@ class PredicateIndex {
   mutable std::unique_ptr<Bitmap> all_rows_;
   mutable size_t max_bytes_ = 0;  // 0 = unlimited
   mutable size_t conjunction_bytes_ = 0;
+  mutable size_t atom_bytes_ = 0;
   mutable size_t hits_ = 0;
   mutable size_t misses_ = 0;
   mutable size_t evictions_ = 0;
+  mutable size_t atom_evictions_ = 0;
   mutable size_t warm_atoms_ = 0;
 };
 

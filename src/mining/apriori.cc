@@ -9,12 +9,13 @@ namespace faircap {
 namespace {
 
 // An item is a frequent (attribute = category) predicate. Its coverage
-// mask lives in the DataFrame's PredicateIndex; the borrowed reference is
-// valid for the whole mining run (the table is not mutated).
+// mask lives in the DataFrame's PredicateIndex and is held via shared
+// ownership: mining inserts conjunction masks as it goes, and under a
+// memory budget an insertion may evict cold atom masks.
 struct Item {
   size_t attr;
   int32_t code;
-  const Bitmap* coverage;
+  std::shared_ptr<const Bitmap> coverage;
   size_t support;
 };
 
@@ -81,10 +82,10 @@ Result<std::vector<FrequentPattern>> MineFrequentPatterns(
     }
     for (size_t code = 0; code < counts.size(); ++code) {
       if (counts[code] < min_support || counts[code] == 0) continue;
-      const Bitmap& coverage = index.AtomMask(
+      std::shared_ptr<const Bitmap> coverage = index.AtomMaskShared(
           df, attr, CompareOp::kEq,
           Value(col.CategoryName(static_cast<int32_t>(code))));
-      items.push_back({attr, static_cast<int32_t>(code), &coverage,
+      items.push_back({attr, static_cast<int32_t>(code), std::move(coverage),
                        counts[code]});
     }
   }

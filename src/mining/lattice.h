@@ -22,6 +22,19 @@ struct TreatmentEval {
   double cate = 0.0;    ///< estimated conditional average treatment effect
   double score = 0.0;   ///< selection score (benefit); higher is better
   bool feasible = true; ///< satisfies per-rule constraints (e.g. individual fairness)
+  double std_error = 0.0;  ///< standard error of `cate`
+  /// Subgroup effects behind `score` when the evaluator estimated them
+  /// (fairness-aware evaluation batches the protected / non-protected
+  /// CATEs with the overall one); 0 otherwise. Winning treatments carry
+  /// these into rule costing so the emitted rule needs no re-estimation.
+  double utility_protected = 0.0;
+  double utility_nonprotected = 0.0;
+  /// False when a subgroup effect was needed but could not be estimated
+  /// (no overlap); such treatments cannot have their fairness certified.
+  bool subgroups_estimable = true;
+  /// True when utility_protected / utility_nonprotected were actually
+  /// estimated (fairness-aware evaluation), not defaulted.
+  bool has_subgroup_utilities = false;
 };
 
 /// Evaluates an intervention pattern for a fixed grouping pattern.

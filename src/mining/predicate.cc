@@ -43,7 +43,10 @@ bool Predicate::Matches(const DataFrame& df, size_t row) const {
 }
 
 Bitmap Predicate::Evaluate(const DataFrame& df) const {
-  return EvaluateCached(df);
+  // Copy out of the shared handle: the pin lives for the whole copy
+  // expression, so a concurrent budget eviction of the atom cannot free
+  // the mask mid-read (EvaluateCached's raw reference could).
+  return *df.predicate_index().AtomMaskShared(df, attr, op, value);
 }
 
 const Bitmap& Predicate::EvaluateCached(const DataFrame& df) const {

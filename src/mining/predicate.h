@@ -39,7 +39,10 @@ struct Predicate {
   Bitmap Evaluate(const DataFrame& df) const;
 
   /// Like Evaluate but returns the cached mask itself; the reference is
-  /// valid until the DataFrame is mutated.
+  /// valid until the DataFrame is mutated — or, under a PredicateIndex
+  /// memory budget with concurrent index writers, until the atom is
+  /// evicted. Transient same-thread use only; holders spanning further
+  /// index calls should go through PredicateIndex::AtomMaskShared.
   const Bitmap& EvaluateCached(const DataFrame& df) const;
 
   /// Uncached per-row reference scan — the semantics Evaluate must

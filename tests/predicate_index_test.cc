@@ -249,6 +249,114 @@ TEST(PredicateIndexTest, WarmStartedMasksServeHitsAndMatchScans) {
   EXPECT_GT(after.hits, 0u);
 }
 
+TEST(PredicateIndexTest, AtomTierEvictsLruLastAndRebuildsTransparently) {
+  Rng rng(95);
+  const DataFrame df = RandomFrame(&rng, 512);
+  PredicateIndex& index = df.predicate_index();
+
+  // Touch plenty of atoms and conjunctions with no budget.
+  std::vector<Pattern> patterns;
+  for (int t = 0; t < 16; ++t) {
+    Pattern p({RandomPredicate(&rng, df), RandomPredicate(&rng, df)});
+    patterns.push_back(p);
+    p.Evaluate(df);
+  }
+  const auto before = index.GetStats();
+  ASSERT_GT(before.atom_masks, 1u);
+  ASSERT_GT(before.atom_bytes, 64u);
+
+  // Budget below the atom working set: conjunctions must go first, then
+  // atoms from the LRU tail (ids stay valid, masks rebuilt on demand).
+  index.SetMemoryBudget(64);  // one 512-bit mask
+  const auto squeezed = index.GetStats();
+  EXPECT_GT(squeezed.atom_evictions, 0u);
+  EXPECT_LE(squeezed.conjunction_masks, 1u);
+  EXPECT_LE(squeezed.atom_bytes + squeezed.conjunction_bytes, 2u * 64u);
+
+  // Every pattern still evaluates correctly through rescans/recompose.
+  for (const Pattern& p : patterns) {
+    EXPECT_TRUE(p.Evaluate(df) == p.EvaluateNaive(df))
+        << p.ToString(df.schema());
+  }
+}
+
+TEST(PredicateIndexTest, SharedAtomMaskSurvivesAtomEviction) {
+  Rng rng(96);
+  const DataFrame df = RandomFrame(&rng, 256);
+  PredicateIndex& index = df.predicate_index();
+
+  const Predicate held(0, CompareOp::kEq, Value("a"));
+  const std::shared_ptr<const Bitmap> mask =
+      index.AtomMaskShared(df, held.attr, held.op, held.value);
+  const Bitmap expected = held.EvaluateNaive(df);
+  ASSERT_TRUE(*mask == expected);
+
+  // Squeeze the whole cache; the held atom is eventually LRU-tail.
+  index.SetMemoryBudget(1);
+  for (int t = 0; t < 12; ++t) {
+    Pattern({RandomPredicate(&rng, df)}).Evaluate(df);
+  }
+  EXPECT_GT(index.GetStats().atom_evictions, 0u);
+  // The shared_ptr keeps the evicted atom mask alive and intact, and a
+  // re-request rebuilds an identical mask.
+  EXPECT_TRUE(*mask == expected);
+  EXPECT_TRUE(held.Evaluate(df) == expected);
+}
+
+TEST(PredicateIndexTest, ConjunctionKeysSurviveAtomEviction) {
+  Rng rng(97);
+  const DataFrame df = RandomFrame(&rng, 256);
+  PredicateIndex& index = df.predicate_index();
+
+  const Pattern pattern({Predicate(0, CompareOp::kEq, Value("a")),
+                         Predicate(3, CompareOp::kGt, Value(0.0))});
+  const Bitmap expected = pattern.EvaluateNaive(df);
+  ASSERT_TRUE(pattern.Evaluate(df) == expected);
+
+  // Evict the atoms (but not necessarily the conjunction): atom ids are
+  // stable, so the cached conjunction still resolves under the same key
+  // after its atoms were rebuilt.
+  index.SetMemoryBudget(3 * 32);  // a few 256-bit masks
+  for (int t = 0; t < 12; ++t) {
+    Pattern({RandomPredicate(&rng, df)}).Evaluate(df);
+  }
+  ASSERT_GT(index.GetStats().atom_evictions, 0u);
+  EXPECT_TRUE(pattern.Evaluate(df) == expected);
+  EXPECT_TRUE(pattern.Evaluate(df) == expected);  // and again, via cache
+}
+
+TEST(PredicateIndexTest, WarmStartedAtomsAreBudgetAccounted) {
+  auto schema = Schema::Create({
+      {"g", AttrType::kCategorical, AttrRole::kImmutable},
+      {"o", AttrType::kNumeric, AttrRole::kOutcome},
+  });
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  Rng rng(98);
+  const std::vector<std::string> cats = {"x", "y", "z"};
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(
+        df.AppendRow({Value(cats[rng.NextBounded(3)]), Value(1.0 * i)}).ok());
+  }
+  const Column& col = df.column(0);
+  df.predicate_index().WarmStartCategoryMasks(
+      df, 0, PredicateIndex::BuildCategoryMasks(df, 0));
+  const auto warm = df.predicate_index().GetStats();
+  ASSERT_EQ(warm.warm_atom_masks, 3u);
+  ASSERT_GT(warm.atom_bytes, 0u);
+  (void)col;
+
+  // Shrinking the budget below the warm set evicts warm atoms LRU-last
+  // (they are just atoms to the tier) and keeps the cache consistent.
+  df.predicate_index().SetMemoryBudget(warm.atom_bytes - 1);
+  const auto after = df.predicate_index().GetStats();
+  EXPECT_GT(after.atom_evictions, 0u);
+  EXPECT_LT(after.atom_bytes, warm.atom_bytes);
+  for (const std::string& cat : cats) {
+    const Predicate p(0, CompareOp::kEq, Value(cat));
+    EXPECT_TRUE(p.Evaluate(df) == p.EvaluateNaive(df)) << cat;
+  }
+}
+
 TEST(PredicateIndexTest, EmptyPatternSelectsAllRows) {
   auto schema = Schema::Create({
       {"g", AttrType::kCategorical, AttrRole::kImmutable},
