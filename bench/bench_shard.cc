@@ -1,0 +1,183 @@
+// Sharded Step-2 mining harness: one hot grouping pattern (the full
+// population) mined for treatments at several row-shard counts. Before
+// row-universe sharding the per-pattern fan-out left exactly this shape —
+// few grouping patterns, millions of rows — serialized on a single core;
+// here the same mining pass runs with num_shards in {1, 2, 4, threads}
+// and reports per-evaluation latency and row throughput per shard count,
+// so the scaling trajectory is visible (and recordable as JSON for CI).
+//
+//   bench_shard [--rows=N] [--threads=T] [--full] [--json=PATH]
+//
+// Default 100K rows (CI smoke uses --rows=20000); --full adds the 1M-row
+// acceptance configuration, where 4+ shards on 4+ cores must deliver
+// >= 2x the single-shard mining throughput. Rulesets across shard counts
+// are checked for equality (the determinism the tests pin).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/faircap.h"
+#include "ingest/synthetic.h"
+#include "util/timer.h"
+
+using namespace faircap;
+
+namespace {
+
+struct ShardRow {
+  size_t shards = 0;       // resolved shard count
+  size_t evals = 0;
+  size_t rules = 0;
+  double mine_seconds = 0.0;
+  double rows_per_second = 0.0;  // rows x evaluations / second
+};
+
+int RunScale(size_t rows, size_t threads, const std::string& json_path) {
+  SyntheticConfig config;
+  config.num_rows = rows;
+  config.seed = 29;
+  auto data = MakeSynthetic(config);
+  if (!data.ok()) {
+    std::cerr << "generate: " << data.status().ToString() << "\n";
+    return 1;
+  }
+  const DataFrame& df = data->df;
+
+  // The hot-pattern scenario: a single grouping pattern covering every
+  // row. This is the worst case for per-pattern parallelism (one task)
+  // and the best case for row sharding.
+  std::vector<FrequentPattern> groups(1);
+  groups[0].pattern = Pattern();
+  groups[0].coverage = df.AllRows();
+  groups[0].support = df.num_rows();
+
+  FairCapOptions base;
+  base.lattice.max_predicates = 1;
+  base.fairness = FairnessConstraint::GroupSP(1e9);  // needs all 3 CATEs
+  base.num_threads = threads;
+
+  std::vector<size_t> shard_counts = {1, 2, 4};
+  if (threads > 4) shard_counts.push_back(threads);
+
+  std::printf("rows=%zu  threads=%zu  (single grouping pattern)\n", rows,
+              threads);
+  std::printf("%-8s %8s %12s %14s %14s %9s\n", "shards", "evals", "mine_s",
+              "eval_us", "Mrows/s", "speedup");
+
+  std::vector<ShardRow> results;
+  std::vector<std::string> rulesets;
+  for (const size_t shards : shard_counts) {
+    FairCapOptions options = base;
+    options.num_shards = shards;
+    auto solver =
+        FairCap::Create(&df, &data->dag, data->protected_pattern, options);
+    if (!solver.ok()) {
+      std::cerr << "solver: " << solver.status().ToString() << "\n";
+      return 1;
+    }
+    ShardRow row;
+    row.shards = shards;
+    StopWatch watch;
+    size_t evals = 0;
+    auto candidates = solver->MineCandidateRules(groups, &evals);
+    row.mine_seconds = watch.ElapsedSeconds();
+    if (!candidates.ok()) {
+      std::cerr << "mine: " << candidates.status().ToString() << "\n";
+      return 1;
+    }
+    row.evals = evals;
+    row.rules = candidates->size();
+    row.rows_per_second =
+        row.mine_seconds > 0.0
+            ? static_cast<double>(rows) * static_cast<double>(evals) /
+                  row.mine_seconds
+            : 0.0;
+    std::string ruleset;
+    for (const auto& rule : *candidates) {
+      ruleset += rule.ToString(df.schema());
+      ruleset += '\n';
+    }
+    rulesets.push_back(std::move(ruleset));
+    const double speedup = results.empty() || row.mine_seconds <= 0.0
+                               ? 1.0
+                               : results.front().mine_seconds /
+                                     row.mine_seconds;
+    std::printf("%-8zu %8zu %12.3f %14.1f %14.2f %8.2fx\n", shards, row.evals,
+                row.mine_seconds,
+                row.evals > 0
+                    ? 1e6 * row.mine_seconds / static_cast<double>(row.evals)
+                    : 0.0,
+                row.rows_per_second / 1e6, speedup);
+    results.push_back(row);
+  }
+
+  for (size_t i = 1; i < rulesets.size(); ++i) {
+    if (rulesets[i] != rulesets[0]) {
+      std::cerr << "FAIL: shard count " << shard_counts[i]
+                << " selected a different candidate ruleset than unsharded\n";
+      return 1;
+    }
+  }
+  std::printf("rulesets identical across shard counts (%zu candidates)\n\n",
+              results.front().rules);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot open '" << json_path << "' for writing\n";
+      return 1;
+    }
+    out << "{\"bench\":\"shard\",\"rows\":" << rows
+        << ",\"threads\":" << threads << ",\"results\":[";
+    for (size_t i = 0; i < results.size(); ++i) {
+      const ShardRow& r = results[i];
+      out << (i == 0 ? "" : ",") << "{\"shards\":" << r.shards
+          << ",\"evals\":" << r.evals << ",\"mine_seconds\":" << r.mine_seconds
+          << ",\"rows_per_second\":" << r.rows_per_second
+          << ",\"rules\":" << r.rules << "}";
+    }
+    out << "]}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv);
+  std::string json_path;
+  bool threads_given = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) threads_given = true;
+  }
+  size_t threads = flags.threads;
+  if (!threads_given || threads == 0) {
+    // Default to the hardware: sharding exists to saturate the cores. An
+    // explicit --threads=1 is honored (measures per-shard dispatch
+    // overhead on one core).
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 4 : hw;
+  }
+  std::vector<size_t> row_counts;
+  if (flags.rows > 0) {
+    row_counts.push_back(flags.rows);
+  } else {
+    row_counts.push_back(100000);
+    if (flags.full) row_counts.push_back(1000000);
+  }
+  for (size_t i = 0; i < row_counts.size(); ++i) {
+    // Only the last (largest) configuration writes the JSON record.
+    const std::string path =
+        i + 1 == row_counts.size() ? json_path : std::string();
+    const int rc = RunScale(row_counts[i], threads, path);
+    if (rc != 0) return rc;
+  }
+  return 0;
+}

@@ -5,8 +5,12 @@
 #include <cstring>
 #include <unordered_map>
 
+#include <cassert>
+
 #include "causal/linear_model.h"
 #include "causal/logistic.h"
+#include "mining/shard_plan.h"
+#include "util/threadpool.h"
 
 namespace faircap {
 
@@ -245,13 +249,27 @@ CateStatsEngine::Accum CateStatsEngine::MakeAccum() const {
 void CateStatsEngine::Accumulate(const Bitmap& group,
                                  const Bitmap* protected_mask, Accum* overall,
                                  Accum* prot, Accum* nonprot) const {
+  AccumulateRange(group, protected_mask, 0, group.num_words(), overall, prot,
+                  nonprot);
+}
+
+void CateStatsEngine::AccumulateRange(const Bitmap& group,
+                                      const Bitmap* protected_mask,
+                                      size_t word_begin, size_t word_end,
+                                      Accum* overall, Accum* prot,
+                                      Accum* nonprot) const {
+  // All three bitmaps are walked in lockstep over one word range; a
+  // mismatched universe (a shard-view bug) would otherwise read out of
+  // bounds of the shorter mask.
+  assert(group.size() == treated_->size());
+  assert(protected_mask == nullptr || protected_mask->size() == group.size());
+  assert(word_end <= group.num_words());
   const int32_t* cell_of_row = partition_->cell_of_row().data();
   const double* y = partition_->outcome().data();
   const uint64_t* gw = group.words();
   const uint64_t* tw = treated_->words();
   const uint64_t* pw =
       protected_mask != nullptr ? protected_mask->words() : nullptr;
-  const size_t num_words = group.num_words();
   const size_t m = partition_->num_numeric();
   const size_t mm = m * (m + 1) / 2;
   const bool moments = need_moments();
@@ -264,7 +282,7 @@ void CateStatsEngine::Accumulate(const Bitmap& group,
   // The treated mask drives the arm bit and the group (plus optional
   // protected) masks the rows — three bitmaps walked word-at-a-time, 64
   // rows per load, skipping empty group words.
-  for (size_t w = 0; w < num_words; ++w) {
+  for (size_t w = word_begin; w < word_end; ++w) {
     uint64_t bits = gw[w];
     if (bits == 0) continue;
     const uint64_t tword = tw[w];
@@ -603,17 +621,28 @@ Result<CateEstimate> CateStatsEngine::SolveIpwRows(
                           is_treated_row, options_.propensity_clip);
 }
 
-CateSubgroupEstimates CateStatsEngine::EstimateSubgroups(
+void CateStatsEngine::MergeAccum(Accum* into, const Accum& from) {
+  into->rows += from.rows;
+  into->n_treated += from.n_treated;
+  into->n_control += from.n_control;
+  assert(into->n.size() == from.n.size());
+  for (size_t i = 0; i < from.n.size(); ++i) into->n[i] += from.n[i];
+  for (size_t i = 0; i < from.sy.size(); ++i) into->sy[i] += from.sy[i];
+  for (size_t i = 0; i < from.syy.size(); ++i) into->syy[i] += from.syy[i];
+  for (size_t i = 0; i < from.zsum.size(); ++i) into->zsum[i] += from.zsum[i];
+  for (size_t i = 0; i < from.zysum.size(); ++i) {
+    into->zysum[i] += from.zysum[i];
+  }
+  for (size_t i = 0; i < from.zzsum.size(); ++i) {
+    into->zzsum[i] += from.zzsum[i];
+  }
+}
+
+CateSubgroupEstimates CateStatsEngine::SolveSubgroups(
+    const Accum& overall, const Accum& prot, const Accum& nonprot,
     const Bitmap& group, const Bitmap* protected_mask, size_t min_group_size,
     size_t min_subgroup_size, bool skip_subgroups_unless_positive) const {
   CateSubgroupEstimates out;
-  Accum overall = MakeAccum();
-  Accum prot, nonprot;
-  if (protected_mask != nullptr) {
-    prot = MakeAccum();
-    nonprot = MakeAccum();
-  }
-  Accumulate(group, protected_mask, &overall, &prot, &nonprot);
   const Slice whole{&group, nullptr, false};
   out.overall = Solve(overall, whole, min_group_size);
   if (protected_mask == nullptr) return out;
@@ -626,6 +655,76 @@ CateSubgroupEstimates CateStatsEngine::EstimateSubgroups(
   out.protected_group = Solve(prot, prot_slice, min_subgroup_size);
   out.nonprotected = Solve(nonprot, nonprot_slice, min_subgroup_size);
   return out;
+}
+
+CateSubgroupEstimates CateStatsEngine::EstimateSubgroups(
+    const Bitmap& group, const Bitmap* protected_mask, size_t min_group_size,
+    size_t min_subgroup_size, bool skip_subgroups_unless_positive) const {
+  Accum overall = MakeAccum();
+  Accum prot, nonprot;
+  if (protected_mask != nullptr) {
+    prot = MakeAccum();
+    nonprot = MakeAccum();
+  }
+  Accumulate(group, protected_mask, &overall, &prot, &nonprot);
+  return SolveSubgroups(overall, prot, nonprot, group, protected_mask,
+                        min_group_size, min_subgroup_size,
+                        skip_subgroups_unless_positive);
+}
+
+CateSubgroupEstimates CateStatsEngine::EstimateSubgroups(
+    const Bitmap& group, const Bitmap* protected_mask, size_t min_group_size,
+    size_t min_subgroup_size, bool skip_subgroups_unless_positive,
+    const ShardPlan* plan, ThreadPool* pool) const {
+  if (plan == nullptr || plan->num_shards() <= 1) {
+    return EstimateSubgroups(group, protected_mask, min_group_size,
+                             min_subgroup_size, skip_subgroups_unless_positive);
+  }
+  assert(plan->num_rows() == group.size());
+  const size_t shards = plan->num_shards();
+  const bool split = protected_mask != nullptr;
+
+  // Per-shard partials, accumulated independently over each shard's word
+  // range. The IPW row-level fallback (numeric confounders) re-walks the
+  // whole group inside Solve and is row-order deterministic either way.
+  std::vector<Accum> overall_parts(shards);
+  std::vector<Accum> prot_parts(split ? shards : 0);
+  std::vector<Accum> nonprot_parts(split ? shards : 0);
+  auto accumulate_shard = [&](size_t s) {
+    const ShardPlan::Shard& shard = plan->shard(s);
+    overall_parts[s] = MakeAccum();
+    if (split) {
+      prot_parts[s] = MakeAccum();
+      nonprot_parts[s] = MakeAccum();
+    }
+    AccumulateRange(group, protected_mask, shard.word_begin, shard.word_end,
+                    &overall_parts[s], split ? &prot_parts[s] : nullptr,
+                    split ? &nonprot_parts[s] : nullptr);
+  };
+  if (pool == nullptr) {
+    for (size_t s = 0; s < shards; ++s) accumulate_shard(s);
+  } else {
+    pool->ParallelFor(shards, accumulate_shard);
+  }
+
+  // Merge in ascending shard order — fixed by the plan, not by thread
+  // scheduling — so the result is deterministic for this shard count.
+  Accum overall = std::move(overall_parts[0]);
+  Accum prot, nonprot;
+  if (split) {
+    prot = std::move(prot_parts[0]);
+    nonprot = std::move(nonprot_parts[0]);
+  }
+  for (size_t s = 1; s < shards; ++s) {
+    MergeAccum(&overall, overall_parts[s]);
+    if (split) {
+      MergeAccum(&prot, prot_parts[s]);
+      MergeAccum(&nonprot, nonprot_parts[s]);
+    }
+  }
+  return SolveSubgroups(overall, prot, nonprot, group, protected_mask,
+                        min_group_size, min_subgroup_size,
+                        skip_subgroups_unless_positive);
 }
 
 Result<CateEstimate> CateStatsEngine::EstimateSubgroup(

@@ -40,6 +40,9 @@
 
 namespace faircap {
 
+class ShardPlan;    // mining/shard_plan.h
+class ThreadPool;   // util/threadpool.h
+
 /// Quantile bin edges for a numeric confounder (the stratified method's
 /// binning). Shared by the legacy estimator's StratumIds and the
 /// partition build so the two can never drift.
@@ -157,6 +160,20 @@ class CateStatsEngine {
       size_t min_group_size, size_t min_subgroup_size,
       bool skip_subgroups_unless_positive = false) const;
 
+  /// Sharded variant: the accumulation pass fans out across `pool`, one
+  /// task per shard of `plan`, each walking only its word-aligned word
+  /// range; shard partials merge by addition in ascending shard order
+  /// before the solves. The merge order is fixed by the plan — not by
+  /// thread scheduling — so a run is deterministic for a given shard
+  /// count, and all integer statistics (arm counts, support) are exactly
+  /// the unsharded values regardless of shard count. With a null pool or
+  /// a single-shard plan this is the unsharded path, bit for bit.
+  CateSubgroupEstimates EstimateSubgroups(
+      const Bitmap& group, const Bitmap* protected_mask,
+      size_t min_group_size, size_t min_subgroup_size,
+      bool skip_subgroups_unless_positive, const ShardPlan* plan,
+      ThreadPool* pool) const;
+
   /// Single-subgroup slice (the batch path with no protected split).
   Result<CateEstimate> EstimateSubgroup(const Bitmap& group,
                                         size_t min_group_size) const;
@@ -194,6 +211,24 @@ class CateStatsEngine {
 
   void Accumulate(const Bitmap& group, const Bitmap* protected_mask,
                   Accum* overall, Accum* prot, Accum* nonprot) const;
+
+  /// Accumulation restricted to bitmap words [word_begin, word_end) — the
+  /// per-shard view. Accumulate() is exactly the full-range call, so the
+  /// single-shard plan reproduces the unsharded pass bit for bit.
+  void AccumulateRange(const Bitmap& group, const Bitmap* protected_mask,
+                       size_t word_begin, size_t word_end, Accum* overall,
+                       Accum* prot, Accum* nonprot) const;
+
+  /// Element-wise `into += from` over every statistic (counts, outcome
+  /// sums, numeric moments) — the shard-merge step.
+  static void MergeAccum(Accum* into, const Accum& from);
+
+  /// The shared triple-solve tail of both EstimateSubgroups overloads.
+  CateSubgroupEstimates SolveSubgroups(
+      const Accum& overall, const Accum& prot, const Accum& nonprot,
+      const Bitmap& group, const Bitmap* protected_mask,
+      size_t min_group_size, size_t min_subgroup_size,
+      bool skip_subgroups_unless_positive) const;
 
   Result<CateEstimate> Solve(const Accum& acc, const Slice& slice,
                              size_t min_group_size) const;

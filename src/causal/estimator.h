@@ -30,6 +30,8 @@ namespace faircap {
 
 class CateStatsEngine;       // causal/cate_stats_engine.h
 class ConfounderPartition;   // causal/cate_stats_engine.h
+class ShardPlan;             // mining/shard_plan.h
+class ThreadPool;            // util/threadpool.h
 
 /// Estimation method.
 enum class CateMethod {
@@ -124,6 +126,17 @@ class CateEstimator {
       const Pattern& intervention, const Bitmap& group,
       const Bitmap* protected_mask, size_t min_subgroup_size = 0,
       bool skip_subgroups_unless_positive = false) const;
+
+  /// Sharded batch path: the engine's accumulation pass fans out across
+  /// `pool`, one task per word-aligned shard of `plan`, with shard
+  /// partials merged in ascending shard order before the solves (see
+  /// CateStatsEngine::EstimateSubgroups). Null `plan`/`pool` (or a
+  /// single-shard plan) is exactly the unsharded batch path.
+  Result<CateSubgroupEstimates> EstimateSubgroups(
+      const Pattern& intervention, const Bitmap& group,
+      const Bitmap* protected_mask, size_t min_subgroup_size,
+      bool skip_subgroups_unless_positive, const ShardPlan* plan,
+      ThreadPool* pool) const;
 
   /// The cached sufficient-statistics engine for `intervention`, built on
   /// first use. Shared ownership: the engine stays valid for the holder

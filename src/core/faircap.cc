@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <mutex>
 
+#include <thread>
+
 #include "core/benefit.h"
+#include "dataframe/predicate_index.h"
+#include "mining/shard_plan.h"
 #include "util/threadpool.h"
 #include "util/timer.h"
 
@@ -24,6 +28,9 @@ Result<FairCap> FairCap::Create(const DataFrame* df, const CausalDag* dag,
   }
   FAIRCAP_ASSIGN_OR_RETURN(CateEstimator estimator,
                            CateEstimator::Create(df, dag, options.cate));
+  if (options.engine_memory_budget > 0) {
+    estimator.SetEngineMemoryBudget(options.engine_memory_budget);
+  }
 
   // Optimization (i): mutable attributes with no causal path to the
   // outcome cannot have a treatment effect; drop them up front.
@@ -209,6 +216,56 @@ Result<std::vector<PrescriptionRule>> FairCap::MineCandidateRules(
   std::vector<std::vector<PrescriptionRule>> per_group(groups.size());
   std::vector<size_t> evals(groups.size(), 0);
 
+  // Row-universe sharding (0 = match the thread count). When active, the
+  // parallelism axis flips: grouping patterns are mined sequentially and
+  // each treatment evaluation's sufficient-statistics pass fans out
+  // across word-aligned row shards, so one hot grouping pattern keeps
+  // every worker busy instead of serializing on a single core. The
+  // unsharded per-pattern fan-out below stays as the pinning oracle.
+  const size_t threads =
+      options_.num_threads == 0
+          ? std::max<size_t>(1, std::thread::hardware_concurrency())
+          : options_.num_threads;
+  const size_t requested_shards =
+      options_.num_shards == 0 ? threads : options_.num_shards;
+  // The implicit default (num_shards=0) flips the axis only when the
+  // per-pattern fan-out cannot keep the pool busy — many small grouping
+  // patterns already saturate the workers, and per-evaluation dispatch
+  // would be pure overhead there. An explicit shard count always wins.
+  const bool want_sharding =
+      options_.use_batch_estimator && requested_shards > 1 &&
+      (options_.num_shards != 0 || groups.size() < threads);
+  const ShardPlan plan =
+      ShardPlan::Create(df_->num_rows(), want_sharding ? requested_shards : 1);
+  const bool sharded = plan.num_shards() > 1;
+  std::unique_ptr<ThreadPool> shard_pool;
+  if (sharded && threads > 1) {
+    shard_pool = std::make_unique<ThreadPool>(threads);
+  }
+  const ShardPlan* eval_plan = sharded ? &plan : nullptr;
+  ThreadPool* eval_pool = shard_pool.get();
+
+  if (sharded) {
+    // Warm the treatment-atom masks up front with sharded columnar scans
+    // (each worker scans only its word range; per-shard results merge by
+    // word-level OR into the table's shared PredicateIndex), so the
+    // lattice's first touch of each atom never serializes on one core.
+    const PredicateIndex& index = df_->predicate_index();
+    for (size_t attr : mutable_attrs_) {
+      const Column& col = df_->column(attr);
+      if (col.type() != AttrType::kCategorical || col.num_categories() == 0 ||
+          col.num_categories() > PredicateIndex::kBatchBuildMaxCategories) {
+        continue;
+      }
+      // Already warm (streaming ingest, or an earlier run over this
+      // table): rebuilding masks the index would discard is pure waste.
+      if (index.CategoryMasksCached(*df_, attr)) continue;
+      index.WarmStartCategoryMasks(
+          *df_, attr,
+          BuildCategoryMasksSharded(*df_, attr, plan, eval_pool));
+    }
+  }
+
   auto mine_one = [&](size_t g) {
     const FrequentPattern& group = groups[g];
     // Subgroup cardinalities come from fused word-level counts; the
@@ -236,7 +293,7 @@ Result<std::vector<PrescriptionRule>> FairCap::MineCandidateRules(
             intervention, group.coverage,
             needs_group_utilities ? &protected_mask_ : nullptr,
             options_.min_subgroup_arm,
-            /*skip_subgroups_unless_positive=*/true);
+            /*skip_subgroups_unless_positive=*/true, eval_plan, eval_pool);
         if (!batch.ok()) return std::nullopt;
         ests = std::move(batch).ValueOrDie();
       } else {
@@ -336,7 +393,10 @@ Result<std::vector<PrescriptionRule>> FairCap::MineCandidateRules(
     }
   };
 
-  if (options_.num_threads == 1 || groups.size() <= 1) {
+  if (sharded || options_.num_threads == 1 || groups.size() <= 1) {
+    // Sharded runs are sequential across grouping patterns by design: the
+    // worker pool is saturated *within* each treatment evaluation, and
+    // ThreadPool::ParallelFor is not reentrant from a worker.
     for (size_t g = 0; g < groups.size(); ++g) mine_one(g);
   } else {
     ThreadPool pool(options_.num_threads);

@@ -39,6 +39,27 @@ struct FairCapOptions {
   /// Worker threads for intervention mining (0 = hardware concurrency,
   /// 1 = sequential).
   size_t num_threads = 0;
+  /// Row-universe shards for Step-2 treatment mining (1 = unsharded;
+  /// 0 = adaptive default: match the resolved thread count, but only
+  /// when there are fewer grouping patterns than threads — many small
+  /// patterns already saturate the per-pattern fan-out, and an explicit
+  /// count always wins). With more than one shard the mining loop flips
+  /// its parallelism axis: grouping patterns run sequentially and each
+  /// treatment evaluation's sufficient-statistics pass fans out across
+  /// word-aligned row shards, so ONE hot grouping pattern saturates
+  /// every core instead of serializing on one. Shard partials
+  /// merge in ascending shard order (deterministic for a fixed shard
+  /// count); all integer statistics match the unsharded path exactly.
+  /// Requires use_batch_estimator; the unsharded path (num_shards=1) is
+  /// the pinning oracle. Caveat of the 0 default: the resolved shard
+  /// count follows the machine's core count, and different shard counts
+  /// reassociate floating-point sums (<=1e-9 relative on continuous
+  /// outcomes) — runs that must be bit-reproducible across machines
+  /// should pin an explicit shard count (or 1).
+  size_t num_shards = 0;
+  /// Byte cap for the estimator's per-treatment engine cache
+  /// (CateEstimator::SetEngineMemoryBudget). 0 = unlimited.
+  size_t engine_memory_budget = 0;
   /// Drop mutable attributes with no directed path to the outcome in the
   /// DAG (optimization (i) of Section 5.2).
   bool prune_non_causal_attrs = true;

@@ -80,6 +80,16 @@ Bitmap Bitmap::operator|(const Bitmap& other) const {
   return out;
 }
 
+void Bitmap::OrWordsAt(size_t word_offset, const uint64_t* src,
+                       size_t num_words) {
+  assert(word_offset + num_words <= words_.size());
+  for (size_t i = 0; i < num_words; ++i) words_[word_offset + i] |= src[i];
+  // Only the merge that owns the final word may touch padding: a
+  // concurrent merger of an earlier word range must never read-modify-
+  // write words it does not own.
+  if (word_offset + num_words == words_.size()) ClearPadding();
+}
+
 Bitmap Bitmap::operator~() const {
   Bitmap out = *this;
   for (auto& w : out.words_) w = ~w;

@@ -5,6 +5,7 @@
 #ifndef FAIRCAP_DATAFRAME_BITMAP_H_
 #define FAIRCAP_DATAFRAME_BITMAP_H_
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -76,10 +77,23 @@ class Bitmap {
   const uint64_t* words() const { return words_.data(); }
   size_t num_words() const { return words_.size(); }
 
+  /// ORs `num_words` words of `src` into this bitmap starting at word
+  /// `word_offset` — the shard-merge primitive: a shard's scan result
+  /// (a word buffer covering only its word range) folds into the shared
+  /// mask without materializing a full-size bitmap per shard. Word-aligned
+  /// shards own disjoint ranges, so concurrent merges into one bitmap
+  /// write different vector elements and need no locking. Bits past
+  /// size() must be zero in `src`'s last word (padding stays clear).
+  void OrWordsAt(size_t word_offset, const uint64_t* src, size_t num_words);
+
   /// Calls fn(i) for each bit set in both `*this` and `other`, ascending,
-  /// without materializing the intersection. Sizes must match.
+  /// without materializing the intersection. Sizes must match — checked in
+  /// debug builds: this walks `other.words_` over *this*'s word count, so
+  /// a mismatched bitmap (exactly what a buggy shard view would produce)
+  /// would otherwise be a silent out-of-bounds read.
   template <typename Fn>
   void ForEachAnd(const Bitmap& other, Fn&& fn) const {
+    assert(num_bits_ == other.num_bits_);
     for (size_t w = 0; w < words_.size(); ++w) {
       uint64_t bits = words_[w] & other.words_[w];
       while (bits != 0) {

@@ -55,6 +55,10 @@ class Column {
   /// Numeric value at `row` (NaN when null). Numeric only.
   double numeric(size_t row) const { return values_[row]; }
 
+  /// Raw numeric storage (NaN where null). Numeric only — the word-batched
+  /// columnar scans walk this directly.
+  const double* numeric_data() const { return values_.data(); }
+
   /// Dictionary string for `code`. Categorical only.
   const std::string& CategoryName(int32_t code) const {
     return dictionary_[static_cast<size_t>(code)];

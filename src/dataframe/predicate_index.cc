@@ -85,11 +85,100 @@ Bitmap PredicateIndex::Scan(const DataFrame& df, size_t attr, CompareOp op,
     }
     return out;
   }
+  // Numeric: compare 64 rows into one mask word at a time. NaN cells are
+  // nulls and never match — not even under kNe, where IEEE comparison
+  // alone would admit them (the categorical convention: null is absent
+  // from every selection).
   const double rhs = value.numeric();
-  for (size_t row = 0; row < df.num_rows(); ++row) {
-    const double v = col.numeric(row);
-    if (!std::isnan(v) && CompareNumeric(v, op, rhs)) out.Set(row);
+  const double* values = col.numeric_data();
+  const size_t n = df.num_rows();
+  for (size_t begin = 0; begin < n; begin += 64) {
+    const size_t end = std::min(n, begin + 64);
+    uint64_t word = 0;
+    for (size_t row = begin; row < end; ++row) {
+      const double v = values[row];
+      word |= static_cast<uint64_t>(!std::isnan(v) && CompareNumeric(v, op, rhs))
+              << (row - begin);
+    }
+    if (word != 0) out.OrWordsAt(begin / 64, &word, 1);
   }
+  return out;
+}
+
+std::shared_ptr<const PredicateIndex::NumericOrder>
+PredicateIndex::NumericOrderFor(const DataFrame& df, size_t attr) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = numeric_orders_.find(attr);
+    if (it != numeric_orders_.end()) return it->second;
+  }
+  // Sort outside the lock; a racing duplicate build is identical and the
+  // first insertion wins.
+  auto order = std::make_shared<NumericOrder>();
+  const Column& col = df.column(attr);
+  const double* values = col.numeric_data();
+  order->rows.reserve(df.num_rows());
+  for (size_t r = 0; r < df.num_rows(); ++r) {
+    if (!std::isnan(values[r])) {
+      order->rows.push_back(static_cast<uint32_t>(r));
+    }
+  }
+  std::sort(order->rows.begin(), order->rows.end(),
+            [values](uint32_t a, uint32_t b) {
+              return values[a] < values[b] ||
+                     (values[a] == values[b] && a < b);
+            });
+  order->values.reserve(order->rows.size());
+  for (const uint32_t r : order->rows) order->values.push_back(values[r]);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = numeric_orders_.emplace(attr, std::move(order));
+  // Keep a live reference before enforcing the budget: under a tiny
+  // budget the enforcement may evict this very order from the map, and
+  // the caller's scan must still be served from this build.
+  std::shared_ptr<const NumericOrder> result = it->second;
+  if (inserted) {
+    numeric_order_bytes_ +=
+        result->rows.size() * (sizeof(uint32_t) + sizeof(double));
+    EnforceBudgetLocked();
+  }
+  return result;
+}
+
+Bitmap PredicateIndex::ScanNumericRange(const DataFrame& df, size_t attr,
+                                        CompareOp op, double rhs) const {
+  Bitmap out(df.num_rows());
+  // Comparisons with a NaN threshold select nothing (and lower_bound on
+  // NaN would be meaningless); NaN *cells* are excluded from the order.
+  if (std::isnan(rhs)) return out;
+  const std::shared_ptr<const NumericOrder> order = NumericOrderFor(df, attr);
+  const std::vector<double>& values = order->values;
+  size_t lo = 0;
+  size_t hi = values.size();
+  switch (op) {
+    case CompareOp::kLt:
+      hi = static_cast<size_t>(
+          std::lower_bound(values.begin(), values.end(), rhs) -
+          values.begin());
+      break;
+    case CompareOp::kLe:
+      hi = static_cast<size_t>(
+          std::upper_bound(values.begin(), values.end(), rhs) -
+          values.begin());
+      break;
+    case CompareOp::kGe:
+      lo = static_cast<size_t>(
+          std::lower_bound(values.begin(), values.end(), rhs) -
+          values.begin());
+      break;
+    case CompareOp::kGt:
+      lo = static_cast<size_t>(
+          std::upper_bound(values.begin(), values.end(), rhs) -
+          values.begin());
+      break;
+    default:
+      return Scan(df, attr, op, Value(rhs));  // kEq/kNe: not a range
+  }
+  for (size_t i = lo; i < hi; ++i) out.Set(order->rows[i]);
   return out;
 }
 
@@ -155,6 +244,9 @@ uint32_t PredicateIndex::EnsureAtom(const DataFrame& df, size_t attr,
   }
 
   // Scan outside the lock; concurrent evaluation of other atoms proceeds.
+  const bool range = col.type() == AttrType::kNumeric && value.is_numeric() &&
+                     (op == CompareOp::kLt || op == CompareOp::kLe ||
+                      op == CompareOp::kGt || op == CompareOp::kGe);
   std::vector<Bitmap> masks;
   try {
     if (batch) {
@@ -162,6 +254,10 @@ uint32_t PredicateIndex::EnsureAtom(const DataFrame& df, size_t attr,
       // Apriori's level-1 items, lattice atoms, and treatment masks all
       // ask for sibling categories of the same column.
       masks = BuildCategoryMasks(df, attr);
+    } else if (range) {
+      // Numeric range atoms come from the cached sorted order: two binary
+      // searches instead of a full per-row double scan per threshold.
+      masks.push_back(ScanNumericRange(df, attr, op, value.numeric()));
     } else {
       masks.push_back(Scan(df, attr, op, value));
     }
@@ -333,10 +429,13 @@ std::shared_ptr<Bitmap> PredicateIndex::InsertConjunctionLocked(
 
 void PredicateIndex::EnforceBudgetLocked() const {
   if (max_bytes_ == 0) return;
+  const auto held = [this] {
+    return conjunction_bytes_ + atom_bytes_ + numeric_order_bytes_;
+  };
   // Conjunctions go first: they recompose cheaply from atom masks. Never
   // evict the most-recently-touched entry — the caller that just inserted
   // (or hit) it may still be using the reference.
-  while (conjunction_bytes_ + atom_bytes_ > max_bytes_ && lru_.size() > 1) {
+  while (held() > max_bytes_ && lru_.size() > 1) {
     const auto it = conjunctions_.find(lru_.back());
     conjunction_bytes_ -= BitmapBytes(*it->second.mask);
     conjunctions_.erase(it);
@@ -346,14 +445,23 @@ void PredicateIndex::EnforceBudgetLocked() const {
   // Atom tier, LRU last: only reached once no evictable conjunction
   // remains. The dense id (and every conjunction key embedding it) stays
   // valid; a re-request rescans the column into the same slot.
-  while (conjunction_bytes_ + atom_bytes_ > max_bytes_ &&
-         atom_lru_.size() > 1) {
+  while (held() > max_bytes_ && atom_lru_.size() > 1) {
     const uint32_t id = atom_lru_.back();
     AtomEntry& entry = atom_masks_[id];
     atom_bytes_ -= BitmapBytes(*entry.mask);
     entry.mask.reset();
     atom_lru_.pop_back();
     ++atom_evictions_;
+  }
+  // Numeric sorted orders last of all: the costliest rebuild (a full
+  // re-sort), but also the biggest entries at scale (~12 bytes/row per
+  // column) — without this tier a capped index could silently hold
+  // hundreds of MB of order state. Holders' shared_ptr copies survive.
+  while (held() > max_bytes_ && !numeric_orders_.empty()) {
+    const auto it = numeric_orders_.begin();
+    numeric_order_bytes_ -=
+        it->second->rows.size() * (sizeof(uint32_t) + sizeof(double));
+    numeric_orders_.erase(it);
   }
 }
 
@@ -365,7 +473,19 @@ void PredicateIndex::WarmStartCategoryMasks(const DataFrame& df, size_t attr,
     const std::string key =
         AtomKey(attr, CompareOp::kEq,
                 Value(col.CategoryName(static_cast<int32_t>(code))));
-    if (atom_ids_.count(key) != 0) continue;
+    const auto it = atom_ids_.find(key);
+    if (it != atom_ids_.end()) {
+      // Interned with a live mask: leave it untouched. Interned but
+      // budget-evicted (ids survive eviction by design): reinstall into
+      // the existing slot — otherwise a warm start after eviction would
+      // discard every mask it just built.
+      if (atom_masks_[it->second].mask == nullptr) {
+        InstallAtomMaskLocked(
+            it->second, std::make_shared<Bitmap>(std::move(masks[code])));
+        ++warm_atoms_;
+      }
+      continue;
+    }
     const uint32_t id = static_cast<uint32_t>(atom_masks_.size());
     atom_masks_.emplace_back();
     atom_ids_.emplace(key, id);
@@ -374,6 +494,22 @@ void PredicateIndex::WarmStartCategoryMasks(const DataFrame& df, size_t attr,
     ++warm_atoms_;
   }
   EnforceBudgetLocked();
+}
+
+bool PredicateIndex::CategoryMasksCached(const DataFrame& df,
+                                         size_t attr) const {
+  const Column& col = df.column(attr);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t code = 0; code < col.num_categories(); ++code) {
+    const std::string key =
+        AtomKey(attr, CompareOp::kEq,
+                Value(col.CategoryName(static_cast<int32_t>(code))));
+    const auto it = atom_ids_.find(key);
+    if (it == atom_ids_.end() || atom_masks_[it->second].mask == nullptr) {
+      return false;
+    }
+  }
+  return col.num_categories() > 0;
 }
 
 void PredicateIndex::SetMemoryBudget(size_t max_bytes) {
@@ -397,6 +533,8 @@ void PredicateIndex::Clear() {
   conjunction_bytes_ = 0;
   atom_bytes_ = 0;
   all_rows_.reset();
+  numeric_orders_.clear();
+  numeric_order_bytes_ = 0;
 }
 
 PredicateIndex::CacheStats PredicateIndex::GetStats() const {
@@ -413,6 +551,8 @@ PredicateIndex::CacheStats PredicateIndex::GetStats() const {
   stats.evictions = evictions_;
   stats.atom_evictions = atom_evictions_;
   stats.warm_atom_masks = warm_atoms_;
+  stats.numeric_orders = numeric_orders_.size();
+  stats.numeric_order_bytes = numeric_order_bytes_;
   return stats;
 }
 

@@ -103,7 +103,11 @@ class PredicateIndex {
       const DataFrame& df, const std::vector<PredicateAtom>& atoms) const;
 
   /// Uncached columnar scan for a single atom — the reference
-  /// implementation the cache is built on.
+  /// implementation the cache is built on. Numeric comparisons are
+  /// word-batched: 64 rows are compared into one mask word at a time.
+  /// Null cells never match — numeric nulls (NaN) are excluded under
+  /// every operator including kNe and kLt, mirroring the categorical
+  /// null convention.
   static Bitmap Scan(const DataFrame& df, size_t attr, CompareOp op,
                      const Value& value);
 
@@ -112,20 +116,31 @@ class PredicateIndex {
   /// `CategoryName(code)`). The streaming ingest path builds these while
   /// the column codes are still hot, so the index starts warm and Apriori
   /// / lattice / treatment evaluation never pay a first-touch column
-  /// scan. Categories already interned are left untouched.
+  /// scan. Categories with a live cached mask are left untouched;
+  /// interned-but-budget-evicted masks are reinstalled into their
+  /// existing slots.
   void WarmStartCategoryMasks(const DataFrame& df, size_t attr,
                               std::vector<Bitmap> masks) const;
 
-  /// Caps the bytes held by cached masks — conjunctions AND atoms.
+  /// True when every category of categorical `attr` already has a live
+  /// cached equality mask — i.e. a warm start (ingest or a previous
+  /// batch build) would be wasted work. Callers use this to skip
+  /// rebuilding masks the index would only discard.
+  bool CategoryMasksCached(const DataFrame& df, size_t attr) const;
+
+  /// Caps the bytes held by the index's caches — conjunction masks, atom
+  /// masks, AND the numeric sorted-row orders behind range atoms.
   /// 0 = unlimited (the default). When an insertion pushes usage past the
   /// budget, least-recently-used conjunction masks are evicted first;
   /// atom masks are the recompose primitives, so they form the tier
   /// behind the warm cap and are evicted LRU *last* — only when no
   /// evictable conjunction remains (very-high-cardinality columns can
-  /// otherwise bloat a warm index). Evicted masks are transparently
-  /// rescanned or recomposed on re-request (atom ids stay stable, so
-  /// cached conjunction keys survive atom eviction). Shrinking the budget
-  /// evicts immediately.
+  /// otherwise bloat a warm index). Numeric orders are the most expensive
+  /// entries to rebuild (an O(n log n) sort) and go only after the atom
+  /// tier. Evicted entries are transparently rescanned / recomposed /
+  /// re-sorted on re-request (atom ids stay stable, so cached conjunction
+  /// keys survive atom eviction). Shrinking the budget evicts
+  /// immediately.
   void SetMemoryBudget(size_t max_bytes);
   size_t memory_budget() const;
 
@@ -144,6 +159,8 @@ class PredicateIndex {
     size_t evictions = 0;          ///< conjunction masks evicted (budget)
     size_t atom_evictions = 0;     ///< atom masks evicted (budget, LRU last)
     size_t warm_atom_masks = 0;    ///< atom masks installed by ingest
+    size_t numeric_orders = 0;     ///< sorted-row orders cached for range ops
+    size_t numeric_order_bytes = 0;  ///< bytes held by those orders
   };
   CacheStats GetStats() const;
 
@@ -163,6 +180,26 @@ class PredicateIndex {
 
   /// All-rows mask, built on first use.
   const Bitmap& AllRowsMask(const DataFrame& df) const;
+
+  /// Ascending (value-sorted) row order of numeric `attr`, NaN rows
+  /// excluded — the one-time index behind range-operator atom masks.
+  struct NumericOrder {
+    std::vector<uint32_t> rows;   ///< row ids, ascending by value
+    std::vector<double> values;   ///< values[i] == numeric(rows[i])
+  };
+
+  /// Cached NumericOrder for `attr`, built on first request (racing
+  /// duplicate builds are identical; the first insertion wins).
+  std::shared_ptr<const NumericOrder> NumericOrderFor(const DataFrame& df,
+                                                      size_t attr) const;
+
+  /// Range-operator (kLt/kLe/kGt/kGe) mask for numeric `attr` from the
+  /// sorted order: two binary searches bound the qualifying run, and only
+  /// its rows are set — O(log n + matches) per distinct threshold instead
+  /// of a full per-row double scan. Bit-identical to Scan(): NaN rows are
+  /// never in the order, and a NaN threshold matches nothing.
+  Bitmap ScanNumericRange(const DataFrame& df, size_t attr, CompareOp op,
+                          double rhs) const;
 
   mutable std::mutex mu_;
   // Column scans and mask composition run outside mu_; concurrent
@@ -210,6 +247,15 @@ class PredicateIndex {
   mutable std::unordered_map<std::string, ConjunctionEntry> conjunctions_;
   mutable std::list<std::string> lru_;
   mutable std::unique_ptr<Bitmap> all_rows_;
+  // Per-attr sorted row order for numeric range atoms (~12 bytes per
+  // non-null row — much bigger than one mask at scale). Counted against
+  // the byte budget and evicted behind the atom tier: orders are the most
+  // expensive entries to rebuild (an O(n log n) sort vs an O(n) rescan),
+  // so they go last. Outstanding shared_ptr holders keep an evicted
+  // order alive; a re-request re-sorts. Clear() drops them too.
+  mutable std::unordered_map<size_t, std::shared_ptr<const NumericOrder>>
+      numeric_orders_;
+  mutable size_t numeric_order_bytes_ = 0;
   mutable size_t max_bytes_ = 0;  // 0 = unlimited
   mutable size_t conjunction_bytes_ = 0;
   mutable size_t atom_bytes_ = 0;

@@ -1,0 +1,70 @@
+#include "mining/shard_plan.h"
+
+#include <algorithm>
+
+#include "dataframe/dataframe.h"
+#include "util/threadpool.h"
+
+namespace faircap {
+
+ShardPlan ShardPlan::Create(size_t num_rows, size_t num_shards) {
+  ShardPlan plan;
+  plan.num_rows_ = num_rows;
+  const size_t num_words = (num_rows + 63) / 64;
+  const size_t shards =
+      std::max<size_t>(1, std::min(num_shards, std::max<size_t>(1, num_words)));
+  plan.shards_.reserve(shards);
+  const size_t base = num_words / shards;
+  const size_t extra = num_words % shards;  // first `extra` shards get +1 word
+  size_t word = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    Shard shard;
+    shard.word_begin = word;
+    shard.word_end = word + base + (s < extra ? 1 : 0);
+    shard.row_begin = shard.word_begin * 64;
+    shard.row_end = std::min(num_rows, shard.word_end * 64);
+    word = shard.word_end;
+    plan.shards_.push_back(shard);
+  }
+  return plan;
+}
+
+std::vector<Bitmap> BuildCategoryMasksSharded(const DataFrame& df, size_t attr,
+                                              const ShardPlan& plan,
+                                              ThreadPool* pool) {
+  const Column& col = df.column(attr);
+  const size_t num_categories = col.num_categories();
+  std::vector<Bitmap> masks(num_categories);
+  for (Bitmap& m : masks) m = Bitmap(df.num_rows());
+  if (num_categories == 0 || df.num_rows() == 0) return masks;
+
+  // One task per shard: scan the shard's rows into shard-local word
+  // buffers, then OR them into the shared masks. The shards own disjoint
+  // word ranges, so the concurrent merges write different words of each
+  // mask — no synchronization needed beyond the pool's completion barrier.
+  auto build_shard = [&](size_t s) {
+    const ShardPlan::Shard& shard = plan.shard(s);
+    if (shard.empty()) return;
+    const size_t words = shard.word_end - shard.word_begin;
+    std::vector<std::vector<uint64_t>> local(
+        num_categories, std::vector<uint64_t>(words, 0));
+    for (size_t r = shard.row_begin; r < shard.row_end; ++r) {
+      const int32_t c = col.code(r);
+      if (c == Column::kNullCode) continue;
+      local[static_cast<size_t>(c)][(r / 64) - shard.word_begin] |=
+          1ULL << (r % 64);
+    }
+    for (size_t c = 0; c < num_categories; ++c) {
+      masks[c].OrWordsAt(shard.word_begin, local[c].data(), words);
+    }
+  };
+
+  if (pool == nullptr || plan.num_shards() <= 1) {
+    for (size_t s = 0; s < plan.num_shards(); ++s) build_shard(s);
+  } else {
+    pool->ParallelFor(plan.num_shards(), build_shard);
+  }
+  return masks;
+}
+
+}  // namespace faircap

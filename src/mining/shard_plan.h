@@ -1,0 +1,78 @@
+// ShardPlan: word-aligned partition of a row universe for sharded Step-2
+// mining. One hot grouping pattern serializes treatment mining on a single
+// core when parallelism only spans *patterns*; the shard plan instead
+// splits the rows into contiguous ranges whose boundaries sit at multiples
+// of 64, so every shard owns a whole `uint64_t` word range of every Bitmap
+// over the same universe. That alignment is the invariant the fan-out
+// leans on:
+//
+//   * per-shard scans write disjoint words of a shared bitmap, so shard
+//     results merge by word-level OR (and concurrent writes touch
+//     different vector elements — race-free without locks);
+//   * per-shard sufficient-statistics accumulation walks only its word
+//     range, and partials merge by addition in ascending shard order, so
+//     a run is deterministic for a fixed shard count regardless of how
+//     many threads execute it.
+
+#ifndef FAIRCAP_MINING_SHARD_PLAN_H_
+#define FAIRCAP_MINING_SHARD_PLAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dataframe/bitmap.h"
+
+namespace faircap {
+
+class DataFrame;
+class ThreadPool;
+
+/// Immutable word-aligned shard layout over [0, num_rows).
+class ShardPlan {
+ public:
+  /// One contiguous shard. Rows [row_begin, row_end) are exactly the rows
+  /// of bitmap words [word_begin, word_end); only the last shard's
+  /// row_end may be unaligned (the tail of the universe).
+  struct Shard {
+    size_t word_begin = 0;
+    size_t word_end = 0;
+    size_t row_begin = 0;
+    size_t row_end = 0;
+
+    size_t num_rows() const { return row_end - row_begin; }
+    bool empty() const { return row_begin >= row_end; }
+  };
+
+  /// Splits `num_rows` into at most `num_shards` contiguous word-aligned
+  /// shards of near-equal word count. `num_shards` is clamped to
+  /// [1, number of words], so no shard is ever empty (except the single
+  /// shard of an empty universe).
+  static ShardPlan Create(size_t num_rows, size_t num_shards);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_shards() const { return shards_.size(); }
+  const Shard& shard(size_t i) const { return shards_[i]; }
+  const std::vector<Shard>& shards() const { return shards_; }
+
+ private:
+  ShardPlan() = default;
+
+  size_t num_rows_ = 0;
+  std::vector<Shard> shards_;
+};
+
+/// Sharded sibling of PredicateIndex::BuildCategoryMasks: materializes
+/// every category's equality mask of categorical `attr` by fanning the
+/// columnar scan across `pool`, one task per shard. Each task scans only
+/// its shard's rows into a shard-local word buffer and merges it into the
+/// shared masks by word-level OR over its own (disjoint) word range, so
+/// the result is bit-identical to the single-threaded build. With a null
+/// pool (or a single shard) the scan runs inline.
+std::vector<Bitmap> BuildCategoryMasksSharded(const DataFrame& df,
+                                              size_t attr,
+                                              const ShardPlan& plan,
+                                              ThreadPool* pool);
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_MINING_SHARD_PLAN_H_

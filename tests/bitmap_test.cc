@@ -129,5 +129,80 @@ TEST(BitmapTest, EmptyBitmap) {
   b.ForEach([](size_t) { FAIL() << "no bits to visit"; });
 }
 
+TEST(BitmapTest, ForEachAndSkipsBitsOutsideEither) {
+  Bitmap a(130), b(130);
+  a.Set(0);
+  a.Set(64);
+  a.Set(129);
+  b.Set(64);
+  b.Set(100);
+  b.Set(129);
+  std::vector<size_t> seen;
+  a.ForEachAnd(b, [&](size_t i) { seen.push_back(i); });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], 64u);
+  EXPECT_EQ(seen[1], 129u);
+}
+
+TEST(BitmapTest, OrWordsAtMergesDisjointShards) {
+  // Simulate the shard merge: two word-aligned shards of a 150-bit
+  // universe fold their local word buffers into one shared mask.
+  Bitmap merged(150);
+  const uint64_t shard0[2] = {1ULL << 3, 1ULL << 63};   // rows 3, 127
+  const uint64_t shard1[1] = {~0ULL};                    // rows 128..191
+  merged.OrWordsAt(0, shard0, 2);
+  merged.OrWordsAt(2, shard1, 1);
+  EXPECT_TRUE(merged.Get(3));
+  EXPECT_TRUE(merged.Get(127));
+  EXPECT_TRUE(merged.Get(128));
+  EXPECT_TRUE(merged.Get(149));
+  // Padding bits past size() must stay clear even though the source word
+  // had them set.
+  EXPECT_EQ(merged.Count(), 2u + (150u - 128u));
+  EXPECT_EQ((~merged).Count(), 150u - merged.Count());
+}
+
+TEST(BitmapTest, OrWordsAtIsIdempotentOr) {
+  Bitmap m(64);
+  const uint64_t w = 0b1010;
+  m.OrWordsAt(0, &w, 1);
+  m.OrWordsAt(0, &w, 1);
+  EXPECT_EQ(m.Count(), 2u);
+}
+
+// Word-level ops walk `other`'s words over *this*'s word count; a
+// mismatched universe (exactly what a buggy shard view would produce)
+// must be caught by the debug assertions instead of reading out of
+// bounds. The statements are only executed when assertions are compiled
+// in — in NDEBUG builds they would be real out-of-bounds reads (the bug
+// the assertions exist to catch), so the test skips rather than letting
+// EXPECT_DEBUG_DEATH run them to completion.
+TEST(BitmapDeathTest, MismatchedSizesAreCaughtInDebug) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "assertions compiled out (NDEBUG)";
+#else
+  Bitmap big(256);
+  Bitmap small(64);
+  big.Set(200);
+  small.Set(1);
+  EXPECT_DEATH(big.ForEachAnd(small, [](size_t) {}), "num_bits_");
+  EXPECT_DEATH((void)big.AndCount(small), "num_bits_");
+  EXPECT_DEATH((void)big.AndNotCount(small), "num_bits_");
+  EXPECT_DEATH((void)(big &= small), "num_bits_");
+  EXPECT_DEATH((void)(big |= small), "num_bits_");
+  EXPECT_DEATH((void)big.AndNot(small), "num_bits_");
+#endif
+}
+
+TEST(BitmapDeathTest, OrWordsAtOutOfRangeIsCaughtInDebug) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "assertions compiled out (NDEBUG)";
+#else
+  Bitmap m(64);
+  const uint64_t w = 1;
+  EXPECT_DEATH(m.OrWordsAt(1, &w, 1), "words_");
+#endif
+}
+
 }  // namespace
 }  // namespace faircap

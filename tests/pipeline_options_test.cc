@@ -131,5 +131,42 @@ TEST(PipelineOptionsTest, DagPruningToggle) {
   EXPECT_EQ(s2->mutable_attrs().size(), 2u);  // T and Noise
 }
 
+TEST(PipelineOptionsTest, EngineMemoryBudgetIsAppliedAndObservable) {
+  const ToyData data = MakeToyData(3000);
+  FairCapOptions options;
+  options.apriori.min_support_fraction = 0.3;
+  options.lattice.max_predicates = 1;
+  options.num_threads = 1;
+  // A budget far below any engine's footprint: every treatment evaluation
+  // past the first must evict the previous engine, and the stats the CLI
+  // prints must make that misconfiguration visible.
+  options.engine_memory_budget = 1;
+
+  auto solver =
+      FairCap::Create(&data.df, &data.dag, data.protected_pattern, options);
+  ASSERT_TRUE(solver.ok());
+  const auto result = solver->Run();
+  ASSERT_TRUE(result.ok());
+  const auto stats = solver->estimator().GetEngineStats();
+  EXPECT_LE(stats.engines, 1u);
+  EXPECT_GT(stats.misses, 1u);
+  EXPECT_GT(stats.evictions, 0u);
+
+  // Unbudgeted control: same pipeline, same ruleset, no evictions.
+  options.engine_memory_budget = 0;
+  auto unbudgeted =
+      FairCap::Create(&data.df, &data.dag, data.protected_pattern, options);
+  ASSERT_TRUE(unbudgeted.ok());
+  const auto unbudgeted_result = unbudgeted->Run();
+  ASSERT_TRUE(unbudgeted_result.ok());
+  EXPECT_EQ(unbudgeted->estimator().GetEngineStats().evictions, 0u);
+  ASSERT_EQ(result->rules.size(), unbudgeted_result->rules.size());
+  for (size_t i = 0; i < result->rules.size(); ++i) {
+    EXPECT_TRUE(result->rules[i].intervention ==
+                unbudgeted_result->rules[i].intervention);
+    EXPECT_EQ(result->rules[i].utility, unbudgeted_result->rules[i].utility);
+  }
+}
+
 }  // namespace
 }  // namespace faircap

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "dataframe/predicate_index.h"
@@ -355,6 +357,154 @@ TEST(PredicateIndexTest, WarmStartedAtomsAreBudgetAccounted) {
     const Predicate p(0, CompareOp::kEq, Value(cat));
     EXPECT_TRUE(p.Evaluate(df) == p.EvaluateNaive(df)) << cat;
   }
+}
+
+// Numeric nulls are NaN cells; like categorical nulls they must be
+// absent from every selection — including kNe (where raw IEEE comparison
+// would admit them: NaN != x is true) and kLt (where the sorted-index
+// range path must exclude them from the order entirely).
+TEST(PredicateIndexTest, NumericNullsExcludedUnderEveryOperator) {
+  auto schema = Schema::Create({
+      {"n", AttrType::kNumeric, AttrRole::kImmutable},
+      {"o", AttrType::kNumeric, AttrRole::kOutcome},
+  });
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  // Rows: 1.0, null, 3.0, null, 5.0.
+  for (int i = 0; i < 5; ++i) {
+    const bool null = i % 2 == 1;
+    ASSERT_TRUE(
+        df.AppendRow({null ? Value::Null() : Value(static_cast<double>(i + 1)),
+                      Value(0.0)})
+            .ok());
+  }
+  const PredicateIndex& index = df.predicate_index();
+  struct Case {
+    CompareOp op;
+    double rhs;
+    std::vector<size_t> expect;
+  };
+  const std::vector<Case> cases = {
+      {CompareOp::kLt, 4.0, {0, 2}},   // nulls NOT "less than"
+      {CompareOp::kLe, 3.0, {0, 2}},
+      {CompareOp::kGt, 2.0, {2, 4}},
+      {CompareOp::kGe, 3.0, {2, 4}},
+      {CompareOp::kEq, 3.0, {2}},
+      {CompareOp::kNe, 3.0, {0, 4}},   // nulls NOT "not equal" either
+      {CompareOp::kNe, -99.0, {0, 2, 4}},
+  };
+  for (const Case& c : cases) {
+    const Bitmap& mask = index.AtomMask(df, 0, c.op, Value(c.rhs));
+    const Bitmap reference = PredicateIndex::Scan(df, 0, c.op, Value(c.rhs));
+    EXPECT_TRUE(mask == reference)
+        << CompareOpName(c.op) << " " << c.rhs << " diverges from Scan";
+    ASSERT_EQ(mask.Count(), c.expect.size()) << CompareOpName(c.op);
+    for (const size_t r : c.expect) {
+      EXPECT_TRUE(mask.Get(r)) << CompareOpName(c.op) << " row " << r;
+    }
+    // Null rows (1, 3) never match.
+    EXPECT_FALSE(mask.Get(1)) << CompareOpName(c.op);
+    EXPECT_FALSE(mask.Get(3)) << CompareOpName(c.op);
+  }
+}
+
+// The sorted-index range path must agree with the reference scan on ties,
+// infinities, thresholds between values, and a NaN threshold — and build
+// the per-column order exactly once however many thresholds are asked.
+TEST(PredicateIndexTest, NumericRangeMasksMatchReferenceScan) {
+  Rng rng(1234);
+  auto schema = Schema::Create({
+      {"n", AttrType::kNumeric, AttrRole::kImmutable},
+      {"o", AttrType::kNumeric, AttrRole::kOutcome},
+  });
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  for (size_t i = 0; i < 3000; ++i) {
+    // Heavy ties (quantized values) plus nulls.
+    const bool null = rng.NextBernoulli(0.1);
+    const double v = std::floor(rng.NextUniform(-8.0, 8.0) * 2.0) / 2.0;
+    ASSERT_TRUE(df.AppendRow({null ? Value::Null() : Value(v), Value(0.0)})
+                    .ok());
+  }
+  const PredicateIndex& index = df.predicate_index();
+  std::vector<double> thresholds = {-8.0, -2.5, -2.25, 0.0, 0.5, 7.5, 8.0,
+                                    -1e300, 1e300,
+                                    std::numeric_limits<double>::infinity(),
+                                    -std::numeric_limits<double>::infinity(),
+                                    std::numeric_limits<double>::quiet_NaN()};
+  for (int i = 0; i < 20; ++i) thresholds.push_back(rng.NextUniform(-9, 9));
+  for (const CompareOp op :
+       {CompareOp::kLt, CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+    for (const double rhs : thresholds) {
+      const Bitmap& mask = index.AtomMask(df, 0, op, Value(rhs));
+      const Bitmap reference = PredicateIndex::Scan(df, 0, op, Value(rhs));
+      EXPECT_TRUE(mask == reference)
+          << CompareOpName(op) << " " << rhs << ": index "
+          << mask.Count() << " rows vs scan " << reference.Count();
+    }
+  }
+  // One sorted order serves every threshold of the column.
+  EXPECT_EQ(index.GetStats().numeric_orders, 1u);
+  EXPECT_GT(index.GetStats().numeric_order_bytes, 0u);
+
+  // The order is budget-accounted: shrinking the budget below its
+  // footprint evicts it (behind the conjunction and atom tiers), and a
+  // later range request transparently re-sorts — same masks either way.
+  df.predicate_index().SetMemoryBudget(1);
+  EXPECT_EQ(index.GetStats().numeric_orders, 0u);
+  EXPECT_EQ(index.GetStats().numeric_order_bytes, 0u);
+  df.predicate_index().SetMemoryBudget(0);
+  const Bitmap& rebuilt = index.AtomMask(df, 0, CompareOp::kLt, Value(0.25));
+  EXPECT_TRUE(rebuilt == PredicateIndex::Scan(df, 0, CompareOp::kLt,
+                                              Value(0.25)));
+  EXPECT_EQ(index.GetStats().numeric_orders, 1u);
+}
+
+TEST(PredicateIndexTest, WarmStartReinstallsBudgetEvictedMasks) {
+  Rng rng(98);
+  auto schema = Schema::Create({
+      {"c", AttrType::kCategorical, AttrRole::kImmutable},
+      {"o", AttrType::kNumeric, AttrRole::kOutcome},
+  });
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  const char* levels[] = {"a", "b", "c", "d"};
+  for (size_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        df.AppendRow({Value(levels[rng.NextBounded(4)]), Value(0.0)}).ok());
+  }
+  const PredicateIndex& index = df.predicate_index();
+  (void)index.AtomMask(df, 0, CompareOp::kEq, Value("a"));  // batch build
+  ASSERT_TRUE(index.CategoryMasksCached(df, 0));
+  // Evict the atom masks (ids survive), then warm-start again: the masks
+  // must be reinstalled into their existing slots, not silently dropped.
+  df.predicate_index().SetMemoryBudget(1);
+  df.predicate_index().SetMemoryBudget(0);
+  ASSERT_FALSE(index.CategoryMasksCached(df, 0));
+  index.WarmStartCategoryMasks(df, 0,
+                               PredicateIndex::BuildCategoryMasks(df, 0));
+  EXPECT_TRUE(index.CategoryMasksCached(df, 0));
+  const Bitmap& mask = index.AtomMask(df, 0, CompareOp::kEq, Value("b"));
+  EXPECT_TRUE(mask == PredicateIndex::Scan(df, 0, CompareOp::kEq,
+                                           Value("b")));
+}
+
+TEST(PredicateIndexTest, CategoryMasksCachedReflectsWarmState) {
+  Rng rng(99);
+  auto schema = Schema::Create({
+      {"c", AttrType::kCategorical, AttrRole::kImmutable},
+      {"o", AttrType::kNumeric, AttrRole::kOutcome},
+  });
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  const char* levels[] = {"a", "b", "c"};
+  for (size_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(
+        df.AppendRow({Value(levels[rng.NextBounded(3)]), Value(0.0)}).ok());
+  }
+  const PredicateIndex& index = df.predicate_index();
+  EXPECT_FALSE(index.CategoryMasksCached(df, 0));
+  // First equality touch batch-builds every sibling category.
+  (void)index.AtomMask(df, 0, CompareOp::kEq, Value("a"));
+  EXPECT_TRUE(index.CategoryMasksCached(df, 0));
+  df.predicate_index().Clear();
+  EXPECT_FALSE(index.CategoryMasksCached(df, 0));
 }
 
 TEST(PredicateIndexTest, EmptyPatternSelectsAllRows) {

@@ -1,0 +1,130 @@
+// ShardPlan invariants and the sharded category-mask builder: shards must
+// tile the row universe exactly, every boundary must sit at a multiple of
+// 64 (the word-alignment the race-free OR merge leans on), and the
+// sharded scan must reproduce the single-threaded build bit for bit for
+// any shard count and pool size.
+
+#include "mining/shard_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "dataframe/dataframe.h"
+#include "dataframe/predicate_index.h"
+#include "util/random.h"
+#include "util/threadpool.h"
+
+namespace faircap {
+namespace {
+
+void ExpectValidPlan(const ShardPlan& plan, size_t num_rows,
+                     size_t requested) {
+  ASSERT_GE(plan.num_shards(), 1u);
+  EXPECT_LE(plan.num_shards(), std::max<size_t>(1, requested));
+  EXPECT_EQ(plan.num_rows(), num_rows);
+  size_t word = 0;
+  size_t row = 0;
+  for (size_t s = 0; s < plan.num_shards(); ++s) {
+    const ShardPlan::Shard& shard = plan.shard(s);
+    // Contiguous tiling, word-aligned boundaries.
+    EXPECT_EQ(shard.word_begin, word);
+    EXPECT_EQ(shard.row_begin, row);
+    EXPECT_EQ(shard.row_begin % 64, 0u);
+    EXPECT_EQ(shard.row_begin, shard.word_begin * 64);
+    EXPECT_GE(shard.word_end, shard.word_begin);
+    EXPECT_LE(shard.row_end, num_rows);
+    word = shard.word_end;
+    row = shard.row_end;
+  }
+  EXPECT_EQ(word, (num_rows + 63) / 64);
+  EXPECT_EQ(row, num_rows);
+}
+
+TEST(ShardPlanTest, TilesUniverseWordAligned) {
+  for (const size_t rows : {0u, 1u, 63u, 64u, 65u, 1000u, 4096u, 100001u}) {
+    for (const size_t shards : {1u, 2u, 3u, 7u, 16u, 1000u}) {
+      SCOPED_TRACE("rows=" + std::to_string(rows) +
+                   " shards=" + std::to_string(shards));
+      ExpectValidPlan(ShardPlan::Create(rows, shards), rows, shards);
+    }
+  }
+}
+
+TEST(ShardPlanTest, ClampsShardCountToWords) {
+  // 130 rows = 3 words: more shards than words must clamp, not create
+  // empty shards.
+  const ShardPlan plan = ShardPlan::Create(130, 64);
+  EXPECT_EQ(plan.num_shards(), 3u);
+  for (const auto& shard : plan.shards()) EXPECT_FALSE(shard.empty());
+  // Zero requested shards is treated as one.
+  EXPECT_EQ(ShardPlan::Create(130, 0).num_shards(), 1u);
+}
+
+TEST(ShardPlanTest, BalancesWordsWithinOne) {
+  const ShardPlan plan = ShardPlan::Create(100000, 7);
+  size_t min_words = SIZE_MAX, max_words = 0;
+  for (const auto& shard : plan.shards()) {
+    const size_t w = shard.word_end - shard.word_begin;
+    min_words = std::min(min_words, w);
+    max_words = std::max(max_words, w);
+  }
+  EXPECT_LE(max_words - min_words, 1u);
+}
+
+DataFrame MakeCategoricalFrame(size_t rows, uint64_t seed) {
+  auto schema = Schema::Create({
+      {"A", AttrType::kCategorical, AttrRole::kImmutable},
+      {"O", AttrType::kNumeric, AttrRole::kOutcome},
+  });
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  Rng rng(seed);
+  const char* levels[] = {"x", "y", "z", "w"};
+  for (size_t i = 0; i < rows; ++i) {
+    const bool null = rng.NextBernoulli(0.05);
+    const Status st = df.AppendRow(
+        {null ? Value::Null() : Value(levels[rng.NextBounded(4)]),
+         Value(static_cast<double>(i % 10))});
+    EXPECT_TRUE(st.ok());
+  }
+  return df;
+}
+
+TEST(ShardPlanTest, ShardedCategoryMasksMatchSingleThreaded) {
+  const DataFrame df = MakeCategoricalFrame(10000, 21);
+  const std::vector<Bitmap> reference =
+      PredicateIndex::BuildCategoryMasks(df, 0);
+  ThreadPool pool(4);
+  for (const size_t shards : {1u, 2u, 7u, 64u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    const ShardPlan plan = ShardPlan::Create(df.num_rows(), shards);
+    // With and without a pool: the merge is the same word-level OR.
+    const std::vector<Bitmap> pooled =
+        BuildCategoryMasksSharded(df, 0, plan, &pool);
+    const std::vector<Bitmap> inline_built =
+        BuildCategoryMasksSharded(df, 0, plan, nullptr);
+    ASSERT_EQ(pooled.size(), reference.size());
+    ASSERT_EQ(inline_built.size(), reference.size());
+    for (size_t c = 0; c < reference.size(); ++c) {
+      EXPECT_TRUE(pooled[c] == reference[c]) << "category " << c;
+      EXPECT_TRUE(inline_built[c] == reference[c]) << "category " << c;
+    }
+  }
+}
+
+TEST(ShardPlanTest, ShardedMasksOnEmptyAndTinyFrames) {
+  // A universe smaller than one word: the plan degenerates to one shard
+  // and the build must still match.
+  const DataFrame tiny = MakeCategoricalFrame(17, 22);
+  const ShardPlan plan = ShardPlan::Create(tiny.num_rows(), 8);
+  EXPECT_EQ(plan.num_shards(), 1u);
+  const std::vector<Bitmap> masks =
+      BuildCategoryMasksSharded(tiny, 0, plan, nullptr);
+  const std::vector<Bitmap> reference =
+      PredicateIndex::BuildCategoryMasks(tiny, 0);
+  ASSERT_EQ(masks.size(), reference.size());
+  for (size_t c = 0; c < masks.size(); ++c) {
+    EXPECT_TRUE(masks[c] == reference[c]);
+  }
+}
+
+}  // namespace
+}  // namespace faircap

@@ -93,6 +93,9 @@ void PrintUsage() {
       "  --coverage=group|rule --theta=0.5 --theta-p=0.5\n"
       "  --min-support=0.1 --max-rules=20 --max-intervention-predicates=2\n"
       "  --min-group-size=10 --min-subgroup-arm=5 --index-budget-mb=0\n"
+      "  --engine-budget-mb=0     (CATE engine cache cap; 0 = unlimited)\n"
+      "  --shards=0               (row shards for Step-2 mining; 1 = unsharded,\n"
+      "                            0 = match threads when patterns < threads)\n"
       "  --threads=0 --natural-language --unit=$\n";
 }
 
@@ -263,10 +266,16 @@ int RunPipeline(const CliArgs& args) {
   options.greedy.max_rules =
       static_cast<size_t>(args.GetDouble("max-rules", 20));
   options.num_threads = static_cast<size_t>(args.GetDouble("threads", 0));
+  options.num_shards = static_cast<size_t>(args.GetDouble("shards", 0));
   options.cate.min_group_size =
       static_cast<size_t>(args.GetDouble("min-group-size", 10));
   options.min_subgroup_arm = static_cast<size_t>(
       args.GetDouble("min-subgroup-arm", 5));
+  const double engine_budget_mb = args.GetDouble("engine-budget-mb", 0.0);
+  if (engine_budget_mb > 0.0) {
+    options.engine_memory_budget =
+        static_cast<size_t>(engine_budget_mb * 1024.0 * 1024.0);
+  }
 
   const std::string fairness = args.Get("fairness");
   const double threshold = args.GetDouble("fairness-threshold", 0.0);
@@ -326,6 +335,16 @@ int RunPipeline(const CliArgs& args) {
               << index_stats.conjunction_masks << " conjunction masks ("
               << index_stats.conjunction_bytes << " bytes held, "
               << index_stats.evictions << " evicted)\n";
+  }
+  if (engine_budget_mb > 0.0) {
+    // Surface engine-cache pressure: a budget far below the working set
+    // shows up here as evictions (every re-request rebuilds an engine).
+    const auto engine_stats = solver->estimator().GetEngineStats();
+    std::cout << "\nengine cache: " << engine_stats.engines << " engines, "
+              << engine_stats.partitions << " partitions ("
+              << engine_stats.bytes << " bytes held), " << engine_stats.hits
+              << " hits / " << engine_stats.misses << " misses, "
+              << engine_stats.evictions << " evicted\n";
   }
   return 0;
 }
