@@ -1,0 +1,236 @@
+// Scheduling harness: static-axis scheduling vs the work-stealing
+// pattern x shard task graph on two Step-2 workload shapes.
+//
+//   * skewed   — one giant grouping pattern (the full population) plus a
+//     tail of small per-category patterns. A static per-pattern fan-out
+//     (num_shards=1) serializes the giant pattern on one worker while
+//     the tail finishes early; the work-stealing graph shards the giant
+//     pattern's evaluations across every idle worker. Acceptance: the
+//     work-stealing configuration mines at least the static rows/s.
+//   * balanced — only the small per-category patterns (near-equal cost).
+//     Here the pattern axis alone is enough; the acceptance check is
+//     plain multi-core speedup of the work-stealing graph over one
+//     thread.
+//
+//   bench_schedule [--rows=N] [--threads=T] [--json=PATH]
+//
+// Default 100K rows (CI smoke uses --rows=20000 and archives the JSON
+// record). Candidate rulesets are compared across configurations of the
+// same workload — scheduling must never change *what* is mined, only how
+// fast (shard counts differ between static and work-stealing, so
+// utilities may differ by float-reassociation noise; rule identities may
+// not).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/faircap.h"
+#include "ingest/synthetic.h"
+#include "util/timer.h"
+
+using namespace faircap;
+
+namespace {
+
+struct Config {
+  std::string workload;  // "skewed" | "balanced"
+  std::string mode;      // "static" | "work-stealing"
+  size_t threads = 0;
+  size_t shards = 0;
+};
+
+struct Row {
+  Config config;
+  size_t evals = 0;
+  size_t rules = 0;
+  double mine_seconds = 0.0;
+  double rows_per_second = 0.0;
+  SchedulerStats scheduler;
+  std::string ruleset;  // rule identities (grouping => intervention)
+};
+
+// Small per-category grouping patterns over the immutable attributes
+// (every category of every immutable categorical attribute), the
+// balanced tail of both workloads.
+std::vector<FrequentPattern> SmallPatterns(const DataFrame& df) {
+  std::vector<FrequentPattern> groups;
+  for (size_t attr : df.schema().IndicesWithRole(AttrRole::kImmutable)) {
+    const Column& col = df.column(attr);
+    if (col.type() != AttrType::kCategorical) continue;
+    for (size_t code = 0; code < col.num_categories(); ++code) {
+      FrequentPattern fp;
+      fp.pattern = Pattern({Predicate(
+          attr, CompareOp::kEq,
+          Value(col.CategoryName(static_cast<int32_t>(code))))});
+      fp.coverage = fp.pattern.Evaluate(df);
+      fp.support = fp.coverage.Count();
+      if (fp.support > 0) groups.push_back(std::move(fp));
+    }
+  }
+  return groups;
+}
+
+Row RunOne(const SyntheticData& data,
+           const std::vector<FrequentPattern>& groups, const Config& config) {
+  FairCapOptions options;
+  options.lattice.max_predicates = 1;
+  options.fairness = FairnessConstraint::GroupSP(1e9);  // needs all 3 CATEs
+  options.num_threads = config.threads;
+  options.num_shards = config.shards;
+  auto solver =
+      FairCap::Create(&data.df, &data.dag, data.protected_pattern, options);
+  if (!solver.ok()) {
+    std::fprintf(stderr, "solver: %s\n", solver.status().ToString().c_str());
+    std::exit(1);
+  }
+  Row row;
+  row.config = config;
+  StopWatch watch;
+  size_t evals = 0;
+  auto candidates = solver->MineCandidateRules(groups, &evals, &row.scheduler);
+  row.mine_seconds = watch.ElapsedSeconds();
+  if (!candidates.ok()) {
+    std::fprintf(stderr, "mine: %s\n", candidates.status().ToString().c_str());
+    std::exit(1);
+  }
+  row.evals = evals;
+  row.rules = candidates->size();
+  // Work processed: rows covered per evaluation, summed. (Every
+  // evaluation's sufficient-statistics pass walks its pattern's coverage
+  // words, so this is the throughput the scheduler actually moves.)
+  row.rows_per_second =
+      row.mine_seconds > 0.0
+          ? static_cast<double>(data.df.num_rows()) *
+                static_cast<double>(evals) / row.mine_seconds
+          : 0.0;
+  for (const auto& rule : *candidates) {
+    row.ruleset += rule.grouping.ToString(data.df.schema());
+    row.ruleset += " => ";
+    row.ruleset += rule.intervention.ToString(data.df.schema());
+    row.ruleset += '\n';
+  }
+  return row;
+}
+
+void PrintRow(const Row& row, double baseline_seconds) {
+  const double speedup = row.mine_seconds > 0.0
+                             ? baseline_seconds / row.mine_seconds
+                             : 1.0;
+  std::printf("%-9s %-14s %7zu %7zu %8zu %10.3f %12.2f %8.2fx %8zu %8zu\n",
+              row.config.workload.c_str(), row.config.mode.c_str(),
+              row.config.threads, row.config.shards, row.evals,
+              row.mine_seconds, row.rows_per_second / 1e6, speedup,
+              row.scheduler.stolen, row.scheduler.helped);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv);
+  std::string json_path;
+  bool threads_given = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) threads_given = true;
+  }
+  const size_t rows = flags.rows > 0 ? flags.rows : 100000;
+  size_t threads = flags.threads;
+  if (!threads_given || threads == 0) {
+    // Default to the hardware: the graph exists to saturate the cores.
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 4 : hw;
+  }
+
+  SyntheticConfig config;
+  config.num_rows = rows;
+  config.seed = 53;
+  auto data = MakeSynthetic(config);
+  if (!data.ok()) {
+    std::fprintf(stderr, "generate: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+
+  // Skewed: full population + the small tail. Balanced: the tail only.
+  std::vector<FrequentPattern> balanced = SmallPatterns(data->df);
+  std::vector<FrequentPattern> skewed;
+  {
+    FrequentPattern giant;
+    giant.pattern = Pattern();
+    giant.coverage = data->df.AllRows();
+    giant.support = data->df.num_rows();
+    skewed.push_back(std::move(giant));
+    for (const FrequentPattern& fp : balanced) skewed.push_back(fp);
+  }
+
+  std::printf("rows=%zu threads=%zu skewed=%zu patterns balanced=%zu patterns\n",
+              rows, threads, skewed.size(), balanced.size());
+  std::printf("%-9s %-14s %7s %7s %8s %10s %12s %9s %8s %8s\n", "workload",
+              "mode", "threads", "shards", "evals", "mine_s", "Mrows/s",
+              "speedup", "stolen", "helped");
+
+  // Skewed: static per-pattern fan-out vs the pattern x shard graph.
+  const Row skew_static =
+      RunOne(*data, skewed, {"skewed", "static", threads, 1});
+  PrintRow(skew_static, skew_static.mine_seconds);
+  const Row skew_ws =
+      RunOne(*data, skewed, {"skewed", "work-stealing", threads, 0});
+  PrintRow(skew_ws, skew_static.mine_seconds);
+
+  // Balanced: one thread vs the full graph.
+  const Row bal_seq = RunOne(*data, balanced, {"balanced", "static", 1, 1});
+  PrintRow(bal_seq, bal_seq.mine_seconds);
+  const Row bal_ws =
+      RunOne(*data, balanced, {"balanced", "work-stealing", threads, 0});
+  PrintRow(bal_ws, bal_seq.mine_seconds);
+
+  // Scheduling must not change what is mined.
+  int rc = 0;
+  if (skew_ws.ruleset != skew_static.ruleset) {
+    std::fprintf(stderr,
+                 "FAIL: skewed work-stealing mined different rules than "
+                 "static scheduling\n");
+    rc = 1;
+  }
+  if (bal_ws.ruleset != bal_seq.ruleset) {
+    std::fprintf(stderr,
+                 "FAIL: balanced work-stealing mined different rules than "
+                 "sequential\n");
+    rc = 1;
+  }
+  if (rc == 0) {
+    std::printf("rulesets identical across scheduling modes\n");
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n",
+                   json_path.c_str());
+      return 1;
+    }
+    auto emit = [&](const Row& row, bool last) {
+      out << "{\"workload\":\"" << row.config.workload << "\",\"mode\":\""
+          << row.config.mode << "\",\"threads\":" << row.config.threads
+          << ",\"shards\":" << row.config.shards
+          << ",\"evals\":" << row.evals
+          << ",\"mine_seconds\":" << row.mine_seconds
+          << ",\"rows_per_second\":" << row.rows_per_second
+          << ",\"stolen\":" << row.scheduler.stolen
+          << ",\"helped\":" << row.scheduler.helped << "}" << (last ? "" : ",");
+    };
+    out << "{\"bench\":\"schedule\",\"rows\":" << rows
+        << ",\"threads\":" << threads << ",\"results\":[";
+    emit(skew_static, false);
+    emit(skew_ws, false);
+    emit(bal_seq, false);
+    emit(bal_ws, true);
+    out << "]}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return rc;
+}

@@ -10,7 +10,7 @@
 #include "causal/linear_model.h"
 #include "causal/logistic.h"
 #include "mining/shard_plan.h"
-#include "util/threadpool.h"
+#include "util/task_scheduler.h"
 
 namespace faircap {
 
@@ -675,7 +675,7 @@ CateSubgroupEstimates CateStatsEngine::EstimateSubgroups(
 CateSubgroupEstimates CateStatsEngine::EstimateSubgroups(
     const Bitmap& group, const Bitmap* protected_mask, size_t min_group_size,
     size_t min_subgroup_size, bool skip_subgroups_unless_positive,
-    const ShardPlan* plan, ThreadPool* pool) const {
+    const ShardPlan* plan, TaskGroup* tasks) const {
   if (plan == nullptr || plan->num_shards() <= 1) {
     return EstimateSubgroups(group, protected_mask, min_group_size,
                              min_subgroup_size, skip_subgroups_unless_positive);
@@ -701,10 +701,13 @@ CateSubgroupEstimates CateStatsEngine::EstimateSubgroups(
                     &overall_parts[s], split ? &prot_parts[s] : nullptr,
                     split ? &nonprot_parts[s] : nullptr);
   };
-  if (pool == nullptr) {
+  if (tasks == nullptr) {
     for (size_t s = 0; s < shards; ++s) accumulate_shard(s);
   } else {
-    pool->ParallelFor(shards, accumulate_shard);
+    // Child tasks of the caller's group; Wait() inside ParallelFor helps
+    // (executes pending shard tasks) so this nests freely under a
+    // pattern task on the same scheduler.
+    tasks->ParallelFor(shards, accumulate_shard);
   }
 
   // Merge in ascending shard order — fixed by the plan, not by thread

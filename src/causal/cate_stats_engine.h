@@ -41,7 +41,7 @@
 namespace faircap {
 
 class ShardPlan;    // mining/shard_plan.h
-class ThreadPool;   // util/threadpool.h
+class TaskGroup;    // util/task_scheduler.h
 
 /// Quantile bin edges for a numeric confounder (the stratified method's
 /// binning). Shared by the legacy estimator's StratumIds and the
@@ -160,19 +160,25 @@ class CateStatsEngine {
       size_t min_group_size, size_t min_subgroup_size,
       bool skip_subgroups_unless_positive = false) const;
 
-  /// Sharded variant: the accumulation pass fans out across `pool`, one
-  /// task per shard of `plan`, each walking only its word-aligned word
-  /// range; shard partials merge by addition in ascending shard order
-  /// before the solves. The merge order is fixed by the plan — not by
-  /// thread scheduling — so a run is deterministic for a given shard
-  /// count, and all integer statistics (arm counts, support) are exactly
-  /// the unsharded values regardless of shard count. With a null pool or
-  /// a single-shard plan this is the unsharded path, bit for bit.
+  /// Sharded variant: the accumulation pass fans out as child tasks of
+  /// `tasks` (one per shard of `plan`), each walking only its word-aligned
+  /// word range; shard partials merge by addition in ascending shard
+  /// order before the solves. Because TaskGroup::Wait() helps (executes
+  /// pending tasks instead of blocking), this is legal from inside
+  /// another task on the same scheduler — the Step-2 pattern x shard
+  /// graph nests exactly this call under each pattern task. The merge
+  /// order is fixed by the plan — not by thread scheduling — so a run is
+  /// deterministic for a given shard count, and all integer statistics
+  /// (arm counts, support) are exactly the unsharded values regardless
+  /// of shard count. With a null/schedulerless group or a single-shard
+  /// plan this is the unsharded path, bit for bit. `tasks` must be
+  /// quiescent (no pending tasks): the call uses it as its completion
+  /// barrier.
   CateSubgroupEstimates EstimateSubgroups(
       const Bitmap& group, const Bitmap* protected_mask,
       size_t min_group_size, size_t min_subgroup_size,
       bool skip_subgroups_unless_positive, const ShardPlan* plan,
-      ThreadPool* pool) const;
+      TaskGroup* tasks) const;
 
   /// Single-subgroup slice (the batch path with no protected split).
   Result<CateEstimate> EstimateSubgroup(const Bitmap& group,

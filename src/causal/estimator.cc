@@ -468,14 +468,14 @@ Result<CateSubgroupEstimates> CateEstimator::EstimateSubgroups(
     bool skip_subgroups_unless_positive) const {
   return EstimateSubgroups(intervention, group, protected_mask,
                            min_subgroup_size, skip_subgroups_unless_positive,
-                           /*plan=*/nullptr, /*pool=*/nullptr);
+                           /*plan=*/nullptr, /*tasks=*/nullptr);
 }
 
 Result<CateSubgroupEstimates> CateEstimator::EstimateSubgroups(
     const Pattern& intervention, const Bitmap& group,
     const Bitmap* protected_mask, size_t min_subgroup_size,
     bool skip_subgroups_unless_positive, const ShardPlan* plan,
-    ThreadPool* pool) const {
+    TaskGroup* tasks) const {
   FAIRCAP_ASSIGN_OR_RETURN(
       const std::shared_ptr<const CateStatsEngine> engine,
       EngineFor(intervention));
@@ -483,7 +483,7 @@ Result<CateSubgroupEstimates> CateEstimator::EstimateSubgroups(
                                                 : options_.min_group_size;
   return engine->EstimateSubgroups(group, protected_mask,
                                    options_.min_group_size, min_sub,
-                                   skip_subgroups_unless_positive, plan, pool);
+                                   skip_subgroups_unless_positive, plan, tasks);
 }
 
 void CateEstimator::SetEngineMemoryBudget(size_t max_bytes) {

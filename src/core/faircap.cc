@@ -8,7 +8,7 @@
 #include "core/benefit.h"
 #include "dataframe/predicate_index.h"
 #include "mining/shard_plan.h"
-#include "util/threadpool.h"
+#include "util/task_scheduler.h"
 #include "util/timer.h"
 
 namespace faircap {
@@ -210,40 +210,36 @@ PrescriptionRule FairCap::CostRule(const Pattern& grouping,
 }
 
 Result<std::vector<PrescriptionRule>> FairCap::MineCandidateRules(
-    const std::vector<FrequentPattern>& groups,
-    size_t* num_evaluations) const {
+    const std::vector<FrequentPattern>& groups, size_t* num_evaluations,
+    SchedulerStats* scheduler_stats) const {
   const bool needs_group_utilities = options_.fairness.active();
   std::vector<std::vector<PrescriptionRule>> per_group(groups.size());
   std::vector<size_t> evals(groups.size(), 0);
 
-  // Row-universe sharding (0 = match the thread count). When active, the
-  // parallelism axis flips: grouping patterns are mined sequentially and
-  // each treatment evaluation's sufficient-statistics pass fans out
-  // across word-aligned row shards, so one hot grouping pattern keeps
-  // every worker busy instead of serializing on a single core. The
-  // unsharded per-pattern fan-out below stays as the pinning oracle.
+  // One work-stealing scheduler runs the whole two-level task graph:
+  // grouping patterns fan out as top-level tasks, and each treatment
+  // evaluation's sharded sufficient-statistics pass fans out as child
+  // tasks of its pattern task (TaskGroup::Wait helps, so the nesting is
+  // deadlock-free). Both axes share the same workers — a lone hot
+  // pattern saturates the pool through its shard tasks while many small
+  // patterns saturate it through the pattern axis, with stealing
+  // balancing any skew in between. Determinism is unaffected by which
+  // worker runs what: per-pattern results land in per_group[g] and shard
+  // partials merge in ascending shard order fixed by the plan.
   const size_t threads =
       options_.num_threads == 0
           ? std::max<size_t>(1, std::thread::hardware_concurrency())
           : options_.num_threads;
   const size_t requested_shards =
       options_.num_shards == 0 ? threads : options_.num_shards;
-  // The implicit default (num_shards=0) flips the axis only when the
-  // per-pattern fan-out cannot keep the pool busy — many small grouping
-  // patterns already saturate the workers, and per-evaluation dispatch
-  // would be pure overhead there. An explicit shard count always wins.
   const bool want_sharding =
-      options_.use_batch_estimator && requested_shards > 1 &&
-      (options_.num_shards != 0 || groups.size() < threads);
+      options_.use_batch_estimator && requested_shards > 1;
   const ShardPlan plan =
       ShardPlan::Create(df_->num_rows(), want_sharding ? requested_shards : 1);
   const bool sharded = plan.num_shards() > 1;
-  std::unique_ptr<ThreadPool> shard_pool;
-  if (sharded && threads > 1) {
-    shard_pool = std::make_unique<ThreadPool>(threads);
-  }
+  std::unique_ptr<TaskScheduler> scheduler;
+  if (threads > 1) scheduler = std::make_unique<TaskScheduler>(threads);
   const ShardPlan* eval_plan = sharded ? &plan : nullptr;
-  ThreadPool* eval_pool = shard_pool.get();
 
   if (sharded) {
     // Warm the treatment-atom masks up front with sharded columnar scans
@@ -262,7 +258,7 @@ Result<std::vector<PrescriptionRule>> FairCap::MineCandidateRules(
       if (index.CategoryMasksCached(*df_, attr)) continue;
       index.WarmStartCategoryMasks(
           *df_, attr,
-          BuildCategoryMasksSharded(*df_, attr, plan, eval_pool));
+          BuildCategoryMasksSharded(*df_, attr, plan, scheduler.get()));
     }
   }
 
@@ -289,11 +285,17 @@ Result<std::vector<PrescriptionRule>> FairCap::MineCandidateRules(
       // protected / non-protected slice from the same one-pass engine).
       CateSubgroupEstimates ests;
       if (options_.use_batch_estimator) {
+        // Each evaluation gets its own TaskGroup as the barrier for its
+        // shard fan-out — child tasks of this pattern task, executed by
+        // whichever workers are free (Wait helps, so this is legal from
+        // inside the pattern task).
+        TaskGroup shard_tasks(scheduler.get());
         Result<CateSubgroupEstimates> batch = estimator_.EstimateSubgroups(
             intervention, group.coverage,
             needs_group_utilities ? &protected_mask_ : nullptr,
             options_.min_subgroup_arm,
-            /*skip_subgroups_unless_positive=*/true, eval_plan, eval_pool);
+            /*skip_subgroups_unless_positive=*/true, eval_plan,
+            eval_plan != nullptr ? &shard_tasks : nullptr);
         if (!batch.ok()) return std::nullopt;
         ests = std::move(batch).ValueOrDie();
       } else {
@@ -393,14 +395,23 @@ Result<std::vector<PrescriptionRule>> FairCap::MineCandidateRules(
     }
   };
 
-  if (sharded || options_.num_threads == 1 || groups.size() <= 1) {
-    // Sharded runs are sequential across grouping patterns by design: the
-    // worker pool is saturated *within* each treatment evaluation, and
-    // ThreadPool::ParallelFor is not reentrant from a worker.
+  if (scheduler == nullptr) {
     for (size_t g = 0; g < groups.size(); ++g) mine_one(g);
   } else {
-    ThreadPool pool(options_.num_threads);
-    pool.ParallelFor(groups.size(), mine_one);
+    // Top level of the task graph: one chunked fan-out over the grouping
+    // patterns. Each pattern task spawns its evaluations' shard tasks as
+    // children on the same workers — no axis ever idles the pool.
+    scheduler->ParallelFor(groups.size(), mine_one);
+  }
+  if (scheduler_stats != nullptr) {
+    *scheduler_stats = SchedulerStats{};
+    if (scheduler != nullptr) {
+      const TaskScheduler::Stats stats = scheduler->GetStats();
+      scheduler_stats->workers = scheduler->num_threads();
+      scheduler_stats->tasks = stats.executed;
+      scheduler_stats->stolen = stats.stolen;
+      scheduler_stats->helped = stats.helped;
+    }
   }
 
   std::vector<PrescriptionRule> candidates;
@@ -427,7 +438,8 @@ Result<FairCapResult> FairCap::Run() const {
   watch.Restart();
   FAIRCAP_ASSIGN_OR_RETURN(
       const std::vector<PrescriptionRule> candidates,
-      MineCandidateRules(groups, &result.num_treatment_evaluations));
+      MineCandidateRules(groups, &result.num_treatment_evaluations,
+                         &result.scheduler));
   result.num_candidate_rules = candidates.size();
   result.timings.treatment_mining_seconds = watch.ElapsedSeconds();
 

@@ -36,26 +36,33 @@ struct FairCapOptions {
   GreedyOptions greedy;
   FairnessConstraint fairness;
   CoverageConstraint coverage;
-  /// Worker threads for intervention mining (0 = hardware concurrency,
-  /// 1 = sequential).
+  /// Worker threads for Step-2 mining (0 = hardware concurrency,
+  /// 1 = sequential). All parallelism of a run — grouping patterns AND
+  /// the per-evaluation shard fan-out — shares this one work-stealing
+  /// scheduler (util/task_scheduler.h): pattern tasks submit their
+  /// treatment evaluations' sharded sufficient-statistics passes as
+  /// child tasks on the same workers, so both axes saturate the pool no
+  /// matter how the work is skewed.
   size_t num_threads = 0;
-  /// Row-universe shards for Step-2 treatment mining (1 = unsharded;
-  /// 0 = adaptive default: match the resolved thread count, but only
-  /// when there are fewer grouping patterns than threads — many small
-  /// patterns already saturate the per-pattern fan-out, and an explicit
-  /// count always wins). With more than one shard the mining loop flips
-  /// its parallelism axis: grouping patterns run sequentially and each
-  /// treatment evaluation's sufficient-statistics pass fans out across
-  /// word-aligned row shards, so ONE hot grouping pattern saturates
-  /// every core instead of serializing on one. Shard partials
+  /// Row-universe shards for Step-2 treatment mining (1 = unsharded
+  /// oracle; 0 = match the resolved thread count). With more than one
+  /// shard each treatment evaluation's sufficient-statistics pass fans
+  /// out across word-aligned row shards as child tasks of its pattern
+  /// task — one hot grouping pattern saturates every core instead of
+  /// serializing on one, while many small patterns still spread across
+  /// workers through the pattern axis (the old either/or restriction —
+  /// sequential patterns when sharded, and the implicit
+  /// "only shard when groups < threads" heuristic — is gone: the
+  /// work-stealing scheduler runs both axes at once). Shard partials
   /// merge in ascending shard order (deterministic for a fixed shard
-  /// count); all integer statistics match the unsharded path exactly.
-  /// Requires use_batch_estimator; the unsharded path (num_shards=1) is
-  /// the pinning oracle. Caveat of the 0 default: the resolved shard
-  /// count follows the machine's core count, and different shard counts
-  /// reassociate floating-point sums (<=1e-9 relative on continuous
-  /// outcomes) — runs that must be bit-reproducible across machines
-  /// should pin an explicit shard count (or 1).
+  /// count regardless of thread count); all integer statistics match the
+  /// unsharded path exactly. Requires use_batch_estimator; the unsharded
+  /// path (num_shards=1) is the pinning oracle. Caveat of the 0 default:
+  /// the resolved shard count follows the machine's core count, and
+  /// different shard counts reassociate floating-point sums (<=1e-9
+  /// relative on continuous outcomes) — runs that must be
+  /// bit-reproducible across machines should pin an explicit shard
+  /// count (or 1).
   size_t num_shards = 0;
   /// Byte cap for the estimator's per-treatment engine cache
   /// (CateEstimator::SetEngineMemoryBudget). 0 = unlimited.
@@ -83,6 +90,15 @@ struct FairCapOptions {
   std::shared_ptr<const InterventionCostModel> cost_model;
 };
 
+/// Execution counters of the Step-2 task scheduler (observability: the
+/// CLI prints these after a run so skew and idle workers are visible).
+struct SchedulerStats {
+  size_t workers = 0;    ///< scheduler worker threads (0 = ran inline)
+  size_t tasks = 0;      ///< tasks executed (pattern + shard + warm-up)
+  size_t stolen = 0;     ///< tasks a worker took from another's deque
+  size_t helped = 0;     ///< tasks run inline by a waiting thread
+};
+
 /// Wall-clock seconds per pipeline step (Figure 3).
 struct StepTimings {
   double group_mining_seconds = 0.0;
@@ -105,6 +121,7 @@ struct FairCapResult {
   size_t num_grouping_patterns = 0;
   size_t num_candidate_rules = 0;
   size_t num_treatment_evaluations = 0;
+  SchedulerStats scheduler;
 };
 
 /// The FairCap solver. Holds borrowed references to the data and DAG; both
@@ -125,11 +142,17 @@ class FairCap {
   Result<std::vector<FrequentPattern>> MineGroupingPatterns() const;
 
   /// Step 2 only: candidate prescription rules for the given grouping
-  /// patterns (parallel across patterns). Also usable with externally
-  /// supplied grouping patterns (baseline adapters, Section 7.1).
+  /// patterns. Runs the pattern x shard task graph on one work-stealing
+  /// scheduler: pattern tasks fan out across workers, and each treatment
+  /// evaluation's sharded sufficient-statistics pass nests as child
+  /// tasks of its pattern task. Also usable with externally supplied
+  /// grouping patterns (baseline adapters, Section 7.1).
+  /// `scheduler_stats`, when non-null, receives the run's execution
+  /// counters.
   Result<std::vector<PrescriptionRule>> MineCandidateRules(
       const std::vector<FrequentPattern>& groups,
-      size_t* num_evaluations = nullptr) const;
+      size_t* num_evaluations = nullptr,
+      SchedulerStats* scheduler_stats = nullptr) const;
 
   /// Builds a fully-costed PrescriptionRule from explicit patterns: CATE
   /// estimates for overall / protected / non-protected plus coverage.

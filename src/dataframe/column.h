@@ -59,6 +59,10 @@ class Column {
   /// columnar scans walk this directly.
   const double* numeric_data() const { return values_.data(); }
 
+  /// Raw code storage (kNullCode where null). Categorical only — the
+  /// word-batched columnar scans walk this directly.
+  const int32_t* codes_data() const { return codes_.data(); }
+
   /// Dictionary string for `code`. Categorical only.
   const std::string& CategoryName(int32_t code) const {
     return dictionary_[static_cast<size_t>(code)];

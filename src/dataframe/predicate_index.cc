@@ -61,27 +61,34 @@ Bitmap PredicateIndex::Scan(const DataFrame& df, size_t attr, CompareOp op,
   Bitmap out(df.num_rows());
   const Column& col = df.column(attr);
   if (col.type() == AttrType::kCategorical) {
+    // Word-batched like the numeric path: compare 64 codes into one mask
+    // word at a time (the cold kNe / out-of-dictionary scans used to set
+    // bits row by row). Nulls (kNullCode) never match under any
+    // operator.
+    const int32_t* codes = col.codes_data();
+    const size_t n = df.num_rows();
     const Result<int32_t> code_result = col.CodeOf(value.str());
-    if (!code_result.ok()) {
-      // A category absent from the dictionary matches nothing under kEq
-      // and everything non-null under kNe.
-      if (op == CompareOp::kNe) {
-        for (size_t row = 0; row < df.num_rows(); ++row) {
-          if (!col.IsNull(row)) out.Set(row);
+    // A category absent from the dictionary matches nothing under kEq
+    // and everything non-null under kNe; fold both in-dictionary and
+    // out-of-dictionary kNe into one "non-null and != code" compare by
+    // using a code no row can carry.
+    if (!code_result.ok() && op != CompareOp::kNe) return out;
+    const int32_t code = code_result.ok() ? *code_result : -2;
+    for (size_t begin = 0; begin < n; begin += 64) {
+      const size_t end = std::min(n, begin + 64);
+      uint64_t word = 0;
+      if (op == CompareOp::kEq) {
+        for (size_t row = begin; row < end; ++row) {
+          word |= static_cast<uint64_t>(codes[row] == code) << (row - begin);
+        }
+      } else {
+        for (size_t row = begin; row < end; ++row) {
+          const int32_t c = codes[row];
+          word |= static_cast<uint64_t>(c != Column::kNullCode && c != code)
+                  << (row - begin);
         }
       }
-      return out;
-    }
-    const int32_t code = *code_result;
-    if (op == CompareOp::kEq) {
-      for (size_t row = 0; row < df.num_rows(); ++row) {
-        if (col.code(row) == code) out.Set(row);
-      }
-    } else {
-      for (size_t row = 0; row < df.num_rows(); ++row) {
-        const int32_t c = col.code(row);
-        if (c != Column::kNullCode && c != code) out.Set(row);
-      }
+      if (word != 0) out.OrWordsAt(begin / 64, &word, 1);
     }
     return out;
   }

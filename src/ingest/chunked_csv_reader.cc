@@ -8,11 +8,14 @@
 #include <deque>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "dataframe/predicate_index.h"
 #include "util/string_util.h"
+#include "util/task_scheduler.h"
 #include "util/timer.h"
 
 namespace faircap {
@@ -276,11 +279,33 @@ struct ColumnBuilder {
   }
 };
 
+// Builds the per-category equality masks from the (cache-hot) code
+// vectors and installs them into the table's PredicateIndex. Shared by
+// the sequential and parallel assembly paths.
+void WarmStartIndex(const DataFrame& df, const IngestOptions& options,
+                    IngestStats* stats) {
+  for (size_t attr = 0; attr < df.num_columns(); ++attr) {
+    const Column& col = df.column(attr);
+    if (col.type() != AttrType::kCategorical) continue;
+    const size_t num_categories = col.num_categories();
+    if (num_categories == 0 || num_categories > options.warm_max_categories) {
+      continue;
+    }
+    df.predicate_index().WarmStartCategoryMasks(
+        df, attr, PredicateIndex::BuildCategoryMasks(df, attr));
+    if (stats != nullptr) stats->warm_atom_masks += num_categories;
+  }
+}
+
 // Chunk-driven CSV parser: feed it complete records, then Finish().
 class StreamParser {
  public:
-  StreamParser(const Schema& schema, const IngestOptions& options)
+  /// `skip_header` pre-marks the header as consumed — the parallel path
+  /// hands every segment after the first a headerless slice of the file.
+  StreamParser(const Schema& schema, const IngestOptions& options,
+               bool skip_header = false)
       : schema_(schema), options_(options), null_token_(options.null_token) {
+    header_done_ = skip_header;
     builders_.reserve(schema.num_attributes());
     for (size_t i = 0; i < schema.num_attributes(); ++i) {
       builders_.emplace_back(schema.attribute(i).type);
@@ -488,6 +513,28 @@ class StreamParser {
   size_t rows() const { return rows_; }
   bool header_done() const { return header_done_; }
 
+  /// Segment-local column storage (the parallel path's merge input).
+  std::vector<ColumnBuilder>& builders() { return builders_; }
+
+  /// Drives a complete record-aligned segment through the parser: the
+  /// SWAR scan over every newline-terminated record, then the tail
+  /// record (last segment of a file without a trailing newline).
+  Status ParseSegment(std::string_view segment) {
+    FAIRCAP_ASSIGN_OR_RETURN(const size_t consumed, Consume(segment));
+    std::string_view record = segment.substr(consumed);
+    if (record.empty()) return Status::OK();
+    // Same dangling-record handling as the streaming tail: the CR guard
+    // needs the quote-parity check because the record may be an
+    // unterminated quote (which ProcessRecord rejects).
+    if (record.back() == '\r' && QuoteOpen(record)) {
+      // keep the CR: it is quoted field data of a malformed record
+    } else if (record.back() == '\r') {
+      record.remove_suffix(1);
+    }
+    if (record.empty() && header_done_) return Status::OK();
+    return ProcessRecord(record);
+  }
+
   /// Assembles the DataFrame and (optionally) warm-starts its index.
   Result<DataFrame> Finish(IngestStats* stats) {
     if (!header_done_) {
@@ -510,7 +557,7 @@ class StreamParser {
     }
     FAIRCAP_ASSIGN_OR_RETURN(DataFrame df, DataFrame::FromColumns(
                                                schema_, std::move(columns)));
-    if (options_.warm_start_index) WarmStart(df, stats);
+    if (options_.warm_start_index) WarmStartIndex(df, options_, stats);
     return df;
   }
 
@@ -605,23 +652,6 @@ class StreamParser {
     return true;
   }
 
-  /// Builds the per-category equality masks from the (cache-hot) code
-  /// vectors and installs them into the table's PredicateIndex.
-  void WarmStart(const DataFrame& df, IngestStats* stats) {
-    for (size_t attr = 0; attr < df.num_columns(); ++attr) {
-      const Column& col = df.column(attr);
-      if (col.type() != AttrType::kCategorical) continue;
-      const size_t num_categories = col.num_categories();
-      if (num_categories == 0 ||
-          num_categories > options_.warm_max_categories) {
-        continue;
-      }
-      df.predicate_index().WarmStartCategoryMasks(
-          df, attr, PredicateIndex::BuildCategoryMasks(df, attr));
-      if (stats != nullptr) stats->warm_atom_masks += num_categories;
-    }
-  }
-
   const Schema& schema_;
   const IngestOptions& options_;
   const std::string_view null_token_;  ///< hot-path view of the option
@@ -698,6 +728,191 @@ Result<DataFrame> StreamFrom(std::istream& in, const Schema& schema,
   return df;
 }
 
+// ---------------------------------------------------------------------------
+// Parallel (segmented) ingestion: record-aligned split, per-segment SWAR
+// parse into segment-local columns, ordered concat with dictionary merge.
+
+/// Record-aligned segment start offsets over `content` (offset 0 always
+/// included; segment i spans [starts[i], starts[i+1]), the last one runs
+/// to the end). Boundaries sit immediately past a record-terminating
+/// '\n' — one preceded by an even number of quotes since the start of
+/// the input — so a newline inside a quoted field never splits a record.
+/// Segments target `target_bytes` each, capped at `max_segments`.
+std::vector<size_t> SegmentStarts(std::string_view content,
+                                  size_t target_bytes, size_t max_segments) {
+  std::vector<size_t> starts{0};
+  if (max_segments <= 1 || content.size() <= target_bytes) return starts;
+  const size_t segments = std::min(
+      max_segments, (content.size() + target_bytes - 1) / target_bytes);
+  const uint64_t quote8 = kSwarOnes * static_cast<uint64_t>('"');
+  const char* p = content.data();
+  bool parity = false;  // quote parity of [0, cursor)
+  size_t cursor = 0;
+  for (size_t b = 1; b < segments; ++b) {
+    const size_t naive = content.size() * b / segments;
+    if (naive <= cursor) continue;
+    // Advance the running parity to the naive split point (SWAR quote
+    // count, 8 bytes per step — a popcount pass, far cheaper than the
+    // parse it unblocks).
+    size_t quotes = 0;
+    size_t i = cursor;
+    for (; i + 8 <= naive; i += 8) {
+      uint64_t v;
+      std::memcpy(&v, p + i, 8);
+      quotes +=
+          static_cast<size_t>(__builtin_popcountll(MatchBytes(v, quote8)));
+    }
+    for (; i < naive; ++i) quotes += (p[i] == '"');
+    if (quotes % 2 != 0) parity = !parity;
+    cursor = naive;
+    // First record-terminating newline at or after the split point.
+    size_t j = cursor;
+    bool par = parity;
+    for (; j < content.size(); ++j) {
+      const char c = p[j];
+      if (c == '"') {
+        par = !par;
+      } else if (c == '\n' && !par) {
+        break;
+      }
+    }
+    if (j >= content.size()) break;  // no further record boundary
+    parity = par;
+    cursor = j + 1;
+    if (cursor >= content.size()) break;
+    starts.push_back(cursor);
+  }
+  return starts;
+}
+
+/// One parallel ingest pass over in-memory content. Bit-for-bit the
+/// sequential result: segments are record-aligned, segment columns
+/// concatenate in file order, and dictionaries merge in first-appearance
+/// order — which IS the sequential code-assignment order, because every
+/// row of segment s precedes every row of segment s+1.
+Result<DataFrame> ParseSegmented(std::string_view content,
+                                 const Schema& schema,
+                                 const IngestOptions& options,
+                                 IngestStats* stats,
+                                 TaskScheduler* scheduler) {
+  StopWatch watch;
+  IngestStats local;
+  const size_t target = std::max<size_t>(options.chunk_bytes, 1);
+  const size_t fanout =
+      scheduler != nullptr ? scheduler->num_threads() * 4 : 1;
+  const std::vector<size_t> starts = SegmentStarts(content, target, fanout);
+  const size_t num_segments = starts.size();
+
+  std::vector<std::unique_ptr<StreamParser>> parsers;
+  parsers.reserve(num_segments);
+  for (size_t s = 0; s < num_segments; ++s) {
+    parsers.push_back(std::make_unique<StreamParser>(
+        schema, options, /*skip_header=*/s != 0));
+  }
+  std::vector<Status> segment_status(num_segments);
+  TaskGroup tasks(scheduler);
+  tasks.ParallelFor(num_segments, [&](size_t s) {
+    const size_t end = s + 1 < num_segments ? starts[s + 1] : content.size();
+    segment_status[s] =
+        parsers[s]->ParseSegment(content.substr(starts[s], end - starts[s]));
+  });
+  for (const Status& st : segment_status) {
+    FAIRCAP_RETURN_NOT_OK(st);
+  }
+  if (!parsers[0]->header_done()) {
+    return Status::IOError("CSV input is empty (no header)");
+  }
+
+  size_t total_rows = 0;
+  for (const auto& parser : parsers) total_rows += parser->rows();
+  std::vector<Column> columns;
+  columns.reserve(schema.num_attributes());
+  for (size_t c = 0; c < schema.num_attributes(); ++c) {
+    if (schema.attribute(c).type == AttrType::kCategorical) {
+      std::vector<std::string> dict;
+      // Transparent comparator: segment dictionary views probe without a
+      // per-lookup string copy. Keyed by owned strings so `dict`'s
+      // reallocation cannot invalidate anything.
+      std::map<std::string, int32_t, std::less<>> index;
+      std::vector<int32_t> codes;
+      codes.reserve(total_rows);
+      for (const auto& parser : parsers) {
+        ColumnBuilder& b = parser->builders()[c];
+        std::vector<int32_t> remap(b.dict_views.size());
+        for (size_t k = 0; k < b.dict_views.size(); ++k) {
+          const std::string_view name = b.dict_views[k];
+          const auto it = index.find(name);
+          if (it != index.end()) {
+            remap[k] = it->second;
+          } else {
+            const int32_t code = static_cast<int32_t>(dict.size());
+            dict.emplace_back(name);
+            index.emplace(dict.back(), code);
+            remap[k] = code;
+          }
+        }
+        for (const int32_t code : b.codes) {
+          codes.push_back(code < 0 ? Column::kNullCode
+                                   : remap[static_cast<size_t>(code)]);
+        }
+      }
+      FAIRCAP_ASSIGN_OR_RETURN(
+          Column col, Column::FromCodes(std::move(codes), std::move(dict),
+                                        /*trusted=*/true));
+      columns.push_back(std::move(col));
+    } else {
+      std::vector<double> values;
+      values.reserve(total_rows);
+      for (const auto& parser : parsers) {
+        ColumnBuilder& b = parser->builders()[c];
+        values.insert(values.end(), b.values.begin(), b.values.end());
+      }
+      columns.push_back(Column::FromNumeric(std::move(values)));
+    }
+  }
+  FAIRCAP_ASSIGN_OR_RETURN(DataFrame df,
+                           DataFrame::FromColumns(schema, std::move(columns)));
+  if (options.warm_start_index) WarmStartIndex(df, options, &local);
+
+  local.rows = total_rows;
+  local.bytes = content.size();
+  local.chunks = num_segments;
+  local.parse_threads = scheduler != nullptr ? scheduler->num_threads() : 1;
+  local.seconds = watch.ElapsedSeconds();
+  if (stats != nullptr) *stats = local;
+  return df;
+}
+
+/// Resolved parse-thread count for the options (1 = sequential reader).
+size_t ResolveParseThreads(const IngestOptions& options) {
+  if (options.scheduler != nullptr) {
+    return std::max<size_t>(1, options.scheduler->num_threads());
+  }
+  if (options.num_threads != 0) return options.num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Parallel entry point over in-memory content; on a parse error the
+/// content is re-driven through the sequential reader so error messages
+/// (record numbers) are exactly the legacy ones.
+Result<DataFrame> IngestSegmented(std::string_view content,
+                                  const Schema& schema,
+                                  const IngestOptions& options,
+                                  IngestStats* stats, size_t workers) {
+  std::unique_ptr<TaskScheduler> owned;
+  TaskScheduler* scheduler = options.scheduler;
+  if (scheduler == nullptr && workers > 1) {
+    owned = std::make_unique<TaskScheduler>(workers);
+    scheduler = owned.get();
+  }
+  Result<DataFrame> df =
+      ParseSegmented(content, schema, options, stats, scheduler);
+  if (df.ok()) return df;
+  std::istringstream in{std::string(content)};
+  return StreamFrom(in, schema, options, stats, content.size());
+}
+
 }  // namespace
 
 Result<DataFrame> StreamCsv(const std::string& path, const Schema& schema,
@@ -708,6 +923,15 @@ Result<DataFrame> StreamCsv(const std::string& path, const Schema& schema,
   in.seekg(0, std::ios::end);
   const std::streamoff size = in.tellg();
   in.seekg(0, std::ios::beg);
+  const size_t workers = ResolveParseThreads(options);
+  if (workers > 1 && size > 0) {
+    // Parallel mode buffers the file (the segment parsers need random
+    // access); the sequential reader below streams in bounded windows.
+    std::string content(static_cast<size_t>(size), '\0');
+    in.read(content.data(), size);
+    content.resize(static_cast<size_t>(in.gcount()));
+    return IngestSegmented(content, schema, options, stats, workers);
+  }
   return StreamFrom(in, schema, options, stats,
                     size > 0 ? static_cast<size_t>(size) : 0);
 }
@@ -726,6 +950,10 @@ Result<DataFrame> StreamCsvFromString(const std::string& content,
                                       const Schema& schema,
                                       const IngestOptions& options,
                                       IngestStats* stats) {
+  const size_t workers = ResolveParseThreads(options);
+  if (workers > 1) {
+    return IngestSegmented(content, schema, options, stats, workers);
+  }
   std::istringstream in(content);
   return StreamFrom(in, schema, options, stats, content.size());
 }

@@ -28,6 +28,8 @@
 
 namespace faircap {
 
+class TaskScheduler;  // util/task_scheduler.h
+
 /// Knobs for streaming ingestion.
 struct IngestOptions {
   char delimiter = ',';
@@ -45,13 +47,28 @@ struct IngestOptions {
   /// index's own batch-build cap: rare categories of high-cardinality
   /// columns should stay on-demand).
   size_t warm_max_categories = PredicateIndex::kBatchBuildMaxCategories;
+  /// Parse threads (1 = the sequential streaming reader; 0 = hardware
+  /// concurrency). With more than one thread the input is split into
+  /// record-aligned segments of ~chunk_bytes each, every segment is
+  /// SWAR-parsed into segment-local columns on the work-stealing
+  /// scheduler, and the segment columns concatenate in file order with
+  /// their dictionaries merged in first-appearance order — bit-for-bit
+  /// the sequential result (same codes, same values, same nulls).
+  /// Parallel mode buffers the whole input in memory (the sequential
+  /// reader streams in chunk_bytes windows).
+  size_t num_threads = 1;
+  /// Run the parallel parse on this scheduler instead of spawning one
+  /// (borrowed; e.g. the pipeline's own Step-2 scheduler). Null with
+  /// num_threads > 1 spawns a scheduler for the duration of the call.
+  TaskScheduler* scheduler = nullptr;
 };
 
 /// Observability for benchmarks and the CLI `ingest` verb.
 struct IngestStats {
   size_t rows = 0;
   size_t bytes = 0;
-  size_t chunks = 0;
+  size_t chunks = 0;           ///< read chunks (sequential) or parse segments
+  size_t parse_threads = 1;    ///< scheduler workers used (1 = sequential)
   size_t warm_atom_masks = 0;  ///< category masks installed into the index
   double seconds = 0.0;        ///< wall time inside the ingest call
   double RowsPerSecond() const {

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "dataframe/dataframe.h"
-#include "util/threadpool.h"
+#include "util/task_scheduler.h"
 
 namespace faircap {
 
@@ -31,7 +31,7 @@ ShardPlan ShardPlan::Create(size_t num_rows, size_t num_shards) {
 
 std::vector<Bitmap> BuildCategoryMasksSharded(const DataFrame& df, size_t attr,
                                               const ShardPlan& plan,
-                                              ThreadPool* pool) {
+                                              TaskScheduler* scheduler) {
   const Column& col = df.column(attr);
   const size_t num_categories = col.num_categories();
   std::vector<Bitmap> masks(num_categories);
@@ -59,10 +59,10 @@ std::vector<Bitmap> BuildCategoryMasksSharded(const DataFrame& df, size_t attr,
     }
   };
 
-  if (pool == nullptr || plan.num_shards() <= 1) {
+  if (scheduler == nullptr || plan.num_shards() <= 1) {
     for (size_t s = 0; s < plan.num_shards(); ++s) build_shard(s);
   } else {
-    pool->ParallelFor(plan.num_shards(), build_shard);
+    scheduler->ParallelFor(plan.num_shards(), build_shard);
   }
   return masks;
 }

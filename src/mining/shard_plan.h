@@ -25,7 +25,7 @@
 namespace faircap {
 
 class DataFrame;
-class ThreadPool;
+class TaskScheduler;  // util/task_scheduler.h
 
 /// Immutable word-aligned shard layout over [0, num_rows).
 class ShardPlan {
@@ -63,15 +63,16 @@ class ShardPlan {
 
 /// Sharded sibling of PredicateIndex::BuildCategoryMasks: materializes
 /// every category's equality mask of categorical `attr` by fanning the
-/// columnar scan across `pool`, one task per shard. Each task scans only
-/// its shard's rows into a shard-local word buffer and merges it into the
-/// shared masks by word-level OR over its own (disjoint) word range, so
-/// the result is bit-identical to the single-threaded build. With a null
-/// pool (or a single shard) the scan runs inline.
+/// columnar scan across `scheduler`, one task per shard. Each task scans
+/// only its shard's rows into a shard-local word buffer and merges it
+/// into the shared masks by word-level OR over its own (disjoint) word
+/// range, so the result is bit-identical to the single-threaded build.
+/// With a null scheduler (or a single shard) the scan runs inline.
+/// Reentrant: legal from inside another task of the same scheduler.
 std::vector<Bitmap> BuildCategoryMasksSharded(const DataFrame& df,
                                               size_t attr,
                                               const ShardPlan& plan,
-                                              ThreadPool* pool);
+                                              TaskScheduler* scheduler);
 
 }  // namespace faircap
 

@@ -1,0 +1,189 @@
+// TaskScheduler: work-stealing execution engine behind every parallel
+// phase of the pipeline. The fixed ThreadPool it replaces had one global
+// FIFO and a blocking Wait(), so a task could never wait for child tasks
+// on the same pool — sharded Step-2 mining had to serialize grouping
+// patterns and run only the shard axis in parallel. Here each worker owns
+// a Chase–Lev-style deque (owner pushes/pops LIFO at the bottom, thieves
+// take FIFO from the top), external threads inject through a shared
+// queue, and TaskGroup::Wait() *helps* — it finds and executes pending
+// tasks of its own group (own deque first, then the injection queue, then
+// other workers' deques) instead of blocking while any are runnable. That
+// makes nested submission legal and deadlock-free by construction:
+//
+//   * a task may create a TaskGroup and ParallelFor over it (the Step-2
+//     pattern x shard graph: each pattern task fans its treatment
+//     evaluations' sufficient-statistics passes out as child shard tasks
+//     on the same workers);
+//   * Wait() blocks only when every task of its group is already running
+//     on some other thread — and those threads bottom out at leaf tasks,
+//     so progress is guaranteed;
+//   * determinism is unaffected by stealing: callers index results by
+//     task id and merge in a fixed order, so which worker ran what never
+//     changes a result.
+//
+// The deques are small and mutex-guarded (tasks here are coarse — a shard
+// accumulation pass, a pattern mining run — so queue operations are not
+// the bottleneck; a lock-free Chase–Lev buys nothing at this granularity
+// and costs TSan-auditable subtlety). Exceptions thrown by tasks are
+// captured per group and rethrown from Wait().
+
+#ifndef FAIRCAP_UTIL_TASK_SCHEDULER_H_
+#define FAIRCAP_UTIL_TASK_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace faircap {
+
+class TaskScheduler;
+
+/// Completion handle for a set of related tasks. Submit() enqueues work
+/// onto the group's scheduler; Wait() executes pending group tasks
+/// inline until none remain, then blocks for the stragglers running on
+/// other workers, and rethrows the first exception any task raised.
+/// A TaskGroup with a null scheduler degrades to inline execution —
+/// Submit() runs the task immediately on the calling thread — so
+/// sequential paths share the same call shape as parallel ones.
+///
+/// Wait() is legal from any thread, including a scheduler worker that is
+/// itself inside a task (that is the whole point: nested ParallelFor).
+/// When called from inside one of this group's own tasks, Wait() waits
+/// for every *other* task of the group (the running task cannot wait for
+/// itself). Each group is meant to be waited by the thread that submits
+/// into it; concurrent Wait() from several threads is safe but the
+/// exception (if any) is delivered to only one of them.
+class TaskGroup {
+ public:
+  explicit TaskGroup(TaskScheduler* scheduler = nullptr)
+      : scheduler_(scheduler) {}
+  /// Waits for stragglers; exceptions still pending at destruction are
+  /// dropped (call Wait() yourself to observe them).
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues `task`. With a null scheduler, runs it inline instead
+  /// (exceptions are captured for Wait() in both cases).
+  void Submit(std::function<void()> task);
+
+  /// Executes / waits until every submitted task has finished, then
+  /// rethrows the first captured exception, if any.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n) as tasks of this group and waits.
+  /// Chunked dynamically (work-stealing balances uneven costs); safe to
+  /// call from inside another task — including another ParallelFor — on
+  /// the same scheduler.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  TaskScheduler* scheduler() const { return scheduler_; }
+
+ private:
+  friend class TaskScheduler;
+
+  /// Completion hook run by the scheduler after each task (also used by
+  /// the inline path). Records the first error, decrements pending, and
+  /// wakes waiters when the group drains.
+  void TaskDone(std::exception_ptr error);
+  void RethrowIfError();
+
+  TaskScheduler* scheduler_;
+  std::atomic<size_t> pending_{0};
+  std::mutex mu_;
+  std::condition_variable idle_;      // signaled when pending_ hits 0
+  std::exception_ptr error_;          // first failure; guarded by mu_
+};
+
+/// The worker pool. One instance runs every parallel axis of a pipeline
+/// invocation (patterns, shards, ingest chunks) so the axes share workers
+/// instead of competing through separate pools.
+class TaskScheduler {
+ public:
+  /// Execution counters (surfaced by the CLI after a run). `executed`
+  /// counts every task; `stolen` the ones a worker took from another
+  /// worker's deque; `helped` the ones run inline by a Wait()ing thread
+  /// instead of blocking.
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t executed = 0;
+    uint64_t stolen = 0;
+    uint64_t helped = 0;
+  };
+
+  /// Creates `num_threads` workers (0 means hardware concurrency).
+  explicit TaskScheduler(size_t num_threads = 0);
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits. Reentrant:
+  /// legal from inside a task of this scheduler (a fresh TaskGroup backs
+  /// each call).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  Stats GetStats() const;
+
+ private:
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group;
+  };
+
+  /// One worker: a deque (back = owner side, front = steal side) behind
+  /// a private mutex, plus the thread itself.
+  struct Worker {
+    std::deque<Task> deque;
+    std::mutex mu;
+    std::thread thread;
+  };
+
+  void WorkerLoop(size_t index);
+
+  /// Enqueues a task of `group`: onto the calling worker's own deque when
+  /// the caller is one of this scheduler's workers, else onto the shared
+  /// injection queue.
+  void Enqueue(TaskGroup* group, std::function<void()> fn);
+
+  /// Generic acquisition for the worker loop: own deque (LIFO), then the
+  /// injection queue, then stealing (FIFO) from siblings.
+  bool TryGetTask(size_t worker_index, Task* out);
+
+  /// Wait()-side acquisition: a pending task belonging to `group`, from
+  /// anywhere (own deque, injection queue, any worker's deque). Scans
+  /// whole deques, not just the steal end, so a group task can never be
+  /// buried out of its waiter's reach.
+  bool TryGetGroupTask(TaskGroup* group, Task* out);
+
+  /// Runs the task and fires its group's completion hook.
+  void Execute(Task task);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::deque<Task> injected_;       // external submissions
+  std::mutex injected_mu_;
+  std::mutex sleep_mu_;             // worker idle/wake handshake
+  std::condition_variable wake_;
+  std::atomic<size_t> num_queued_{0};  // tasks sitting in any queue
+  bool shutdown_ = false;           // guarded by sleep_mu_
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> stolen_{0};
+  std::atomic<uint64_t> helped_{0};
+};
+
+}  // namespace faircap
+
+#endif  // FAIRCAP_UTIL_TASK_SCHEDULER_H_

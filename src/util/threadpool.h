@@ -1,51 +1,58 @@
-// Fixed-size thread pool used to parallelize intervention-pattern mining
-// across grouping patterns (optimization (ii) in Section 5.2 of the paper).
+// ThreadPool: compatibility adapter over the work-stealing TaskScheduler
+// (util/task_scheduler.h). The original fixed pool had a single FIFO and
+// a blocking Wait(), so calling ParallelFor or Wait from inside a task
+// deadlocked silently — sharded mining had to keep grouping patterns
+// sequential. The adapter keeps the old API (Submit / Wait /
+// ParallelFor / num_threads) byte-compatible for existing call sites but
+// routes everything through a scheduler, which makes both calls legal
+// from worker threads: ParallelFor backs each call with a fresh
+// TaskGroup (fully reentrant), and Wait from inside a submitted task
+// waits for every *other* pending task instead of deadlocking on itself.
 
 #ifndef FAIRCAP_UTIL_THREADPOOL_H_
 #define FAIRCAP_UTIL_THREADPOOL_H_
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
-#include <queue>
-#include <thread>
-#include <vector>
+
+#include "util/task_scheduler.h"
 
 namespace faircap {
 
-/// Fixed-size worker pool. Submit() enqueues tasks; Wait() blocks until the
-/// queue drains and all in-flight tasks finish. The destructor joins all
-/// workers.
+/// Fixed-size worker pool API over a work-stealing scheduler. Submit()
+/// enqueues tasks; Wait() drains them (helping — executing pending tasks
+/// inline — rather than blocking, so it is legal from a worker thread).
 class ThreadPool {
  public:
   /// Creates `num_threads` workers (0 means hardware concurrency).
-  explicit ThreadPool(size_t num_threads = 0);
-  ~ThreadPool();
+  explicit ThreadPool(size_t num_threads = 0)
+      : scheduler_(num_threads), group_(&scheduler_) {}
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task for execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) { group_.Submit(std::move(task)); }
 
-  /// Blocks until all submitted tasks have completed.
-  void Wait();
+  /// Waits until all submitted tasks have completed, executing pending
+  /// ones inline. From inside a submitted task, waits for all *other*
+  /// tasks (the old pool deadlocked here). Rethrows the first exception
+  /// a task raised.
+  void Wait() { group_.Wait(); }
 
-  size_t num_threads() const { return workers_.size(); }
+  size_t num_threads() const { return scheduler_.num_threads(); }
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  /// Reentrant: legal from inside a task running on this pool.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+    scheduler_.ParallelFor(n, fn);
+  }
+
+  /// The underlying scheduler (shared with code that takes TaskGroups).
+  TaskScheduler& scheduler() { return scheduler_; }
 
  private:
-  void WorkerLoop();
-
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
+  TaskScheduler scheduler_;
+  TaskGroup group_;  // declared after scheduler_: drains before teardown
 };
 
 }  // namespace faircap

@@ -359,6 +359,48 @@ TEST(PredicateIndexTest, WarmStartedAtomsAreBudgetAccounted) {
   }
 }
 
+// The word-batched categorical scan (kEq, kNe, and out-of-dictionary
+// values — the cold paths that used to compare int32 codes row by row)
+// must match a naive per-row loop bit for bit, including null exclusion
+// and sizes that are not multiples of 64.
+TEST(PredicateIndexTest, CategoricalScanMatchesNaivePerRowLoop) {
+  Rng rng(77);
+  auto schema = Schema::Create({
+      {"c", AttrType::kCategorical, AttrRole::kImmutable},
+      {"o", AttrType::kNumeric, AttrRole::kOutcome},
+  });
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  const char* levels[] = {"a", "b", "c", "d", "e"};
+  const size_t rows = 1000 + 37;  // exercise the partial tail word
+  for (size_t i = 0; i < rows; ++i) {
+    const bool null = rng.NextBernoulli(0.1);
+    ASSERT_TRUE(df.AppendRow({null ? Value::Null()
+                                   : Value(levels[rng.NextBounded(5)]),
+                              Value(0.0)})
+                    .ok());
+  }
+  const Column& col = df.column(0);
+  const std::vector<std::string> probes = {"a", "c", "e", "zz", ""};
+  for (const std::string& probe : probes) {
+    for (const CompareOp op : {CompareOp::kEq, CompareOp::kNe}) {
+      const Bitmap scanned = PredicateIndex::Scan(df, 0, op, Value(probe));
+      Bitmap naive(rows);
+      const Result<int32_t> code = col.CodeOf(probe);
+      for (size_t r = 0; r < rows; ++r) {
+        if (col.IsNull(r)) continue;
+        const bool eq = code.ok() && col.code(r) == *code;
+        if (op == CompareOp::kEq ? eq : !eq) naive.Set(r);
+      }
+      EXPECT_TRUE(scanned == naive)
+          << "op " << CompareOpName(op) << " probe '" << probe << "'";
+      // The cached atom path serves the identical mask.
+      EXPECT_TRUE(df.predicate_index().AtomMask(df, 0, op, Value(probe)) ==
+                  naive)
+          << "atom op " << CompareOpName(op) << " probe '" << probe << "'";
+    }
+  }
+}
+
 // Numeric nulls are NaN cells; like categorical nulls they must be
 // absent from every selection — including kNe (where raw IEEE comparison
 // would admit them: NaN != x is true) and kLt (where the sorted-index

@@ -11,7 +11,7 @@
 #include "dataframe/dataframe.h"
 #include "dataframe/predicate_index.h"
 #include "util/random.h"
-#include "util/threadpool.h"
+#include "util/task_scheduler.h"
 
 namespace faircap {
 namespace {
@@ -92,13 +92,13 @@ TEST(ShardPlanTest, ShardedCategoryMasksMatchSingleThreaded) {
   const DataFrame df = MakeCategoricalFrame(10000, 21);
   const std::vector<Bitmap> reference =
       PredicateIndex::BuildCategoryMasks(df, 0);
-  ThreadPool pool(4);
+  TaskScheduler scheduler(4);
   for (const size_t shards : {1u, 2u, 7u, 64u}) {
     SCOPED_TRACE("shards=" + std::to_string(shards));
     const ShardPlan plan = ShardPlan::Create(df.num_rows(), shards);
-    // With and without a pool: the merge is the same word-level OR.
+    // With and without a scheduler: the merge is the same word-level OR.
     const std::vector<Bitmap> pooled =
-        BuildCategoryMasksSharded(df, 0, plan, &pool);
+        BuildCategoryMasksSharded(df, 0, plan, &scheduler);
     const std::vector<Bitmap> inline_built =
         BuildCategoryMasksSharded(df, 0, plan, nullptr);
     ASSERT_EQ(pooled.size(), reference.size());

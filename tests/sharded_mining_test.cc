@@ -19,7 +19,7 @@
 #include "data/german.h"
 #include "mining/shard_plan.h"
 #include "util/random.h"
-#include "util/threadpool.h"
+#include "util/task_scheduler.h"
 
 namespace faircap {
 namespace {
@@ -125,7 +125,7 @@ void RunEngineSweep(const TestData& data, double tol, uint64_t seed,
   ASSERT_NE(t_attr, SIZE_MAX);
   const Pattern intervention({Predicate(
       t_attr, CompareOp::kEq, Value(data.df.column(t_attr).CategoryName(0)))});
-  ThreadPool pool(4);
+  TaskScheduler scheduler(4);
   Rng rng(seed);
   Bitmap dense(data.df.num_rows());
   for (size_t r = 0; r < data.df.num_rows(); ++r) {
@@ -147,13 +147,14 @@ void RunEngineSweep(const TestData& data, double tol, uint64_t seed,
         const std::string tag = label + "/m" +
                                 std::to_string(static_cast<int>(method)) +
                                 "/s" + std::to_string(shards);
-        // Pooled and single-threaded execution of the same plan must both
+        // Scheduled and inline execution of the same plan must both
         // match: the merge order comes from the plan, not the scheduler.
-        for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+        for (const bool scheduled : {false, true}) {
+          TaskGroup shard_tasks(scheduled ? &scheduler : nullptr);
           const Result<CateSubgroupEstimates> sharded =
               est->EstimateSubgroups(intervention, *group, &protected_mask, 5,
                                      /*skip_subgroups_unless_positive=*/false,
-                                     &plan, p);
+                                     &plan, scheduled ? &shard_tasks : nullptr);
           ASSERT_TRUE(sharded.ok()) << tag;
           // A single-shard plan IS the unsharded pass: always bit-for-bit.
           const double want_tol = shards == 1 ? 0.0 : tol;

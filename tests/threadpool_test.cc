@@ -65,5 +65,72 @@ TEST(ThreadPoolTest, TasksCanSubmitWork) {
   EXPECT_EQ(counter.load(), 11);
 }
 
+// Regression: nested ParallelFor from inside a pool task used to
+// deadlock silently (the fixed pool's Wait blocked a worker on work only
+// that worker could run). The scheduler-backed adapter must execute the
+// inner loops to completion — this is the pattern x shard task graph's
+// exact shape.
+TEST(ThreadPoolTest, NestedParallelForFromWorkerCompletes) {
+  ThreadPool pool(2);
+  constexpr size_t kOuter = 8;
+  constexpr size_t kInner = 16;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.ParallelFor(kOuter, [&](size_t outer) {
+    pool.ParallelFor(kInner, [&](size_t inner) {
+      hits[outer * kInner + inner].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// Three levels deep, on a single-worker pool (the degenerate case where
+// the old pool could not even run the first inner loop).
+TEST(ThreadPoolTest, DeeplyNestedParallelForOnOneWorker) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.ParallelFor(3, [&](size_t) {
+    pool.ParallelFor(3, [&](size_t) {
+      pool.ParallelFor(3, [&](size_t) { count.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(count.load(), 27);
+}
+
+// Regression: Wait() from inside a submitted task used to deadlock (the
+// task waited for its own completion). It must now complete after every
+// *other* pending task has finished.
+TEST(ThreadPoolTest, WaitFromWorkerCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> others{0};
+  std::atomic<bool> waited{false};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&] { others.fetch_add(1); });
+  }
+  pool.Submit([&] {
+    pool.Wait();  // must not deadlock on itself
+    EXPECT_EQ(others.load(), 16);
+    waited.store(true);
+  });
+  pool.Wait();
+  EXPECT_TRUE(waited.load());
+}
+
+// A task submitting more work and then waiting for it — the old pool
+// deadlocked the moment the submitting thread was a worker.
+TEST(ThreadPoolTest, SubmitThenWaitFromWorker) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] {
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit([&] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), 8);
+    counter.fetch_add(100);
+  });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 108);
+}
+
 }  // namespace
 }  // namespace faircap

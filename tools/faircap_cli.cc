@@ -94,9 +94,16 @@ void PrintUsage() {
       "  --min-support=0.1 --max-rules=20 --max-intervention-predicates=2\n"
       "  --min-group-size=10 --min-subgroup-arm=5 --index-budget-mb=0\n"
       "  --engine-budget-mb=0     (CATE engine cache cap; 0 = unlimited)\n"
-      "  --shards=0               (row shards for Step-2 mining; 1 = unsharded,\n"
-      "                            0 = match threads when patterns < threads)\n"
-      "  --threads=0 --natural-language --unit=$\n";
+      "  --threads=0              (work-stealing scheduler workers;\n"
+      "                            0 = hardware, 1 = sequential)\n"
+      "  --shards=0               (row shards per treatment evaluation;\n"
+      "                            1 = unsharded oracle, 0 = match threads.\n"
+      "                            Patterns and shards share the --threads\n"
+      "                            workers as one task graph)\n"
+      "  --natural-language --unit=$\n"
+      "ingest options:\n"
+      "  --chunk-kb=1024 --threads=1   (parse threads; 0 = hardware)\n"
+      "  --compare-legacy\n";
 }
 
 /// Repository request from the shared flags: --rows, --seed, and
@@ -190,6 +197,7 @@ int RunIngest(const CliArgs& args) {
   IngestOptions options;
   options.chunk_bytes = static_cast<size_t>(
       args.GetDouble("chunk-kb", 1024.0) * 1024.0);
+  options.num_threads = static_cast<size_t>(args.GetDouble("threads", 1));
 
   IngestStats stats;
   auto df = StreamCsvInferSchema(path, options, &stats);
@@ -198,7 +206,11 @@ int RunIngest(const CliArgs& args) {
   const auto index_stats = df->predicate_index().GetStats();
   std::cout << "streamed " << stats.rows << " rows x " << df->num_columns()
             << " columns (" << stats.bytes << " bytes, " << stats.chunks
-            << " chunks) in " << FormatDouble(stats.seconds) << "s — "
+            << (stats.parse_threads > 1 ? " segments on " : " chunks on ")
+            << stats.parse_threads << (stats.parse_threads > 1
+                                           ? " threads"
+                                           : " thread")
+            << ") in " << FormatDouble(stats.seconds) << "s — "
             << FormatDouble(stats.RowsPerSecond() / 1e6)
             << "M rows/s\nwarm index: " << index_stats.warm_atom_masks
             << " category masks (" << index_stats.atom_bytes << " bytes)\n";
@@ -319,6 +331,16 @@ int RunPipeline(const CliArgs& args) {
                     {{"FairCap", result->stats,
                       result->timings.total()}},
                     /*with_runtime=*/true);
+
+  if (result->scheduler.workers > 0) {
+    // Scheduler observability: steals show load balancing across the
+    // pattern x shard graph; helped counts tasks a Wait()ing thread ran
+    // inline instead of blocking.
+    std::cout << "\nscheduler: " << result->scheduler.workers << " workers, "
+              << result->scheduler.tasks << " tasks ("
+              << result->scheduler.stolen << " stolen, "
+              << result->scheduler.helped << " run by waiters)\n";
+  }
 
   if (args.Has("natural-language")) {
     TemplateOptions nl;
