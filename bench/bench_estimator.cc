@@ -3,13 +3,21 @@
 // the batch sufficient-statistics engine (one pass + three small solves)
 // on synthetic workloads, plus the end-to-end pipeline delta.
 //
-//   bench_estimator [--rows=N] [--full] [--threads=T]
+//   bench_estimator [--rows=N] [--full] [--threads=T] [--json=PATH]
 //
 // Default runs 100K rows (CI smoke uses --rows=20000); --full adds the
 // 1M-row acceptance configuration, where the batch path must come out
 // >= 2x the legacy 3-call path per treatment evaluation.
+//
+// --json switches to the batch-only per-ISA sweep: the same treatment
+// evaluations through the batch engine at every SIMD kernel tier this
+// host supports (the legacy path is skipped — at 1M rows on one core it
+// dominates the runtime without informing the kernel comparison), and
+// writes the per-tier record CI archives alongside BENCH_micro.json.
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -18,6 +26,7 @@
 #include "core/faircap.h"
 #include "ingest/synthetic.h"
 #include "mining/lattice.h"
+#include "util/simd/simd.h"
 #include "util/timer.h"
 
 using namespace faircap;
@@ -181,16 +190,113 @@ int RunScale(size_t rows, size_t threads, bool run_ipw) {
   return 0;
 }
 
+// Batch-only per-ISA sweep (--json): the same treatment x group
+// evaluations through the batch engine under each supported SIMD tier.
+// One untimed warm-up pass per tier fills the engine/partition caches so
+// tiers compare kernel throughput, not cache luck.
+int RunSimdSweep(size_t rows, const std::string& json_path) {
+  SyntheticConfig config;
+  config.num_rows = rows;
+  config.seed = 13;
+  auto data = MakeSynthetic(config);
+  if (!data.ok()) {
+    std::cerr << "generate: " << data.status().ToString() << "\n";
+    return 1;
+  }
+  const DataFrame& df = data->df;
+  const Bitmap protected_mask = data->protected_pattern.Evaluate(df);
+  const std::vector<size_t> mutables =
+      df.schema().IndicesWithRole(AttrRole::kMutable);
+  const std::vector<Predicate> atoms =
+      EnumerateInterventionAtoms(df, mutables);
+  std::vector<Pattern> interventions;
+  for (const Predicate& atom : atoms) {
+    interventions.push_back(Pattern({atom}));
+  }
+  const Bitmap all = df.AllRows();
+
+  struct TierRow {
+    std::string simd;
+    std::string method;
+    size_t evals = 0;
+    double us_per_eval = 0.0;
+  };
+  std::vector<TierRow> results;
+  std::printf("rows=%zu  treatments=%zu  (batch engine, per-ISA)\n", rows,
+              interventions.size());
+  std::printf("%-12s %-8s %10s %14s\n", "method", "simd", "evals",
+              "batch_us");
+  for (const auto& [name, method] : std::vector<
+           std::pair<const char*, CateMethod>>{
+           {"regression", CateMethod::kRegression},
+           {"stratified", CateMethod::kStratified}}) {
+    CateOptions options;
+    options.method = method;
+    auto est = CateEstimator::Create(&df, &data->dag, options);
+    if (!est.ok()) {
+      std::cerr << "estimator: " << est.status().ToString() << "\n";
+      return 1;
+    }
+    for (const simd::SimdLevel level : simd::SupportedSimdLevels()) {
+      simd::ScopedSimdLevel pin(level);
+      for (int timed = 0; timed <= 1; ++timed) {
+        StopWatch watch;
+        size_t evals = 0;
+        for (const Pattern& intervention : interventions) {
+          (void)est->EstimateSubgroups(intervention, all, &protected_mask, 5);
+          ++evals;
+        }
+        if (timed == 0) continue;  // warm-up pass
+        TierRow row;
+        row.simd = simd::SimdLevelName(level);
+        row.method = name;
+        row.evals = evals;
+        row.us_per_eval =
+            1e6 * watch.ElapsedSeconds() / static_cast<double>(evals);
+        std::printf("%-12s %-8s %10zu %14.1f\n", name, row.simd.c_str(),
+                    evals, row.us_per_eval);
+        results.push_back(std::move(row));
+      }
+    }
+  }
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::cerr << "cannot open '" << json_path << "' for writing\n";
+    return 1;
+  }
+  out << "{\"bench\":\"estimator_simd\",\"rows\":" << rows
+      << ",\"host_max_simd\":\""
+      << simd::SimdLevelName(simd::MaxSupportedSimdLevel())
+      << "\",\"results\":[";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const TierRow& r = results[i];
+    out << (i == 0 ? "" : ",") << "{\"method\":\"" << r.method
+        << "\",\"simd\":\"" << r.simd << "\",\"evals\":" << r.evals
+        << ",\"us_per_eval\":" << r.us_per_eval << "}";
+  }
+  out << "]}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv);
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
   std::vector<size_t> row_counts;
   if (flags.rows > 0) {
     row_counts.push_back(flags.rows);
   } else {
     row_counts.push_back(100000);
     if (flags.full) row_counts.push_back(1000000);
+  }
+  if (!json_path.empty()) {
+    return RunSimdSweep(row_counts.back(), json_path);
   }
   for (size_t rows : row_counts) {
     // The legacy per-row IPW at 1M rows takes minutes per treatment;

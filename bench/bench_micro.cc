@@ -2,13 +2,31 @@
 // pattern evaluation, Apriori mining, CATE estimation, ruleset statistics
 // and greedy selection. These back the runtime claims of Section 7.3 at
 // the component level.
+//
+//   bench_micro [google-benchmark flags]
+//   bench_micro --simd-sweep [--json=PATH]
+//
+// --simd-sweep bypasses google-benchmark and times the runtime-dispatched
+// SIMD kernel tiers directly — every kernel at every ISA level this host
+// supports, on 1M-bit / 1M-row inputs — and (with --json) writes the
+// per-tier throughput record CI archives as BENCH_micro.json.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "causal/cate_stats_engine.h"
 #include "causal/estimator.h"
 #include "core/greedy.h"
 #include "data/stackoverflow.h"
 #include "mining/apriori.h"
+#include "util/simd/simd.h"
 
 namespace faircap {
 namespace {
@@ -205,7 +223,243 @@ void BM_GreedySelect(benchmark::State& state) {
 }
 BENCHMARK(BM_GreedySelect);
 
+// ---------------------------------------------------------------------
+// SIMD kernel sweep (--simd-sweep): direct per-tier kernel timings.
+
+struct KernelRecord {
+  std::string kernel;
+  std::string simd;
+  size_t items;            // bits or rows per call
+  double ns_per_call;
+  double items_per_second;
+};
+
+/// Median-free steady-state timing: grow the iteration count until one
+/// timed batch spans >= 50ms, then report per-call nanoseconds.
+template <typename Fn>
+double TimeNsPerCall(Fn&& fn) {
+  fn();  // warm up (page in inputs, resolve dispatch)
+  size_t iters = 1;
+  for (;;) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < iters; ++i) fn();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (seconds >= 0.05) {
+      return seconds * 1e9 / static_cast<double>(iters);
+    }
+    iters = seconds <= 0.0 ? iters * 16
+                           : static_cast<size_t>(
+                                 static_cast<double>(iters) * 0.08 / seconds) +
+                                 1;
+  }
+}
+
+void Record(std::vector<KernelRecord>* records, const std::string& kernel,
+            simd::SimdLevel level, size_t items, double ns) {
+  KernelRecord rec;
+  rec.kernel = kernel;
+  rec.simd = simd::SimdLevelName(level);
+  rec.items = items;
+  rec.ns_per_call = ns;
+  rec.items_per_second = static_cast<double>(items) * 1e9 / ns;
+  std::printf("  %-24s %-7s %12.0f ns/call  %10.2f Mitems/s\n",
+              kernel.c_str(), rec.simd.c_str(), ns,
+              rec.items_per_second / 1e6);
+  records->push_back(std::move(rec));
+}
+
+int RunSimdKernelSweep(const std::string& json_path) {
+  constexpr size_t kBits = 1'000'000;
+  constexpr size_t kWords = (kBits + 63) / 64;
+  constexpr size_t kCells = 24;
+  std::mt19937_64 rng(7);
+
+  // Bitmap word inputs (random half-density).
+  std::vector<uint64_t> a(kWords), b(kWords);
+  for (size_t i = 0; i < kWords; ++i) {
+    a[i] = rng();
+    b[i] = rng();
+  }
+  // Compare-scan inputs.
+  std::vector<int32_t> codes(kBits);
+  std::vector<double> values(kBits);
+  std::uniform_int_distribution<int32_t> code_dist(-1, 4);
+  std::uniform_real_distribution<double> val_dist(-2.0, 2.0);
+  for (size_t i = 0; i < kBits; ++i) {
+    codes[i] = code_dist(rng);
+    values[i] = val_dist(rng);
+  }
+  std::vector<uint64_t> mask_out(kWords);
+  // Accumulation inputs: dense group (every word full — the mining
+  // all-rows shape) and a half-density group; random treated/protected.
+  std::vector<uint64_t> group_dense(kWords, ~0ULL);
+  group_dense.back() >>= (64 - kBits % 64) % 64;
+  std::vector<uint64_t> group_sparse(kWords), treated(kWords), prot(kWords);
+  for (size_t i = 0; i < kWords; ++i) {
+    group_sparse[i] = rng() & rng();
+    treated[i] = rng();
+    prot[i] = rng();
+  }
+  std::vector<int32_t> cell_of_row(kBits);
+  std::vector<double> outcome(kBits);
+  std::uniform_int_distribution<int32_t> cell_dist(-1, kCells - 1);
+  for (size_t i = 0; i < kBits; ++i) {
+    cell_of_row[i] = cell_dist(rng);
+    outcome[i] = val_dist(rng);
+  }
+  struct Sink {
+    size_t rows = 0, n_treated = 0, n_control = 0;
+    std::vector<uint32_t> n = std::vector<uint32_t>(2 * kCells, 0);
+    std::vector<double> sy = std::vector<double>(2 * kCells, 0.0);
+    std::vector<double> syy = std::vector<double>(2 * kCells, 0.0);
+    simd::CateSink View() {
+      simd::CateSink s;
+      s.rows = &rows;
+      s.n_treated = &n_treated;
+      s.n_control = &n_control;
+      s.n = n.data();
+      s.sy = sy.data();
+      s.syy = syy.data();
+      return s;
+    }
+  };
+
+  std::vector<KernelRecord> records;
+  std::printf("simd kernel sweep: %zu bits, host max tier %s\n", kBits,
+              simd::SimdLevelName(simd::MaxSupportedSimdLevel()));
+  for (const simd::SimdLevel level : simd::SupportedSimdLevels()) {
+    const simd::Kernels* k = simd::KernelsFor(level);
+    Record(&records, "popcount", level, kBits,
+           TimeNsPerCall([&] {
+             benchmark::DoNotOptimize(k->popcount(a.data(), kWords));
+           }));
+    Record(&records, "and_count", level, kBits,
+           TimeNsPerCall([&] {
+             benchmark::DoNotOptimize(k->and_count(a.data(), b.data(), kWords));
+           }));
+    Record(&records, "andnot_count", level, kBits,
+           TimeNsPerCall([&] {
+             benchmark::DoNotOptimize(
+                 k->andnot_count(a.data(), b.data(), kWords));
+           }));
+    // In-place ops are idempotent (x &= y twice = once), so steady-state
+    // timing needs no per-call copy.
+    Record(&records, "and_inplace", level, kBits,
+           TimeNsPerCall([&] { k->and_inplace(a.data(), b.data(), kWords); }));
+    Record(&records, "or_inplace", level, kBits,
+           TimeNsPerCall([&] { k->or_inplace(a.data(), b.data(), kWords); }));
+    Record(&records, "mask_codes_eq", level, kBits,
+           TimeNsPerCall([&] {
+             k->mask_codes_eq(codes.data(), kBits, 2, mask_out.data());
+           }));
+    Record(&records, "mask_numeric_cmp", level, kBits,
+           TimeNsPerCall([&] {
+             k->mask_numeric_cmp(values.data(), kBits, simd::Cmp::kLe, 0.25,
+                                 mask_out.data());
+           }));
+    for (const bool dense : {true, false}) {
+      simd::CateAccumArgs args;
+      args.group_words = (dense ? group_dense : group_sparse).data();
+      args.treated_words = treated.data();
+      args.protected_words = prot.data();
+      args.cell_of_row = cell_of_row.data();
+      args.outcome = outcome.data();
+      args.word_begin = 0;
+      args.word_end = kWords;
+      Record(&records,
+             dense ? "cate_accumulate_dense" : "cate_accumulate_sparse",
+             level, kBits, TimeNsPerCall([&] {
+               Sink overall, p, np;
+               args.overall = overall.View();
+               args.prot = p.View();
+               args.nonprot = np.View();
+               k->cate_accumulate(args);
+               benchmark::DoNotOptimize(overall.rows);
+             }));
+    }
+  }
+
+  // The quantile-edge selection satellite: per-edge nth_element (the
+  // production QuantileBinEdges) vs the full sort it replaced, on a
+  // 1M-value column. Not a SIMD kernel; recorded once under "scalar".
+  {
+    auto schema = Schema::Create(
+        {{"x", AttrType::kNumeric, AttrRole::kImmutable}});
+    DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+    std::uniform_real_distribution<double> dist(-1000.0, 1000.0);
+    for (size_t i = 0; i < kBits; ++i) {
+      (void)df.AppendRow({Value(dist(rng))});
+    }
+    const Column& col = df.column(0);
+    Record(&records, "quantile_edges_nth_element", simd::SimdLevel::kScalar,
+           kBits, TimeNsPerCall([&] {
+             benchmark::DoNotOptimize(QuantileBinEdges(col, 4));
+           }));
+    Record(&records, "quantile_edges_full_sort", simd::SimdLevel::kScalar,
+           kBits, TimeNsPerCall([&] {
+             std::vector<double> vals;
+             vals.reserve(col.size());
+             for (size_t r = 0; r < col.size(); ++r) {
+               if (!col.IsNull(r)) vals.push_back(col.numeric(r));
+             }
+             std::sort(vals.begin(), vals.end());
+             std::vector<double> edges;
+             for (size_t bin = 1; bin < 4 && !vals.empty(); ++bin) {
+               edges.push_back(vals[vals.size() * bin / 4]);
+             }
+             benchmark::DoNotOptimize(edges);
+           }));
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n",
+                   json_path.c_str());
+      return 1;
+    }
+    out << "{\"bench\":\"micro_simd\",\"bits\":" << kBits
+        << ",\"host_max_simd\":\""
+        << simd::SimdLevelName(simd::MaxSupportedSimdLevel())
+        << "\",\"kernels\":[";
+    for (size_t i = 0; i < records.size(); ++i) {
+      const KernelRecord& r = records[i];
+      out << (i == 0 ? "" : ",") << "{\"kernel\":\"" << r.kernel
+          << "\",\"simd\":\"" << r.simd << "\",\"items\":" << r.items
+          << ",\"ns_per_call\":" << r.ns_per_call
+          << ",\"items_per_second\":" << r.items_per_second << "}";
+    }
+    out << "]}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
+
+int RunSimdSweepMain(const std::string& json_path) {
+  return RunSimdKernelSweep(json_path);
+}
+
 }  // namespace faircap
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool sweep = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+      sweep = true;
+    } else if (std::strcmp(argv[i], "--simd-sweep") == 0) {
+      sweep = true;
+    }
+  }
+  if (sweep) return faircap::RunSimdSweepMain(json_path);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

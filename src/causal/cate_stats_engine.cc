@@ -10,6 +10,7 @@
 #include "causal/linear_model.h"
 #include "causal/logistic.h"
 #include "mining/shard_plan.h"
+#include "util/simd/simd.h"
 #include "util/task_scheduler.h"
 
 namespace faircap {
@@ -20,10 +21,18 @@ std::vector<double> QuantileBinEdges(const Column& col, size_t bins) {
   for (size_t r = 0; r < col.size(); ++r) {
     if (!col.IsNull(r)) values.push_back(col.numeric(r));
   }
-  std::sort(values.begin(), values.end());
+  // Partial selection per edge instead of a full sort: the edge positions
+  // are ascending, so each nth_element works on the suffix the previous
+  // one left behind (everything before `prev` is already <= that edge).
+  // O(n * bins) expected vs O(n log n), and identical edge values.
   std::vector<double> edges;
+  size_t prev = 0;
   for (size_t b = 1; b < bins && !values.empty(); ++b) {
-    edges.push_back(values[values.size() * b / bins]);
+    const size_t pos = values.size() * b / bins;
+    std::nth_element(values.begin() + prev, values.begin() + pos,
+                     values.end());
+    edges.push_back(values[pos]);
+    prev = pos;
   }
   return edges;
 }
@@ -59,6 +68,14 @@ Result<CateEstimate> HajekIpwFromRows(
       y0_values.push_back(outcomes[r]);
       ++n_control;
     }
+  }
+  // An empty arm would divide by a zero weight sum below and return a
+  // NaN estimate that poisons every downstream comparison; fail loudly
+  // instead (callers floor arm sizes, but the guard must not rely on it).
+  if (n_treated == 0 || n_control == 0) {
+    return Status::FailedPrecondition(
+        "IPW requires both arms non-empty: " + std::to_string(n_treated) +
+        " treated / " + std::to_string(n_control) + " control rows");
   }
   const double mean1 = sum_w1y / sum_w1;
   const double mean0 = sum_w0y / sum_w0;
@@ -137,6 +154,13 @@ std::shared_ptr<const ConfounderPartition> ConfounderPartition::Build(
     for (size_t r = 0; r < n; ++r) {
       vals[r] = col.IsNull(r) ? 0.0 : col.numeric(r);
     }
+  }
+  // Raw pointer span over the cached columns (stable: the column vectors
+  // are never resized after this point) — accumulation passes read it
+  // directly instead of rebuilding a pointer array per call.
+  part->numeric_value_ptrs_.reserve(part->numeric_values_.size());
+  for (const auto& vals : part->numeric_values_) {
+    part->numeric_value_ptrs_.push_back(vals.data());
   }
 
   // Intern each row's joint signature (code / quantile bin / null flag per
@@ -264,81 +288,43 @@ void CateStatsEngine::AccumulateRange(const Bitmap& group,
   assert(group.size() == treated_->size());
   assert(protected_mask == nullptr || protected_mask->size() == group.size());
   assert(word_end <= group.num_words());
-  const int32_t* cell_of_row = partition_->cell_of_row().data();
-  const double* y = partition_->outcome().data();
-  const uint64_t* gw = group.words();
-  const uint64_t* tw = treated_->words();
-  const uint64_t* pw =
-      protected_mask != nullptr ? protected_mask->words() : nullptr;
-  const size_t m = partition_->num_numeric();
-  const size_t mm = m * (m + 1) / 2;
-  const bool moments = need_moments();
-  std::vector<const double*> zcols(m);
-  for (size_t j = 0; j < m; ++j) {
-    zcols[j] = partition_->numeric_values()[j].data();
-  }
-  std::vector<double> z(m);
 
   // The treated mask drives the arm bit and the group (plus optional
   // protected) masks the rows — three bitmaps walked word-at-a-time, 64
-  // rows per load, skipping empty group words.
-  for (size_t w = word_begin; w < word_end; ++w) {
-    uint64_t bits = gw[w];
-    if (bits == 0) continue;
-    const uint64_t tword = tw[w];
-    const uint64_t pword = pw != nullptr ? pw[w] : 0;
-    while (bits != 0) {
-      const int b = __builtin_ctzll(bits);
-      bits &= bits - 1;
-      const size_t r = w * 64 + static_cast<size_t>(b);
-      const int32_t c = cell_of_row[r];
-      if (c < 0) continue;
-      const int arm = static_cast<int>((tword >> b) & 1);
-      const size_t idx = static_cast<size_t>(c) * 2 + static_cast<size_t>(arm);
-      const double yr = y[r];
-      Accum* sub = nullptr;
-      if (pw != nullptr) sub = ((pword >> b) & 1) != 0 ? prot : nonprot;
-
-      ++overall->rows;
-      if (arm != 0) {
-        ++overall->n_treated;
-      } else {
-        ++overall->n_control;
-      }
-      ++overall->n[idx];
-      overall->sy[idx] += yr;
-      overall->syy[idx] += yr * yr;
-      if (sub != nullptr) {
-        ++sub->rows;
-        if (arm != 0) {
-          ++sub->n_treated;
-        } else {
-          ++sub->n_control;
-        }
-        ++sub->n[idx];
-        sub->sy[idx] += yr;
-        sub->syy[idx] += yr * yr;
-      }
-      if (moments) {
-        for (size_t j = 0; j < m; ++j) z[j] = zcols[j][r];
-        const size_t zbase = idx * m;
-        const size_t zzbase = idx * mm;
-        for (size_t j = 0, t = 0; j < m; ++j) {
-          overall->zsum[zbase + j] += z[j];
-          overall->zysum[zbase + j] += z[j] * yr;
-          if (sub != nullptr) {
-            sub->zsum[zbase + j] += z[j];
-            sub->zysum[zbase + j] += z[j] * yr;
-          }
-          for (size_t k = j; k < m; ++k, ++t) {
-            const double zz = z[j] * z[k];
-            overall->zzsum[zzbase + t] += zz;
-            if (sub != nullptr) sub->zzsum[zzbase + t] += zz;
-          }
-        }
-      }
-    }
+  // rows per load, through the runtime-dispatched accumulation kernel.
+  // Every ISA tier performs the float adds in the same ascending-row
+  // order, so the result is bit-identical at every SIMD level.
+  const auto sink_of = [](Accum* acc) {
+    simd::CateSink sink;
+    sink.rows = &acc->rows;
+    sink.n_treated = &acc->n_treated;
+    sink.n_control = &acc->n_control;
+    sink.n = acc->n.data();
+    sink.sy = acc->sy.data();
+    sink.syy = acc->syy.data();
+    sink.zsum = acc->zsum.empty() ? nullptr : acc->zsum.data();
+    sink.zysum = acc->zysum.empty() ? nullptr : acc->zysum.data();
+    sink.zzsum = acc->zzsum.empty() ? nullptr : acc->zzsum.data();
+    return sink;
+  };
+  simd::CateAccumArgs args;
+  args.group_words = group.words();
+  args.treated_words = treated_->words();
+  args.protected_words =
+      protected_mask != nullptr ? protected_mask->words() : nullptr;
+  args.cell_of_row = partition_->cell_of_row().data();
+  args.outcome = partition_->outcome().data();
+  args.num_numeric = partition_->num_numeric();
+  args.moments = need_moments();
+  args.zcols = args.moments ? partition_->numeric_value_ptrs() : nullptr;
+  args.word_begin = word_begin;
+  args.word_end = word_end;
+  args.overall = sink_of(overall);
+  if (protected_mask != nullptr) {
+    args.prot = sink_of(prot);
+    args.nonprot = sink_of(nonprot);
   }
+  simd::ActiveKernels().cate_accumulate(args);
 }
 
 Result<CateEstimate> CateStatsEngine::Solve(const Accum& acc,

@@ -114,6 +114,11 @@ class ConfounderPartition {
   const std::vector<std::vector<double>>& numeric_values() const {
     return numeric_values_;
   }
+  /// numeric_values() as a raw pointer span, precomputed at build so the
+  /// per-shard accumulation passes need no per-call heap allocation.
+  const double* const* numeric_value_ptrs() const {
+    return numeric_value_ptrs_.data();
+  }
 
   /// Heap bytes held (row arrays + cell table), for cache budgeting.
   size_t bytes() const { return bytes_; }
@@ -128,6 +133,7 @@ class ConfounderPartition {
   std::vector<uint32_t> cells_by_stratum_;
   std::vector<double> outcome_;
   std::vector<std::vector<double>> numeric_values_;
+  std::vector<const double*> numeric_value_ptrs_;
   size_t bytes_ = 0;
 };
 

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/simd/simd.h"
+
 namespace faircap {
 
 Bitmap::Bitmap(size_t num_bits, bool value)
@@ -26,45 +28,39 @@ bool Bitmap::Get(size_t i) const {
 }
 
 size_t Bitmap::Count() const {
-  size_t n = 0;
-  for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
-  return n;
+  return simd::ActiveKernels().popcount(words_.data(), words_.size());
 }
 
 size_t Bitmap::AndCount(const Bitmap& other) const {
   assert(num_bits_ == other.num_bits_);
-  size_t n = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    n += static_cast<size_t>(__builtin_popcountll(words_[i] & other.words_[i]));
-  }
-  return n;
+  return simd::ActiveKernels().and_count(words_.data(), other.words_.data(),
+                                         words_.size());
 }
 
 size_t Bitmap::AndNotCount(const Bitmap& other) const {
   assert(num_bits_ == other.num_bits_);
-  size_t n = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    n += static_cast<size_t>(
-        __builtin_popcountll(words_[i] & ~other.words_[i]));
-  }
-  return n;
+  return simd::ActiveKernels().andnot_count(words_.data(), other.words_.data(),
+                                            words_.size());
 }
 
 Bitmap& Bitmap::operator&=(const Bitmap& other) {
   assert(num_bits_ == other.num_bits_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  simd::ActiveKernels().and_inplace(words_.data(), other.words_.data(),
+                                    words_.size());
   return *this;
 }
 
 Bitmap& Bitmap::operator|=(const Bitmap& other) {
   assert(num_bits_ == other.num_bits_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  simd::ActiveKernels().or_inplace(words_.data(), other.words_.data(),
+                                   words_.size());
   return *this;
 }
 
 Bitmap& Bitmap::AndNot(const Bitmap& other) {
   assert(num_bits_ == other.num_bits_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  simd::ActiveKernels().andnot_inplace(words_.data(), other.words_.data(),
+                                       words_.size());
   return *this;
 }
 
@@ -83,7 +79,8 @@ Bitmap Bitmap::operator|(const Bitmap& other) const {
 void Bitmap::OrWordsAt(size_t word_offset, const uint64_t* src,
                        size_t num_words) {
   assert(word_offset + num_words <= words_.size());
-  for (size_t i = 0; i < num_words; ++i) words_[word_offset + i] |= src[i];
+  simd::ActiveKernels().or_inplace(words_.data() + word_offset, src,
+                                   num_words);
   // Only the merge that owns the final word may touch padding: a
   // concurrent merger of an earlier word range must never read-modify-
   // write words it does not own.

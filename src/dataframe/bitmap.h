@@ -77,6 +77,11 @@ class Bitmap {
   const uint64_t* words() const { return words_.data(); }
   size_t num_words() const { return words_.size(); }
 
+  /// Writable word storage for kernel producers (the predicate compare
+  /// scans fill whole mask words at a time). Writers must keep the
+  /// padding bits past size() clear.
+  uint64_t* mutable_words() { return words_.data(); }
+
   /// ORs `num_words` words of `src` into this bitmap starting at word
   /// `word_offset` — the shard-merge primitive: a shard's scan result
   /// (a word buffer covering only its word range) folds into the shared

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "dataframe/dataframe.h"
+#include "util/simd/simd.h"
 
 namespace faircap {
 
@@ -56,17 +57,34 @@ std::shared_ptr<const Bitmap> NonOwning(const Bitmap* mask) {
 
 }  // namespace
 
+namespace {
+
+// The numeric compare kernels mirror CompareOp one-to-one (util cannot
+// include the dataframe headers, hence the parallel enum).
+simd::Cmp SimdCmpOf(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return simd::Cmp::kEq;
+    case CompareOp::kNe: return simd::Cmp::kNe;
+    case CompareOp::kLt: return simd::Cmp::kLt;
+    case CompareOp::kLe: return simd::Cmp::kLe;
+    case CompareOp::kGt: return simd::Cmp::kGt;
+    case CompareOp::kGe: return simd::Cmp::kGe;
+  }
+  return simd::Cmp::kEq;
+}
+
+}  // namespace
+
 Bitmap PredicateIndex::Scan(const DataFrame& df, size_t attr, CompareOp op,
                             const Value& value) {
   Bitmap out(df.num_rows());
   const Column& col = df.column(attr);
+  const size_t n = df.num_rows();
+  if (n == 0) return out;
   if (col.type() == AttrType::kCategorical) {
-    // Word-batched like the numeric path: compare 64 codes into one mask
-    // word at a time (the cold kNe / out-of-dictionary scans used to set
-    // bits row by row). Nulls (kNullCode) never match under any
-    // operator.
+    // Word-batched compare scan through the SIMD kernel layer: 64 codes
+    // per mask word. Nulls (kNullCode) never match under any operator.
     const int32_t* codes = col.codes_data();
-    const size_t n = df.num_rows();
     const Result<int32_t> code_result = col.CodeOf(value.str());
     // A category absent from the dictionary matches nothing under kEq
     // and everything non-null under kNe; fold both in-dictionary and
@@ -74,41 +92,21 @@ Bitmap PredicateIndex::Scan(const DataFrame& df, size_t attr, CompareOp op,
     // using a code no row can carry.
     if (!code_result.ok() && op != CompareOp::kNe) return out;
     const int32_t code = code_result.ok() ? *code_result : -2;
-    for (size_t begin = 0; begin < n; begin += 64) {
-      const size_t end = std::min(n, begin + 64);
-      uint64_t word = 0;
-      if (op == CompareOp::kEq) {
-        for (size_t row = begin; row < end; ++row) {
-          word |= static_cast<uint64_t>(codes[row] == code) << (row - begin);
-        }
-      } else {
-        for (size_t row = begin; row < end; ++row) {
-          const int32_t c = codes[row];
-          word |= static_cast<uint64_t>(c != Column::kNullCode && c != code)
-                  << (row - begin);
-        }
-      }
-      if (word != 0) out.OrWordsAt(begin / 64, &word, 1);
+    if (op == CompareOp::kEq) {
+      simd::ActiveKernels().mask_codes_eq(codes, n, code, out.mutable_words());
+    } else {
+      simd::ActiveKernels().mask_codes_ne(codes, n, Column::kNullCode, code,
+                                          out.mutable_words());
     }
     return out;
   }
-  // Numeric: compare 64 rows into one mask word at a time. NaN cells are
-  // nulls and never match — not even under kNe, where IEEE comparison
-  // alone would admit them (the categorical convention: null is absent
-  // from every selection).
-  const double rhs = value.numeric();
-  const double* values = col.numeric_data();
-  const size_t n = df.num_rows();
-  for (size_t begin = 0; begin < n; begin += 64) {
-    const size_t end = std::min(n, begin + 64);
-    uint64_t word = 0;
-    for (size_t row = begin; row < end; ++row) {
-      const double v = values[row];
-      word |= static_cast<uint64_t>(!std::isnan(v) && CompareNumeric(v, op, rhs))
-              << (row - begin);
-    }
-    if (word != 0) out.OrWordsAt(begin / 64, &word, 1);
-  }
+  // Numeric compare scan, 64 rows per mask word. NaN cells are nulls and
+  // never match — not even under kNe, where IEEE comparison alone would
+  // admit them (the categorical convention: null is absent from every
+  // selection).
+  simd::ActiveKernels().mask_numeric_cmp(col.numeric_data(), n, SimdCmpOf(op),
+                                         value.numeric(),
+                                         out.mutable_words());
   return out;
 }
 

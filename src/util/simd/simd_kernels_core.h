@@ -1,0 +1,267 @@
+// Internal: portable kernel bodies shared by the per-ISA translation
+// units. The scalar tier uses these as THE implementation; the AVX2 and
+// AVX-512 tiers use them for word tails and for the per-row statistic
+// adds of the accumulation kernel.
+//
+// The accumulation core is the determinism anchor of the whole layer: it
+// performs every floating-point add in ascending row order with the same
+// associations as the original CateStatsEngine scalar loop. Vector tiers
+// may prepare lanes (cell indices, arm bits) with SIMD, but the adds into
+// the per-(cell, arm) slots always run through AddRow below — consecutive
+// rows can land in the SAME slot, so a vectorized scatter-add would both
+// race with itself and reassociate the sums.
+
+#ifndef FAIRCAP_UTIL_SIMD_SIMD_KERNELS_CORE_H_
+#define FAIRCAP_UTIL_SIMD_SIMD_KERNELS_CORE_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/simd/simd.h"
+
+namespace faircap {
+namespace simd {
+namespace core {
+
+inline size_t ScalarPopcount(const uint64_t* words, size_t num_words) {
+  size_t n = 0;
+  for (size_t i = 0; i < num_words; ++i) {
+    n += static_cast<size_t>(__builtin_popcountll(words[i]));
+  }
+  return n;
+}
+
+inline size_t ScalarAndCount(const uint64_t* a, const uint64_t* b,
+                             size_t num_words) {
+  size_t n = 0;
+  for (size_t i = 0; i < num_words; ++i) {
+    n += static_cast<size_t>(__builtin_popcountll(a[i] & b[i]));
+  }
+  return n;
+}
+
+inline size_t ScalarAndNotCount(const uint64_t* a, const uint64_t* b,
+                                size_t num_words) {
+  size_t n = 0;
+  for (size_t i = 0; i < num_words; ++i) {
+    n += static_cast<size_t>(__builtin_popcountll(a[i] & ~b[i]));
+  }
+  return n;
+}
+
+inline void ScalarAndInplace(uint64_t* a, const uint64_t* b,
+                             size_t num_words) {
+  for (size_t i = 0; i < num_words; ++i) a[i] &= b[i];
+}
+
+inline void ScalarOrInplace(uint64_t* a, const uint64_t* b,
+                            size_t num_words) {
+  for (size_t i = 0; i < num_words; ++i) a[i] |= b[i];
+}
+
+inline void ScalarAndNotInplace(uint64_t* a, const uint64_t* b,
+                                size_t num_words) {
+  for (size_t i = 0; i < num_words; ++i) a[i] &= ~b[i];
+}
+
+// One mask word (up to 64 rows) of the categorical compare scans.
+inline uint64_t CodesEqWord(const int32_t* codes, size_t rows, int32_t code) {
+  uint64_t word = 0;
+  for (size_t i = 0; i < rows; ++i) {
+    word |= static_cast<uint64_t>(codes[i] == code) << i;
+  }
+  return word;
+}
+
+inline uint64_t CodesNeWord(const int32_t* codes, size_t rows,
+                            int32_t null_code, int32_t code) {
+  uint64_t word = 0;
+  for (size_t i = 0; i < rows; ++i) {
+    word |= static_cast<uint64_t>(codes[i] != null_code && codes[i] != code)
+            << i;
+  }
+  return word;
+}
+
+inline void ScalarMaskCodesEq(const int32_t* codes, size_t n, int32_t code,
+                              uint64_t* out) {
+  for (size_t begin = 0; begin < n; begin += 64) {
+    const size_t rows = n - begin < 64 ? n - begin : 64;
+    out[begin / 64] = CodesEqWord(codes + begin, rows, code);
+  }
+}
+
+inline void ScalarMaskCodesNe(const int32_t* codes, size_t n,
+                              int32_t null_code, int32_t code, uint64_t* out) {
+  for (size_t begin = 0; begin < n; begin += 64) {
+    const size_t rows = n - begin < 64 ? n - begin : 64;
+    out[begin / 64] = CodesNeWord(codes + begin, rows, null_code, code);
+  }
+}
+
+// NaN never matches (null convention), not even under kNe where plain
+// IEEE != would admit it.
+inline bool NumericMatch(double v, Cmp op, double rhs) {
+  if (std::isnan(v)) return false;
+  switch (op) {
+    case Cmp::kEq: return v == rhs;
+    case Cmp::kNe: return v != rhs;
+    case Cmp::kLt: return v < rhs;
+    case Cmp::kLe: return v <= rhs;
+    case Cmp::kGt: return v > rhs;
+    case Cmp::kGe: return v >= rhs;
+  }
+  return false;
+}
+
+inline uint64_t NumericCmpWord(const double* values, size_t rows, Cmp op,
+                               double rhs) {
+  uint64_t word = 0;
+  for (size_t i = 0; i < rows; ++i) {
+    word |= static_cast<uint64_t>(NumericMatch(values[i], op, rhs)) << i;
+  }
+  return word;
+}
+
+inline void ScalarMaskNumericCmp(const double* values, size_t n, Cmp op,
+                                 double rhs, uint64_t* out) {
+  for (size_t begin = 0; begin < n; begin += 64) {
+    const size_t rows = n - begin < 64 ? n - begin : 64;
+    out[begin / 64] = NumericCmpWord(values + begin, rows, op, rhs);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Accumulation core.
+
+/// Per-sink integer counters kept in registers during the pass and
+/// flushed once at the end (integer adds commute; the float arrays are
+/// updated in place, in row order).
+struct SinkCounters {
+  size_t rows = 0;
+  size_t n_treated = 0;
+  size_t n_control = 0;
+
+  void FlushTo(const CateSink& sink) const {
+    *sink.rows += rows;
+    *sink.n_treated += n_treated;
+    *sink.n_control += n_control;
+  }
+};
+
+/// The per-row statistic adds, in the scalar loop's exact order. `sub` is
+/// null when not splitting on the protected bit (counters_sub unused).
+template <bool kSplit, bool kMoments>
+inline void AddRow(const CateAccumArgs& args, size_t r, int32_t c, int arm,
+                   bool prot_bit, SinkCounters* counters_overall,
+                   SinkCounters* counters_prot, SinkCounters* counters_nonprot) {
+  const size_t idx = static_cast<size_t>(c) * 2 + static_cast<size_t>(arm);
+  const double yr = args.outcome[r];
+  const CateSink& overall = args.overall;
+  const CateSink* sub = nullptr;
+  SinkCounters* sub_counters = nullptr;
+  if (kSplit) {
+    sub = prot_bit ? &args.prot : &args.nonprot;
+    sub_counters = prot_bit ? counters_prot : counters_nonprot;
+  }
+
+  ++counters_overall->rows;
+  if (arm != 0) {
+    ++counters_overall->n_treated;
+  } else {
+    ++counters_overall->n_control;
+  }
+  ++overall.n[idx];
+  overall.sy[idx] += yr;
+  overall.syy[idx] += yr * yr;
+  if (kSplit) {
+    ++sub_counters->rows;
+    if (arm != 0) {
+      ++sub_counters->n_treated;
+    } else {
+      ++sub_counters->n_control;
+    }
+    ++sub->n[idx];
+    sub->sy[idx] += yr;
+    sub->syy[idx] += yr * yr;
+  }
+  if (kMoments) {
+    const size_t m = args.num_numeric;
+    const size_t zbase = idx * m;
+    const size_t zzbase = idx * (m * (m + 1) / 2);
+    for (size_t j = 0, t = 0; j < m; ++j) {
+      const double zj = args.zcols[j][r];
+      overall.zsum[zbase + j] += zj;
+      overall.zysum[zbase + j] += zj * yr;
+      if (kSplit) {
+        sub->zsum[zbase + j] += zj;
+        sub->zysum[zbase + j] += zj * yr;
+      }
+      for (size_t k = j; k < m; ++k, ++t) {
+        const double zz = zj * args.zcols[k][r];
+        overall.zzsum[zzbase + t] += zz;
+        if (kSplit) sub->zzsum[zzbase + t] += zz;
+      }
+    }
+  }
+}
+
+/// The full scalar accumulation pass, specialized at compile time on the
+/// protected split and the moments block so the hot no-split/no-moments
+/// shape carries no per-row branches beyond the data-dependent ones.
+template <bool kSplit, bool kMoments>
+inline void CateAccumulateCore(const CateAccumArgs& args) {
+  const uint64_t* gw = args.group_words;
+  const uint64_t* tw = args.treated_words;
+  const uint64_t* pw = args.protected_words;
+  const int32_t* cell_of_row = args.cell_of_row;
+  SinkCounters overall, prot, nonprot;
+  for (size_t w = args.word_begin; w < args.word_end; ++w) {
+    uint64_t bits = gw[w];
+    if (bits == 0) continue;
+    const uint64_t tword = tw[w];
+    const uint64_t pword = kSplit ? pw[w] : 0;
+    while (bits != 0) {
+      const int b = __builtin_ctzll(bits);
+      bits &= bits - 1;
+      const size_t r = w * 64 + static_cast<size_t>(b);
+      const int32_t c = cell_of_row[r];
+      if (c < 0) continue;
+      const int arm = static_cast<int>((tword >> b) & 1);
+      const bool prot_bit = kSplit && (((pword >> b) & 1) != 0);
+      AddRow<kSplit, kMoments>(args, r, c, arm, prot_bit, &overall, &prot,
+                               &nonprot);
+    }
+  }
+  overall.FlushTo(args.overall);
+  if (kSplit) {
+    prot.FlushTo(args.prot);
+    nonprot.FlushTo(args.nonprot);
+  }
+}
+
+/// Dispatch helper shared by the tiers: picks the (split, moments)
+/// specialization. Vector tiers call this for their non-dense fallback.
+inline void ScalarCateAccumulate(const CateAccumArgs& args) {
+  const bool split = args.protected_words != nullptr;
+  if (split) {
+    if (args.moments) {
+      CateAccumulateCore<true, true>(args);
+    } else {
+      CateAccumulateCore<true, false>(args);
+    }
+  } else {
+    if (args.moments) {
+      CateAccumulateCore<false, true>(args);
+    } else {
+      CateAccumulateCore<false, false>(args);
+    }
+  }
+}
+
+}  // namespace core
+}  // namespace simd
+}  // namespace faircap
+
+#endif  // FAIRCAP_UTIL_SIMD_SIMD_KERNELS_CORE_H_

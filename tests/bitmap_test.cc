@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "util/simd/simd.h"
+
 namespace faircap {
 namespace {
 
@@ -202,6 +208,144 @@ TEST(BitmapDeathTest, OrWordsAtOutOfRangeIsCaughtInDebug) {
   const uint64_t w = 1;
   EXPECT_DEATH(m.OrWordsAt(1, &w, 1), "words_");
 #endif
+}
+
+// ---------------------------------------------------------------------
+// ISA sweep: every SIMD tier this host supports must produce the exact
+// counts and the bit-identical words of the scalar tier, across sizes
+// that hit every tail shape (empty, sub-word, word-aligned, off-by-one
+// around the vector block widths, and large-enough-to-vectorize).
+
+Bitmap RandomBitmap(size_t bits, double density, std::mt19937_64* rng) {
+  Bitmap b(bits);
+  std::bernoulli_distribution coin(density);
+  for (size_t i = 0; i < bits; ++i) {
+    if (coin(*rng)) b.Set(i);
+  }
+  return b;
+}
+
+TEST(BitmapSimdSweepTest, AllTiersMatchScalarOnBitmapAlgebra) {
+  const size_t kSizes[] = {0,   1,    63,   64,   65,    127,  128,
+                           129, 1000, 1023, 1024, 16384, 100003};
+  std::mt19937_64 rng(42);
+  for (const size_t bits : kSizes) {
+    // Random pairs plus the adversarial all-zero / all-one shapes.
+    struct Pair {
+      Bitmap a;
+      Bitmap b;
+    };
+    std::vector<Pair> pairs;
+    pairs.push_back({RandomBitmap(bits, 0.5, &rng),
+                     RandomBitmap(bits, 0.5, &rng)});
+    pairs.push_back({RandomBitmap(bits, 0.02, &rng),
+                     RandomBitmap(bits, 0.98, &rng)});
+    pairs.push_back({Bitmap(bits), Bitmap(bits, /*value=*/true)});
+    pairs.push_back({Bitmap(bits, /*value=*/true),
+                     Bitmap(bits, /*value=*/true)});
+    for (const Pair& pair : pairs) {
+      // Scalar reference.
+      size_t ref_count, ref_and, ref_andnot;
+      Bitmap ref_anded(0), ref_ored(0), ref_diffed(0);
+      {
+        simd::ScopedSimdLevel pin(simd::SimdLevel::kScalar);
+        ref_count = pair.a.Count();
+        ref_and = pair.a.AndCount(pair.b);
+        ref_andnot = pair.a.AndNotCount(pair.b);
+        ref_anded = pair.a;
+        ref_anded &= pair.b;
+        ref_ored = pair.a;
+        ref_ored |= pair.b;
+        ref_diffed = pair.a;
+        ref_diffed.AndNot(pair.b);
+      }
+      for (const simd::SimdLevel level : simd::SupportedSimdLevels()) {
+        simd::ScopedSimdLevel pin(level);
+        const std::string tag = std::string(simd::SimdLevelName(level)) +
+                                "/bits=" + std::to_string(bits);
+        EXPECT_EQ(pair.a.Count(), ref_count) << tag;
+        EXPECT_EQ(pair.a.AndCount(pair.b), ref_and) << tag;
+        EXPECT_EQ(pair.a.AndNotCount(pair.b), ref_andnot) << tag;
+        Bitmap anded = pair.a;
+        anded &= pair.b;
+        EXPECT_TRUE(anded == ref_anded) << tag;
+        Bitmap ored = pair.a;
+        ored |= pair.b;
+        EXPECT_TRUE(ored == ref_ored) << tag;
+        Bitmap diffed = pair.a;
+        diffed.AndNot(pair.b);
+        EXPECT_TRUE(diffed == ref_diffed) << tag;
+        // Padding stays clear through every tier's in-place ops.
+        EXPECT_EQ((~ored).Count(), bits - ored.Count()) << tag;
+      }
+    }
+  }
+}
+
+TEST(BitmapSimdSweepTest, AllTiersMatchScalarOnCompareScanKernels) {
+  const size_t kSizes[] = {1, 63, 64, 65, 127, 128, 1000, 4096, 100003};
+  std::mt19937_64 rng(43);
+  const int32_t kNull = -1;
+  for (const size_t n : kSizes) {
+    std::vector<int32_t> codes(n);
+    std::vector<double> values(n);
+    std::uniform_int_distribution<int32_t> code_dist(0, 4);
+    std::uniform_real_distribution<double> val_dist(-2.0, 2.0);
+    std::bernoulli_distribution null_coin(0.1);
+    for (size_t i = 0; i < n; ++i) {
+      codes[i] = null_coin(rng) ? kNull : code_dist(rng);
+      values[i] = null_coin(rng) ? std::nan("") : val_dist(rng);
+    }
+    const size_t num_words = (n + 63) / 64;
+    const simd::Kernels* scalar =
+        simd::KernelsFor(simd::SimdLevel::kScalar);
+    ASSERT_NE(scalar, nullptr);
+    // Prefill outputs with garbage: the kernels must fully overwrite
+    // every word, including clearing the padding bits past n.
+    std::vector<uint64_t> ref(num_words), got(num_words);
+    for (const simd::SimdLevel level : simd::SupportedSimdLevels()) {
+      const simd::Kernels* kernels = simd::KernelsFor(level);
+      ASSERT_NE(kernels, nullptr);
+      const std::string tag = std::string(simd::SimdLevelName(level)) +
+                              "/n=" + std::to_string(n);
+      for (const int32_t code : {0, 2, -2}) {
+        ref.assign(num_words, ~0ULL);
+        got.assign(num_words, ~0ULL);
+        scalar->mask_codes_eq(codes.data(), n, code, ref.data());
+        kernels->mask_codes_eq(codes.data(), n, code, got.data());
+        EXPECT_EQ(got, ref) << tag << " eq code=" << code;
+        ref.assign(num_words, ~0ULL);
+        got.assign(num_words, ~0ULL);
+        scalar->mask_codes_ne(codes.data(), n, kNull, code, ref.data());
+        kernels->mask_codes_ne(codes.data(), n, kNull, code, got.data());
+        EXPECT_EQ(got, ref) << tag << " ne code=" << code;
+      }
+      for (const simd::Cmp op :
+           {simd::Cmp::kEq, simd::Cmp::kNe, simd::Cmp::kLt, simd::Cmp::kLe,
+            simd::Cmp::kGt, simd::Cmp::kGe}) {
+        ref.assign(num_words, ~0ULL);
+        got.assign(num_words, ~0ULL);
+        scalar->mask_numeric_cmp(values.data(), n, op, 0.25, ref.data());
+        kernels->mask_numeric_cmp(values.data(), n, op, 0.25, got.data());
+        EXPECT_EQ(got, ref) << tag << " cmp op="
+                            << static_cast<int>(op);
+      }
+    }
+  }
+}
+
+TEST(BitmapSimdSweepTest, LevelKnobRoundTrips) {
+  const simd::SimdLevel original = simd::ActiveSimdLevel();
+  for (const simd::SimdLevel level : simd::SupportedSimdLevels()) {
+    simd::ScopedSimdLevel pin(level);
+    EXPECT_EQ(simd::ActiveSimdLevel(), level);
+    EXPECT_EQ(&simd::ActiveKernels(), simd::KernelsFor(level));
+  }
+  EXPECT_EQ(simd::ActiveSimdLevel(), original);
+  simd::SimdLevel parsed;
+  EXPECT_TRUE(simd::ParseSimdLevel("avx2", &parsed));
+  EXPECT_EQ(parsed, simd::SimdLevel::kAvx2);
+  EXPECT_FALSE(simd::ParseSimdLevel("sse9", &parsed));
 }
 
 }  // namespace

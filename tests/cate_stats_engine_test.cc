@@ -16,6 +16,7 @@
 #include "data/german.h"
 #include "ingest/synthetic.h"
 #include "util/random.h"
+#include "util/simd/simd.h"
 
 namespace faircap {
 namespace {
@@ -384,6 +385,92 @@ TEST(CateStatsEngineCacheTest, LegacyStratumIdsAreCachedAcrossCalls) {
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(first->cate, second->cate);
   EXPECT_EQ(first->std_error, second->std_error);
+}
+
+// ---------------------------------------------------------------------
+// ISA sweep: every SIMD tier must produce BIT-IDENTICAL estimates — the
+// accumulation kernels keep integer stats exact and perform float adds
+// in the scalar association order, so there is no tolerance here, for
+// any method, including the batch protected/non-protected split.
+
+void ExpectSameBits(const Result<CateEstimate>& got,
+                    const Result<CateEstimate>& ref,
+                    const std::string& label) {
+  ASSERT_EQ(got.ok(), ref.ok()) << label;
+  if (!got.ok()) {
+    EXPECT_EQ(got.status().code(), ref.status().code()) << label;
+    return;
+  }
+  EXPECT_EQ(got->cate, ref->cate) << label;
+  EXPECT_EQ(got->std_error, ref->std_error) << label;
+  EXPECT_EQ(got->n_treated, ref->n_treated) << label;
+  EXPECT_EQ(got->n_control, ref->n_control) << label;
+}
+
+TEST(CateStatsEngineSimdTest, EstimatesBitIdenticalAcrossIsaTiers) {
+  const EdgeData data = MakeEdgeData(3000, 91);
+  const Bitmap protected_mask = data.protected_pattern.Evaluate(data.df);
+  const size_t t = *data.df.schema().IndexOf("T");
+  const Pattern intervention({Predicate(t, CompareOp::kEq, Value("yes"))});
+  Rng rng(91);
+  const Bitmap dense = RandomGroup(data.df.num_rows(), 0.6, &rng);
+  for (const CateMethod method :
+       {CateMethod::kRegression, CateMethod::kStratified, CateMethod::kIpw}) {
+    CateOptions options;
+    options.method = method;
+    const auto est = CateEstimator::Create(&data.df, &data.dag, options);
+    ASSERT_TRUE(est.ok());
+    // Scalar reference triple.
+    Result<CateSubgroupEstimates> ref = Status::Internal("unset");
+    {
+      simd::ScopedSimdLevel pin(simd::SimdLevel::kScalar);
+      ref = est->EstimateSubgroups(intervention, dense, &protected_mask, 5);
+    }
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    for (const simd::SimdLevel level : simd::SupportedSimdLevels()) {
+      simd::ScopedSimdLevel pin(level);
+      const std::string tag =
+          std::string(simd::SimdLevelName(level)) + "/m" +
+          std::to_string(static_cast<int>(method));
+      const Result<CateSubgroupEstimates> got =
+          est->EstimateSubgroups(intervention, dense, &protected_mask, 5);
+      ASSERT_TRUE(got.ok()) << tag;
+      ExpectSameBits(got->overall, ref->overall, tag + "/overall");
+      ExpectSameBits(got->protected_group, ref->protected_group,
+                     tag + "/protected");
+      ExpectSameBits(got->nonprotected, ref->nonprotected,
+                     tag + "/nonprotected");
+    }
+  }
+}
+
+TEST(CateStatsEngineSimdTest, DenseGroupMatchesLegacyAtEveryTier) {
+  // The all-rows group exercises the vector tiers' dense-word fast path
+  // (every group word is ~0); pin it against the legacy oracle per tier.
+  const EdgeData data = MakeEdgeData(1500, 92);
+  for (const simd::SimdLevel level : simd::SupportedSimdLevels()) {
+    simd::ScopedSimdLevel pin(level);
+    RunPropertySweep(data.df, data.dag, data.protected_pattern, 92,
+                     std::string("simd-") + simd::SimdLevelName(level));
+  }
+}
+
+// Regression test for the empty-arm guard: one-class inputs used to
+// divide by a zero weight sum and return a NaN estimate.
+TEST(HajekIpwTest, EmptyArmFailsInsteadOfNaN) {
+  const size_t n = 6;
+  const size_t p = 1;  // intercept-only propensity design
+  const std::vector<double> design(n * p, 1.0);
+  const std::vector<double> outcomes = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  for (const bool treated : {true, false}) {
+    const std::vector<double> labels(n, treated ? 1.0 : 0.0);
+    const std::vector<uint8_t> is_treated(n, treated ? 1 : 0);
+    const Result<CateEstimate> result = HajekIpwFromRows(
+        design, n, p, labels, outcomes, is_treated, /*propensity_clip=*/0.02);
+    ASSERT_FALSE(result.ok()) << (treated ? "all-treated" : "all-control");
+    EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(result.status().ToString().find("arms"), std::string::npos);
+  }
 }
 
 }  // namespace

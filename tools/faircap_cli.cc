@@ -34,6 +34,7 @@
 #include "dataframe/csv.h"
 #include "ingest/chunked_csv_reader.h"
 #include "ingest/repository.h"
+#include "util/simd/simd.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -101,6 +102,12 @@ void PrintUsage() {
       "                            Patterns and shards share the --threads\n"
       "                            workers as one task graph)\n"
       "  --natural-language --unit=$\n"
+      "common options:\n"
+      "  --simd=scalar|avx2|avx512   (pin the kernel ISA tier; default:\n"
+      "                            best supported. Results are identical\n"
+      "                            at every tier. FAIRCAP_SIMD env var\n"
+      "                            does the same but clamps with a\n"
+      "                            warning instead of failing)\n"
       "ingest options:\n"
       "  --chunk-kb=1024 --threads=1   (parse threads; 0 = hardware)\n"
       "  --compare-legacy\n";
@@ -381,6 +388,20 @@ int main(int argc, char** argv) {
     first_flag = 2;
   }
   const CliArgs args = CliArgs::Parse(argc, argv, first_flag);
+
+  // Pin the SIMD kernel tier before any work runs (the first bitmap or
+  // estimator call freezes throughput characteristics). Unlike the
+  // FAIRCAP_SIMD env knob, which clamps with a warning, an explicit flag
+  // asking for an unsupported tier is a hard error.
+  if (args.Has("simd")) {
+    simd::SimdLevel level;
+    if (!simd::ParseSimdLevel(args.Get("simd"), &level)) {
+      return Fail("unknown --simd value '" + args.Get("simd") +
+                  "' (want scalar|avx2|avx512)");
+    }
+    const Status status = simd::SetSimdLevel(level);
+    if (!status.ok()) return Fail(status.ToString());
+  }
 
   if (verb == "run") return RunPipeline(args);
   if (verb == "gen") return RunGen(args);
