@@ -26,6 +26,8 @@
 #include "core/faircap.h"
 #include "ingest/synthetic.h"
 #include "mining/lattice.h"
+#include "util/obs/metrics.h"
+#include "util/obs/run_report.h"
 #include "util/simd/simd.h"
 #include "util/timer.h"
 
@@ -167,13 +169,16 @@ int RunScale(size_t rows, size_t threads, bool run_ipw) {
       std::cerr << "pipeline: " << solver.status().ToString() << "\n";
       return 1;
     }
-    StopWatch watch;
     auto result = solver->Run();
     if (!result.ok()) {
       std::cerr << "pipeline run: " << result.status().ToString() << "\n";
       return 1;
     }
-    pipe_seconds[use_batch] = watch.ElapsedSeconds();
+    // Phase timing from the run report's registry gauge — the same
+    // production number `faircap_cli run --metrics-json` serializes — so
+    // the bench has no private stopwatch that could drift from it.
+    pipe_seconds[use_batch] =
+        obs::MetricsRegistry::Global().GaugeValue(obs::kPhaseTotal);
     pipe_rules[use_batch] = result->rules.size();
   }
   std::printf(

@@ -10,6 +10,8 @@
 #include "causal/linear_model.h"
 #include "causal/logistic.h"
 #include "mining/shard_plan.h"
+#include "util/obs/metrics.h"
+#include "util/obs/trace.h"
 #include "util/simd/simd.h"
 #include "util/task_scheduler.h"
 
@@ -330,12 +332,24 @@ void CateStatsEngine::AccumulateRange(const Bitmap& group,
 Result<CateEstimate> CateStatsEngine::Solve(const Accum& acc,
                                             const Slice& slice,
                                             size_t min_group_size) const {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   switch (options_.method) {
-    case CateMethod::kRegression:
+    case CateMethod::kRegression: {
+      static obs::Counter& solves =
+          registry.GetCounter("estimation.solve_regression");
+      solves.Increment();
       return SolveRegression(acc, min_group_size);
-    case CateMethod::kStratified:
+    }
+    case CateMethod::kStratified: {
+      static obs::Counter& solves =
+          registry.GetCounter("estimation.solve_stratified");
+      solves.Increment();
       return SolveStratified(acc, min_group_size);
+    }
     case CateMethod::kIpw:
+      // The cell/row split is counted inside SolveIpw — only there is it
+      // known whether the grouped-cell fit applies or the per-row
+      // fallback runs.
       return SolveIpw(acc, slice, min_group_size);
   }
   return Status::Internal("unknown CATE method");
@@ -483,11 +497,18 @@ Result<CateEstimate> CateStatsEngine::SolveIpw(const Accum& acc,
         "insufficient overlap: " + std::to_string(acc.n_treated) +
         " treated / " + std::to_string(acc.n_control) + " control rows");
   }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   if (partition_->num_numeric() > 0) {
     // The propensity design varies within a cell; replay the legacy
     // per-row path (design served from the partition's cached columns).
+    static obs::Counter& row_solves =
+        registry.GetCounter("estimation.solve_ipw_rows");
+    row_solves.Increment();
     return SolveIpwRows(slice, min_group_size);
   }
+  static obs::Counter& cell_solves =
+      registry.GetCounter("estimation.solve_ipw_cells");
+  cell_solves.Increment();
 
   // Categorical-only confounders: the propensity design is constant per
   // cell, so the logistic fit runs on grouped counts and the Hajek sums
@@ -677,6 +698,7 @@ CateSubgroupEstimates CateStatsEngine::EstimateSubgroups(
   std::vector<Accum> prot_parts(split ? shards : 0);
   std::vector<Accum> nonprot_parts(split ? shards : 0);
   auto accumulate_shard = [&](size_t s) {
+    const obs::TraceSpan shard_span("shard", static_cast<int64_t>(s));
     const ShardPlan::Shard& shard = plan->shard(s);
     overall_parts[s] = MakeAccum();
     if (split) {

@@ -7,6 +7,7 @@
 #include "causal/backdoor.h"
 #include "causal/cate_stats_engine.h"
 #include "causal/linear_model.h"
+#include "util/obs/metrics.h"
 
 namespace faircap {
 
@@ -21,6 +22,28 @@ std::string AdjustmentKey(const std::vector<size_t>& adjustment) {
     key += ',';
   }
   return key;
+}
+
+// Registry mirrors of the per-estimator engine-cache stats, bumped at the
+// same sites under the same mutex (see dataframe/predicate_index.cc for
+// the pattern). engine_cache.bytes tracks the most recently mutated
+// estimator instance.
+struct EngineCacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& evictions;
+  obs::Gauge& bytes;
+};
+
+EngineCacheMetrics& EngineMetrics() {
+  obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+  static EngineCacheMetrics* metrics = new EngineCacheMetrics{
+      r.GetCounter("engine_cache.hits"),
+      r.GetCounter("engine_cache.misses"),
+      r.GetCounter("engine_cache.evictions"),
+      r.GetGauge("engine_cache.bytes"),
+  };
+  return *metrics;
 }
 
 }  // namespace
@@ -114,6 +137,9 @@ Result<CateEstimate> CateEstimator::Estimate(const Pattern& intervention,
                            AdjustmentAttrs(intervention));
   const std::shared_ptr<const Bitmap> treated_mask = TreatedMask(intervention);
   const Bitmap& treated = *treated_mask;
+  static obs::Counter& legacy_calls =
+      obs::MetricsRegistry::Global().GetCounter("estimation.legacy_calls");
+  legacy_calls.Increment();
   switch (options_.method) {
     case CateMethod::kRegression:
       return EstimateRegression(treated, group, adjustment, min_group_size);
@@ -420,6 +446,7 @@ void CateEstimator::EnforceEngineBudgetLocked() const {
     engines_.erase(it);
     engine_lru_.pop_back();
     ++engine_evictions_;
+    EngineMetrics().evictions.Increment();
   }
 }
 
@@ -435,6 +462,7 @@ Result<std::shared_ptr<const CateStatsEngine>> CateEstimator::EngineFor(
     const auto it = engines_.find(key);
     if (it != engines_.end()) {
       ++engine_hits_;
+      EngineMetrics().hits.Increment();
       engine_lru_.splice(engine_lru_.begin(), engine_lru_, it->second.lru_pos);
       return it->second.engine;
     }
@@ -452,13 +480,16 @@ Result<std::shared_ptr<const CateStatsEngine>> CateEstimator::EngineFor(
   if (it != engines_.end()) {
     // A racing builder landed first; keep its engine canonical.
     ++engine_hits_;
+    EngineMetrics().hits.Increment();
     engine_lru_.splice(engine_lru_.begin(), engine_lru_, it->second.lru_pos);
     return it->second.engine;
   }
   ++engine_misses_;
+  EngineMetrics().misses.Increment();
   engine_lru_.push_front(key);
   engines_.emplace(key, EngineEntry{engine, engine_lru_.begin()});
   EnforceEngineBudgetLocked();
+  EngineMetrics().bytes.Set(static_cast<double>(EngineBytesLocked()));
   return engine;
 }
 
@@ -476,6 +507,9 @@ Result<CateSubgroupEstimates> CateEstimator::EstimateSubgroups(
     const Bitmap* protected_mask, size_t min_subgroup_size,
     bool skip_subgroups_unless_positive, const ShardPlan* plan,
     TaskGroup* tasks) const {
+  static obs::Counter& batch_evals =
+      obs::MetricsRegistry::Global().GetCounter("estimation.batch_evals");
+  batch_evals.Increment();
   FAIRCAP_ASSIGN_OR_RETURN(
       const std::shared_ptr<const CateStatsEngine> engine,
       EngineFor(intervention));

@@ -8,6 +8,9 @@
 #include "core/benefit.h"
 #include "dataframe/predicate_index.h"
 #include "mining/shard_plan.h"
+#include "util/obs/metrics.h"
+#include "util/obs/run_report.h"
+#include "util/obs/trace.h"
 #include "util/task_scheduler.h"
 #include "util/timer.h"
 
@@ -212,6 +215,8 @@ PrescriptionRule FairCap::CostRule(const Pattern& grouping,
 Result<std::vector<PrescriptionRule>> FairCap::MineCandidateRules(
     const std::vector<FrequentPattern>& groups, size_t* num_evaluations,
     SchedulerStats* scheduler_stats) const {
+  const obs::TraceSpan step_span("treatment_mining");
+  StopWatch mining_watch;
   const bool needs_group_utilities = options_.fairness.active();
   std::vector<std::vector<PrescriptionRule>> per_group(groups.size());
   std::vector<size_t> evals(groups.size(), 0);
@@ -242,6 +247,7 @@ Result<std::vector<PrescriptionRule>> FairCap::MineCandidateRules(
   const ShardPlan* eval_plan = sharded ? &plan : nullptr;
 
   if (sharded) {
+    const obs::TraceSpan warm_span("warm_start_masks");
     // Warm the treatment-atom masks up front with sharded columnar scans
     // (each worker scans only its word range; per-shard results merge by
     // word-level OR into the table's shared PredicateIndex), so the
@@ -263,6 +269,11 @@ Result<std::vector<PrescriptionRule>> FairCap::MineCandidateRules(
   }
 
   auto mine_one = [&](size_t g) {
+    // One span per grouping pattern ("args":{"v":g}); the nested "eval"
+    // and "shard" spans beneath it give the trace its pattern -> shard
+    // hierarchy on each worker track.
+    const obs::TraceSpan pattern_span("pattern",
+                                      static_cast<int64_t>(g));
     const FrequentPattern& group = groups[g];
     // Subgroup cardinalities come from fused word-level counts; the
     // protected / non-protected coverage bitmaps are only materialized on
@@ -281,6 +292,7 @@ Result<std::vector<PrescriptionRule>> FairCap::MineCandidateRules(
 
     TreatmentEvaluator evaluator =
         [&](const Pattern& intervention) -> std::optional<TreatmentEval> {
+      const obs::TraceSpan eval_span("eval", static_cast<int64_t>(g));
       // Gather the overall estimate (and, on the batch path, the
       // protected / non-protected slice from the same one-pass engine).
       CateSubgroupEstimates ests;
@@ -405,12 +417,18 @@ Result<std::vector<PrescriptionRule>> FairCap::MineCandidateRules(
   }
   if (scheduler_stats != nullptr) {
     *scheduler_stats = SchedulerStats{};
+    scheduler_stats->collected = true;
     if (scheduler != nullptr) {
       const TaskScheduler::Stats stats = scheduler->GetStats();
       scheduler_stats->workers = scheduler->num_threads();
       scheduler_stats->tasks = stats.executed;
       scheduler_stats->stolen = stats.stolen;
       scheduler_stats->helped = stats.helped;
+    } else {
+      // Inline execution is a real run, not "stats missing": every
+      // grouping pattern executed on the calling thread.
+      scheduler_stats->inline_execution = true;
+      scheduler_stats->tasks = groups.size();
     }
   }
 
@@ -421,18 +439,34 @@ Result<std::vector<PrescriptionRule>> FairCap::MineCandidateRules(
     for (auto& rule : per_group[g]) candidates.push_back(std::move(rule));
   }
   if (num_evaluations != nullptr) *num_evaluations = total_evals;
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Counter& pattern_tasks =
+      registry.GetCounter("mining.pattern_tasks");
+  pattern_tasks.Add(groups.size());
+  // Set here (not only in Run) so direct callers — bench_schedule, the
+  // baseline adapters — get a populated run report too.
+  registry.GetGauge(obs::kPhaseTreatmentMining)
+      .Set(mining_watch.ElapsedSeconds());
   return candidates;
 }
 
 Result<FairCapResult> FairCap::Run() const {
   FairCapResult result;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  StopWatch total_watch;
   StopWatch watch;
 
   // Step 1: grouping patterns.
-  FAIRCAP_ASSIGN_OR_RETURN(const std::vector<FrequentPattern> groups,
-                           MineGroupingPatterns());
+  std::vector<FrequentPattern> groups;
+  {
+    const obs::TraceSpan step_span("group_mining");
+    FAIRCAP_ASSIGN_OR_RETURN(groups, MineGroupingPatterns());
+  }
   result.num_grouping_patterns = groups.size();
   result.timings.group_mining_seconds = watch.ElapsedSeconds();
+  registry.GetGauge(obs::kPhaseGroupMining)
+      .Set(result.timings.group_mining_seconds);
 
   // Step 2: intervention patterns.
   watch.Restart();
@@ -442,9 +476,12 @@ Result<FairCapResult> FairCap::Run() const {
                          &result.scheduler));
   result.num_candidate_rules = candidates.size();
   result.timings.treatment_mining_seconds = watch.ElapsedSeconds();
+  registry.GetGauge(obs::kPhaseTreatmentMining)
+      .Set(result.timings.treatment_mining_seconds);
 
   // Step 3: greedy selection (budget-aware when a cost model is set).
   watch.Restart();
+  const obs::TraceSpan selection_span("selection");
   std::vector<double> costs;
   const std::vector<double>* costs_ptr = nullptr;
   if (options_.cost_model != nullptr && options_.greedy.budget > 0.0) {
@@ -459,6 +496,9 @@ Result<FairCapResult> FairCap::Run() const {
       GreedySelect(candidates, protected_mask_, options_.fairness,
                    options_.coverage, options_.greedy, costs_ptr);
   result.timings.selection_seconds = watch.ElapsedSeconds();
+  registry.GetGauge(obs::kPhaseSelection)
+      .Set(result.timings.selection_seconds);
+  registry.GetGauge(obs::kPhaseTotal).Set(total_watch.ElapsedSeconds());
 
   result.stats = greedy.stats;
   result.constraints_satisfied = greedy.constraints_satisfied;

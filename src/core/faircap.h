@@ -91,10 +91,15 @@ struct FairCapOptions {
 };
 
 /// Execution counters of the Step-2 task scheduler (observability: the
-/// CLI prints these after a run so skew and idle workers are visible).
+/// CLI logs these after a run so skew and idle workers are visible, and
+/// the same numbers land in the metrics registry — util/obs/metrics.h —
+/// for the machine-readable run report).
 struct SchedulerStats {
-  size_t workers = 0;    ///< scheduler worker threads (0 = ran inline)
-  size_t tasks = 0;      ///< tasks executed (pattern + shard + warm-up)
+  bool collected = false;        ///< false = the run never filled this in
+  bool inline_execution = false; ///< true = single-threaded, no scheduler
+  size_t workers = 0;    ///< scheduler worker threads (0 when inline)
+  size_t tasks = 0;      ///< tasks executed (pattern + shard + warm-up);
+                         ///< on the inline path, the grouping patterns run
   size_t stolen = 0;     ///< tasks a worker took from another's deque
   size_t helped = 0;     ///< tasks run inline by a waiting thread
 };

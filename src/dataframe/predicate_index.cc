@@ -5,9 +5,46 @@
 #include <cstring>
 
 #include "dataframe/dataframe.h"
+#include "util/obs/metrics.h"
 #include "util/simd/simd.h"
 
 namespace faircap {
+
+namespace {
+
+// Global-registry mirrors of the per-instance cache stats: incremented at
+// the same sites, under the same mutex, so the run report's index_cache
+// section and GetStats() can never disagree about what happened. The
+// counters aggregate across every index instance in the process; the byte
+// gauges track the most recently mutated instance (one live table in the
+// CLI, so in practice: the table's index).
+struct IndexCacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& evictions;
+  obs::Counter& atom_evictions;
+  obs::Counter& warm_atom_masks;
+  obs::Gauge& atom_bytes;
+  obs::Gauge& conjunction_bytes;
+  obs::Gauge& numeric_order_bytes;
+};
+
+IndexCacheMetrics& CacheMetrics() {
+  obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+  static IndexCacheMetrics* metrics = new IndexCacheMetrics{
+      r.GetCounter("index_cache.hits"),
+      r.GetCounter("index_cache.misses"),
+      r.GetCounter("index_cache.evictions"),
+      r.GetCounter("index_cache.atom_evictions"),
+      r.GetCounter("index_cache.warm_atom_masks"),
+      r.GetGauge("index_cache.atom_bytes"),
+      r.GetGauge("index_cache.conjunction_bytes"),
+      r.GetGauge("index_cache.numeric_order_bytes"),
+  };
+  return *metrics;
+}
+
+}  // namespace
 
 namespace {
 
@@ -237,6 +274,7 @@ uint32_t PredicateIndex::EnsureAtom(const DataFrame& df, size_t attr,
       if (it != atom_ids_.end() &&
           atom_masks_[it->second].mask != nullptr) {
         ++hits_;
+        CacheMetrics().hits.Increment();
         TouchAtomLocked(it->second);
         return it->second;
       }
@@ -276,6 +314,7 @@ uint32_t PredicateIndex::EnsureAtom(const DataFrame& df, size_t attr,
 
   std::lock_guard<std::mutex> lock(mu_);
   ++misses_;
+  CacheMetrics().misses.Increment();
   uint32_t result_id = 0;
   for (size_t i = 0; i < masks.size(); ++i) {
     const std::string k =
@@ -382,12 +421,14 @@ std::shared_ptr<const Bitmap> PredicateIndex::ConjunctionMaskShared(
     if (pinned.size() == 1) {
       // A one-atom conjunction IS the atom mask; no separate entry.
       ++hits_;
+      CacheMetrics().hits.Increment();
       TouchAtomLocked(ids[0]);
       return pinned[0].second;
     }
     const auto it = conjunctions_.find(key);
     if (it != conjunctions_.end()) {
       ++hits_;
+      CacheMetrics().hits.Increment();
       lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
       return it->second.mask;
     }
@@ -420,10 +461,12 @@ std::shared_ptr<Bitmap> PredicateIndex::InsertConjunctionLocked(
     // A racing evaluator of the same pattern landed first; keep its mask
     // so previously returned references stay canonical.
     ++hits_;
+    CacheMetrics().hits.Increment();
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
     return it->second.mask;
   }
   ++misses_;
+  CacheMetrics().misses.Increment();
   std::shared_ptr<Bitmap> result = std::move(mask);
   lru_.push_front(key);
   conjunction_bytes_ += BitmapBytes(*result);
@@ -433,6 +476,18 @@ std::shared_ptr<Bitmap> PredicateIndex::InsertConjunctionLocked(
 }
 
 void PredicateIndex::EnforceBudgetLocked() const {
+  // Every byte-mutating path ends here (insert, warm start, budget
+  // change), so this is the one place the registry's byte gauges refresh.
+  struct BytesPublisher {
+    const PredicateIndex* index;
+    ~BytesPublisher() {
+      IndexCacheMetrics& m = CacheMetrics();
+      m.atom_bytes.Set(static_cast<double>(index->atom_bytes_));
+      m.conjunction_bytes.Set(static_cast<double>(index->conjunction_bytes_));
+      m.numeric_order_bytes.Set(
+          static_cast<double>(index->numeric_order_bytes_));
+    }
+  } publish{this};
   if (max_bytes_ == 0) return;
   const auto held = [this] {
     return conjunction_bytes_ + atom_bytes_ + numeric_order_bytes_;
@@ -446,6 +501,7 @@ void PredicateIndex::EnforceBudgetLocked() const {
     conjunctions_.erase(it);
     lru_.pop_back();
     ++evictions_;
+    CacheMetrics().evictions.Increment();
   }
   // Atom tier, LRU last: only reached once no evictable conjunction
   // remains. The dense id (and every conjunction key embedding it) stays
@@ -457,6 +513,7 @@ void PredicateIndex::EnforceBudgetLocked() const {
     entry.mask.reset();
     atom_lru_.pop_back();
     ++atom_evictions_;
+    CacheMetrics().atom_evictions.Increment();
   }
   // Numeric sorted orders last of all: the costliest rebuild (a full
   // re-sort), but also the biggest entries at scale (~12 bytes/row per
@@ -488,6 +545,7 @@ void PredicateIndex::WarmStartCategoryMasks(const DataFrame& df, size_t attr,
         InstallAtomMaskLocked(
             it->second, std::make_shared<Bitmap>(std::move(masks[code])));
         ++warm_atoms_;
+        CacheMetrics().warm_atom_masks.Increment();
       }
       continue;
     }
@@ -497,6 +555,7 @@ void PredicateIndex::WarmStartCategoryMasks(const DataFrame& df, size_t attr,
     InstallAtomMaskLocked(id,
                           std::make_shared<Bitmap>(std::move(masks[code])));
     ++warm_atoms_;
+    CacheMetrics().warm_atom_masks.Increment();
   }
   EnforceBudgetLocked();
 }
@@ -540,6 +599,7 @@ void PredicateIndex::Clear() {
   all_rows_.reset();
   numeric_orders_.clear();
   numeric_order_bytes_ = 0;
+  EnforceBudgetLocked();  // no-op eviction pass; refreshes the byte gauges
 }
 
 PredicateIndex::CacheStats PredicateIndex::GetStats() const {

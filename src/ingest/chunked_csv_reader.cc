@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "dataframe/predicate_index.h"
+#include "util/obs/metrics.h"
+#include "util/obs/trace.h"
 #include "util/string_util.h"
 #include "util/task_scheduler.h"
 #include "util/timer.h"
@@ -664,11 +666,24 @@ class StreamParser {
   bool header_done_ = false;
 };
 
+/// Flushes one completed ingest's totals into the global registry (the
+/// run report's "ingest" section). Called once per ingest, off any hot
+/// loop.
+void PublishIngestStats(const IngestStats& local, size_t segments) {
+  obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+  r.GetCounter("ingest.runs").Increment();
+  r.GetCounter("ingest.rows").Add(local.rows);
+  r.GetCounter("ingest.bytes").Add(local.bytes);
+  r.GetCounter("ingest.chunks").Add(local.chunks);
+  r.GetCounter("ingest.segments").Add(segments);
+}
+
 /// `size_hint` (total input bytes, 0 = unknown) drives a one-shot reserve
 /// of the column vectors once the average record size is known.
 Result<DataFrame> StreamFrom(std::istream& in, const Schema& schema,
                              const IngestOptions& options,
                              IngestStats* stats, size_t size_hint) {
+  const obs::TraceSpan span("ingest_stream");
   StopWatch watch;
   IngestStats local;
   StreamParser parser(schema, options);
@@ -724,6 +739,7 @@ Result<DataFrame> StreamFrom(std::istream& in, const Schema& schema,
   local.rows = parser.rows();
   FAIRCAP_ASSIGN_OR_RETURN(DataFrame df, parser.Finish(&local));
   local.seconds = watch.ElapsedSeconds();
+  PublishIngestStats(local, /*segments=*/0);
   if (stats != nullptr) *stats = local;
   return df;
 }
@@ -795,6 +811,7 @@ Result<DataFrame> ParseSegmented(std::string_view content,
                                  const IngestOptions& options,
                                  IngestStats* stats,
                                  TaskScheduler* scheduler) {
+  const obs::TraceSpan span("ingest_segmented");
   StopWatch watch;
   IngestStats local;
   const size_t target = std::max<size_t>(options.chunk_bytes, 1);
@@ -812,6 +829,7 @@ Result<DataFrame> ParseSegmented(std::string_view content,
   std::vector<Status> segment_status(num_segments);
   TaskGroup tasks(scheduler);
   tasks.ParallelFor(num_segments, [&](size_t s) {
+    const obs::TraceSpan segment_span("segment", static_cast<int64_t>(s));
     const size_t end = s + 1 < num_segments ? starts[s + 1] : content.size();
     segment_status[s] =
         parsers[s]->ParseSegment(content.substr(starts[s], end - starts[s]));
@@ -879,6 +897,7 @@ Result<DataFrame> ParseSegmented(std::string_view content,
   local.chunks = num_segments;
   local.parse_threads = scheduler != nullptr ? scheduler->num_threads() : 1;
   local.seconds = watch.ElapsedSeconds();
+  PublishIngestStats(local, num_segments);
   if (stats != nullptr) *stats = local;
   return df;
 }

@@ -4,7 +4,30 @@
 #include <string>
 #include <unordered_set>
 
+#include "util/obs/metrics.h"
+#include "util/obs/trace.h"
+
 namespace faircap {
+
+namespace {
+
+/// Registry mirror of the per-result num_evaluated count, bumped once per
+/// traversal (not per evaluation — the hot loop stays untouched).
+void PublishEvaluations(size_t n) {
+  static obs::Counter& evaluations =
+      obs::MetricsRegistry::Global().GetCounter("mining.lattice_evaluations");
+  evaluations.Add(n);
+}
+
+/// Counts traversal exits on every return path so the published total
+/// always matches result.num_evaluated, including the max_evaluations
+/// early returns.
+struct EvaluationPublisher {
+  const LatticeResult* result;
+  ~EvaluationPublisher() { PublishEvaluations(result->num_evaluated); }
+};
+
+}  // namespace
 
 std::vector<Predicate> EnumerateInterventionAtoms(
     const DataFrame& df, const std::vector<size_t>& mutable_attrs) {
@@ -23,7 +46,9 @@ std::vector<Predicate> EnumerateInterventionAtoms(
 LatticeResult TraverseInterventionLattice(
     const DataFrame& df, const std::vector<size_t>& mutable_attrs,
     const TreatmentEvaluator& evaluator, const LatticeOptions& options) {
+  const obs::TraceSpan lattice_span("lattice");
   LatticeResult result;
+  const EvaluationPublisher publish{&result};
   const std::vector<Predicate> atoms =
       EnumerateInterventionAtoms(df, mutable_attrs);
 

@@ -1,11 +1,15 @@
 // Minimal leveled logging to stderr. Verbosity is process-global and off by
-// default so library code stays silent unless a harness opts in.
+// default so library code stays silent unless a harness opts in — either
+// programmatically (SetLogLevel), via the CLI's --log-level= flag, or via
+// the FAIRCAP_LOG environment variable (InitLogLevelFromEnv).
 
 #ifndef FAIRCAP_UTIL_LOGGING_H_
 #define FAIRCAP_UTIL_LOGGING_H_
 
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <string>
 
 namespace faircap {
 
@@ -51,6 +55,40 @@ class LogMessage {
 /// Sets the minimum level that is actually emitted.
 inline void SetLogLevel(LogLevel level) {
   internal::GlobalLogLevel() = level;
+}
+
+/// Parses "debug" / "info" / "warn" / "error" (the --log-level= and
+/// FAIRCAP_LOG spellings). Returns false on an unknown name (level is
+/// untouched).
+inline bool ParseLogLevel(const std::string& name, LogLevel* level) {
+  if (name == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (name == "info") {
+    *level = LogLevel::kInfo;
+  } else if (name == "warn" || name == "warning") {
+    *level = LogLevel::kWarn;
+  } else if (name == "error") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Applies the FAIRCAP_LOG environment variable if set and valid; an
+/// unknown spelling leaves the level alone and warns (on stderr — the
+/// logger itself might be set to suppress warnings). Harness entry points
+/// call this once at startup; explicit flags override it afterwards.
+inline void InitLogLevelFromEnv() {
+  const char* env = std::getenv("FAIRCAP_LOG");
+  if (env == nullptr || *env == '\0') return;
+  LogLevel level;
+  if (ParseLogLevel(env, &level)) {
+    SetLogLevel(level);
+  } else {
+    std::cerr << "[WARN] FAIRCAP_LOG='" << env
+              << "' not recognized (want debug|info|warn|error); ignored\n";
+  }
 }
 
 #define FAIRCAP_LOG(level)                                              \

@@ -1,0 +1,108 @@
+#include "util/obs/run_report.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/obs/metrics.h"
+#include "util/simd/simd.h"
+
+namespace faircap {
+namespace obs {
+
+namespace {
+
+/// The v1 schema floor. Every name here exists (possibly zero-valued) in
+/// every report, so downstream parsers — CI validation, the bench
+/// harnesses, dashboards — can index unconditionally.
+constexpr const char* kStandardCounters[] = {
+    "scheduler.instances",
+    "scheduler.submitted",
+    "scheduler.executed",
+    "scheduler.stolen",
+    "scheduler.helped",
+    "index_cache.hits",
+    "index_cache.misses",
+    "index_cache.evictions",
+    "index_cache.atom_evictions",
+    "index_cache.warm_atom_masks",
+    "engine_cache.hits",
+    "engine_cache.misses",
+    "engine_cache.evictions",
+    "ingest.runs",
+    "ingest.rows",
+    "ingest.bytes",
+    "ingest.chunks",
+    "ingest.segments",
+    "estimation.legacy_calls",
+    "estimation.batch_evals",
+    "estimation.solve_regression",
+    "estimation.solve_stratified",
+    "estimation.solve_ipw_cells",
+    "estimation.solve_ipw_rows",
+    "mining.lattice_evaluations",
+    "mining.pattern_tasks",
+};
+
+constexpr const char* kStandardGauges[] = {
+    kPhaseIngest,
+    kPhaseGroupMining,
+    kPhaseTreatmentMining,
+    kPhaseSelection,
+    kPhaseTotal,
+    "scheduler.workers",
+    "index_cache.atom_bytes",
+    "index_cache.conjunction_bytes",
+    "index_cache.numeric_order_bytes",
+    "engine_cache.bytes",
+    "simd.level",
+};
+
+}  // namespace
+
+void EnsureStandardMetricsRegistered() {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  for (const char* name : kStandardCounters) registry.GetCounter(name);
+  for (const char* name : kStandardGauges) registry.GetGauge(name);
+}
+
+void WriteRunReport(std::ostream& out) {
+  EnsureStandardMetricsRegistered();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  // Body: the registry's section-grouped JSON, with the schema marker and
+  // the human-readable SIMD tier name spliced in. The registry output is
+  // "{...}"; splice after the opening brace so "schema" leads and the
+  // "simd" section (guaranteed present by the floor above) gains
+  // "level_name" next to its numeric "level".
+  std::ostringstream body;
+  registry.WriteJson(body);
+  std::string json = body.str();
+  const std::string simd_key = "\"simd\":{";
+  const size_t simd_at = json.find(simd_key);
+  if (simd_at != std::string::npos) {
+    const auto level = static_cast<simd::SimdLevel>(
+        static_cast<int>(registry.GaugeValue("simd.level")));
+    std::string name = "unknown";
+    if (level >= simd::SimdLevel::kScalar &&
+        level <= simd::SimdLevel::kAvx512) {
+      name = simd::SimdLevelName(level);
+    }
+    json.insert(simd_at + simd_key.size(),
+                "\"level_name\":\"" + name + "\",");
+  }
+  out << "{\"schema\":\"faircap.run_report.v1\"," << json.substr(1);
+}
+
+Status WriteRunReportFile(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  WriteRunReport(out);
+  out << "\n";
+  if (!out) return Status::Internal("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace faircap

@@ -1,0 +1,163 @@
+#include "util/obs/trace.h"
+
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace faircap {
+namespace obs {
+
+namespace internal {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Epoch of the current tracing session. Written by EnableTracing before
+/// the enabled flag flips, read by recording threads after they observe
+/// the flag — the flag's load/store pair orders the accesses in practice,
+/// and an early read before the first Enable just yields offsets from
+/// process start, still monotone within a session.
+std::atomic<int64_t> g_epoch_ns{0};
+
+/// One thread's span buffer. Owned jointly by the thread (thread_local
+/// handle) and the global registry, so events survive thread exit until
+/// the flush reads them.
+struct ThreadTrace {
+  uint32_t tid = 0;
+  std::string name;          ///< set by SetThreadTraceName, may be empty
+  std::vector<TraceEvent> events;
+};
+
+struct TraceRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadTrace>> threads;
+  uint32_t next_tid = 1;
+};
+
+TraceRegistry& Registry() {
+  static TraceRegistry* registry = new TraceRegistry();
+  return *registry;
+}
+
+/// The calling thread's buffer, registered on first use. The shared_ptr
+/// copy in the registry keeps the buffer alive after the thread exits.
+ThreadTrace& LocalTrace() {
+  thread_local std::shared_ptr<ThreadTrace> local = [] {
+    auto trace = std::make_shared<ThreadTrace>();
+    TraceRegistry& reg = Registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    trace->tid = reg.next_tid++;
+    reg.threads.push_back(trace);
+    return trace;
+  }();
+  return *local;
+}
+
+}  // namespace
+
+uint64_t TraceNowNs() {
+  const int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          Clock::now().time_since_epoch())
+                          .count();
+  const int64_t epoch = g_epoch_ns.load(std::memory_order_relaxed);
+  return now > epoch ? static_cast<uint64_t>(now - epoch) : 0;
+}
+
+void RecordTraceEvent(const char* name, uint64_t start_ns, uint64_t dur_ns,
+                      int64_t arg) {
+  LocalTrace().events.push_back(TraceEvent{name, start_ns, dur_ns, arg});
+}
+
+}  // namespace internal
+
+void EnableTracing() {
+  ClearTrace();
+  internal::g_epoch_ns.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          internal::Clock::now().time_since_epoch())
+          .count(),
+      std::memory_order_relaxed);
+  internal::g_tracing_enabled.store(true, std::memory_order_release);
+}
+
+void DisableTracing() {
+  internal::g_tracing_enabled.store(false, std::memory_order_release);
+}
+
+void ClearTrace() {
+  internal::TraceRegistry& reg = internal::Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  // Thread names persist (they describe the thread, not the session);
+  // events belong to the session and go.
+  for (auto& thread : reg.threads) thread->events.clear();
+}
+
+void SetThreadTraceName(const std::string& name) {
+  internal::LocalTrace().name = name;
+}
+
+size_t TraceEventCount() {
+  internal::TraceRegistry& reg = internal::Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  size_t count = 0;
+  for (const auto& thread : reg.threads) count += thread->events.size();
+  return count;
+}
+
+void WriteChromeTrace(std::ostream& out) {
+  internal::TraceRegistry& reg = internal::Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out << ",";
+    first = false;
+  };
+  const char* const pid = "1";
+  for (const auto& thread : reg.threads) {
+    if (thread->events.empty()) continue;
+    if (!thread->name.empty()) {
+      comma();
+      out << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << thread->tid
+          << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+      // Thread names are code-chosen identifiers; escape defensively.
+      for (const char c : thread->name) {
+        if (c == '"' || c == '\\') out << '\\';
+        out << c;
+      }
+      out << "\"}}";
+    }
+    for (const internal::TraceEvent& event : thread->events) {
+      comma();
+      // Chrome trace timestamps are microseconds; keep ns precision via
+      // the fractional part.
+      out << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << thread->tid
+          << ",\"ts\":" << static_cast<double>(event.start_ns) / 1e3
+          << ",\"dur\":" << static_cast<double>(event.dur_ns) / 1e3
+          << ",\"name\":\"" << event.name << "\"";
+      if (event.arg >= 0) out << ",\"args\":{\"v\":" << event.arg << "}";
+      out << "}";
+    }
+  }
+  out << "]}";
+}
+
+Status WriteChromeTraceFile(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  WriteChromeTrace(out);
+  out << "\n";
+  if (!out) return Status::Internal("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace faircap

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "util/obs/metrics.h"
 #include "util/simd/simd_kernels_core.h"
 
 namespace faircap {
@@ -94,6 +95,9 @@ void ResolveStartupLevel() {
   }
   g_active_level.store(static_cast<int>(level), std::memory_order_relaxed);
   g_active_kernels.store(KernelsFor(level), std::memory_order_release);
+  obs::MetricsRegistry::Global()
+      .GetGauge("simd.level")
+      .Set(static_cast<double>(level));
 }
 
 void EnsureResolved() { std::call_once(g_init_once, ResolveStartupLevel); }
@@ -152,6 +156,9 @@ Status SetSimdLevel(SimdLevel level) {
   }
   g_active_level.store(static_cast<int>(level), std::memory_order_relaxed);
   g_active_kernels.store(kernels, std::memory_order_release);
+  obs::MetricsRegistry::Global()
+      .GetGauge("simd.level")
+      .Set(static_cast<double>(level));
   return Status::OK();
 }
 

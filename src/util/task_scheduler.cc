@@ -2,7 +2,11 @@
 
 #include <cassert>
 #include <chrono>
+#include <string>
 #include <utility>
+
+#include "util/obs/metrics.h"
+#include "util/obs/trace.h"
 
 namespace faircap {
 
@@ -162,6 +166,11 @@ TaskScheduler::TaskScheduler(size_t num_threads) {
   for (size_t i = 0; i < num_threads; ++i) {
     workers_[i]->thread = std::thread([this, i] { WorkerLoop(i); });
   }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Counter& instances = registry.GetCounter("scheduler.instances");
+  instances.Increment();
+  registry.GetGauge("scheduler.workers")
+      .Set(static_cast<double>(num_threads));
 }
 
 TaskScheduler::~TaskScheduler() {
@@ -173,6 +182,18 @@ TaskScheduler::~TaskScheduler() {
   for (auto& w : workers_) w->thread.join();
   assert(num_queued_.load() == 0 &&
          "tasks left behind: a TaskGroup outlived its scheduler");
+  // Flush lifetime totals into the global registry once, at teardown:
+  // zero hot-path cost, and the run report (written after the pipeline
+  // destroys its scheduler) sees the full per-run numbers.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("scheduler.submitted")
+      .Add(submitted_.load(std::memory_order_relaxed));
+  registry.GetCounter("scheduler.executed")
+      .Add(executed_.load(std::memory_order_relaxed));
+  registry.GetCounter("scheduler.stolen")
+      .Add(stolen_.load(std::memory_order_relaxed));
+  registry.GetCounter("scheduler.helped")
+      .Add(helped_.load(std::memory_order_relaxed));
 }
 
 void TaskScheduler::Enqueue(TaskGroup* group, std::function<void()> fn) {
@@ -298,6 +319,7 @@ void TaskScheduler::Execute(Task task) {
 void TaskScheduler::WorkerLoop(size_t index) {
   tls_scheduler = this;
   tls_worker_index = index;
+  obs::SetThreadTraceName("worker-" + std::to_string(index));
   for (;;) {
     Task task;
     if (TryGetTask(index, &task)) {

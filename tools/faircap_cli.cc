@@ -34,6 +34,10 @@
 #include "dataframe/csv.h"
 #include "ingest/chunked_csv_reader.h"
 #include "ingest/repository.h"
+#include "util/logging.h"
+#include "util/obs/metrics.h"
+#include "util/obs/run_report.h"
+#include "util/obs/trace.h"
 #include "util/simd/simd.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -108,6 +112,17 @@ void PrintUsage() {
       "                            at every tier. FAIRCAP_SIMD env var\n"
       "                            does the same but clamps with a\n"
       "                            warning instead of failing)\n"
+      "  --log-level=debug|info|warn|error   (stderr verbosity; default\n"
+      "                            warn. FAIRCAP_LOG env var does the\n"
+      "                            same; the flag wins)\n"
+      "  --trace-json=FILE        (record spans; write a Chrome\n"
+      "                            trace-event / Perfetto-loadable JSON\n"
+      "                            timeline at exit. FAIRCAP_TRACE=FILE\n"
+      "                            env var does the same)\n"
+      "  --metrics-json=FILE      (write the machine-readable run report:\n"
+      "                            per-phase wall times plus the full\n"
+      "                            metrics registry — scheduler, caches,\n"
+      "                            ingest, SIMD tier, estimation splits)\n"
       "ingest options:\n"
       "  --chunk-kb=1024 --threads=1   (parse threads; 0 = hardware)\n"
       "  --compare-legacy\n";
@@ -241,11 +256,15 @@ int RunPipeline(const CliArgs& args) {
     PrintUsage();
     return 0;
   }
+  StopWatch load_watch;
   auto loaded = LoadFromArgs(args);
   if (!loaded.ok()) {
     PrintUsage();
     return Fail(loaded.status().ToString());
   }
+  obs::MetricsRegistry::Global()
+      .GetGauge(obs::kPhaseIngest)
+      .Set(load_watch.ElapsedSeconds());
   DataFrame df = std::move(loaded->df);
   const CausalDag dag = std::move(loaded->dag);
 
@@ -339,14 +358,22 @@ int RunPipeline(const CliArgs& args) {
                       result->timings.total()}},
                     /*with_runtime=*/true);
 
-  if (result->scheduler.workers > 0) {
-    // Scheduler observability: steals show load balancing across the
-    // pattern x shard graph; helped counts tasks a Wait()ing thread ran
-    // inline instead of blocking.
-    std::cout << "\nscheduler: " << result->scheduler.workers << " workers, "
-              << result->scheduler.tasks << " tasks ("
-              << result->scheduler.stolen << " stolen, "
-              << result->scheduler.helped << " run by waiters)\n";
+  if (result->scheduler.collected) {
+    // Scheduler observability (stderr, --log-level=info): steals show
+    // load balancing across the pattern x shard graph; helped counts
+    // tasks a Wait()ing thread ran inline instead of blocking. Inline
+    // runs (--threads=1) report as such rather than as missing stats.
+    if (result->scheduler.inline_execution) {
+      FAIRCAP_LOG(Info) << "scheduler: inline (no workers), "
+                        << result->scheduler.tasks
+                        << " pattern tasks on the calling thread";
+    } else {
+      FAIRCAP_LOG(Info) << "scheduler: " << result->scheduler.workers
+                        << " workers, " << result->scheduler.tasks
+                        << " tasks (" << result->scheduler.stolen
+                        << " stolen, " << result->scheduler.helped
+                        << " run by waiters)";
+    }
   }
 
   if (args.Has("natural-language")) {
@@ -358,22 +385,24 @@ int RunPipeline(const CliArgs& args) {
       std::cout << "  - " << rule.ToString(df.schema()) << "\n";
     }
   }
-  if (budget_mb > 0.0) {
+  {
     const auto index_stats = df.predicate_index().GetStats();
-    std::cout << "\nindex: " << index_stats.atom_masks << " atom masks, "
-              << index_stats.conjunction_masks << " conjunction masks ("
-              << index_stats.conjunction_bytes << " bytes held, "
-              << index_stats.evictions << " evicted)\n";
+    FAIRCAP_LOG(Info) << "index: " << index_stats.atom_masks
+                      << " atom masks, " << index_stats.conjunction_masks
+                      << " conjunction masks ("
+                      << index_stats.conjunction_bytes << " bytes held, "
+                      << index_stats.evictions << " evicted)";
   }
-  if (engine_budget_mb > 0.0) {
+  {
     // Surface engine-cache pressure: a budget far below the working set
     // shows up here as evictions (every re-request rebuilds an engine).
     const auto engine_stats = solver->estimator().GetEngineStats();
-    std::cout << "\nengine cache: " << engine_stats.engines << " engines, "
-              << engine_stats.partitions << " partitions ("
-              << engine_stats.bytes << " bytes held), " << engine_stats.hits
-              << " hits / " << engine_stats.misses << " misses, "
-              << engine_stats.evictions << " evicted\n";
+    FAIRCAP_LOG(Info) << "engine cache: " << engine_stats.engines
+                      << " engines, " << engine_stats.partitions
+                      << " partitions (" << engine_stats.bytes
+                      << " bytes held), " << engine_stats.hits << " hits / "
+                      << engine_stats.misses << " misses, "
+                      << engine_stats.evictions << " evicted";
   }
   return 0;
 }
@@ -389,6 +418,17 @@ int main(int argc, char** argv) {
   }
   const CliArgs args = CliArgs::Parse(argc, argv, first_flag);
 
+  // Verbosity: FAIRCAP_LOG env first, explicit --log-level wins.
+  InitLogLevelFromEnv();
+  if (args.Has("log-level")) {
+    LogLevel level;
+    if (!ParseLogLevel(args.Get("log-level"), &level)) {
+      return Fail("unknown --log-level '" + args.Get("log-level") +
+                  "' (want debug|info|warn|error)");
+    }
+    SetLogLevel(level);
+  }
+
   // Pin the SIMD kernel tier before any work runs (the first bitmap or
   // estimator call freezes throughput characteristics). Unlike the
   // FAIRCAP_SIMD env knob, which clamps with a warning, an explicit flag
@@ -403,14 +443,52 @@ int main(int argc, char** argv) {
     if (!status.ok()) return Fail(status.ToString());
   }
 
-  if (verb == "run") return RunPipeline(args);
-  if (verb == "gen") return RunGen(args);
-  if (verb == "ingest") return RunIngest(args);
-  if (verb == "datasets") return RunDatasets();
-  if (verb == "help") {
+  // Span tracing: on for the whole verb when a destination is named
+  // (--trace-json=FILE, or the FAIRCAP_TRACE=FILE env var), flushed once
+  // after the verb finishes — by then the pipeline has destroyed (joined)
+  // its scheduler, so no thread is still recording.
+  std::string trace_path = args.Get("trace-json");
+  if (trace_path.empty()) {
+    const char* env = std::getenv("FAIRCAP_TRACE");
+    if (env != nullptr) trace_path = env;
+  }
+  if (trace_path == "true") {
+    return Fail("--trace-json needs a file: --trace-json=FILE");
+  }
+  if (args.Get("metrics-json") == "true") {
+    return Fail("--metrics-json needs a file: --metrics-json=FILE");
+  }
+  if (!trace_path.empty()) obs::EnableTracing();
+
+  int rc;
+  if (verb == "run") {
+    rc = RunPipeline(args);
+  } else if (verb == "gen") {
+    rc = RunGen(args);
+  } else if (verb == "ingest") {
+    rc = RunIngest(args);
+  } else if (verb == "datasets") {
+    rc = RunDatasets();
+  } else if (verb == "help") {
     PrintUsage();
     return 0;
+  } else {
+    PrintUsage();
+    return Fail("unknown verb '" + verb + "'");
   }
-  PrintUsage();
-  return Fail("unknown verb '" + verb + "'");
+
+  if (!trace_path.empty()) {
+    obs::DisableTracing();
+    const size_t events = obs::TraceEventCount();
+    const Status written = obs::WriteChromeTraceFile(trace_path);
+    if (!written.ok()) return Fail(written.ToString());
+    FAIRCAP_LOG(Info) << "trace: " << trace_path << " (" << events
+                      << " spans; load in ui.perfetto.dev)";
+  }
+  if (args.Has("metrics-json")) {
+    const Status written = obs::WriteRunReportFile(args.Get("metrics-json"));
+    if (!written.ok()) return Fail(written.ToString());
+    FAIRCAP_LOG(Info) << "metrics: " << args.Get("metrics-json");
+  }
+  return rc;
 }
