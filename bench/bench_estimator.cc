@@ -195,72 +195,106 @@ int RunScale(size_t rows, size_t threads, bool run_ipw) {
   return 0;
 }
 
-// Batch-only per-ISA sweep (--json): the same treatment x group
-// evaluations through the batch engine under each supported SIMD tier.
-// One untimed warm-up pass per tier fills the engine/partition caches so
-// tiers compare kernel throughput, not cache luck.
-int RunSimdSweep(size_t rows, const std::string& json_path) {
-  SyntheticConfig config;
-  config.num_rows = rows;
-  config.seed = 13;
-  auto data = MakeSynthetic(config);
-  if (!data.ok()) {
-    std::cerr << "generate: " << data.status().ToString() << "\n";
-    return 1;
-  }
-  const DataFrame& df = data->df;
-  const Bitmap protected_mask = data->protected_pattern.Evaluate(df);
-  const std::vector<size_t> mutables =
-      df.schema().IndicesWithRole(AttrRole::kMutable);
-  const std::vector<Predicate> atoms =
-      EnumerateInterventionAtoms(df, mutables);
-  std::vector<Pattern> interventions;
-  for (const Predicate& atom : atoms) {
-    interventions.push_back(Pattern({atom}));
-  }
-  const Bitmap all = df.AllRows();
+// Dominant accumulation path during a bench pass, read from the public
+// estimation.accumulate_path_* counter deltas (no bench-private
+// instrumentation inside the engine).
+std::string DominantPath(const uint64_t before[3]) {
+  const obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const uint64_t d_int =
+      reg.CounterValue("estimation.accumulate_path_int") - before[0];
+  const uint64_t d_fp =
+      reg.CounterValue("estimation.accumulate_path_fp_staged") - before[1];
+  const uint64_t d_sparse =
+      reg.CounterValue("estimation.accumulate_path_sparse") - before[2];
+  if (d_int >= d_fp && d_int >= d_sparse && d_int > 0) return "int-fast";
+  if (d_fp >= d_sparse && d_fp > 0) return "fp-staged";
+  return "sparse";
+}
 
+// Batch-only per-ISA sweep (--json): the same treatment x group
+// evaluations through the batch engine under each supported SIMD tier,
+// on both a real-valued and an integer-valued outcome so the sweep
+// covers the fp-staged and exact int64 accumulation paths. One untimed
+// warm-up pass per tier fills the engine/partition caches so tiers
+// compare kernel throughput, not cache luck.
+int RunSimdSweep(size_t rows, const std::string& json_path) {
   struct TierRow {
     std::string simd;
     std::string method;
+    std::string outcome_dtype;
+    std::string accumulate_path;
     size_t evals = 0;
     double us_per_eval = 0.0;
   };
   std::vector<TierRow> results;
-  std::printf("rows=%zu  treatments=%zu  (batch engine, per-ISA)\n", rows,
-              interventions.size());
-  std::printf("%-12s %-8s %10s %14s\n", "method", "simd", "evals",
-              "batch_us");
-  for (const auto& [name, method] : std::vector<
-           std::pair<const char*, CateMethod>>{
-           {"regression", CateMethod::kRegression},
-           {"stratified", CateMethod::kStratified}}) {
-    CateOptions options;
-    options.method = method;
-    auto est = CateEstimator::Create(&df, &data->dag, options);
-    if (!est.ok()) {
-      std::cerr << "estimator: " << est.status().ToString() << "\n";
+
+  for (const bool integer_outcome : {false, true}) {
+    SyntheticConfig config;
+    config.num_rows = rows;
+    config.seed = 13;
+    config.integer_outcome = integer_outcome;
+    auto data = MakeSynthetic(config);
+    if (!data.ok()) {
+      std::cerr << "generate: " << data.status().ToString() << "\n";
       return 1;
     }
-    for (const simd::SimdLevel level : simd::SupportedSimdLevels()) {
-      simd::ScopedSimdLevel pin(level);
-      for (int timed = 0; timed <= 1; ++timed) {
-        StopWatch watch;
-        size_t evals = 0;
-        for (const Pattern& intervention : interventions) {
-          (void)est->EstimateSubgroups(intervention, all, &protected_mask, 5);
-          ++evals;
+    const DataFrame& df = data->df;
+    const Bitmap protected_mask = data->protected_pattern.Evaluate(df);
+    const std::vector<size_t> mutables =
+        df.schema().IndicesWithRole(AttrRole::kMutable);
+    const std::vector<Predicate> atoms =
+        EnumerateInterventionAtoms(df, mutables);
+    std::vector<Pattern> interventions;
+    for (const Predicate& atom : atoms) {
+      interventions.push_back(Pattern({atom}));
+    }
+    const Bitmap all = df.AllRows();
+    const char* dtype = integer_outcome ? "integer" : "real";
+
+    std::printf("rows=%zu  treatments=%zu  outcome=%s  (batch engine)\n",
+                rows, interventions.size(), dtype);
+    std::printf("%-12s %-8s %-8s %-10s %10s %14s\n", "method", "simd",
+                "dtype", "path", "evals", "batch_us");
+    for (const auto& [name, method] : std::vector<
+             std::pair<const char*, CateMethod>>{
+             {"regression", CateMethod::kRegression},
+             {"stratified", CateMethod::kStratified}}) {
+      CateOptions options;
+      options.method = method;
+      auto est = CateEstimator::Create(&df, &data->dag, options);
+      if (!est.ok()) {
+        std::cerr << "estimator: " << est.status().ToString() << "\n";
+        return 1;
+      }
+      for (const simd::SimdLevel level : simd::SupportedSimdLevels()) {
+        simd::ScopedSimdLevel pin(level);
+        for (int timed = 0; timed <= 1; ++timed) {
+          const obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+          const uint64_t path_before[3] = {
+              reg.CounterValue("estimation.accumulate_path_int"),
+              reg.CounterValue("estimation.accumulate_path_fp_staged"),
+              reg.CounterValue("estimation.accumulate_path_sparse")};
+          StopWatch watch;
+          size_t evals = 0;
+          for (const Pattern& intervention : interventions) {
+            (void)est->EstimateSubgroups(intervention, all, &protected_mask,
+                                         5);
+            ++evals;
+          }
+          if (timed == 0) continue;  // warm-up pass
+          TierRow row;
+          row.simd = simd::SimdLevelName(level);
+          row.method = name;
+          row.outcome_dtype = dtype;
+          row.accumulate_path = DominantPath(path_before);
+          row.evals = evals;
+          row.us_per_eval =
+              1e6 * watch.ElapsedSeconds() / static_cast<double>(evals);
+          std::printf("%-12s %-8s %-8s %-10s %10zu %14.1f\n", name,
+                      row.simd.c_str(), dtype, row.accumulate_path.c_str(),
+                      evals, row.us_per_eval);
+          results.push_back(std::move(row));
         }
-        if (timed == 0) continue;  // warm-up pass
-        TierRow row;
-        row.simd = simd::SimdLevelName(level);
-        row.method = name;
-        row.evals = evals;
-        row.us_per_eval =
-            1e6 * watch.ElapsedSeconds() / static_cast<double>(evals);
-        std::printf("%-12s %-8s %10zu %14.1f\n", name, row.simd.c_str(),
-                    evals, row.us_per_eval);
-        results.push_back(std::move(row));
       }
     }
   }
@@ -277,7 +311,9 @@ int RunSimdSweep(size_t rows, const std::string& json_path) {
   for (size_t i = 0; i < results.size(); ++i) {
     const TierRow& r = results[i];
     out << (i == 0 ? "" : ",") << "{\"method\":\"" << r.method
-        << "\",\"simd\":\"" << r.simd << "\",\"evals\":" << r.evals
+        << "\",\"simd\":\"" << r.simd << "\",\"outcome_dtype\":\""
+        << r.outcome_dtype << "\",\"accumulate_path\":\""
+        << r.accumulate_path << "\",\"evals\":" << r.evals
         << ",\"us_per_eval\":" << r.us_per_eval << "}";
   }
   out << "]}\n";

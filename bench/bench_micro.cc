@@ -304,16 +304,23 @@ int RunSimdKernelSweep(const std::string& json_path) {
   }
   std::vector<int32_t> cell_of_row(kBits);
   std::vector<double> outcome(kBits);
+  std::vector<int64_t> outcome_i64(kBits);
   std::uniform_int_distribution<int32_t> cell_dist(-1, kCells - 1);
+  std::uniform_int_distribution<int64_t> int_dist(-50, 50);
   for (size_t i = 0; i < kBits; ++i) {
     cell_of_row[i] = cell_dist(rng);
     outcome[i] = val_dist(rng);
+    outcome_i64[i] = int_dist(rng);
   }
+  // Stat arrays carry the two scratch slots the integer kernels' dense
+  // loop steers excluded rows into (simd.h, CateSink).
   struct Sink {
     size_t rows = 0, n_treated = 0, n_control = 0;
-    std::vector<uint32_t> n = std::vector<uint32_t>(2 * kCells, 0);
-    std::vector<double> sy = std::vector<double>(2 * kCells, 0.0);
-    std::vector<double> syy = std::vector<double>(2 * kCells, 0.0);
+    std::vector<uint32_t> n = std::vector<uint32_t>(2 * kCells + 2, 0);
+    std::vector<double> sy = std::vector<double>(2 * kCells + 2, 0.0);
+    std::vector<double> syy = std::vector<double>(2 * kCells + 2, 0.0);
+    std::vector<int64_t> isy = std::vector<int64_t>(2 * kCells + 2, 0);
+    std::vector<int64_t> isyy = std::vector<int64_t>(2 * kCells + 2, 0);
     simd::CateSink View() {
       simd::CateSink s;
       s.rows = &rows;
@@ -322,6 +329,8 @@ int RunSimdKernelSweep(const std::string& json_path) {
       s.n = n.data();
       s.sy = sy.data();
       s.syy = syy.data();
+      s.isy = isy.data();
+      s.isyy = isyy.data();
       return s;
     }
   };
@@ -368,6 +377,7 @@ int RunSimdKernelSweep(const std::string& json_path) {
       args.outcome = outcome.data();
       args.word_begin = 0;
       args.word_end = kWords;
+      args.num_slots = 2 * kCells;
       Record(&records,
              dense ? "cate_accumulate_dense" : "cate_accumulate_sparse",
              level, kBits, TimeNsPerCall([&] {
@@ -376,6 +386,20 @@ int RunSimdKernelSweep(const std::string& json_path) {
                args.prot = p.View();
                args.nonprot = np.View();
                k->cate_accumulate(args);
+               benchmark::DoNotOptimize(overall.rows);
+             }));
+      // The exact int64 fast path on the same masks with an
+      // integer-valued outcome; the guard never trips at this magnitude.
+      args.outcome_i64 = outcome_i64.data();
+      args.safe_rows = ~uint64_t{0};
+      Record(&records,
+             dense ? "cate_accumulate_int_dense" : "cate_accumulate_int_sparse",
+             level, kBits, TimeNsPerCall([&] {
+               Sink overall, p, np;
+               args.overall = overall.View();
+               args.prot = p.View();
+               args.nonprot = np.View();
+               benchmark::DoNotOptimize(k->cate_accumulate_int(args));
                benchmark::DoNotOptimize(overall.rows);
              }));
     }

@@ -216,6 +216,39 @@ std::shared_ptr<const ConfounderPartition> ConfounderPartition::Build(
     part->cell_of_row_[r] = it->second;
   }
 
+  // Detect integer-valued outcomes (the german/stackoverflow binary
+  // outcomes and integer synthetic knobs) once per partition: the batch
+  // engine then accumulates {Σy, Σy²} in int64 — exact, so vector tiers
+  // may reassociate freely — and converts to double only at solve time.
+  // The 2^31 magnitude cap keeps y² inside int64; safe_int_rows_ bounds
+  // how many rows any partial may absorb before |Σy| or Σy² could reach
+  // 2^53, past which the double conversion (and the legacy FP sum itself)
+  // would stop being exact. Nulls sit at 0.0 in outcome_, which is
+  // integer, so scanning the whole cache is equivalent to scanning the
+  // non-null rows.
+  part->outcome_integer_ = true;
+  int64_t max_abs_y = 0;
+  for (size_t r = 0; r < n; ++r) {
+    const double v = part->outcome_[r];
+    if (!(v >= -2147483647.0 && v <= 2147483647.0) ||
+        static_cast<double>(static_cast<int64_t>(v)) != v) {
+      part->outcome_integer_ = false;
+      break;
+    }
+    const int64_t iv = static_cast<int64_t>(v);
+    max_abs_y = std::max(max_abs_y, iv < 0 ? -iv : iv);
+  }
+  if (part->outcome_integer_) {
+    part->outcome_i64_.resize(n);
+    for (size_t r = 0; r < n; ++r) {
+      part->outcome_i64_[r] = static_cast<int64_t>(part->outcome_[r]);
+    }
+    const int64_t max_mag = std::max(max_abs_y, max_abs_y * max_abs_y);
+    part->safe_int_rows_ =
+        max_mag > 0 ? ((uint64_t{1} << 53) - 1) / static_cast<uint64_t>(max_mag)
+                    : ~uint64_t{0};
+  }
+
   part->cells_by_stratum_.reserve(part->cells_.size());
   for (uint32_t c = 0; c < part->cells_.size(); ++c) {
     if (part->cells_[c].stratum_id >= 0) part->cells_by_stratum_.push_back(c);
@@ -227,6 +260,7 @@ std::shared_ptr<const ConfounderPartition> ConfounderPartition::Build(
 
   size_t bytes = part->cell_of_row_.size() * sizeof(int32_t) +
                  part->outcome_.size() * sizeof(double) +
+                 part->outcome_i64_.size() * sizeof(int64_t) +
                  part->cells_by_stratum_.size() * sizeof(uint32_t);
   for (const auto& vals : part->numeric_values_) {
     bytes += vals.size() * sizeof(double);
@@ -260,14 +294,20 @@ size_t CateStatsEngine::bytes() const {
 CateStatsEngine::Accum CateStatsEngine::MakeAccum() const {
   Accum acc;
   const size_t slots = partition_->cells().size() * 2;
-  acc.n.assign(slots, 0);
-  acc.sy.assign(slots, 0.0);
-  acc.syy.assign(slots, 0.0);
+  // Two write-only scratch slots past the real ones absorb the integer
+  // kernels' branchless excluded-row stores (simd.h, CateSink).
+  acc.n.assign(slots + 2, 0);
+  acc.sy.assign(slots + 2, 0.0);
+  acc.syy.assign(slots + 2, 0.0);
   if (need_moments()) {
     const size_t m = partition_->num_numeric();
     acc.zsum.assign(slots * m, 0.0);
     acc.zysum.assign(slots * m, 0.0);
     acc.zzsum.assign(slots * (m * (m + 1) / 2), 0.0);
+  }
+  if (int_path_enabled()) {
+    acc.isy.assign(slots + 2, 0);
+    acc.isyy.assign(slots + 2, 0);
   }
   return acc;
 }
@@ -294,8 +334,10 @@ void CateStatsEngine::AccumulateRange(const Bitmap& group,
   // The treated mask drives the arm bit and the group (plus optional
   // protected) masks the rows — three bitmaps walked word-at-a-time, 64
   // rows per load, through the runtime-dispatched accumulation kernel.
-  // Every ISA tier performs the float adds in the same ascending-row
-  // order, so the result is bit-identical at every SIMD level.
+  // Integer-valued outcomes take the exact int64 path (associative, so
+  // tiers reassociate freely); real-valued outcomes keep every float add
+  // in the same ascending-row order per sink. Either way the result is
+  // bit-identical at every SIMD level.
   const auto sink_of = [](Accum* acc) {
     simd::CateSink sink;
     sink.rows = &acc->rows;
@@ -307,6 +349,8 @@ void CateStatsEngine::AccumulateRange(const Bitmap& group,
     sink.zsum = acc->zsum.empty() ? nullptr : acc->zsum.data();
     sink.zysum = acc->zysum.empty() ? nullptr : acc->zysum.data();
     sink.zzsum = acc->zzsum.empty() ? nullptr : acc->zzsum.data();
+    sink.isy = acc->isy.empty() ? nullptr : acc->isy.data();
+    sink.isyy = acc->isyy.empty() ? nullptr : acc->isyy.data();
     return sink;
   };
   simd::CateAccumArgs args;
@@ -321,12 +365,56 @@ void CateStatsEngine::AccumulateRange(const Bitmap& group,
   args.zcols = args.moments ? partition_->numeric_value_ptrs() : nullptr;
   args.word_begin = word_begin;
   args.word_end = word_end;
+  args.num_slots = partition_->cells().size() * 2;
+  size_t dense_words = 0, sparse_words = 0;
+  args.dense_words = &dense_words;
+  args.sparse_words = &sparse_words;
   args.overall = sink_of(overall);
   if (protected_mask != nullptr) {
     args.prot = sink_of(prot);
     args.nonprot = sink_of(nonprot);
   }
-  simd::ActiveKernels().cate_accumulate(args);
+
+  const bool int_path = int_path_enabled();
+  const size_t rows_before = overall->rows;
+  bool stayed_int = false;
+  if (int_path) {
+    args.outcome_i64 = partition_->outcome_i64().data();
+    args.safe_rows = partition_->safe_int_rows();
+    stayed_int = simd::ActiveKernels().cate_accumulate_int(args);
+    overall->int_valid = stayed_int;
+    if (protected_mask != nullptr) {
+      prot->int_valid = stayed_int;
+      nonprot->int_valid = stayed_int;
+    }
+  } else {
+    simd::ActiveKernels().cate_accumulate(args);
+  }
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Counter& rows_counter =
+      registry.GetCounter("simd.cate_accumulate_rows");
+  rows_counter.Add(overall->rows - rows_before);
+  if (stayed_int) {
+    static obs::Counter& int_passes =
+        registry.GetCounter("estimation.accumulate_path_int");
+    int_passes.Increment();
+    return;
+  }
+  if (int_path) {
+    static obs::Counter& fallbacks =
+        registry.GetCounter("estimation.accumulate_int_fallbacks");
+    fallbacks.Increment();
+  }
+  if (dense_words >= sparse_words && dense_words > 0) {
+    static obs::Counter& staged_passes =
+        registry.GetCounter("estimation.accumulate_path_fp_staged");
+    staged_passes.Increment();
+  } else {
+    static obs::Counter& sparse_passes =
+        registry.GetCounter("estimation.accumulate_path_sparse");
+    sparse_passes.Increment();
+  }
 }
 
 Result<CateEstimate> CateStatsEngine::Solve(const Accum& acc,
@@ -628,14 +716,48 @@ Result<CateEstimate> CateStatsEngine::SolveIpwRows(
                           is_treated_row, options_.propensity_clip);
 }
 
-void CateStatsEngine::MergeAccum(Accum* into, const Accum& from) {
+void CateStatsEngine::EnsureFp(Accum* acc) {
+  if (!acc->int_valid) return;
+  // Exact by the safe_int_rows guard: every |Σy| and Σy² is below 2^53.
+  // The FP arrays are all-zero while int_valid, so this is an assignment.
+  for (size_t i = 0; i < acc->isy.size(); ++i) {
+    acc->sy[i] = static_cast<double>(acc->isy[i]);
+    acc->syy[i] = static_cast<double>(acc->isyy[i]);
+  }
+  acc->int_valid = false;
+}
+
+void CateStatsEngine::MergeAccum(Accum* into, const Accum& from) const {
   into->rows += from.rows;
   into->n_treated += from.n_treated;
   into->n_control += from.n_control;
   assert(into->n.size() == from.n.size());
   for (size_t i = 0; i < from.n.size(); ++i) into->n[i] += from.n[i];
-  for (size_t i = 0; i < from.sy.size(); ++i) into->sy[i] += from.sy[i];
-  for (size_t i = 0; i < from.syy.size(); ++i) into->syy[i] += from.syy[i];
+  // Keep merging in int64 while the combined rows provably stay under the
+  // exactness budget. Past it — or when either side already fell back to
+  // FP — convert the int partials exactly (each is under the budget on
+  // its own) and merge in FP, which is what the pure-FP path would have
+  // summed, in the same ascending-shard slot order.
+  if (into->int_valid && from.int_valid &&
+      into->rows <= partition_->safe_int_rows()) {
+    for (size_t i = 0; i < from.isy.size(); ++i) into->isy[i] += from.isy[i];
+    for (size_t i = 0; i < from.isyy.size(); ++i) {
+      into->isyy[i] += from.isyy[i];
+    }
+  } else {
+    EnsureFp(into);
+    if (from.int_valid) {
+      for (size_t i = 0; i < from.isy.size(); ++i) {
+        into->sy[i] += static_cast<double>(from.isy[i]);
+        into->syy[i] += static_cast<double>(from.isyy[i]);
+      }
+    } else {
+      for (size_t i = 0; i < from.sy.size(); ++i) into->sy[i] += from.sy[i];
+      for (size_t i = 0; i < from.syy.size(); ++i) {
+        into->syy[i] += from.syy[i];
+      }
+    }
+  }
   for (size_t i = 0; i < from.zsum.size(); ++i) into->zsum[i] += from.zsum[i];
   for (size_t i = 0; i < from.zysum.size(); ++i) {
     into->zysum[i] += from.zysum[i];
@@ -674,6 +796,9 @@ CateSubgroupEstimates CateStatsEngine::EstimateSubgroups(
     nonprot = MakeAccum();
   }
   Accumulate(group, protected_mask, &overall, &prot, &nonprot);
+  EnsureFp(&overall);
+  EnsureFp(&prot);
+  EnsureFp(&nonprot);
   return SolveSubgroups(overall, prot, nonprot, group, protected_mask,
                         min_group_size, min_subgroup_size,
                         skip_subgroups_unless_positive);
@@ -733,6 +858,9 @@ CateSubgroupEstimates CateStatsEngine::EstimateSubgroups(
       MergeAccum(&nonprot, nonprot_parts[s]);
     }
   }
+  EnsureFp(&overall);
+  EnsureFp(&prot);
+  EnsureFp(&nonprot);
   return SolveSubgroups(overall, prot, nonprot, group, protected_mask,
                         min_group_size, min_subgroup_size,
                         skip_subgroups_unless_positive);
@@ -743,6 +871,7 @@ Result<CateEstimate> CateStatsEngine::EstimateSubgroup(
   Accum acc = MakeAccum();
   Accum unused_prot, unused_nonprot;
   Accumulate(group, nullptr, &acc, &unused_prot, &unused_nonprot);
+  EnsureFp(&acc);
   const Slice whole{&group, nullptr, false};
   return Solve(acc, whole, min_group_size);
 }

@@ -109,6 +109,17 @@ class ConfounderPartition {
   }
   /// Outcome value per row (unspecified where null).
   const std::vector<double>& outcome() const { return outcome_; }
+  /// True iff every outcome value is integer-valued with |y| <= 2^31 - 1
+  /// — the precondition of the engine's exact int64 accumulation path.
+  bool outcome_is_integer() const { return outcome_integer_; }
+  /// Integer outcome cache (nulls as 0); empty unless outcome_is_integer.
+  const std::vector<int64_t>& outcome_i64() const { return outcome_i64_; }
+  /// Overflow guard for the integer path: the largest row count for which
+  /// every per-slot partial |Σy| and Σy² stays below 2^53 given this
+  /// column's max |y| — below it the int64 totals, their double
+  /// conversions, AND the legacy ascending-row FP sums are all exact, so
+  /// the two paths are bit-identical. 0 unless outcome_is_integer.
+  uint64_t safe_int_rows() const { return safe_int_rows_; }
   /// Cached numeric confounder column per numeric feature, with nulls as
   /// 0.0 — exactly the value the legacy design-matrix build would use.
   const std::vector<std::vector<double>>& numeric_values() const {
@@ -132,6 +143,9 @@ class ConfounderPartition {
   std::vector<Cell> cells_;
   std::vector<uint32_t> cells_by_stratum_;
   std::vector<double> outcome_;
+  bool outcome_integer_ = false;
+  std::vector<int64_t> outcome_i64_;
+  uint64_t safe_int_rows_ = 0;
   std::vector<std::vector<double>> numeric_values_;
   std::vector<const double*> numeric_value_ptrs_;
   size_t bytes_ = 0;
@@ -201,16 +215,26 @@ class CateStatsEngine {
   /// Per-subgroup sufficient statistics, indexed cell-major with two arms
   /// (idx = 2*cell + arm; arm 1 = treated). Numeric moment blocks are
   /// allocated only for the regression method with numeric confounders.
+  /// The stat arrays carry two scratch slots past 2C that the integer
+  /// kernels' branchless dense loop steers excluded rows into; solvers
+  /// and merges never read them.
   struct Accum {
     size_t rows = 0;  ///< subgroup rows with non-null outcome
     size_t n_treated = 0;
     size_t n_control = 0;
-    std::vector<uint32_t> n;    ///< [2C]
-    std::vector<double> sy;     ///< [2C]
-    std::vector<double> syy;    ///< [2C]
+    std::vector<uint32_t> n;    ///< [2C + 2]
+    std::vector<double> sy;     ///< [2C + 2]
+    std::vector<double> syy;    ///< [2C + 2]
     std::vector<double> zsum;   ///< [2C * m]   Σ z_j
     std::vector<double> zysum;  ///< [2C * m]   Σ z_j y
     std::vector<double> zzsum;  ///< [2C * mm]  Σ z_i z_j, upper-tri packed
+    /// Int64 staging for the exact fast path, [2C + 2]; allocated only
+    /// when the engine enables it. int_valid marks isy/isyy (not sy/syy)
+    /// as the authoritative outcome sums — cleared when the overflow
+    /// guard flushed them into the FP arrays mid-range.
+    std::vector<int64_t> isy;
+    std::vector<int64_t> isyy;
+    bool int_valid = false;
   };
 
   /// Which rows a solve refers to (needed only by the IPW row-level
@@ -232,8 +256,18 @@ class CateStatsEngine {
                        Accum* prot, Accum* nonprot) const;
 
   /// Element-wise `into += from` over every statistic (counts, outcome
-  /// sums, numeric moments) — the shard-merge step.
-  static void MergeAccum(Accum* into, const Accum& from);
+  /// sums, numeric moments) — the shard-merge step. Integer partials
+  /// merge in int64 while the combined row count stays under the
+  /// partition's safe_int_rows budget; past it (or when either side
+  /// already fell back) both sides are converted exactly to FP first,
+  /// which reproduces the pure-FP merge bit for bit.
+  void MergeAccum(Accum* into, const Accum& from) const;
+
+  /// Converts an int-valid accum's outcome sums into its FP arrays (an
+  /// exact conversion under the safe_int_rows guard) and clears
+  /// int_valid. No-op on FP-valid accums. Solvers read only sy/syy, so
+  /// every accum is funneled through this before SolveSubgroups/Solve.
+  static void EnsureFp(Accum* acc);
 
   /// The shared triple-solve tail of both EstimateSubgroups overloads.
   CateSubgroupEstimates SolveSubgroups(
@@ -259,6 +293,12 @@ class CateStatsEngine {
   bool need_moments() const {
     return options_.method == CateMethod::kRegression &&
            partition_->num_numeric() > 0;
+  }
+  /// The exact int64 accumulation path applies when the outcome column is
+  /// integer-valued and no FP moment blocks ride along in the same pass.
+  bool int_path_enabled() const {
+    return partition_->outcome_is_integer() && !need_moments() &&
+           !options_.disable_int_fast_path;
   }
   Accum MakeAccum() const;
 

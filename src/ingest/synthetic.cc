@@ -155,9 +155,10 @@ Result<Scm> MakeSyntheticScm(const SyntheticConfig& config) {
     const double heterogeneity = config.effect_heterogeneity;
     const double effect_scale = config.effect_scale;
     const double noise = config.noise_stddev;
+    const bool integer_outcome = config.integer_outcome;
     outcome.sampler = [cats, num_mutable, het_driver, attenuation,
-                       heterogeneity, effect_scale,
-                       noise](const ScmRow& row, Rng& rng) {
+                       heterogeneity, effect_scale, noise,
+                       integer_outcome](const ScmRow& row, Rng& rng) {
       const double het_level =
           het_driver.empty()
               ? 0.5
@@ -176,8 +177,9 @@ Result<Scm> MakeSyntheticScm(const SyntheticConfig& config) {
         effect += effect_scale * level * attr_weight;
       }
       const double base = 50.0 + 0.2 * effect_scale * het_level;
-      return Value(base + group_mult * het_mult * effect +
-                   rng.NextGaussian(0.0, noise));
+      const double y = base + group_mult * het_mult * effect +
+                       rng.NextGaussian(0.0, noise);
+      return Value(integer_outcome ? std::round(y) : y);
     };
     FAIRCAP_RETURN_NOT_OK(scm.Add(std::move(outcome)));
   }

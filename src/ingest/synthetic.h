@@ -46,6 +46,11 @@ struct SyntheticConfig {
   /// Outcome scale: the strongest treatment level adds about this much.
   double effect_scale = 100.0;
   double noise_stddev = 25.0;
+  /// Round the outcome to the nearest integer (a score/count-style
+  /// outcome). Integer-valued outcome columns take the estimation
+  /// engine's exact int64 accumulation path, so this knob is how benches
+  /// and tests exercise that path at scale.
+  bool integer_outcome = false;
 };
 
 /// A generated dataset with its ground truth.

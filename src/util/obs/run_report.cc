@@ -40,8 +40,13 @@ constexpr const char* kStandardCounters[] = {
     "estimation.solve_stratified",
     "estimation.solve_ipw_cells",
     "estimation.solve_ipw_rows",
+    "estimation.accumulate_path_int",
+    "estimation.accumulate_path_fp_staged",
+    "estimation.accumulate_path_sparse",
+    "estimation.accumulate_int_fallbacks",
     "mining.lattice_evaluations",
     "mining.pattern_tasks",
+    "simd.cate_accumulate_rows",
 };
 
 constexpr const char* kStandardGauges[] = {

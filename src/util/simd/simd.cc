@@ -31,6 +31,10 @@ void ScalarCateAccumulateKernel(const CateAccumArgs& args) {
   core::ScalarCateAccumulate(args);
 }
 
+bool ScalarCateAccumulateIntKernel(const CateAccumArgs& args) {
+  return core::ScalarCateAccumulateInt(args);
+}
+
 const Kernels kScalarKernels = {
     core::ScalarPopcount,
     core::ScalarAndCount,
@@ -42,6 +46,7 @@ const Kernels kScalarKernels = {
     core::ScalarMaskCodesNe,
     core::ScalarMaskNumericCmp,
     ScalarCateAccumulateKernel,
+    ScalarCateAccumulateIntKernel,
 };
 
 SimdLevel DetectMaxLevel() {

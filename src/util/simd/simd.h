@@ -88,12 +88,19 @@ struct CateSink {
   size_t* rows = nullptr;       ///< subgroup rows with non-null outcome
   size_t* n_treated = nullptr;
   size_t* n_control = nullptr;
-  uint32_t* n = nullptr;        ///< [2C]
-  double* sy = nullptr;         ///< [2C]
-  double* syy = nullptr;        ///< [2C]
+  uint32_t* n = nullptr;        ///< [2C + 2] (two scratch slots, see below)
+  double* sy = nullptr;         ///< [2C + 2]
+  double* syy = nullptr;        ///< [2C + 2]
   double* zsum = nullptr;       ///< [2C * m]
   double* zysum = nullptr;      ///< [2C * m]
   double* zzsum = nullptr;      ///< [2C * m(m+1)/2], upper-tri packed
+  /// Integer staging arrays for the exact int64 fast path, [2C + 2]; null
+  /// unless the caller enables cate_accumulate_int. The two slots past
+  /// num_slots are write-only scratch the branchless dense loop steers
+  /// excluded rows into (so the loop carries no per-row validity branch);
+  /// they are never read back.
+  int64_t* isy = nullptr;
+  int64_t* isyy = nullptr;
 };
 
 /// Inputs of the fused accumulation pass: three bitmaps walked in
@@ -114,6 +121,23 @@ struct CateAccumArgs {
   bool moments = false;
   size_t word_begin = 0;
   size_t word_end = 0;
+  /// Number of real (cell, arm) slots = 2 * num_cells. Sink stat arrays
+  /// are allocated with two extra scratch slots past this count.
+  size_t num_slots = 0;
+  /// Integer outcome cache (nulls stored as 0, excluded via cell_of_row);
+  /// non-null iff the outcome column is integer-valued. Consumed only by
+  /// cate_accumulate_int.
+  const int64_t* outcome_i64 = nullptr;
+  /// Overflow guard for the integer path: the largest row count for which
+  /// every per-slot partial |Σy| and Σy² provably stays below 2^53 (so
+  /// both the int64 totals and the legacy FP partial sums are exact).
+  /// cate_accumulate_int falls back to the FP path once a word would
+  /// cross this budget.
+  uint64_t safe_rows = 0;
+  /// Optional pass statistics (word mix served), for the obs path
+  /// breakdown. Incremented, not reset, by the kernels when non-null.
+  size_t* dense_words = nullptr;
+  size_t* sparse_words = nullptr;
   CateSink overall;
   CateSink prot;
   CateSink nonprot;
@@ -152,6 +176,17 @@ struct Kernels {
   /// outcome cache line touched once. Integer stats are exact; float adds
   /// run in ascending row order with the scalar loop's associations.
   void (*cate_accumulate)(const CateAccumArgs& args);
+  /// The exact integer fast path: same pass as cate_accumulate but
+  /// accumulating {n, Σy, Σy²} in int64 (args.outcome_i64), where integer
+  /// addition is associative so vector tiers are free to reassociate and
+  /// run branchless full-width dense-word loops. Requires !args.moments.
+  /// Returns true when the whole range completed on the integer path (the
+  /// isy/isyy arrays are authoritative); returns false when the
+  /// args.safe_rows overflow guard tripped — the integer partials were
+  /// exactly flushed into sy/syy and the remainder of the range ran
+  /// through the FP path, so the FP arrays are authoritative and carry
+  /// the bit-exact legacy result.
+  bool (*cate_accumulate_int)(const CateAccumArgs& args);
 };
 
 /// Kernel table for the currently active tier (one atomic load).

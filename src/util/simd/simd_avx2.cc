@@ -7,10 +7,11 @@
 // sixteen 256-bit blocks per iteration, one vector popcount per sixteen
 // loads instead of one per word. The compare-scan kernels turn vector
 // compare masks straight into bitmap words (8 int32 / 4 double lanes per
-// movemask). The accumulation kernel prepares (cell, arm) lanes with
-// vector loads on dense words but performs the statistic adds through the
-// shared scalar core in ascending row order — see simd_kernels_core.h for
-// why that part must never be vectorized.
+// movemask). The FP accumulation kernel prepares (cell, arm) lanes with
+// vector loads on dense words and stages each word's rows into per-sink
+// buffers replayed in ascending row order (simd_kernels_core.h explains
+// why each slot's add sequence must stay the scalar one); the integer
+// kernel is exact, so its dense-word loop runs branchless at full width.
 
 #include <immintrin.h>
 
@@ -269,10 +270,11 @@ void Avx2MaskNumericCmp(const double* values, size_t n, Cmp op, double rhs,
 // On a full group word all 64 rows participate, so the cell ids load as
 // contiguous 8-lane vectors (no per-row ctz chain) and idx = 2*cell+arm,
 // row validity (cell >= 0), and the arm/protected bits all compute eight
-// lanes at a time into stack buffers. The statistic adds then replay the
-// buffers strictly in ascending row order through the same scalar slot
-// updates as the scalar tier — bit-identical sums, minus the per-row
-// bit-scan and index arithmetic.
+// lanes at a time into stack buffers. The FP path then stages the word
+// into per-sink buffers and flushes each sink in ascending row order
+// (core::StagedDenseWord) — bit-identical sums, one tight loop per sink
+// instead of a per-row sink-select branch. The integer path steers every
+// row branchlessly into its slot (core::IntDenseWord).
 
 struct DenseLanes {
   int32_t idx[64];     // 2*cell + arm (garbage where invalid)
@@ -317,21 +319,15 @@ void Avx2CateAccumulateImpl(const CateAccumArgs& args) {
     const uint64_t tword = tw[w];
     const uint64_t pword = kSplit ? pw[w] : 0;
     if (bits == ~0ULL) {
+      if (args.dense_words != nullptr) ++*args.dense_words;
       const size_t base = w * 64;
       PrepareDenseLanes(cell_of_row + base, tword, &lanes);
-      uint64_t valid = lanes.valid;
-      while (valid != 0) {
-        const int b = __builtin_ctzll(valid);
-        valid &= valid - 1;
-        const size_t r = base + static_cast<size_t>(b);
-        const int32_t idx = lanes.idx[b];
-        const int arm = static_cast<int>(idx & 1);
-        const bool prot_bit = kSplit && (((pword >> b) & 1) != 0);
-        core::AddRow<kSplit, kMoments>(args, r, idx >> 1, arm, prot_bit,
-                                       &overall, &prot, &nonprot);
-      }
+      core::StagedDenseWord<kSplit, kMoments>(args, base, lanes.idx,
+                                              lanes.valid, tword, pword,
+                                              &overall, &prot, &nonprot);
       continue;
     }
+    if (args.sparse_words != nullptr) ++*args.sparse_words;
     while (bits != 0) {
       const int b = __builtin_ctzll(bits);
       bits &= bits - 1;
@@ -368,6 +364,67 @@ void Avx2CateAccumulate(const CateAccumArgs& args) {
   }
 }
 
+template <bool kSplit>
+bool Avx2CateAccumulateIntImpl(const CateAccumArgs& args) {
+  const uint64_t* gw = args.group_words;
+  const uint64_t* tw = args.treated_words;
+  const uint64_t* pw = args.protected_words;
+  const int32_t* cell_of_row = args.cell_of_row;
+  core::SinkCounters overall, prot, nonprot;
+  DenseLanes lanes;
+  for (size_t w = args.word_begin; w < args.word_end; ++w) {
+    uint64_t bits = gw[w];
+    if (bits == 0) continue;
+    if (overall.rows + 64 > args.safe_rows) {
+      overall.FlushTo(args.overall);
+      if (kSplit) {
+        prot.FlushTo(args.prot);
+        nonprot.FlushTo(args.nonprot);
+      }
+      core::FlushIntToFp(args, kSplit);
+      CateAccumArgs rest = args;
+      rest.word_begin = w;
+      Avx2CateAccumulateImpl<kSplit, false>(rest);
+      return false;
+    }
+    const uint64_t tword = tw[w];
+    const uint64_t pword = kSplit ? pw[w] : 0;
+    if (bits == ~0ULL) {
+      if (args.dense_words != nullptr) ++*args.dense_words;
+      const size_t base = w * 64;
+      PrepareDenseLanes(cell_of_row + base, tword, &lanes);
+      core::IntDenseWord<kSplit>(args, base, lanes.idx, lanes.valid, tword,
+                                 pword, &overall, &prot, &nonprot);
+      continue;
+    }
+    if (args.sparse_words != nullptr) ++*args.sparse_words;
+    while (bits != 0) {
+      const int b = __builtin_ctzll(bits);
+      bits &= bits - 1;
+      const size_t r = w * 64 + static_cast<size_t>(b);
+      const int32_t c = cell_of_row[r];
+      if (c < 0) continue;
+      const int arm = static_cast<int>((tword >> b) & 1);
+      const bool prot_bit = kSplit && (((pword >> b) & 1) != 0);
+      core::AddRowInt<kSplit>(args, r, c, arm, prot_bit, &overall, &prot,
+                              &nonprot);
+    }
+  }
+  overall.FlushTo(args.overall);
+  if (kSplit) {
+    prot.FlushTo(args.prot);
+    nonprot.FlushTo(args.nonprot);
+  }
+  return true;
+}
+
+bool Avx2CateAccumulateInt(const CateAccumArgs& args) {
+  if (args.protected_words != nullptr) {
+    return Avx2CateAccumulateIntImpl<true>(args);
+  }
+  return Avx2CateAccumulateIntImpl<false>(args);
+}
+
 const Kernels kAvx2Kernels = {
     Avx2Popcount,
     Avx2AndCount,
@@ -379,6 +436,7 @@ const Kernels kAvx2Kernels = {
     Avx2MaskCodesNe,
     Avx2MaskNumericCmp,
     Avx2CateAccumulate,
+    Avx2CateAccumulateInt,
 };
 
 }  // namespace

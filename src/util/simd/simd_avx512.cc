@@ -229,21 +229,15 @@ void Avx512CateAccumulateImpl(const CateAccumArgs& args) {
     const uint64_t tword = tw[w];
     const uint64_t pword = kSplit ? pw[w] : 0;
     if (bits == ~0ULL) {
+      if (args.dense_words != nullptr) ++*args.dense_words;
       const size_t base = w * 64;
       PrepareDenseLanes(cell_of_row + base, tword, &lanes);
-      uint64_t valid = lanes.valid;
-      while (valid != 0) {
-        const int b = __builtin_ctzll(valid);
-        valid &= valid - 1;
-        const size_t r = base + static_cast<size_t>(b);
-        const int32_t idx = lanes.idx[b];
-        const int arm = static_cast<int>(idx & 1);
-        const bool prot_bit = kSplit && (((pword >> b) & 1) != 0);
-        core::AddRow<kSplit, kMoments>(args, r, idx >> 1, arm, prot_bit,
-                                       &overall, &prot, &nonprot);
-      }
+      core::StagedDenseWord<kSplit, kMoments>(args, base, lanes.idx,
+                                              lanes.valid, tword, pword,
+                                              &overall, &prot, &nonprot);
       continue;
     }
+    if (args.sparse_words != nullptr) ++*args.sparse_words;
     while (bits != 0) {
       const int b = __builtin_ctzll(bits);
       bits &= bits - 1;
@@ -280,6 +274,67 @@ void Avx512CateAccumulate(const CateAccumArgs& args) {
   }
 }
 
+template <bool kSplit>
+bool Avx512CateAccumulateIntImpl(const CateAccumArgs& args) {
+  const uint64_t* gw = args.group_words;
+  const uint64_t* tw = args.treated_words;
+  const uint64_t* pw = args.protected_words;
+  const int32_t* cell_of_row = args.cell_of_row;
+  core::SinkCounters overall, prot, nonprot;
+  DenseLanes lanes;
+  for (size_t w = args.word_begin; w < args.word_end; ++w) {
+    uint64_t bits = gw[w];
+    if (bits == 0) continue;
+    if (overall.rows + 64 > args.safe_rows) {
+      overall.FlushTo(args.overall);
+      if (kSplit) {
+        prot.FlushTo(args.prot);
+        nonprot.FlushTo(args.nonprot);
+      }
+      core::FlushIntToFp(args, kSplit);
+      CateAccumArgs rest = args;
+      rest.word_begin = w;
+      Avx512CateAccumulateImpl<kSplit, false>(rest);
+      return false;
+    }
+    const uint64_t tword = tw[w];
+    const uint64_t pword = kSplit ? pw[w] : 0;
+    if (bits == ~0ULL) {
+      if (args.dense_words != nullptr) ++*args.dense_words;
+      const size_t base = w * 64;
+      PrepareDenseLanes(cell_of_row + base, tword, &lanes);
+      core::IntDenseWord<kSplit>(args, base, lanes.idx, lanes.valid, tword,
+                                 pword, &overall, &prot, &nonprot);
+      continue;
+    }
+    if (args.sparse_words != nullptr) ++*args.sparse_words;
+    while (bits != 0) {
+      const int b = __builtin_ctzll(bits);
+      bits &= bits - 1;
+      const size_t r = w * 64 + static_cast<size_t>(b);
+      const int32_t c = cell_of_row[r];
+      if (c < 0) continue;
+      const int arm = static_cast<int>((tword >> b) & 1);
+      const bool prot_bit = kSplit && (((pword >> b) & 1) != 0);
+      core::AddRowInt<kSplit>(args, r, c, arm, prot_bit, &overall, &prot,
+                              &nonprot);
+    }
+  }
+  overall.FlushTo(args.overall);
+  if (kSplit) {
+    prot.FlushTo(args.prot);
+    nonprot.FlushTo(args.nonprot);
+  }
+  return true;
+}
+
+bool Avx512CateAccumulateInt(const CateAccumArgs& args) {
+  if (args.protected_words != nullptr) {
+    return Avx512CateAccumulateIntImpl<true>(args);
+  }
+  return Avx512CateAccumulateIntImpl<false>(args);
+}
+
 const Kernels kAvx512Kernels = {
     Avx512Popcount,
     Avx512AndCount,
@@ -291,6 +346,7 @@ const Kernels kAvx512Kernels = {
     Avx512MaskCodesNe,
     Avx512MaskNumericCmp,
     Avx512CateAccumulate,
+    Avx512CateAccumulateInt,
 };
 
 }  // namespace

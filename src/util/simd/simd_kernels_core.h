@@ -3,13 +3,17 @@
 // AVX-512 tiers use them for word tails and for the per-row statistic
 // adds of the accumulation kernel.
 //
-// The accumulation core is the determinism anchor of the whole layer: it
-// performs every floating-point add in ascending row order with the same
-// associations as the original CateStatsEngine scalar loop. Vector tiers
-// may prepare lanes (cell indices, arm bits) with SIMD, but the adds into
-// the per-(cell, arm) slots always run through AddRow below — consecutive
-// rows can land in the SAME slot, so a vectorized scatter-add would both
-// race with itself and reassociate the sums.
+// The accumulation core is the determinism anchor of the whole layer. For
+// real-valued outcomes it performs every floating-point add in ascending
+// row order with the same associations as the original CateStatsEngine
+// scalar loop — vector tiers may prepare lanes (cell indices, arm bits)
+// with SIMD and stage a dense word's rows into small buffers, but each
+// slot's add sequence is always the ascending-row scalar sequence, so a
+// vectorized scatter-add (which would race with itself and reassociate)
+// is never used. For integer-valued outcomes the int64 fast path below is
+// exact, so reassociation is free and the dense-word loop runs branchless
+// at full width; the safe_rows guard keeps every partial below 2^53 so the
+// conversion to double reproduces the legacy FP result bit for bit.
 
 #ifndef FAIRCAP_UTIL_SIMD_SIMD_KERNELS_CORE_H_
 #define FAIRCAP_UTIL_SIMD_SIMD_KERNELS_CORE_H_
@@ -220,6 +224,9 @@ inline void CateAccumulateCore(const CateAccumArgs& args) {
   for (size_t w = args.word_begin; w < args.word_end; ++w) {
     uint64_t bits = gw[w];
     if (bits == 0) continue;
+    // The scalar tier has no staged dense path; every populated word is a
+    // sparse-path word for the obs breakdown.
+    if (args.sparse_words != nullptr) ++*args.sparse_words;
     const uint64_t tword = tw[w];
     const uint64_t pword = kSplit ? pw[w] : 0;
     while (bits != 0) {
@@ -257,6 +264,285 @@ inline void ScalarCateAccumulate(const CateAccumArgs& args) {
     } else {
       CateAccumulateCore<false, false>(args);
     }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Exact integer fast path.
+
+/// Per-row int64 adds for the sparse words of the integer path (ctz
+/// iteration; the dense-word body is IntDenseWord). Mirrors AddRow, minus
+/// moments — the engine never routes moments through the integer path.
+template <bool kSplit>
+inline void AddRowInt(const CateAccumArgs& args, size_t r, int32_t c, int arm,
+                      bool prot_bit, SinkCounters* counters_overall,
+                      SinkCounters* counters_prot,
+                      SinkCounters* counters_nonprot) {
+  const size_t idx = static_cast<size_t>(c) * 2 + static_cast<size_t>(arm);
+  const int64_t y = args.outcome_i64[r];
+  const int64_t yy = y * y;
+  ++counters_overall->rows;
+  if (arm != 0) {
+    ++counters_overall->n_treated;
+  } else {
+    ++counters_overall->n_control;
+  }
+  ++args.overall.n[idx];
+  args.overall.isy[idx] += y;
+  args.overall.isyy[idx] += yy;
+  if (kSplit) {
+    const CateSink& sub = prot_bit ? args.prot : args.nonprot;
+    SinkCounters* sub_counters = prot_bit ? counters_prot : counters_nonprot;
+    ++sub_counters->rows;
+    if (arm != 0) {
+      ++sub_counters->n_treated;
+    } else {
+      ++sub_counters->n_control;
+    }
+    ++sub.n[idx];
+    sub.isy[idx] += y;
+    sub.isyy[idx] += yy;
+  }
+}
+
+/// Folds one sink's int64 staging arrays into its FP arrays. Every staged
+/// total is below 2^53 (safe_rows guard), so the conversion is exact and
+/// the result equals what the ascending-row FP adds would have produced.
+/// Scratch slots past num_slots are dropped, not flushed.
+inline void FlushIntSinkToFp(const CateSink& sink, size_t num_slots) {
+  for (size_t i = 0; i < num_slots; ++i) {
+    sink.sy[i] += static_cast<double>(sink.isy[i]);
+    sink.syy[i] += static_cast<double>(sink.isyy[i]);
+  }
+}
+
+inline void FlushIntToFp(const CateAccumArgs& args, bool split) {
+  FlushIntSinkToFp(args.overall, args.num_slots);
+  if (split) {
+    FlushIntSinkToFp(args.prot, args.num_slots);
+    FlushIntSinkToFp(args.nonprot, args.num_slots);
+  }
+}
+
+/// The branchless dense-word body of the integer path, shared by the
+/// vector tiers: idx_lanes[b] = 2*cell+arm for row base+b (negative when
+/// the row is excluded), valid = mask of included rows. Excluded rows are
+/// steered into the scratch slot at num_slots instead of being branched
+/// around; their y is 0 only by accident, so scratch is write-only and
+/// never read. Counters come from popcounts, not per-row increments.
+template <bool kSplit>
+inline void IntDenseWord(const CateAccumArgs& args, size_t base,
+                         const int32_t* idx_lanes, uint64_t valid,
+                         uint64_t tword, uint64_t pword,
+                         SinkCounters* counters_overall,
+                         SinkCounters* counters_prot,
+                         SinkCounters* counters_nonprot) {
+  const size_t rows = static_cast<size_t>(__builtin_popcountll(valid));
+  const size_t nt = static_cast<size_t>(__builtin_popcountll(valid & tword));
+  counters_overall->rows += rows;
+  counters_overall->n_treated += nt;
+  counters_overall->n_control += rows - nt;
+  uint32_t* sub_n[2] = {nullptr, nullptr};
+  int64_t* sub_isy[2] = {nullptr, nullptr};
+  int64_t* sub_isyy[2] = {nullptr, nullptr};
+  if (kSplit) {
+    const uint64_t pv = valid & pword;
+    const size_t pr = static_cast<size_t>(__builtin_popcountll(pv));
+    const size_t pt = static_cast<size_t>(__builtin_popcountll(pv & tword));
+    counters_prot->rows += pr;
+    counters_prot->n_treated += pt;
+    counters_prot->n_control += pr - pt;
+    counters_nonprot->rows += rows - pr;
+    counters_nonprot->n_treated += nt - pt;
+    counters_nonprot->n_control += (rows - pr) - (nt - pt);
+    sub_n[0] = args.nonprot.n;
+    sub_n[1] = args.prot.n;
+    sub_isy[0] = args.nonprot.isy;
+    sub_isy[1] = args.prot.isy;
+    sub_isyy[0] = args.nonprot.isyy;
+    sub_isyy[1] = args.prot.isyy;
+  }
+  const int64_t* y64 = args.outcome_i64 + base;
+  const int32_t scratch = static_cast<int32_t>(args.num_slots);
+  for (int b = 0; b < 64; ++b) {
+    const int32_t raw = idx_lanes[b];
+    const size_t idx = static_cast<size_t>(raw >= 0 ? raw : scratch);
+    const int64_t y = y64[b];
+    const int64_t yy = y * y;
+    ++args.overall.n[idx];
+    args.overall.isy[idx] += y;
+    args.overall.isyy[idx] += yy;
+    if (kSplit) {
+      const size_t pb = (pword >> b) & 1;
+      ++sub_n[pb][idx];
+      sub_isy[pb][idx] += y;
+      sub_isyy[pb][idx] += yy;
+    }
+  }
+}
+
+/// The scalar integer pass: ctz iteration with int64 adds and the
+/// per-word safe_rows guard. On a guard trip the integer partials are
+/// flushed exactly into the FP arrays and the remaining words run through
+/// the scalar FP core; returns false in that case (FP arrays
+/// authoritative), true when the whole range stayed integer.
+template <bool kSplit>
+inline bool CateAccumulateIntCore(const CateAccumArgs& args) {
+  const uint64_t* gw = args.group_words;
+  const uint64_t* tw = args.treated_words;
+  const uint64_t* pw = args.protected_words;
+  const int32_t* cell_of_row = args.cell_of_row;
+  SinkCounters overall, prot, nonprot;
+  for (size_t w = args.word_begin; w < args.word_end; ++w) {
+    uint64_t bits = gw[w];
+    if (bits == 0) continue;
+    if (overall.rows + 64 > args.safe_rows) {
+      overall.FlushTo(args.overall);
+      if (kSplit) {
+        prot.FlushTo(args.prot);
+        nonprot.FlushTo(args.nonprot);
+      }
+      FlushIntToFp(args, kSplit);
+      CateAccumArgs rest = args;
+      rest.word_begin = w;
+      CateAccumulateCore<kSplit, false>(rest);
+      return false;
+    }
+    const uint64_t tword = tw[w];
+    const uint64_t pword = kSplit ? pw[w] : 0;
+    if (args.sparse_words != nullptr) ++*args.sparse_words;
+    while (bits != 0) {
+      const int b = __builtin_ctzll(bits);
+      bits &= bits - 1;
+      const size_t r = w * 64 + static_cast<size_t>(b);
+      const int32_t c = cell_of_row[r];
+      if (c < 0) continue;
+      const int arm = static_cast<int>((tword >> b) & 1);
+      const bool prot_bit = kSplit && (((pword >> b) & 1) != 0);
+      AddRowInt<kSplit>(args, r, c, arm, prot_bit, &overall, &prot, &nonprot);
+    }
+  }
+  overall.FlushTo(args.overall);
+  if (kSplit) {
+    prot.FlushTo(args.prot);
+    nonprot.FlushTo(args.nonprot);
+  }
+  return true;
+}
+
+/// (split) dispatch for the scalar integer kernel.
+inline bool ScalarCateAccumulateInt(const CateAccumArgs& args) {
+  if (args.protected_words != nullptr) {
+    return CateAccumulateIntCore<true>(args);
+  }
+  return CateAccumulateIntCore<false>(args);
+}
+
+// ---------------------------------------------------------------------
+// Fused word-level FP staging (vector tiers' dense-word path).
+
+/// One staged row of a dense word: its (cell, arm) slot, the row offset
+/// within the word (for the moments block), and the outcome value — 16
+/// bytes so a 64-row word stages within two cache lines per buffer.
+struct StageEntry {
+  int32_t idx;
+  int32_t row_off;
+  double y;
+};
+
+/// Partitions a dense word's included rows into per-sink staging buffers
+/// in ascending row order: every row appends to `all`, and (when
+/// splitting) to exactly one of `prot_buf`/`nonprot_buf` via a branchless
+/// dual write. Buffers must hold 64 entries. Returns counts through the
+/// out-params.
+template <bool kSplit>
+inline void BuildStage(const int32_t* idx_lanes, uint64_t valid,
+                       uint64_t pword, const double* y_word, StageEntry* all,
+                       size_t* all_n, StageEntry* prot_buf, size_t* prot_n,
+                       StageEntry* nonprot_buf, size_t* nonprot_n) {
+  size_t an = 0, pn = 0, nn = 0;
+  while (valid != 0) {
+    const int b = __builtin_ctzll(valid);
+    valid &= valid - 1;
+    const StageEntry e{idx_lanes[b], b, y_word[b]};
+    all[an++] = e;
+    if (kSplit) {
+      const size_t pb = (pword >> static_cast<unsigned>(b)) & 1;
+      prot_buf[pn] = e;
+      nonprot_buf[nn] = e;
+      pn += pb;
+      nn += 1 - pb;
+    }
+  }
+  *all_n = an;
+  if (kSplit) {
+    *prot_n = pn;
+    *nonprot_n = nn;
+  }
+}
+
+/// Replays one sink's staged entries. Entries arrive in ascending row
+/// order, so each slot sees the same add sequence as the scalar loop —
+/// only adds to *different* sinks were reordered, which no slot observes.
+template <bool kMoments>
+inline void FlushStage(const CateAccumArgs& args, const CateSink& sink,
+                       const StageEntry* entries, size_t count, size_t base) {
+  for (size_t i = 0; i < count; ++i) {
+    const size_t idx = static_cast<size_t>(entries[i].idx);
+    const double y = entries[i].y;
+    ++sink.n[idx];
+    sink.sy[idx] += y;
+    sink.syy[idx] += y * y;
+    if (kMoments) {
+      const size_t r = base + static_cast<size_t>(entries[i].row_off);
+      const size_t m = args.num_numeric;
+      const size_t zbase = idx * m;
+      const size_t zzbase = idx * (m * (m + 1) / 2);
+      for (size_t j = 0, t = 0; j < m; ++j) {
+        const double zj = args.zcols[j][r];
+        sink.zsum[zbase + j] += zj;
+        sink.zysum[zbase + j] += zj * y;
+        for (size_t k = j; k < m; ++k, ++t) {
+          sink.zzsum[zzbase + t] += zj * args.zcols[k][r];
+        }
+      }
+    }
+  }
+}
+
+/// The staged dense-word body for the FP vector tiers: popcount-derived
+/// counters, one staging pass, then one tight flush loop per sink.
+template <bool kSplit, bool kMoments>
+inline void StagedDenseWord(const CateAccumArgs& args, size_t base,
+                            const int32_t* idx_lanes, uint64_t valid,
+                            uint64_t tword, uint64_t pword,
+                            SinkCounters* counters_overall,
+                            SinkCounters* counters_prot,
+                            SinkCounters* counters_nonprot) {
+  const size_t rows = static_cast<size_t>(__builtin_popcountll(valid));
+  const size_t nt = static_cast<size_t>(__builtin_popcountll(valid & tword));
+  counters_overall->rows += rows;
+  counters_overall->n_treated += nt;
+  counters_overall->n_control += rows - nt;
+  if (kSplit) {
+    const uint64_t pv = valid & pword;
+    const size_t pr = static_cast<size_t>(__builtin_popcountll(pv));
+    const size_t pt = static_cast<size_t>(__builtin_popcountll(pv & tword));
+    counters_prot->rows += pr;
+    counters_prot->n_treated += pt;
+    counters_prot->n_control += pr - pt;
+    counters_nonprot->rows += rows - pr;
+    counters_nonprot->n_treated += nt - pt;
+    counters_nonprot->n_control += (rows - pr) - (nt - pt);
+  }
+  StageEntry all[64], prot_buf[64], nonprot_buf[64];
+  size_t all_n = 0, prot_n = 0, nonprot_n = 0;
+  BuildStage<kSplit>(idx_lanes, valid, pword, args.outcome + base, all,
+                     &all_n, prot_buf, &prot_n, nonprot_buf, &nonprot_n);
+  FlushStage<kMoments>(args, args.overall, all, all_n, base);
+  if (kSplit) {
+    FlushStage<kMoments>(args, args.prot, prot_buf, prot_n, base);
+    FlushStage<kMoments>(args, args.nonprot, nonprot_buf, nonprot_n, base);
   }
 }
 

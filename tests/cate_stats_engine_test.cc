@@ -15,6 +15,8 @@
 #include "causal/estimator.h"
 #include "data/german.h"
 #include "ingest/synthetic.h"
+#include "mining/shard_plan.h"
+#include "util/obs/metrics.h"
 #include "util/random.h"
 #include "util/simd/simd.h"
 
@@ -453,6 +455,169 @@ TEST(CateStatsEngineSimdTest, DenseGroupMatchesLegacyAtEveryTier) {
     RunPropertySweep(data.df, data.dag, data.protected_pattern, 92,
                      std::string("simd-") + simd::SimdLevelName(level));
   }
+}
+
+// ---------------------------------------------------------------------
+// Integer fast path: on an integer-valued outcome column the engine
+// accumulates {n, Σy, Σy²} in int64 and converts to double at solve
+// time. Under the safe-row guard every legacy floating-point prefix
+// partial is also exact, so the two representations must agree
+// bit-for-bit — for every method, tier, and shard count.
+
+void ExpectSameSubgroups(const CateSubgroupEstimates& got,
+                         const CateSubgroupEstimates& ref,
+                         const std::string& label) {
+  ExpectSameBits(got.overall, ref.overall, label + "/overall");
+  ExpectSameBits(got.protected_group, ref.protected_group,
+                 label + "/protected");
+  ExpectSameBits(got.nonprotected, ref.nonprotected, label + "/nonprotected");
+}
+
+TEST(CateStatsEngineIntPathTest, IntAndFpPathsBitIdenticalOnIntegerData) {
+  SyntheticConfig config;
+  config.num_rows = 4000;
+  config.seed = 21;
+  config.integer_outcome = true;
+  const auto data = MakeSynthetic(config);
+  ASSERT_TRUE(data.ok());
+  const DataFrame& df = data->df;
+  const Bitmap protected_mask = data->protected_pattern.Evaluate(df);
+  Rng rng(21);
+  const std::vector<Pattern> interventions = SampleInterventions(df, 2, &rng);
+  ASSERT_FALSE(interventions.empty());
+  const Bitmap dense = RandomGroup(df.num_rows(), 0.7, &rng);
+
+  for (const CateMethod method :
+       {CateMethod::kRegression, CateMethod::kStratified, CateMethod::kIpw}) {
+    CateOptions int_opts;
+    int_opts.method = method;
+    CateOptions fp_opts = int_opts;
+    fp_opts.disable_int_fast_path = true;  // pure-FP reference engine
+    const auto int_est = CateEstimator::Create(&df, &data->dag, int_opts);
+    const auto fp_est = CateEstimator::Create(&df, &data->dag, fp_opts);
+    ASSERT_TRUE(int_est.ok());
+    ASSERT_TRUE(fp_est.ok());
+    for (const simd::SimdLevel level : simd::SupportedSimdLevels()) {
+      simd::ScopedSimdLevel pin(level);
+      for (const size_t shards : {size_t{1}, size_t{7}, size_t{16}}) {
+        const ShardPlan plan = ShardPlan::Create(df.num_rows(), shards);
+        for (size_t i = 0; i < interventions.size(); ++i) {
+          const std::string tag =
+              std::string("intpath/") + simd::SimdLevelName(level) + "/m" +
+              std::to_string(static_cast<int>(method)) + "/s" +
+              std::to_string(shards) + "/i" + std::to_string(i);
+          const Result<CateSubgroupEstimates> got =
+              int_est->EstimateSubgroups(
+                  interventions[i], dense, &protected_mask, 5,
+                  /*skip_subgroups_unless_positive=*/false, &plan, nullptr);
+          const Result<CateSubgroupEstimates> ref =
+              fp_est->EstimateSubgroups(
+                  interventions[i], dense, &protected_mask, 5,
+                  /*skip_subgroups_unless_positive=*/false, &plan, nullptr);
+          ASSERT_TRUE(got.ok()) << tag;
+          ASSERT_TRUE(ref.ok()) << tag;
+          ExpectSameSubgroups(*got, *ref, tag);
+        }
+      }
+      // And both agree with the legacy per-call oracle (method-specific
+      // tolerances; stratified is bit-for-bit).
+      ExpectBatchMatchesLegacy(*int_est, interventions[0], dense,
+                               protected_mask, 5,
+                               std::string("intpath-legacy/") +
+                                   simd::SimdLevelName(level) + "/m" +
+                                   std::to_string(static_cast<int>(method)));
+    }
+  }
+}
+
+// Near-limit magnitudes: |y| up to ~3e6 puts Σy² past 2^53 after ~1000
+// rows, so a 4000-row group trips the overflow guard mid-range and the
+// kernel must flush its exact int64 partials into the FP arrays and
+// finish the pass on the FP path — with a result bit-identical to an
+// engine that never used the integer path at all.
+EdgeData MakeBigIntData(size_t n, uint64_t seed) {
+  auto schema = Schema::Create({
+      {"Prot", AttrType::kCategorical, AttrRole::kImmutable},
+      {"Z", AttrType::kCategorical, AttrRole::kImmutable},
+      {"T", AttrType::kCategorical, AttrRole::kMutable},
+      {"O", AttrType::kNumeric, AttrRole::kOutcome},
+  });
+  DataFrame df = DataFrame::Create(std::move(schema).ValueOrDie());
+  Rng rng(seed);
+  const char* z_levels[] = {"a", "b", "c"};
+  for (size_t i = 0; i < n; ++i) {
+    const bool prot = rng.NextBernoulli(0.3);
+    const size_t z = rng.NextBounded(3);
+    const bool t = rng.NextBernoulli(0.3 + 0.15 * static_cast<double>(z));
+    // Integer outcome in [-3e6, 3e6]: exactly representable, but squares
+    // near 9e12 exhaust the 2^53 budget after ~1000 rows.
+    const double o = static_cast<double>(
+        static_cast<int64_t>(rng.NextBounded(6000001)) - 3000000);
+    const Status st =
+        df.AppendRow({Value(prot ? "yes" : "no"), Value(z_levels[z]),
+                      Value(t ? "yes" : "no"), Value(o)});
+    EXPECT_TRUE(st.ok());
+  }
+  CausalDag dag =
+      CausalDag::Create({"Prot", "Z", "T", "O"},
+                        {{"Z", "T"}, {"Z", "O"}, {"Prot", "O"}, {"T", "O"}})
+          .ValueOrDie();
+  Pattern protected_pattern({Predicate(0, CompareOp::kEq, Value("yes"))});
+  return {std::move(df), std::move(dag), std::move(protected_pattern)};
+}
+
+TEST(CateStatsEngineIntPathTest, OverflowGuardFallsBackBitIdentically) {
+  const EdgeData data = MakeBigIntData(4000, 101);
+  const Bitmap protected_mask = data.protected_pattern.Evaluate(data.df);
+  const size_t t = *data.df.schema().IndexOf("T");
+  const Pattern intervention({Predicate(t, CompareOp::kEq, Value("yes"))});
+  const Bitmap all = data.df.AllRows();
+  const obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const uint64_t fallbacks_before =
+      reg.CounterValue("estimation.accumulate_int_fallbacks");
+  const uint64_t rows_before = reg.CounterValue("simd.cate_accumulate_rows");
+
+  for (const CateMethod method :
+       {CateMethod::kRegression, CateMethod::kStratified, CateMethod::kIpw}) {
+    CateOptions int_opts;
+    int_opts.method = method;
+    CateOptions fp_opts = int_opts;
+    fp_opts.disable_int_fast_path = true;
+    const auto int_est = CateEstimator::Create(&data.df, &data.dag, int_opts);
+    const auto fp_est = CateEstimator::Create(&data.df, &data.dag, fp_opts);
+    ASSERT_TRUE(int_est.ok());
+    ASSERT_TRUE(fp_est.ok());
+    for (const simd::SimdLevel level : simd::SupportedSimdLevels()) {
+      simd::ScopedSimdLevel pin(level);
+      const std::string tag = std::string("guard/") +
+                              simd::SimdLevelName(level) + "/m" +
+                              std::to_string(static_cast<int>(method));
+      // Sharded too: at 7/16 shards each shard stays under the guard and
+      // the int partials convert at merge time instead, which must still
+      // replay the FP engine's merge bit-for-bit.
+      for (const size_t shards : {size_t{1}, size_t{7}, size_t{16}}) {
+        const ShardPlan plan = ShardPlan::Create(data.df.num_rows(), shards);
+        const Result<CateSubgroupEstimates> got =
+            int_est->EstimateSubgroups(
+                intervention, all, &protected_mask, 5,
+                /*skip_subgroups_unless_positive=*/false, &plan, nullptr);
+        const Result<CateSubgroupEstimates> ref =
+            fp_est->EstimateSubgroups(
+                intervention, all, &protected_mask, 5,
+                /*skip_subgroups_unless_positive=*/false, &plan, nullptr);
+        ASSERT_TRUE(got.ok()) << tag;
+        ASSERT_TRUE(ref.ok()) << tag;
+        ExpectSameSubgroups(*got, *ref, tag + "/s" + std::to_string(shards));
+      }
+      // The single-shard pass exceeds safe_rows, so the guard must have
+      // tripped at least once at this tier; legacy oracle still matches.
+      ExpectBatchMatchesLegacy(*int_est, intervention, all, protected_mask,
+                               5, tag + "/legacy");
+    }
+  }
+  EXPECT_GT(reg.CounterValue("estimation.accumulate_int_fallbacks"),
+            fallbacks_before);
+  EXPECT_GT(reg.CounterValue("simd.cate_accumulate_rows"), rows_before);
 }
 
 // Regression test for the empty-arm guard: one-class inputs used to
