@@ -1,0 +1,68 @@
+# Clang Thread Safety Analysis gate.
+#
+# Under Clang, every TU is compiled with -Wthread-safety promoted to an
+# error, so an unguarded access to a GUARDED_BY field or a ...Locked()
+# call without REQUIRES fails the build (the CI static-analysis job runs
+# exactly this configuration). Under GCC the annotation macros expand to
+# nothing and this file only registers the (skipped) fixture check.
+#
+# Two configure-time try_compile fixtures prove the gate is live rather
+# than silently inert:
+#   * tests/fixtures/thread_safety_positive.cc — correctly locked code;
+#     must COMPILE under the analysis flags.
+#   * tests/fixtures/thread_safety_negative.cc — reads a GUARDED_BY field
+#     without the lock; must FAIL to compile. If it compiles, the
+#     analysis is not firing (wrong flags, broken macros) and the
+#     configure step dies with FATAL_ERROR instead of shipping a gate
+#     that checks nothing.
+
+if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  message(STATUS "Thread safety analysis: skipped (requires Clang, "
+                 "compiler is ${CMAKE_CXX_COMPILER_ID})")
+  return()
+endif()
+
+set(FAIRCAP_THREAD_SAFETY_FLAGS -Wthread-safety -Werror=thread-safety)
+add_compile_options(${FAIRCAP_THREAD_SAFETY_FLAGS})
+message(STATUS "Thread safety analysis: enabled (${FAIRCAP_THREAD_SAFETY_FLAGS})")
+
+# ---------------------------------------------------------------------------
+# Fixture self-check: the analysis must accept the positive fixture and
+# reject the negative one, or the gate is broken.
+
+function(_faircap_try_thread_safety_fixture fixture out_var)
+  try_compile(${out_var}
+    ${CMAKE_BINARY_DIR}/thread_safety_fixture_checks
+    SOURCES ${CMAKE_SOURCE_DIR}/tests/fixtures/${fixture}
+    CMAKE_FLAGS
+      "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src"
+      "-DCMAKE_CXX_FLAGS=-Wthread-safety -Werror=thread-safety"
+      "-DCMAKE_CXX_STANDARD=17"
+      "-DCMAKE_CXX_STANDARD_REQUIRED=ON"
+  )
+  set(${out_var} ${${out_var}} PARENT_SCOPE)
+endfunction()
+
+_faircap_try_thread_safety_fixture(
+  thread_safety_positive.cc FAIRCAP_TSA_POSITIVE_OK)
+if(NOT FAIRCAP_TSA_POSITIVE_OK)
+  message(FATAL_ERROR
+    "Thread safety self-check: the correctly-locked positive fixture "
+    "(tests/fixtures/thread_safety_positive.cc) failed to compile under "
+    "-Wthread-safety -Werror=thread-safety. The annotation macros or "
+    "sync wrappers are broken.")
+endif()
+
+_faircap_try_thread_safety_fixture(
+  thread_safety_negative.cc FAIRCAP_TSA_NEGATIVE_COMPILED)
+if(FAIRCAP_TSA_NEGATIVE_COMPILED)
+  message(FATAL_ERROR
+    "Thread safety self-check: the negative fixture "
+    "(tests/fixtures/thread_safety_negative.cc) — a guarded-field access "
+    "without the lock — COMPILED under -Wthread-safety "
+    "-Werror=thread-safety. The analysis is not firing; the gate would "
+    "check nothing.")
+endif()
+
+message(STATUS "Thread safety analysis: fixture self-check passed "
+               "(positive compiles, negative rejected)")

@@ -70,7 +70,7 @@ CateEstimator::CateEstimator(const DataFrame* df, const CausalDag* dag,
       options_(options),
       outcome_attr_(outcome_attr),
       outcome_node_(outcome_node),
-      mu_(new std::mutex) {}
+      mu_(new Mutex) {}
 
 Result<std::vector<size_t>> CateEstimator::AdjustmentAttrs(
     const Pattern& intervention) const {
@@ -81,7 +81,7 @@ Result<std::vector<size_t>> CateEstimator::AdjustmentAttrs(
     key += ',';
   }
   {
-    std::lock_guard<std::mutex> lock(*mu_);
+    MutexLock lock(*mu_);
     const auto it = adjustment_cache_.find(key);
     if (it != adjustment_cache_.end()) return it->second;
   }
@@ -109,7 +109,7 @@ Result<std::vector<size_t>> CateEstimator::AdjustmentAttrs(
     std::sort(adjustment_attrs.begin(), adjustment_attrs.end());
   }
   {
-    std::lock_guard<std::mutex> lock(*mu_);
+    MutexLock lock(*mu_);
     adjustment_cache_.emplace(key, adjustment_attrs);
   }
   return adjustment_attrs;
@@ -255,7 +255,7 @@ std::shared_ptr<const std::vector<int64_t>> CateEstimator::StratumIdsCached(
     const std::vector<size_t>& adjustment) const {
   const std::string key = AdjustmentKey(adjustment);
   {
-    std::lock_guard<std::mutex> lock(*mu_);
+    MutexLock lock(*mu_);
     const auto it = stratum_cache_.find(key);
     if (it != stratum_cache_.end()) return it->second;
   }
@@ -263,7 +263,7 @@ std::shared_ptr<const std::vector<int64_t>> CateEstimator::StratumIdsCached(
   // identical, and the first insertion wins).
   auto ids = std::make_shared<const std::vector<int64_t>>(
       StratumIds(adjustment));
-  std::lock_guard<std::mutex> lock(*mu_);
+  MutexLock lock(*mu_);
   const auto [it, inserted] = stratum_cache_.emplace(key, std::move(ids));
   return it->second;
 }
@@ -403,7 +403,7 @@ std::shared_ptr<const ConfounderPartition> CateEstimator::PartitionFor(
     const std::vector<size_t>& adjustment) const {
   const std::string key = AdjustmentKey(adjustment);
   {
-    std::lock_guard<std::mutex> lock(*mu_);
+    MutexLock lock(*mu_);
     const auto it = partitions_.find(key);
     if (it != partitions_.end()) {
       if (auto alive = it->second.lock()) return alive;
@@ -413,7 +413,7 @@ std::shared_ptr<const ConfounderPartition> CateEstimator::PartitionFor(
   // first insertion wins.
   std::shared_ptr<const ConfounderPartition> built =
       ConfounderPartition::Build(*df_, outcome_attr_, adjustment, options_);
-  std::lock_guard<std::mutex> lock(*mu_);
+  MutexLock lock(*mu_);
   auto& slot = partitions_[key];
   if (auto alive = slot.lock()) return alive;
   slot = built;
@@ -458,7 +458,7 @@ Result<std::shared_ptr<const CateStatsEngine>> CateEstimator::EngineFor(
   FAIRCAP_RETURN_NOT_OK(intervention.Validate(*df_));
   const std::string key = intervention.Key();
   {
-    std::lock_guard<std::mutex> lock(*mu_);
+    MutexLock lock(*mu_);
     const auto it = engines_.find(key);
     if (it != engines_.end()) {
       ++engine_hits_;
@@ -475,7 +475,7 @@ Result<std::shared_ptr<const CateStatsEngine>> CateEstimator::EngineFor(
   auto engine = std::make_shared<const CateStatsEngine>(
       df_, options_, adjustment, std::move(treated), std::move(partition));
 
-  std::lock_guard<std::mutex> lock(*mu_);
+  MutexLock lock(*mu_);
   const auto it = engines_.find(key);
   if (it != engines_.end()) {
     // A racing builder landed first; keep its engine canonical.
@@ -521,13 +521,13 @@ Result<CateSubgroupEstimates> CateEstimator::EstimateSubgroups(
 }
 
 void CateEstimator::SetEngineMemoryBudget(size_t max_bytes) {
-  std::lock_guard<std::mutex> lock(*mu_);
+  MutexLock lock(*mu_);
   engine_budget_ = max_bytes;
   EnforceEngineBudgetLocked();
 }
 
 CateEstimator::EngineCacheStats CateEstimator::GetEngineStats() const {
-  std::lock_guard<std::mutex> lock(*mu_);
+  MutexLock lock(*mu_);
   EngineCacheStats stats;
   stats.engines = engines_.size();
   stats.bytes = EngineBytesLocked();  // also prunes expired partitions

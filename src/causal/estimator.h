@@ -16,7 +16,6 @@
 
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -25,6 +24,8 @@
 #include "dataframe/dataframe.h"
 #include "mining/pattern.h"
 #include "util/result.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace faircap {
 
@@ -217,8 +218,8 @@ class CateEstimator {
       const std::vector<size_t>& adjustment) const;
 
   /// Evicts LRU engines while over the engine budget. Caller holds mu_.
-  void EnforceEngineBudgetLocked() const;
-  size_t EngineBytesLocked() const;
+  void EnforceEngineBudgetLocked() const REQUIRES(*mu_);
+  size_t EngineBytesLocked() const REQUIRES(*mu_);
 
   const DataFrame* df_;
   const CausalDag* dag_;
@@ -226,15 +227,16 @@ class CateEstimator {
   size_t outcome_attr_;
   size_t outcome_node_;
 
-  // Behind unique_ptr so the estimator stays movable (mutex is not).
+  // Behind unique_ptr so the estimator stays movable (mutex is not); the
+  // guards dereference it (GUARDED_BY(*mu_)), which the analysis resolves.
   // Treatment masks are NOT cached here: they come from the DataFrame's
   // PredicateIndex, shared with the mining layer.
-  std::unique_ptr<std::mutex> mu_;
+  std::unique_ptr<Mutex> mu_;
   mutable std::unordered_map<std::string, std::vector<size_t>>
-      adjustment_cache_;
+      adjustment_cache_ GUARDED_BY(*mu_);
   mutable std::unordered_map<std::string,
                              std::shared_ptr<const std::vector<int64_t>>>
-      stratum_cache_;
+      stratum_cache_ GUARDED_BY(*mu_);
 
   // Per-treatment engine cache: Pattern::Key() -> engine, with an LRU
   // list (most-recent first) driving byte-budget eviction. Partitions are
@@ -244,15 +246,16 @@ class CateEstimator {
     std::shared_ptr<const CateStatsEngine> engine;
     std::list<std::string>::iterator lru_pos;
   };
-  mutable std::unordered_map<std::string, EngineEntry> engines_;
-  mutable std::list<std::string> engine_lru_;
+  mutable std::unordered_map<std::string, EngineEntry> engines_
+      GUARDED_BY(*mu_);
+  mutable std::list<std::string> engine_lru_ GUARDED_BY(*mu_);
   mutable std::unordered_map<std::string,
                              std::weak_ptr<const ConfounderPartition>>
-      partitions_;
-  mutable size_t engine_budget_ = 0;  // 0 = unlimited
-  mutable size_t engine_hits_ = 0;
-  mutable size_t engine_misses_ = 0;
-  mutable size_t engine_evictions_ = 0;
+      partitions_ GUARDED_BY(*mu_);
+  mutable size_t engine_budget_ GUARDED_BY(*mu_) = 0;  // 0 = unlimited
+  mutable size_t engine_hits_ GUARDED_BY(*mu_) = 0;
+  mutable size_t engine_misses_ GUARDED_BY(*mu_) = 0;
+  mutable size_t engine_evictions_ GUARDED_BY(*mu_) = 0;
 };
 
 }  // namespace faircap

@@ -150,7 +150,7 @@ Bitmap PredicateIndex::Scan(const DataFrame& df, size_t attr, CompareOp op,
 std::shared_ptr<const PredicateIndex::NumericOrder>
 PredicateIndex::NumericOrderFor(const DataFrame& df, size_t attr) const {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = numeric_orders_.find(attr);
     if (it != numeric_orders_.end()) return it->second;
   }
@@ -172,7 +172,7 @@ PredicateIndex::NumericOrderFor(const DataFrame& df, size_t attr) const {
             });
   order->values.reserve(order->rows.size());
   for (const uint32_t r : order->rows) order->values.push_back(values[r]);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto [it, inserted] = numeric_orders_.emplace(attr, std::move(order));
   // Keep a live reference before enforcing the budget: under a tiny
   // budget the enforcement may evict this very order from the map, and
@@ -266,7 +266,7 @@ uint32_t PredicateIndex::EnsureAtom(const DataFrame& df, size_t attr,
       batch ? "col:" + std::to_string(attr) : key;
 
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (;;) {
       const auto it = atom_ids_.find(key);
       // An interned id whose mask was budget-evicted needs a rescan: the
@@ -282,7 +282,7 @@ uint32_t PredicateIndex::EnsureAtom(const DataFrame& df, size_t attr,
         in_flight_.insert(build_token);
         break;  // this thread builds
       }
-      build_done_.wait(lock);  // another thread is scanning this atom/column
+      build_done_.Wait(mu_);  // another thread is scanning this atom/column
     }
   }
 
@@ -306,13 +306,13 @@ uint32_t PredicateIndex::EnsureAtom(const DataFrame& df, size_t attr,
     }
   } catch (...) {
     // Release waiters before propagating (e.g. a type-mismatched Value).
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     in_flight_.erase(build_token);
-    build_done_.notify_all();
+    build_done_.NotifyAll();
     throw;
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++misses_;
   CacheMetrics().misses.Increment();
   uint32_t result_id = 0;
@@ -342,7 +342,7 @@ uint32_t PredicateIndex::EnsureAtom(const DataFrame& df, size_t attr,
   // LRU-last tier) cannot evict the mask the caller is about to read.
   TouchAtomLocked(result_id);
   in_flight_.erase(build_token);
-  build_done_.notify_all();
+  build_done_.NotifyAll();
   EnforceBudgetLocked();
   return result_id;
 }
@@ -352,7 +352,7 @@ PredicateIndex::EnsureAtomPinned(const DataFrame& df, size_t attr,
                                  CompareOp op, const Value& value) const {
   for (;;) {
     const uint32_t id = EnsureAtom(df, attr, op, value);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // A concurrent insertion may have evicted the atom between EnsureAtom
     // and here; rebuild in that (rare) case. EnsureAtom leaves the atom
     // most-recently-used, so single-threaded this never loops.
@@ -375,7 +375,7 @@ std::shared_ptr<const Bitmap> PredicateIndex::AtomMaskShared(
 }
 
 const Bitmap& PredicateIndex::AllRowsMask(const DataFrame& df) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (all_rows_ == nullptr ||
       all_rows_->size() != df.num_rows()) {
     all_rows_ = std::make_unique<Bitmap>(df.num_rows(), /*value=*/true);
@@ -417,7 +417,7 @@ std::shared_ptr<const Bitmap> PredicateIndex::ConjunctionMaskShared(
   for (const auto& [id, mask] : pinned) ids.push_back(id);
   const std::string key = ConjunctionKey(ids);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (pinned.size() == 1) {
       // A one-atom conjunction IS the atom mask; no separate entry.
       ++hits_;
@@ -449,7 +449,7 @@ std::shared_ptr<const Bitmap> PredicateIndex::ConjunctionMaskShared(
     out &= *masks[i];
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return InsertConjunctionLocked(key,
                                  std::make_shared<Bitmap>(std::move(out)));
 }
@@ -476,61 +476,60 @@ std::shared_ptr<Bitmap> PredicateIndex::InsertConjunctionLocked(
 }
 
 void PredicateIndex::EnforceBudgetLocked() const {
-  // Every byte-mutating path ends here (insert, warm start, budget
-  // change), so this is the one place the registry's byte gauges refresh.
-  struct BytesPublisher {
-    const PredicateIndex* index;
-    ~BytesPublisher() {
-      IndexCacheMetrics& m = CacheMetrics();
-      m.atom_bytes.Set(static_cast<double>(index->atom_bytes_));
-      m.conjunction_bytes.Set(static_cast<double>(index->conjunction_bytes_));
-      m.numeric_order_bytes.Set(
-          static_cast<double>(index->numeric_order_bytes_));
+  // Eviction runs only under a budget; the gauge refresh at the end runs
+  // unconditionally — every byte-mutating path ends here (insert, warm
+  // start, budget change), so this is the one place the registry's byte
+  // gauges refresh. (Publishing is straight-line code rather than a
+  // scope-exit helper: thread-safety analysis cannot see that a local
+  // RAII struct's destructor reads these guarded fields under mu_.)
+  if (max_bytes_ != 0) {
+    const auto held = [&] {
+      return conjunction_bytes_ + atom_bytes_ + numeric_order_bytes_;
+    };
+    // Conjunctions go first: they recompose cheaply from atom masks.
+    // Never evict the most-recently-touched entry — the caller that just
+    // inserted (or hit) it may still be using the reference.
+    while (held() > max_bytes_ && lru_.size() > 1) {
+      const auto it = conjunctions_.find(lru_.back());
+      conjunction_bytes_ -= BitmapBytes(*it->second.mask);
+      conjunctions_.erase(it);
+      lru_.pop_back();
+      ++evictions_;
+      CacheMetrics().evictions.Increment();
     }
-  } publish{this};
-  if (max_bytes_ == 0) return;
-  const auto held = [this] {
-    return conjunction_bytes_ + atom_bytes_ + numeric_order_bytes_;
-  };
-  // Conjunctions go first: they recompose cheaply from atom masks. Never
-  // evict the most-recently-touched entry — the caller that just inserted
-  // (or hit) it may still be using the reference.
-  while (held() > max_bytes_ && lru_.size() > 1) {
-    const auto it = conjunctions_.find(lru_.back());
-    conjunction_bytes_ -= BitmapBytes(*it->second.mask);
-    conjunctions_.erase(it);
-    lru_.pop_back();
-    ++evictions_;
-    CacheMetrics().evictions.Increment();
+    // Atom tier, LRU last: only reached once no evictable conjunction
+    // remains. The dense id (and every conjunction key embedding it)
+    // stays valid; a re-request rescans the column into the same slot.
+    while (held() > max_bytes_ && atom_lru_.size() > 1) {
+      const uint32_t id = atom_lru_.back();
+      AtomEntry& entry = atom_masks_[id];
+      atom_bytes_ -= BitmapBytes(*entry.mask);
+      entry.mask.reset();
+      atom_lru_.pop_back();
+      ++atom_evictions_;
+      CacheMetrics().atom_evictions.Increment();
+    }
+    // Numeric sorted orders last of all: the costliest rebuild (a full
+    // re-sort), but also the biggest entries at scale (~12 bytes/row per
+    // column) — without this tier a capped index could silently hold
+    // hundreds of MB of order state. Holders' shared_ptr copies survive.
+    while (held() > max_bytes_ && !numeric_orders_.empty()) {
+      const auto it = numeric_orders_.begin();
+      numeric_order_bytes_ -=
+          it->second->rows.size() * (sizeof(uint32_t) + sizeof(double));
+      numeric_orders_.erase(it);
+    }
   }
-  // Atom tier, LRU last: only reached once no evictable conjunction
-  // remains. The dense id (and every conjunction key embedding it) stays
-  // valid; a re-request rescans the column into the same slot.
-  while (held() > max_bytes_ && atom_lru_.size() > 1) {
-    const uint32_t id = atom_lru_.back();
-    AtomEntry& entry = atom_masks_[id];
-    atom_bytes_ -= BitmapBytes(*entry.mask);
-    entry.mask.reset();
-    atom_lru_.pop_back();
-    ++atom_evictions_;
-    CacheMetrics().atom_evictions.Increment();
-  }
-  // Numeric sorted orders last of all: the costliest rebuild (a full
-  // re-sort), but also the biggest entries at scale (~12 bytes/row per
-  // column) — without this tier a capped index could silently hold
-  // hundreds of MB of order state. Holders' shared_ptr copies survive.
-  while (held() > max_bytes_ && !numeric_orders_.empty()) {
-    const auto it = numeric_orders_.begin();
-    numeric_order_bytes_ -=
-        it->second->rows.size() * (sizeof(uint32_t) + sizeof(double));
-    numeric_orders_.erase(it);
-  }
+  IndexCacheMetrics& m = CacheMetrics();
+  m.atom_bytes.Set(static_cast<double>(atom_bytes_));
+  m.conjunction_bytes.Set(static_cast<double>(conjunction_bytes_));
+  m.numeric_order_bytes.Set(static_cast<double>(numeric_order_bytes_));
 }
 
 void PredicateIndex::WarmStartCategoryMasks(const DataFrame& df, size_t attr,
                                             std::vector<Bitmap> masks) const {
   const Column& col = df.column(attr);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (size_t code = 0; code < masks.size(); ++code) {
     const std::string key =
         AtomKey(attr, CompareOp::kEq,
@@ -563,7 +562,7 @@ void PredicateIndex::WarmStartCategoryMasks(const DataFrame& df, size_t attr,
 bool PredicateIndex::CategoryMasksCached(const DataFrame& df,
                                          size_t attr) const {
   const Column& col = df.column(attr);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (size_t code = 0; code < col.num_categories(); ++code) {
     const std::string key =
         AtomKey(attr, CompareOp::kEq,
@@ -577,18 +576,18 @@ bool PredicateIndex::CategoryMasksCached(const DataFrame& df,
 }
 
 void PredicateIndex::SetMemoryBudget(size_t max_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   max_bytes_ = max_bytes;
   EnforceBudgetLocked();
 }
 
 size_t PredicateIndex::memory_budget() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return max_bytes_;
 }
 
 void PredicateIndex::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   atom_ids_.clear();
   atom_masks_.clear();
   atom_lru_.clear();
@@ -603,7 +602,7 @@ void PredicateIndex::Clear() {
 }
 
 PredicateIndex::CacheStats PredicateIndex::GetStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   CacheStats stats;
   for (const AtomEntry& entry : atom_masks_) {
     if (entry.mask != nullptr) ++stats.atom_masks;

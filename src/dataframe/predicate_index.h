@@ -14,11 +14,9 @@
 #ifndef FAIRCAP_DATAFRAME_PREDICATE_INDEX_H_
 #define FAIRCAP_DATAFRAME_PREDICATE_INDEX_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -27,6 +25,8 @@
 #include "dataframe/bitmap.h"
 #include "dataframe/compare.h"
 #include "dataframe/value.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace faircap {
 
@@ -168,7 +168,7 @@ class PredicateIndex {
   /// Interns the atom, scanning (or batch-building) its mask on first
   /// sight. Returns its dense id. Caller must NOT hold mu_.
   uint32_t EnsureAtom(const DataFrame& df, size_t attr, CompareOp op,
-                      const Value& value) const;
+                      const Value& value) const EXCLUDES(mu_);
 
   /// EnsureAtom plus a live shared_ptr to the mask. Pinning matters: a
   /// later insertion can budget-evict the atom from the cache, and
@@ -176,10 +176,10 @@ class PredicateIndex {
   /// other's masks forever under a tiny budget. Caller must NOT hold mu_.
   std::pair<uint32_t, std::shared_ptr<const Bitmap>> EnsureAtomPinned(
       const DataFrame& df, size_t attr, CompareOp op,
-      const Value& value) const;
+      const Value& value) const EXCLUDES(mu_);
 
   /// All-rows mask, built on first use.
-  const Bitmap& AllRowsMask(const DataFrame& df) const;
+  const Bitmap& AllRowsMask(const DataFrame& df) const EXCLUDES(mu_);
 
   /// Ascending (value-sorted) row order of numeric `attr`, NaN rows
   /// excluded — the one-time index behind range-operator atom masks.
@@ -191,7 +191,8 @@ class PredicateIndex {
   /// Cached NumericOrder for `attr`, built on first request (racing
   /// duplicate builds are identical; the first insertion wins).
   std::shared_ptr<const NumericOrder> NumericOrderFor(const DataFrame& df,
-                                                      size_t attr) const;
+                                                      size_t attr) const
+      EXCLUDES(mu_);
 
   /// Range-operator (kLt/kLe/kGt/kGe) mask for numeric `attr` from the
   /// sorted order: two binary searches bound the qualifying run, and only
@@ -201,27 +202,29 @@ class PredicateIndex {
   Bitmap ScanNumericRange(const DataFrame& df, size_t attr, CompareOp op,
                           double rhs) const;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // Column scans and mask composition run outside mu_; concurrent
   // first-touch builds of the same atom (or same column batch) coordinate
   // through this in-flight key set instead of duplicating the scan.
-  mutable std::condition_variable build_done_;
-  mutable std::unordered_set<std::string> in_flight_;
+  mutable CondVar build_done_;
+  mutable std::unordered_set<std::string> in_flight_ GUARDED_BY(mu_);
   /// Inserts `mask` under `key`, wires it into the LRU, and evicts from
   /// the cold end while over budget. Returns the canonical mask (an
   /// earlier racing insert wins). Caller must hold mu_.
   std::shared_ptr<Bitmap> InsertConjunctionLocked(
-      const std::string& key, std::shared_ptr<Bitmap> mask) const;
+      const std::string& key, std::shared_ptr<Bitmap> mask) const
+      REQUIRES(mu_);
 
   /// Evicts LRU-tail conjunctions until within budget. Caller holds mu_.
-  void EnforceBudgetLocked() const;
+  void EnforceBudgetLocked() const REQUIRES(mu_);
 
   /// Inserts the freshly scanned `mask` for atom id `id`, charging the
   /// budget and wiring the atom LRU. Caller must hold mu_.
-  void InstallAtomMaskLocked(uint32_t id, std::shared_ptr<Bitmap> mask) const;
+  void InstallAtomMaskLocked(uint32_t id, std::shared_ptr<Bitmap> mask) const
+      REQUIRES(mu_);
 
   /// Most-recently-used touch of an atom. Caller must hold mu_.
-  void TouchAtomLocked(uint32_t id) const;
+  void TouchAtomLocked(uint32_t id) const REQUIRES(mu_);
 
   // Atom key -> dense id; masks indexed by id. Ids are stable forever
   // (conjunction keys embed them); under a budget the *mask* of a cold
@@ -233,9 +236,10 @@ class PredicateIndex {
     std::shared_ptr<Bitmap> mask;
     std::list<uint32_t>::iterator lru_pos;  // valid iff mask != nullptr
   };
-  mutable std::unordered_map<std::string, uint32_t> atom_ids_;
-  mutable std::vector<AtomEntry> atom_masks_;
-  mutable std::list<uint32_t> atom_lru_;  // most-recent first
+  mutable std::unordered_map<std::string, uint32_t> atom_ids_
+      GUARDED_BY(mu_);
+  mutable std::vector<AtomEntry> atom_masks_ GUARDED_BY(mu_);
+  mutable std::list<uint32_t> atom_lru_ GUARDED_BY(mu_);  // most-recent first
   // Canonical sorted-id key -> conjunction mask, with an LRU list
   // (most-recent first) driving budget eviction. shared_ptr ownership
   // keeps masks handed out via ConjunctionMaskShared alive across
@@ -244,9 +248,10 @@ class PredicateIndex {
     std::shared_ptr<Bitmap> mask;
     std::list<std::string>::iterator lru_pos;
   };
-  mutable std::unordered_map<std::string, ConjunctionEntry> conjunctions_;
-  mutable std::list<std::string> lru_;
-  mutable std::unique_ptr<Bitmap> all_rows_;
+  mutable std::unordered_map<std::string, ConjunctionEntry> conjunctions_
+      GUARDED_BY(mu_);
+  mutable std::list<std::string> lru_ GUARDED_BY(mu_);
+  mutable std::unique_ptr<Bitmap> all_rows_ GUARDED_BY(mu_);
   // Per-attr sorted row order for numeric range atoms (~12 bytes per
   // non-null row — much bigger than one mask at scale). Counted against
   // the byte budget and evicted behind the atom tier: orders are the most
@@ -254,16 +259,16 @@ class PredicateIndex {
   // so they go last. Outstanding shared_ptr holders keep an evicted
   // order alive; a re-request re-sorts. Clear() drops them too.
   mutable std::unordered_map<size_t, std::shared_ptr<const NumericOrder>>
-      numeric_orders_;
-  mutable size_t numeric_order_bytes_ = 0;
-  mutable size_t max_bytes_ = 0;  // 0 = unlimited
-  mutable size_t conjunction_bytes_ = 0;
-  mutable size_t atom_bytes_ = 0;
-  mutable size_t hits_ = 0;
-  mutable size_t misses_ = 0;
-  mutable size_t evictions_ = 0;
-  mutable size_t atom_evictions_ = 0;
-  mutable size_t warm_atoms_ = 0;
+      numeric_orders_ GUARDED_BY(mu_);
+  mutable size_t numeric_order_bytes_ GUARDED_BY(mu_) = 0;
+  mutable size_t max_bytes_ GUARDED_BY(mu_) = 0;  // 0 = unlimited
+  mutable size_t conjunction_bytes_ GUARDED_BY(mu_) = 0;
+  mutable size_t atom_bytes_ GUARDED_BY(mu_) = 0;
+  mutable size_t hits_ GUARDED_BY(mu_) = 0;
+  mutable size_t misses_ GUARDED_BY(mu_) = 0;
+  mutable size_t evictions_ GUARDED_BY(mu_) = 0;
+  mutable size_t atom_evictions_ GUARDED_BY(mu_) = 0;
+  mutable size_t warm_atoms_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace faircap

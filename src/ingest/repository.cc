@@ -151,7 +151,7 @@ Status DatasetRepository::Register(const std::string& name,
   if (factory == nullptr) {
     return Status::InvalidArgument("dataset factory must be callable");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto inserted = entries_.emplace(
       name, Entry{std::move(description), std::move(factory)});
   if (!inserted.second) {
@@ -161,14 +161,14 @@ Status DatasetRepository::Register(const std::string& name,
 }
 
 bool DatasetRepository::Contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.count(name) != 0;
 }
 
 Result<Dataset> DatasetRepository::Load(const DatasetRequest& request) const {
   Factory factory;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = entries_.find(request.name);
     if (it == entries_.end()) {
       std::string known;
@@ -195,7 +195,7 @@ Result<Dataset> DatasetRepository::Load(const std::string& name) const {
 
 std::vector<std::pair<std::string, std::string>> DatasetRepository::List()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<std::string, std::string>> out;
   out.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) {

@@ -11,7 +11,6 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -21,6 +20,8 @@
 #include "ingest/chunked_csv_reader.h"
 #include "mining/pattern.h"
 #include "util/result.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace faircap {
 
@@ -79,8 +80,8 @@ class DatasetRepository {
     std::string description;
     Factory factory;
   };
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  mutable Mutex mu_;
+  std::map<std::string, Entry> entries_ GUARDED_BY(mu_);
 };
 
 /// Spec for a file-backed dataset: CSV ingested through the streaming

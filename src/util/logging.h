@@ -80,7 +80,8 @@ inline bool ParseLogLevel(const std::string& name, LogLevel* level) {
 /// logger itself might be set to suppress warnings). Harness entry points
 /// call this once at startup; explicit flags override it afterwards.
 inline void InitLogLevelFromEnv() {
-  const char* env = std::getenv("FAIRCAP_LOG");
+  // Startup-only, before any worker thread exists; no setenv in-process.
+  const char* env = std::getenv("FAIRCAP_LOG");  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr || *env == '\0') return;
   LogLevel level;
   if (ParseLogLevel(env, &level)) {

@@ -6,10 +6,12 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <unordered_map>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace faircap {
 namespace obs {
@@ -40,16 +42,18 @@ void Histogram::Reset() {
 // MetricsRegistry
 
 struct MetricsRegistry::Impl {
-  mutable std::mutex mu;
+  mutable Mutex mu;
   // Heap-allocated metrics owned by the deques: handed-out references
   // stay valid as the registry grows, and the atomic members (which make
-  // the types immovable) never need to relocate.
-  std::deque<std::unique_ptr<Counter>> counters;
-  std::deque<std::unique_ptr<Gauge>> gauges;
-  std::deque<std::unique_ptr<Histogram>> histograms;
-  std::unordered_map<std::string, Counter*> counter_by_name;
-  std::unordered_map<std::string, Gauge*> gauge_by_name;
-  std::unordered_map<std::string, Histogram*> histogram_by_name;
+  // the types immovable) never need to relocate. The registration state
+  // is guarded by mu; the metric objects themselves are atomic and are
+  // deliberately updated lock-free through the handed-out references.
+  std::deque<std::unique_ptr<Counter>> counters GUARDED_BY(mu);
+  std::deque<std::unique_ptr<Gauge>> gauges GUARDED_BY(mu);
+  std::deque<std::unique_ptr<Histogram>> histograms GUARDED_BY(mu);
+  std::unordered_map<std::string, Counter*> counter_by_name GUARDED_BY(mu);
+  std::unordered_map<std::string, Gauge*> gauge_by_name GUARDED_BY(mu);
+  std::unordered_map<std::string, Histogram*> histogram_by_name GUARDED_BY(mu);
 };
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -66,7 +70,7 @@ MetricsRegistry::Impl& MetricsRegistry::impl() const {
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mu);
+  MutexLock lock(i.mu);
   auto it = i.counter_by_name.find(name);
   if (it != i.counter_by_name.end()) return *it->second;
   i.counters.emplace_back(new Counter());
@@ -76,7 +80,7 @@ Counter& MetricsRegistry::GetCounter(const std::string& name) {
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mu);
+  MutexLock lock(i.mu);
   auto it = i.gauge_by_name.find(name);
   if (it != i.gauge_by_name.end()) return *it->second;
   i.gauges.emplace_back(new Gauge());
@@ -86,7 +90,7 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mu);
+  MutexLock lock(i.mu);
   auto it = i.histogram_by_name.find(name);
   if (it != i.histogram_by_name.end()) return *it->second;
   i.histograms.emplace_back(new Histogram());
@@ -96,21 +100,21 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
 
 uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mu);
+  MutexLock lock(i.mu);
   const auto it = i.counter_by_name.find(name);
   return it == i.counter_by_name.end() ? 0 : it->second->value();
 }
 
 double MetricsRegistry::GaugeValue(const std::string& name) const {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mu);
+  MutexLock lock(i.mu);
   const auto it = i.gauge_by_name.find(name);
   return it == i.gauge_by_name.end() ? 0.0 : it->second->value();
 }
 
 void MetricsRegistry::Reset() {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mu);
+  MutexLock lock(i.mu);
   for (auto& c : i.counters) c->Reset();
   for (auto& g : i.gauges) g->Reset();
   for (auto& h : i.histograms) h->Reset();
@@ -157,7 +161,7 @@ std::pair<std::string, std::string> SplitSection(const std::string& name) {
 
 void MetricsRegistry::WriteJson(std::ostream& out) const {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mu);
+  MutexLock lock(i.mu);
   // section -> metric -> rendered JSON value, both levels sorted by the
   // std::map so the emitted schema is stable.
   std::map<std::string, std::map<std::string, std::string>> sections;
@@ -204,7 +208,7 @@ void MetricsRegistry::WriteJson(std::ostream& out) const {
 
 std::vector<std::string> MetricsRegistry::CounterNames() const {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mu);
+  MutexLock lock(i.mu);
   std::vector<std::string> names;
   names.reserve(i.counter_by_name.size());
   for (const auto& [name, counter] : i.counter_by_name) names.push_back(name);
@@ -214,7 +218,7 @@ std::vector<std::string> MetricsRegistry::CounterNames() const {
 
 std::vector<std::string> MetricsRegistry::GaugeNames() const {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mu);
+  MutexLock lock(i.mu);
   std::vector<std::string> names;
   names.reserve(i.gauge_by_name.size());
   for (const auto& [name, gauge] : i.gauge_by_name) names.push_back(name);

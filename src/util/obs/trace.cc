@@ -3,9 +3,11 @@
 #include <chrono>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <vector>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace faircap {
 namespace obs {
@@ -30,14 +32,22 @@ std::atomic<int64_t> g_epoch_ns{0};
 /// the flush reads them.
 struct ThreadTrace {
   uint32_t tid = 0;
-  std::string name;          ///< set by SetThreadTraceName, may be empty
+  /// Set by SetThreadTraceName, may be empty. Guarded by the registry's
+  /// mu (readers in WriteChromeTrace hold it; the writer takes it too) —
+  /// spelled as a comment because the guarding mutex lives in a different
+  /// struct, outside GUARDED_BY's reach.
+  std::string name;
+  /// Deliberately unguarded: appended only by the owning thread, read by
+  /// the flush only after every recording thread has quiesced (the
+  /// scheduler joins its workers before the CLI writes the trace). A
+  /// mutex here would put a lock on every span record.
   std::vector<TraceEvent> events;
 };
 
 struct TraceRegistry {
-  std::mutex mu;
-  std::vector<std::shared_ptr<ThreadTrace>> threads;
-  uint32_t next_tid = 1;
+  Mutex mu;
+  std::vector<std::shared_ptr<ThreadTrace>> threads GUARDED_BY(mu);
+  uint32_t next_tid GUARDED_BY(mu) = 1;
 };
 
 TraceRegistry& Registry() {
@@ -51,7 +61,7 @@ ThreadTrace& LocalTrace() {
   thread_local std::shared_ptr<ThreadTrace> local = [] {
     auto trace = std::make_shared<ThreadTrace>();
     TraceRegistry& reg = Registry();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexLock lock(reg.mu);
     trace->tid = reg.next_tid++;
     reg.threads.push_back(trace);
     return trace;
@@ -92,19 +102,25 @@ void DisableTracing() {
 
 void ClearTrace() {
   internal::TraceRegistry& reg = internal::Registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   // Thread names persist (they describe the thread, not the session);
   // events belong to the session and go.
   for (auto& thread : reg.threads) thread->events.clear();
 }
 
 void SetThreadTraceName(const std::string& name) {
-  internal::LocalTrace().name = name;
+  // Name it through the registry lock: WriteChromeTrace reads names under
+  // reg.mu, and a worker naming itself while another thread flushes the
+  // trace would otherwise race on the string. Cold path (once per thread).
+  internal::ThreadTrace& trace = internal::LocalTrace();
+  internal::TraceRegistry& reg = internal::Registry();
+  MutexLock lock(reg.mu);
+  trace.name = name;
 }
 
 size_t TraceEventCount() {
   internal::TraceRegistry& reg = internal::Registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   size_t count = 0;
   for (const auto& thread : reg.threads) count += thread->events.size();
   return count;
@@ -112,7 +128,7 @@ size_t TraceEventCount() {
 
 void WriteChromeTrace(std::ostream& out) {
   internal::TraceRegistry& reg = internal::Registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   auto comma = [&] {

@@ -78,7 +78,8 @@ std::once_flag g_init_once;
 
 void ResolveStartupLevel() {
   SimdLevel level = MaxSupportedSimdLevel();
-  const char* env = std::getenv("FAIRCAP_SIMD");
+  // Under std::call_once, before kernels dispatch; no setenv in-process.
+  const char* env = std::getenv("FAIRCAP_SIMD");  // NOLINT(concurrency-mt-unsafe)
   if (env != nullptr && env[0] != '\0') {
     SimdLevel requested;
     if (!ParseSimdLevel(env, &requested)) {

@@ -75,19 +75,19 @@ void TaskGroup::TaskDone(std::exception_ptr error) {
   // destroy the group (per-evaluation groups are stack-local) while the
   // finishing task is still inside notify, a use-after-free that shows
   // up as a worker hung on a dead mutex.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (error != nullptr && error_ == nullptr) error_ = std::move(error);
   const size_t left = pending_.fetch_sub(1, std::memory_order_acq_rel) - 1;
   // Wake waiters at 0 (a plain Wait) and at 1 (a Wait from inside one of
   // this group's own tasks discounts its own frame and drains at 1);
   // deeper same-group nesting is covered by the waiters' periodic rescan.
-  if (left <= 1) idle_.notify_all();
+  if (left <= 1) idle_.NotifyAll();
 }
 
 void TaskGroup::RethrowIfError() {
   std::exception_ptr error;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     error = std::exchange(error_, nullptr);
   }
   if (error != nullptr) std::rethrow_exception(error);
@@ -106,18 +106,19 @@ void TaskGroup::Wait() {
     }
     // Every remaining task is running on another thread. Those threads
     // bottom out at leaf tasks, so this wait is bounded; the timeout is a
-    // belt-and-braces rescan, not a correctness requirement.
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_.wait_for(lock, std::chrono::milliseconds(1), [&] {
-      return pending_.load(std::memory_order_acquire) <= self;
-    });
+    // belt-and-braces rescan, not a correctness requirement (both TaskDone
+    // and Enqueue notify, so any state change wakes this immediately).
+    MutexLock lock(mu_);
+    if (pending_.load(std::memory_order_acquire) > self) {
+      idle_.WaitFor(mu_, std::chrono::milliseconds(1));
+    }
   }
   if (self == 0) {
     RethrowIfError();  // takes mu_: synchronizes with the final TaskDone
   } else {
     // Synchronize with the final TaskDone before returning (it holds mu_
     // across its decrement+notify; see the lifetime note there).
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
   }
 }
 
@@ -175,10 +176,10 @@ TaskScheduler::TaskScheduler(size_t num_threads) {
 
 TaskScheduler::~TaskScheduler() {
   {
-    std::lock_guard<std::mutex> lock(sleep_mu_);
+    MutexLock lock(sleep_mu_);
     shutdown_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   for (auto& w : workers_) w->thread.join();
   assert(num_queued_.load() == 0 &&
          "tasks left behind: a TaskGroup outlived its scheduler");
@@ -202,10 +203,10 @@ void TaskScheduler::Enqueue(TaskGroup* group, std::function<void()> fn) {
   Task task{std::move(fn), group};
   if (tls_scheduler == this) {
     Worker& self = *workers_[tls_worker_index];
-    std::lock_guard<std::mutex> lock(self.mu);
+    MutexLock lock(self.mu);
     self.deque.push_back(std::move(task));
   } else {
-    std::lock_guard<std::mutex> lock(injected_mu_);
+    MutexLock lock(injected_mu_);
     injected_.push_back(std::move(task));
   }
   num_queued_.fetch_add(1, std::memory_order_release);
@@ -213,15 +214,15 @@ void TaskScheduler::Enqueue(TaskGroup* group, std::function<void()> fn) {
     // Empty critical section: orders the wake after a racing sleeper's
     // queue recheck, so the notify cannot slip between its check and its
     // wait.
-    std::lock_guard<std::mutex> lock(sleep_mu_);
+    MutexLock lock(sleep_mu_);
   }
-  wake_.notify_one();
+  wake_.NotifyOne();
   // A Wait() blocked on this group must also rescan: the new task might
   // be the one it can help with. Notify under the lock — the group must
   // not be touched after a waiter could have observed completion.
   {
-    std::lock_guard<std::mutex> lock(group->mu_);
-    group->idle_.notify_all();
+    MutexLock lock(group->mu_);
+    group->idle_.NotifyAll();
   }
 }
 
@@ -230,7 +231,7 @@ bool TaskScheduler::TryGetTask(size_t worker_index, Task* out) {
   // and cache-hot).
   {
     Worker& self = *workers_[worker_index];
-    std::lock_guard<std::mutex> lock(self.mu);
+    MutexLock lock(self.mu);
     if (!self.deque.empty()) {
       *out = std::move(self.deque.back());
       self.deque.pop_back();
@@ -240,7 +241,7 @@ bool TaskScheduler::TryGetTask(size_t worker_index, Task* out) {
   }
   // Injection queue (external submissions), FIFO.
   {
-    std::lock_guard<std::mutex> lock(injected_mu_);
+    MutexLock lock(injected_mu_);
     if (!injected_.empty()) {
       *out = std::move(injected_.front());
       injected_.pop_front();
@@ -253,7 +254,7 @@ bool TaskScheduler::TryGetTask(size_t worker_index, Task* out) {
   const size_t n = workers_.size();
   for (size_t offset = 1; offset < n; ++offset) {
     Worker& victim = *workers_[(worker_index + offset) % n];
-    std::lock_guard<std::mutex> lock(victim.mu);
+    MutexLock lock(victim.mu);
     if (!victim.deque.empty()) {
       *out = std::move(victim.deque.front());
       victim.deque.pop_front();
@@ -284,17 +285,17 @@ bool TaskScheduler::TryGetGroupTask(TaskGroup* group, Task* out) {
   };
   if (tls_scheduler == this) {
     Worker& self = *workers_[tls_worker_index];
-    std::lock_guard<std::mutex> lock(self.mu);
+    MutexLock lock(self.mu);
     if (take_from(self.deque)) return true;
   }
   {
-    std::lock_guard<std::mutex> lock(injected_mu_);
+    MutexLock lock(injected_mu_);
     if (take_from(injected_)) return true;
   }
   for (size_t i = 0; i < workers_.size(); ++i) {
     if (tls_scheduler == this && i == tls_worker_index) continue;
     Worker& victim = *workers_[i];
-    std::lock_guard<std::mutex> lock(victim.mu);
+    MutexLock lock(victim.mu);
     // Not counted as stolen: the caller counts it as helped, and the two
     // stats are meant to partition the executed tasks.
     if (take_from(victim.deque)) return true;
@@ -326,13 +327,18 @@ void TaskScheduler::WorkerLoop(size_t index) {
       Execute(std::move(task));
       continue;
     }
-    std::unique_lock<std::mutex> lock(sleep_mu_);
+    // Manual wait loop (not the predicate overload): the predicate reads
+    // the guarded shutdown_ flag, and thread-safety analysis cannot see
+    // into a lambda invoked by std:: wait machinery. Spelled out, every
+    // shutdown_ access visibly happens under sleep_mu_.
+    MutexLock lock(sleep_mu_);
     if (shutdown_ && num_queued_.load(std::memory_order_acquire) == 0) {
       break;
     }
-    wake_.wait(lock, [this] {
-      return shutdown_ || num_queued_.load(std::memory_order_acquire) != 0;
-    });
+    while (!shutdown_ &&
+           num_queued_.load(std::memory_order_acquire) == 0) {
+      wake_.Wait(sleep_mu_);
+    }
     if (shutdown_ && num_queued_.load(std::memory_order_acquire) == 0) {
       break;
     }

@@ -31,15 +31,16 @@
 #define FAIRCAP_UTIL_TASK_SCHEDULER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace faircap {
 
@@ -93,14 +94,14 @@ class TaskGroup {
   /// Completion hook run by the scheduler after each task (also used by
   /// the inline path). Records the first error, decrements pending, and
   /// wakes waiters when the group drains.
-  void TaskDone(std::exception_ptr error);
-  void RethrowIfError();
+  void TaskDone(std::exception_ptr error) EXCLUDES(mu_);
+  void RethrowIfError() EXCLUDES(mu_);
 
   TaskScheduler* scheduler_;
   std::atomic<size_t> pending_{0};
-  std::mutex mu_;
-  std::condition_variable idle_;      // signaled when pending_ hits 0
-  std::exception_ptr error_;          // first failure; guarded by mu_
+  Mutex mu_;
+  CondVar idle_;                               // signaled when pending_ hits 0
+  std::exception_ptr error_ GUARDED_BY(mu_);   // first failure
 };
 
 /// The worker pool. One instance runs every parallel axis of a pipeline
@@ -146,8 +147,8 @@ class TaskScheduler {
   /// One worker: a deque (back = owner side, front = steal side) behind
   /// a private mutex, plus the thread itself.
   struct Worker {
-    std::deque<Task> deque;
-    std::mutex mu;
+    Mutex mu;
+    std::deque<Task> deque GUARDED_BY(mu);
     std::thread thread;
   };
 
@@ -172,12 +173,12 @@ class TaskScheduler {
   void Execute(Task task);
 
   std::vector<std::unique_ptr<Worker>> workers_;
-  std::deque<Task> injected_;       // external submissions
-  std::mutex injected_mu_;
-  std::mutex sleep_mu_;             // worker idle/wake handshake
-  std::condition_variable wake_;
+  Mutex injected_mu_;
+  std::deque<Task> injected_ GUARDED_BY(injected_mu_);  // external submissions
+  Mutex sleep_mu_;                  // worker idle/wake handshake
+  CondVar wake_;
   std::atomic<size_t> num_queued_{0};  // tasks sitting in any queue
-  bool shutdown_ = false;           // guarded by sleep_mu_
+  bool shutdown_ GUARDED_BY(sleep_mu_) = false;
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> executed_{0};
   std::atomic<uint64_t> stolen_{0};

@@ -1,0 +1,82 @@
+// Clang Thread Safety Analysis annotations. The macros attach the
+// concurrency contracts that the runtime (TSan CI legs, pinning tests)
+// can only sample to the declarations themselves, so an unguarded access
+// to a mutex-protected field is a COMPILE error under Clang
+// (-Wthread-safety -Werror=thread-safety, wired by cmake/ThreadSafety.cmake)
+// instead of a probabilistic TSan report three PRs later.
+//
+// Conventions in this codebase:
+//   * every field whose invariant a mutex protects carries GUARDED_BY(mu);
+//   * helpers named ...Locked() carry REQUIRES(mu) — the caller holds the
+//     lock; the analysis verifies every call site;
+//   * functions documented "caller must NOT hold mu" carry EXCLUDES(mu);
+//   * locks are faircap::Mutex / faircap::MutexLock / faircap::CondVar
+//     (util/sync.h) — std::mutex carries no capability attributes in
+//     libstdc++, so the analysis cannot see std::lock_guard acquisitions.
+//
+// On compilers without the attributes (GCC) every macro expands to
+// nothing; the annotations are contracts, not code.
+
+#ifndef FAIRCAP_UTIL_THREAD_ANNOTATIONS_H_
+#define FAIRCAP_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define FAIRCAP_THREAD_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define FAIRCAP_THREAD_ATTRIBUTE__(x)  // no-op on non-Clang compilers
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define CAPABILITY(x) FAIRCAP_THREAD_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define SCOPED_CAPABILITY FAIRCAP_THREAD_ATTRIBUTE__(scoped_lockable)
+
+/// Field or variable is protected by the given capability; reads and
+/// writes require holding it.
+#define GUARDED_BY(x) FAIRCAP_THREAD_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the given capability.
+#define PT_GUARDED_BY(x) FAIRCAP_THREAD_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held on entry (the
+/// ...Locked() helper convention).
+#define REQUIRES(...) \
+  FAIRCAP_THREAD_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Function requires the listed capabilities to be held in shared mode.
+#define REQUIRES_SHARED(...) \
+  FAIRCAP_THREAD_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities and holds them on return.
+#define ACQUIRE(...) \
+  FAIRCAP_THREAD_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (held on entry).
+#define RELEASE(...) \
+  FAIRCAP_THREAD_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// Function attempts acquisition; holds the capability iff it returned
+/// the given value.
+#define TRY_ACQUIRE(...) \
+  FAIRCAP_THREAD_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held
+/// (deadlock prevention for functions that acquire them internally).
+#define EXCLUDES(...) FAIRCAP_THREAD_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the capability guarding its result.
+#define RETURN_CAPABILITY(x) FAIRCAP_THREAD_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment explaining why the contract holds anyway.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  FAIRCAP_THREAD_ATTRIBUTE__(no_thread_safety_analysis)
+
+/// Assertion that the calling thread already holds the capability (for
+/// run-time-checked entry points the analysis cannot prove).
+#define ASSERT_CAPABILITY(x) \
+  FAIRCAP_THREAD_ATTRIBUTE__(assert_capability(x))
+
+#endif  // FAIRCAP_UTIL_THREAD_ANNOTATIONS_H_

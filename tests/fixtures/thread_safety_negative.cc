@@ -1,0 +1,35 @@
+// Thread-safety analysis NEGATIVE fixture: reads and writes a GUARDED_BY
+// field without holding its mutex, and calls a REQUIRES helper unlocked.
+// Compiled at configure time by cmake/ThreadSafety.cmake under
+// -Wthread-safety -Werror=thread-safety; it MUST FAIL to compile. If it
+// ever builds, the analysis is not firing and the configure step aborts.
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    ++value_;  // guarded-field write without mu_ — the analysis must flag
+  }
+
+  int GetLocked() const REQUIRES(mu_) { return value_; }
+
+  int Get() const {
+    return GetLocked();  // REQUIRES helper called without the lock
+  }
+
+ private:
+  mutable faircap::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Get();
+}

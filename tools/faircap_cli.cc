@@ -449,7 +449,8 @@ int main(int argc, char** argv) {
   // its scheduler, so no thread is still recording.
   std::string trace_path = args.Get("trace-json");
   if (trace_path.empty()) {
-    const char* env = std::getenv("FAIRCAP_TRACE");
+    // Read once at CLI startup on the main thread; no setenv in-process.
+    const char* env = std::getenv("FAIRCAP_TRACE");  // NOLINT(concurrency-mt-unsafe)
     if (env != nullptr) trace_path = env;
   }
   if (trace_path == "true") {

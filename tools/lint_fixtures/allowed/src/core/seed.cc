@@ -1,0 +1,7 @@
+// Banned token with the suppression marker — must pass.
+#include <ctime>
+
+long FixtureAllowedClock() {
+  // Justification (fixture): pretend wall-clock is display-only here.
+  return time(nullptr);  // determinism:allow(nondeterminism)
+}

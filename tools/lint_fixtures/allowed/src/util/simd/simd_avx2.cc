@@ -1,0 +1,11 @@
+// Same violation as bad_fp_accumulate, but carrying the explicit
+// suppression marker — the lint must honor it (and CI reviewers must see
+// it in the diff).
+double FixtureAllowedAccumulate(const double* data, int n) {
+  // Justification (fixture): pretend this sum is order-insensitive.
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += data[i];  // determinism:allow(fp-accumulate)
+  }
+  return sum;
+}

@@ -1,0 +1,12 @@
+// BAD: floating-point accumulation inside a vector TU. Vector-width FP
+// adds (and per-lane compound sums) round differently than the scalar
+// tier's row-order loop, breaking bit-identity. FP math belongs in the
+// shared scalar core (simd_kernels_core.h).
+
+double FixtureAccumulate(const double* data, int n) {
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += data[i];  // compound FP accumulation — must be flagged
+  }
+  return sum;
+}

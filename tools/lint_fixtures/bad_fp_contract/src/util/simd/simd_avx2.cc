@@ -1,0 +1,7 @@
+// Vector TU body is irrelevant to the fp-contract rule (it parses the
+// CMakeLists); integer-only so no other rule fires.
+int FixtureKernel(const int* data, int n) {
+  int acc = 0;
+  for (int i = 0; i < n; ++i) acc += data[i];
+  return acc;
+}

@@ -1,0 +1,9 @@
+// BAD: rand() and wall-clock seeding in src/. Results depend on libc
+// PRNG state and the time of day.
+#include <cstdlib>
+#include <ctime>
+
+int FixtureNoise() {
+  std::srand(static_cast<unsigned>(time(nullptr)));  // must be flagged
+  return std::rand();                                // must be flagged
+}

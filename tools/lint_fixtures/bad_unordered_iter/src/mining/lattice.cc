@@ -1,0 +1,16 @@
+// BAD: iterating an unordered_map in result-ordering code. The
+// iteration order is implementation- and run-dependent, so any output
+// assembled this way changes between runs/platforms.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::string> FixtureSelectRules(
+    const std::unordered_map<std::string, double>& scores) {
+  std::unordered_map<std::string, double> filtered = scores;
+  std::vector<std::string> out;
+  for (const auto& [name, score] : filtered) {  // must be flagged
+    if (score > 0.0) out.push_back(name);
+  }
+  return out;
+}

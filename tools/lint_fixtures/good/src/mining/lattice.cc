@@ -1,0 +1,19 @@
+// GOOD: unordered containers used only for membership in ordering code —
+// .count/.insert/.find/operator[] never depend on iteration order.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+std::vector<std::string> FixtureSelect(
+    const std::vector<std::string>& candidates,
+    const std::unordered_set<std::string>& seen) {
+  std::unordered_map<std::string, int> counts;
+  std::vector<std::string> out;
+  for (const std::string& c : candidates) {  // ordered input: fine
+    if (seen.count(c) != 0) continue;        // membership: fine
+    if (counts.find(c) == counts.end()) out.push_back(c);
+    ++counts[c];                             // operator[]: fine
+  }
+  return out;
+}

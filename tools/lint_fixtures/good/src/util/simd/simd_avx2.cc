@@ -1,0 +1,24 @@
+// GOOD: integer kernels and FP *compares* only — patterns the rules must
+// NOT flag. String/comment mentions of banned tokens ("rand(", "time(s)")
+// must also pass, pinning the lint's literal stripping.
+#include <immintrin.h>
+
+#include <cstdint>
+
+// A comment mentioning rand() and time() — stripped before matching.
+static const char* kLabel = "      time(s) rand() sum += 1.0";
+
+uint64_t FixtureMaskCompare(const double* data, int n, double threshold) {
+  uint64_t bits = 0;
+  const __m256d rhs = _mm256_set1_pd(threshold);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(data + i);
+    const __m256d m = _mm256_cmp_pd(v, rhs, _CMP_LT_OQ);  // compare: fine
+    bits |= static_cast<uint64_t>(_mm256_movemask_pd(m)) << i;
+  }
+  for (; i < n; ++i) {
+    if (data[i] < threshold) bits |= uint64_t{1} << i;  // int accumulate: fine
+  }
+  return kLabel != nullptr ? bits : 0;
+}

@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""clang-tidy driver for faircap's static-analysis CI leg.
+
+Runs clang-tidy (config from the repo's .clang-tidy) over every first-party
+translation unit in a build tree's compile_commands.json, then compares the
+set of findings against the committed baseline (tools/tidy_baseline.json).
+The gate fails on any finding not in the baseline; the baseline is committed
+empty and is expected to stay empty — fix new findings or suppress them at
+the site with NOLINT(check-name) plus a reason comment.
+
+Caching: each TU's result is memoized under --cache-dir, keyed by a hash of
+(clang-tidy version, .clang-tidy, compile command, file content, and the
+content of every first-party header). CI restores the cache dir across runs
+so an untouched TU costs one hash, not one clang-tidy invocation.
+
+Exit codes: 0 clean (or clang-tidy unavailable and --require-binary not
+set), 1 findings outside the baseline, 2 usage/environment error.
+"""
+
+import argparse
+import hashlib
+import json
+import re
+import shlex
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# path:line:col: severity: message [check-name]
+FINDING_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+):\s*"
+    r"(?:warning|error):\s*(?P<message>.*?)\s*\[(?P<check>[\w.,-]+)\]$"
+)
+
+
+def first_party(path):
+    try:
+        rel = Path(path).resolve().relative_to(REPO_ROOT)
+    except ValueError:
+        return None
+    top = rel.parts[0] if rel.parts else ""
+    if top not in ("src", "tools", "tests", "bench"):
+        return None
+    if "lint_fixtures" in rel.parts or "fixtures" in rel.parts:
+        return None
+    return rel
+
+
+def header_digest():
+    """Hash every first-party header once; any header edit invalidates all TUs.
+
+    Coarse but safe: per-TU include tracking would need -MD output plumbed
+    through clang-tidy, and full runs are cheap enough after the first.
+    """
+    h = hashlib.sha256()
+    for scope in ("src", "tools", "tests", "bench"):
+        base = REPO_ROOT / scope
+        if not base.is_dir():
+            continue
+        for p in sorted(base.rglob("*")):
+            if p.suffix in (".h", ".hpp") and p.is_file():
+                h.update(str(p.relative_to(REPO_ROOT)).encode())
+                h.update(p.read_bytes())
+    return h.hexdigest()
+
+
+def normalize(findings):
+    """Canonical, line-number-free keys so small edits don't churn the set."""
+    out = []
+    for f in findings:
+        out.append(
+            {
+                "path": f["path"],
+                "check": f["check"],
+                "message": f["message"],
+            }
+        )
+    return out
+
+
+def run_one(tidy, entry, config_hash, headers_hash, cache_dir):
+    src = Path(entry["file"])
+    rel = first_party(src)
+    if rel is None:
+        return None
+    command = entry.get("command") or " ".join(
+        shlex.quote(a) for a in entry.get("arguments", [])
+    )
+    key = hashlib.sha256()
+    key.update(config_hash.encode())
+    key.update(headers_hash.encode())
+    key.update(command.encode())
+    key.update(src.read_bytes())
+    cache_file = cache_dir / (key.hexdigest() + ".json")
+    if cache_file.exists():
+        return json.loads(cache_file.read_text())
+
+    proc = subprocess.run(
+        [tidy, "-p", entry["directory"], "--quiet", str(src)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    findings = []
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line.strip())
+        if not m:
+            continue
+        fp = first_party(m.group("path"))
+        if fp is None:
+            continue
+        findings.append(
+            {
+                "path": str(fp),
+                "line": int(m.group("line")),
+                "check": m.group("check"),
+                "message": m.group("message"),
+            }
+        )
+    # clang-tidy exits nonzero on warnings-as-errors; only surface runs
+    # that produced no parseable findings AND a hard failure (bad flags,
+    # missing header) so real breakage isn't cached as "clean".
+    if proc.returncode != 0 and not findings:
+        sys.stderr.write(proc.stderr)
+        raise RuntimeError(f"clang-tidy failed on {src} with no findings")
+    cache_file.write_text(json.dumps(findings, indent=1))
+    return findings
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--build-dir",
+        default="build",
+        help="build tree containing compile_commands.json (default: build)",
+    )
+    ap.add_argument(
+        "--cache-dir",
+        default=".tidy-cache",
+        help="per-file result cache directory (default: .tidy-cache)",
+    )
+    ap.add_argument(
+        "--baseline",
+        default=str(REPO_ROOT / "tools" / "tidy_baseline.json"),
+        help="committed baseline of tolerated findings",
+    )
+    ap.add_argument(
+        "--require-binary",
+        action="store_true",
+        help="fail (exit 2) instead of skipping when clang-tidy is missing",
+    )
+    ap.add_argument(
+        "--clang-tidy", default="clang-tidy", help="clang-tidy binary to use"
+    )
+    args = ap.parse_args()
+
+    tidy = shutil.which(args.clang_tidy)
+    if tidy is None:
+        if args.require_binary:
+            print("run_clang_tidy: clang-tidy not found", file=sys.stderr)
+            return 2
+        print("run_clang_tidy: clang-tidy not found; skipping (local dev ok)")
+        return 0
+
+    db_path = Path(args.build_dir) / "compile_commands.json"
+    if not db_path.exists():
+        print(
+            f"run_clang_tidy: {db_path} not found; configure with "
+            "CMAKE_EXPORT_COMPILE_COMMANDS=ON first",
+            file=sys.stderr,
+        )
+        return 2
+
+    version = subprocess.run(
+        [tidy, "--version"], capture_output=True, text=True
+    ).stdout
+    config = (REPO_ROOT / ".clang-tidy").read_text()
+    config_hash = hashlib.sha256((version + config).encode()).hexdigest()
+    headers_hash = header_digest()
+
+    cache_dir = Path(args.cache_dir)
+    cache_dir.mkdir(parents=True, exist_ok=True)
+
+    entries = json.loads(db_path.read_text())
+    all_findings = []
+    checked = 0
+    for entry in entries:
+        result = run_one(tidy, entry, config_hash, headers_hash, cache_dir)
+        if result is None:
+            continue
+        checked += 1
+        all_findings.extend(result)
+
+    baseline_path = Path(args.baseline)
+    baseline = (
+        json.loads(baseline_path.read_text()) if baseline_path.exists() else []
+    )
+    baseline_keys = {json.dumps(f, sort_keys=True) for f in normalize(baseline)}
+    new = [
+        f
+        for f in all_findings
+        if json.dumps(
+            {"path": f["path"], "check": f["check"], "message": f["message"]},
+            sort_keys=True,
+        )
+        not in baseline_keys
+    ]
+
+    if new:
+        print(f"run_clang_tidy: {len(new)} finding(s) not in baseline:")
+        for f in sorted(new, key=lambda f: (f["path"], f["line"])):
+            print(f"  {f['path']}:{f['line']}: [{f['check']}] {f['message']}")
+        print(
+            "Fix them or add NOLINT(check-name) with a reason; do not grow "
+            "the baseline."
+        )
+        return 1
+    print(f"run_clang_tidy: clean ({checked} TUs, cache: {cache_dir})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
