@@ -1,0 +1,207 @@
+// Incremental-append harness: the delta-fraction-vs-cost curve behind
+// the "appending 1% of rows should cost ~1% of a cold run" contract.
+// One synthetic table (integer outcomes, so incremental estimates are
+// bit-for-bit comparable to cold) is split into a resident base plus a
+// tail delta at several fractions; for each fraction an
+// IncrementalSession runs warm over the base, then the timed section —
+// Append(delta) + Run() — is compared against a cold FairCap wall over
+// the full table. Every warm ruleset is checked against the cold one
+// (supports and utilities exactly), so the speedup is never measured on
+// a divergent answer.
+//
+//   bench_append [--rows=N] [--threads=T] [--full] [--json=PATH]
+//
+// Default 100K rows (CI smoke uses --rows=20000); --full runs the 1M-row
+// acceptance configuration, where the 1% delta must land at <= 5% of the
+// cold wall.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/incremental.h"
+#include "ingest/synthetic.h"
+#include "util/timer.h"
+
+using namespace faircap;
+
+namespace {
+
+struct AppendRow {
+  double fraction = 0.0;
+  size_t delta_rows = 0;
+  double append_seconds = 0.0;  // Append(delta) + warm Run()
+  double ingest_seconds = 0.0;  // Append(delta) alone
+  double ratio = 0.0;           // append_seconds / cold_seconds
+  bool match = false;           // warm ruleset == cold ruleset
+};
+
+DataFrame Slice(const DataFrame& df, size_t begin, size_t end) {
+  std::vector<uint32_t> rows;
+  rows.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) rows.push_back(static_cast<uint32_t>(i));
+  return df.TakeRows(rows);
+}
+
+bool SameRuleset(const FairCapResult& warm, const FairCapResult& cold) {
+  if (warm.rules.size() != cold.rules.size()) return false;
+  for (size_t i = 0; i < warm.rules.size(); ++i) {
+    const PrescriptionRule& a = warm.rules[i];
+    const PrescriptionRule& b = cold.rules[i];
+    if (!(a.grouping == b.grouping) || !(a.intervention == b.intervention) ||
+        a.support != b.support || a.utility != b.utility) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunScale(size_t rows, size_t threads, const std::string& json_path) {
+  SyntheticConfig config;
+  config.num_rows = rows;
+  config.seed = 33;
+  // Integer outcomes keep the sufficient-statistics sums exact in double,
+  // so warm-vs-cold equality below is exact, not approximate.
+  config.integer_outcome = true;
+  auto data = MakeSynthetic(config);
+  if (!data.ok()) {
+    std::cerr << "generate: " << data.status().ToString() << "\n";
+    return 1;
+  }
+
+  FairCapOptions options;
+  options.fairness = FairnessConstraint::GroupSP(1e9);
+  options.num_threads = threads;
+
+  // Cold wall: a fresh solver over the full table — new index, new
+  // partitions, no caches. This is what every append ratio is against.
+  double cold_seconds = 0.0;
+  FairCapResult cold;
+  {
+    StopWatch watch;
+    auto solver = FairCap::Create(&data->df, &data->dag,
+                                  data->protected_pattern, options);
+    if (!solver.ok()) {
+      std::cerr << "cold solver: " << solver.status().ToString() << "\n";
+      return 1;
+    }
+    auto result = solver->Run();
+    if (!result.ok()) {
+      std::cerr << "cold run: " << result.status().ToString() << "\n";
+      return 1;
+    }
+    cold_seconds = watch.ElapsedSeconds();
+    cold = std::move(result).ValueOrDie();
+  }
+  std::printf("rows=%zu  threads=%zu  cold_wall=%.3fs  rules=%zu\n", rows,
+              threads, cold_seconds, cold.rules.size());
+  std::printf("cold phases: mine=%.3fs treat=%.3fs select=%.3fs\n",
+              cold.timings.group_mining_seconds,
+              cold.timings.treatment_mining_seconds,
+              cold.timings.selection_seconds);
+  std::printf("%-10s %12s %12s %12s %10s %8s\n", "fraction", "delta_rows",
+              "ingest_s", "append_s", "ratio", "match");
+
+  const double fractions[] = {0.001, 0.01, 0.05};
+  std::vector<AppendRow> results;
+  for (const double fraction : fractions) {
+    AppendRow row;
+    row.fraction = fraction;
+    row.delta_rows = static_cast<size_t>(
+        fraction * static_cast<double>(rows));
+    if (row.delta_rows == 0) row.delta_rows = 1;
+    const size_t base_rows = rows - row.delta_rows;
+    auto session = IncrementalSession::Create(
+        Slice(data->df, 0, base_rows), data->dag, data->protected_pattern,
+        options);
+    if (!session.ok()) {
+      std::cerr << "session: " << session.status().ToString() << "\n";
+      return 1;
+    }
+    // Warm run over the resident base: fills index masks, partitions,
+    // engines and the incremental caches. Not part of the timed section —
+    // in the deployment story this run already happened.
+    auto base_result = session->Run();
+    if (!base_result.ok()) {
+      std::cerr << "base run: " << base_result.status().ToString() << "\n";
+      return 1;
+    }
+    const DataFrame delta = Slice(data->df, base_rows, rows);
+    StopWatch watch;
+    const Status append_status = session->Append(delta);
+    const double ingest_seconds = watch.ElapsedSeconds();
+    if (!append_status.ok()) {
+      std::cerr << "append: " << append_status.ToString() << "\n";
+      return 1;
+    }
+    auto warm = session->Run();
+    row.append_seconds = watch.ElapsedSeconds();
+    row.ingest_seconds = ingest_seconds;
+    if (!warm.ok()) {
+      std::cerr << "warm run: " << warm.status().ToString() << "\n";
+      return 1;
+    }
+    row.ratio = cold_seconds > 0.0 ? row.append_seconds / cold_seconds : 0.0;
+    row.match = SameRuleset(*warm, cold);
+    std::printf("%-10.3f %12zu %12.3f %12.3f %9.1f%% %8s\n", fraction,
+                row.delta_rows, row.ingest_seconds, row.append_seconds,
+                100.0 * row.ratio, row.match ? "yes" : "NO");
+    std::printf("           warm phases: mine=%.3fs treat=%.3fs select=%.3fs\n",
+                warm->timings.group_mining_seconds,
+                warm->timings.treatment_mining_seconds,
+                warm->timings.selection_seconds);
+    if (!row.match) {
+      std::cerr << "FAIL: warm ruleset diverged from cold at fraction "
+                << fraction << "\n";
+      return 1;
+    }
+    results.push_back(row);
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot open '" << json_path << "' for writing\n";
+      return 1;
+    }
+    out << "{\"bench\":\"append\",\"rows\":" << rows
+        << ",\"threads\":" << threads << ",\"cold_seconds\":" << cold_seconds
+        << ",\"results\":[";
+    for (size_t i = 0; i < results.size(); ++i) {
+      const AppendRow& r = results[i];
+      out << (i == 0 ? "" : ",") << "{\"fraction\":" << r.fraction
+          << ",\"delta_rows\":" << r.delta_rows
+          << ",\"ingest_seconds\":" << r.ingest_seconds
+          << ",\"append_seconds\":" << r.append_seconds
+          << ",\"ratio\":" << r.ratio
+          << ",\"match\":" << (r.match ? "true" : "false") << "}";
+    }
+    out << "]}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv);
+  std::string json_path;
+  bool threads_given = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) threads_given = true;
+  }
+  size_t threads = flags.threads;
+  if (!threads_given || threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 4 : hw;
+  }
+  size_t rows = flags.rows;
+  if (rows == 0) rows = flags.full ? 1000000 : 100000;
+  return RunScale(rows, threads, json_path);
+}

@@ -1,6 +1,7 @@
 #include "causal/cate_stats_engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <unordered_map>
@@ -110,22 +111,19 @@ std::shared_ptr<const ConfounderPartition> ConfounderPartition::Build(
     const std::vector<size_t>& adjustment, const CateOptions& options) {
   std::shared_ptr<ConfounderPartition> part(new ConfounderPartition());
   const size_t n = df.num_rows();
+  part->outcome_attr_ = outcome_attr;
+  // Fresh cell-numbering identity; ExtendFor inherits it via the copy.
+  static std::atomic<uint64_t> next_lineage{1};
+  part->lineage_id_ = next_lineage.fetch_add(1, std::memory_order_relaxed);
 
   // Per-confounder layout: design feature span (legacy enumeration order)
-  // and the radix base of the legacy stratum id.
-  struct ConfInfo {
-    const Column* col;
-    bool categorical;
-    int64_t base;
-    uint32_t feature_base;
-    std::vector<double> edges;
-  };
-  std::vector<ConfInfo> confs;
-  confs.reserve(adjustment.size());
+  // and the radix base of the legacy stratum id. Persisted so ExtendFor
+  // can intern appended rows with the exact same signatures.
+  part->confs_.reserve(adjustment.size());
   for (size_t attr : adjustment) {
     const Column& col = df.column(attr);
-    ConfInfo info;
-    info.col = &col;
+    ConfLayout info;
+    info.attr = attr;
     info.categorical = col.type() == AttrType::kCategorical;
     info.feature_base = static_cast<uint32_t>(part->features_.size());
     if (info.categorical) {
@@ -133,6 +131,7 @@ std::shared_ptr<const ConfounderPartition> ConfounderPartition::Build(
       for (size_t code = 1; code < col.num_categories(); ++code) {
         part->features_.push_back({attr, true, static_cast<int32_t>(code)});
       }
+      info.num_categories = col.num_categories();
       info.base = static_cast<int64_t>(col.num_categories() + 1);
     } else {
       part->numeric_features_.push_back(
@@ -142,7 +141,7 @@ std::shared_ptr<const ConfounderPartition> ConfounderPartition::Build(
           col, std::max<size_t>(1, options.numeric_confounder_bins));
       info.base = static_cast<int64_t>(info.edges.size() + 2);
     }
-    confs.push_back(std::move(info));
+    part->confs_.push_back(std::move(info));
   }
 
   // Cache the numeric confounder columns with nulls as 0.0 — exactly the
@@ -165,55 +164,106 @@ std::shared_ptr<const ConfounderPartition> ConfounderPartition::Build(
     part->numeric_value_ptrs_.push_back(vals.data());
   }
 
+  part->InternRows(df, /*row_begin=*/0);
+  return part;
+}
+
+std::shared_ptr<const ConfounderPartition> ConfounderPartition::ExtendFor(
+    const ConfounderPartition& base, const DataFrame& df) {
+  if (df.num_rows() < base.rows_covered_) return nullptr;  // not an append
+  // Numeric confounders are never extendable: their quantile edges (and
+  // with them every row's bin signature) shift with the new rows.
+  if (!base.numeric_features_.empty()) return nullptr;
+  // A categorical confounder that gained categories changes the radix
+  // bases and the one-hot feature layout — cold rebuild required.
+  for (const ConfLayout& info : base.confs_) {
+    if (df.column(info.attr).num_categories() != info.num_categories) {
+      return nullptr;
+    }
+  }
+  // Copy-and-extend: holders of `base` keep a consistent snapshot. The
+  // default copy is sound here because numeric_value_ptrs_ (the only
+  // self-referential member) is empty on the extendable path.
+  std::shared_ptr<ConfounderPartition> part(new ConfounderPartition(base));
+  part->InternRows(df, base.rows_covered_);
+  return part;
+}
+
+bool ConfounderPartition::ExtendInPlace(const DataFrame& df) {
+  if (df.num_rows() < rows_covered_) return false;  // not an append
+  if (!numeric_features_.empty()) return false;
+  for (const ConfLayout& info : confs_) {
+    if (df.column(info.attr).num_categories() != info.num_categories) {
+      return false;
+    }
+  }
+  InternRows(df, rows_covered_);
+  return true;
+}
+
+void ConfounderPartition::InternRows(const DataFrame& df, size_t row_begin) {
+  const size_t n = df.num_rows();
+
   // Intern each row's joint signature (code / quantile bin / null flag per
   // confounder) into a dense cell id. Rows with a null outcome stay at
-  // cell -1: every estimator excludes them.
-  const Column& outcome = df.column(outcome_attr);
-  part->outcome_.resize(n);
-  part->cell_of_row_.assign(n, -1);
-  std::unordered_map<std::string, int32_t> cell_ids;
-  std::vector<int32_t> sig(confs.size());
+  // cell -1: every estimator excludes them. New cells are appended in
+  // first-appearance order, which for an extension (row_begin > 0) is the
+  // order a cold build over the concatenated table would discover them.
+  const Column& outcome = df.column(outcome_attr_);
+  // Reserve ~12.5% headroom past the current table whenever the per-row
+  // caches must grow: an append of up to that fraction then extends in
+  // place with no O(N) reallocation copy — the same amortized-reserve
+  // policy Column::AppendRow uses. (resize alone would also amortize via
+  // capacity doubling, but doubling touches 2N fresh pages exactly on
+  // the latency-sensitive first append.)
+  if (outcome_.capacity() < n) outcome_.reserve(n + n / 8);
+  if (cell_of_row_.capacity() < n) cell_of_row_.reserve(n + n / 8);
+  outcome_.resize(n);
+  cell_of_row_.resize(n, -1);
+  std::vector<int32_t> sig(confs_.size());
   std::string key;
-  for (size_t r = 0; r < n; ++r) {
+  for (size_t r = row_begin; r < n; ++r) {
     const bool outcome_null = outcome.IsNull(r);
-    part->outcome_[r] = outcome_null ? 0.0 : outcome.numeric(r);
+    outcome_[r] = outcome_null ? 0.0 : outcome.numeric(r);
+    cell_of_row_[r] = -1;
     if (outcome_null) continue;
-    for (size_t a = 0; a < confs.size(); ++a) {
-      const ConfInfo& info = confs[a];
-      if (info.col->IsNull(r)) {
+    for (size_t a = 0; a < confs_.size(); ++a) {
+      const ConfLayout& info = confs_[a];
+      const Column& col = df.column(info.attr);
+      if (col.IsNull(r)) {
         sig[a] = -1;
       } else if (info.categorical) {
-        sig[a] = info.col->code(r);
+        sig[a] = col.code(r);
       } else {
         sig[a] = static_cast<int32_t>(
             std::upper_bound(info.edges.begin(), info.edges.end(),
-                             info.col->numeric(r)) -
+                             col.numeric(r)) -
             info.edges.begin());
       }
     }
     key.assign(reinterpret_cast<const char*>(sig.data()),
                sig.size() * sizeof(int32_t));
     const auto [it, inserted] =
-        cell_ids.emplace(key, static_cast<int32_t>(part->cells_.size()));
+        cell_ids_.emplace(key, static_cast<int32_t>(cells_.size()));
     if (inserted) {
       Cell cell;
       int64_t id = 0;
       bool any_null = false;
-      for (size_t a = 0; a < confs.size(); ++a) {
+      for (size_t a = 0; a < confs_.size(); ++a) {
         if (sig[a] < 0) {
           any_null = true;
           continue;
         }
-        id = id * confs[a].base + sig[a];
-        if (confs[a].categorical && sig[a] >= 1) {
-          cell.onehot.push_back(confs[a].feature_base +
+        id = id * confs_[a].base + sig[a];
+        if (confs_[a].categorical && sig[a] >= 1) {
+          cell.onehot.push_back(confs_[a].feature_base +
                                 static_cast<uint32_t>(sig[a] - 1));
         }
       }
       cell.stratum_id = any_null ? -1 : id;
-      part->cells_.push_back(std::move(cell));
+      cells_.push_back(std::move(cell));
     }
-    part->cell_of_row_[r] = it->second;
+    cell_of_row_[r] = it->second;
   }
 
   // Detect integer-valued outcomes (the german/stackoverflow binary
@@ -225,51 +275,73 @@ std::shared_ptr<const ConfounderPartition> ConfounderPartition::Build(
   // 2^53, past which the double conversion (and the legacy FP sum itself)
   // would stop being exact. Nulls sit at 0.0 in outcome_, which is
   // integer, so scanning the whole cache is equivalent to scanning the
-  // non-null rows.
-  part->outcome_integer_ = true;
-  int64_t max_abs_y = 0;
-  for (size_t r = 0; r < n; ++r) {
-    const double v = part->outcome_[r];
-    if (!(v >= -2147483647.0 && v <= 2147483647.0) ||
-        static_cast<double>(static_cast<int64_t>(v)) != v) {
-      part->outcome_integer_ = false;
-      break;
-    }
-    const int64_t iv = static_cast<int64_t>(v);
-    max_abs_y = std::max(max_abs_y, iv < 0 ? -iv : iv);
+  // non-null rows. On an extension only the delta rows are scanned: the
+  // persisted max_abs_y_ already covers [0, row_begin), and a base that
+  // was already non-integer stays so (exactly what a cold scan over the
+  // concatenated rows would conclude).
+  if (row_begin == 0) {
+    outcome_integer_ = true;
+    max_abs_y_ = 0;
   }
-  if (part->outcome_integer_) {
-    part->outcome_i64_.resize(n);
-    for (size_t r = 0; r < n; ++r) {
-      part->outcome_i64_[r] = static_cast<int64_t>(part->outcome_[r]);
+  if (outcome_integer_) {
+    for (size_t r = row_begin; r < n; ++r) {
+      const double v = outcome_[r];
+      if (!(v >= -2147483647.0 && v <= 2147483647.0) ||
+          static_cast<double>(static_cast<int64_t>(v)) != v) {
+        outcome_integer_ = false;
+        break;
+      }
+      const int64_t iv = static_cast<int64_t>(v);
+      max_abs_y_ = std::max(max_abs_y_, iv < 0 ? -iv : iv);
     }
-    const int64_t max_mag = std::max(max_abs_y, max_abs_y * max_abs_y);
-    part->safe_int_rows_ =
+  }
+  if (outcome_integer_) {
+    if (outcome_i64_.capacity() < n) outcome_i64_.reserve(n + n / 8);
+    outcome_i64_.resize(n);
+    for (size_t r = row_begin; r < n; ++r) {
+      outcome_i64_[r] = static_cast<int64_t>(outcome_[r]);
+    }
+    const int64_t max_mag = std::max(max_abs_y_, max_abs_y_ * max_abs_y_);
+    safe_int_rows_ =
         max_mag > 0 ? ((uint64_t{1} << 53) - 1) / static_cast<uint64_t>(max_mag)
                     : ~uint64_t{0};
+  } else {
+    // A delta row with a fractional outcome demotes an integer base: the
+    // engine's int64 path is off for the combined table, exactly as a
+    // cold build would decide.
+    outcome_i64_.clear();
+    safe_int_rows_ = 0;
   }
 
-  part->cells_by_stratum_.reserve(part->cells_.size());
-  for (uint32_t c = 0; c < part->cells_.size(); ++c) {
-    if (part->cells_[c].stratum_id >= 0) part->cells_by_stratum_.push_back(c);
+  // Re-derive the sorted stratum order over the (possibly grown) cell
+  // table. Stratum ids are unique across cells (the radix encoding is
+  // injective for non-null signatures), so the sort is deterministic and
+  // matches a cold build's order.
+  cells_by_stratum_.clear();
+  cells_by_stratum_.reserve(cells_.size());
+  for (uint32_t c = 0; c < cells_.size(); ++c) {
+    if (cells_[c].stratum_id >= 0) cells_by_stratum_.push_back(c);
   }
-  std::sort(part->cells_by_stratum_.begin(), part->cells_by_stratum_.end(),
+  std::sort(cells_by_stratum_.begin(), cells_by_stratum_.end(),
             [&](uint32_t a, uint32_t b) {
-              return part->cells_[a].stratum_id < part->cells_[b].stratum_id;
+              return cells_[a].stratum_id < cells_[b].stratum_id;
             });
 
-  size_t bytes = part->cell_of_row_.size() * sizeof(int32_t) +
-                 part->outcome_.size() * sizeof(double) +
-                 part->outcome_i64_.size() * sizeof(int64_t) +
-                 part->cells_by_stratum_.size() * sizeof(uint32_t);
-  for (const auto& vals : part->numeric_values_) {
+  size_t bytes = cell_of_row_.size() * sizeof(int32_t) +
+                 outcome_.size() * sizeof(double) +
+                 outcome_i64_.size() * sizeof(int64_t) +
+                 cells_by_stratum_.size() * sizeof(uint32_t);
+  for (const auto& vals : numeric_values_) {
     bytes += vals.size() * sizeof(double);
   }
-  for (const Cell& cell : part->cells_) {
+  for (const Cell& cell : cells_) {
     bytes += sizeof(Cell) + cell.onehot.size() * sizeof(uint32_t);
   }
-  part->bytes_ = bytes;
-  return part;
+  // Approximate intern-map footprint (key bytes + node overhead); kept in
+  // the budgeted total now that the map persists for extension.
+  bytes += cell_ids_.size() * (confs_.size() * sizeof(int32_t) + 64);
+  bytes_ = bytes;
+  rows_covered_ = n;
 }
 
 CateStatsEngine::CateStatsEngine(
@@ -786,35 +858,25 @@ CateSubgroupEstimates CateStatsEngine::SolveSubgroups(
   return out;
 }
 
-CateSubgroupEstimates CateStatsEngine::EstimateSubgroups(
-    const Bitmap& group, const Bitmap* protected_mask, size_t min_group_size,
-    size_t min_subgroup_size, bool skip_subgroups_unless_positive) const {
-  Accum overall = MakeAccum();
-  Accum prot, nonprot;
-  if (protected_mask != nullptr) {
-    prot = MakeAccum();
-    nonprot = MakeAccum();
-  }
-  Accumulate(group, protected_mask, &overall, &prot, &nonprot);
-  EnsureFp(&overall);
-  EnsureFp(&prot);
-  EnsureFp(&nonprot);
-  return SolveSubgroups(overall, prot, nonprot, group, protected_mask,
-                        min_group_size, min_subgroup_size,
-                        skip_subgroups_unless_positive);
-}
+CateStatsEngine::SubgroupAccums CateStatsEngine::AccumulateSubgroups(
+    const Bitmap& group, const Bitmap* protected_mask, const ShardPlan* plan,
+    TaskGroup* tasks) const {
+  SubgroupAccums out;
+  out.split = protected_mask != nullptr;
+  out.rows_covered = df_->num_rows();
 
-CateSubgroupEstimates CateStatsEngine::EstimateSubgroups(
-    const Bitmap& group, const Bitmap* protected_mask, size_t min_group_size,
-    size_t min_subgroup_size, bool skip_subgroups_unless_positive,
-    const ShardPlan* plan, TaskGroup* tasks) const {
   if (plan == nullptr || plan->num_shards() <= 1) {
-    return EstimateSubgroups(group, protected_mask, min_group_size,
-                             min_subgroup_size, skip_subgroups_unless_positive);
+    out.overall = MakeAccum();
+    if (out.split) {
+      out.prot = MakeAccum();
+      out.nonprot = MakeAccum();
+    }
+    Accumulate(group, protected_mask, &out.overall, &out.prot, &out.nonprot);
+    return out;
   }
   assert(plan->num_rows() == group.size());
   const size_t shards = plan->num_shards();
-  const bool split = protected_mask != nullptr;
+  const bool split = out.split;
 
   // Per-shard partials, accumulated independently over each shard's word
   // range. The IPW row-level fallback (numeric confounders) re-walks the
@@ -845,24 +907,137 @@ CateSubgroupEstimates CateStatsEngine::EstimateSubgroups(
 
   // Merge in ascending shard order — fixed by the plan, not by thread
   // scheduling — so the result is deterministic for this shard count.
-  Accum overall = std::move(overall_parts[0]);
-  Accum prot, nonprot;
+  out.overall = std::move(overall_parts[0]);
   if (split) {
-    prot = std::move(prot_parts[0]);
-    nonprot = std::move(nonprot_parts[0]);
+    out.prot = std::move(prot_parts[0]);
+    out.nonprot = std::move(nonprot_parts[0]);
   }
   for (size_t s = 1; s < shards; ++s) {
-    MergeAccum(&overall, overall_parts[s]);
+    MergeAccum(&out.overall, overall_parts[s]);
     if (split) {
-      MergeAccum(&prot, prot_parts[s]);
-      MergeAccum(&nonprot, nonprot_parts[s]);
+      MergeAccum(&out.prot, prot_parts[s]);
+      MergeAccum(&out.nonprot, nonprot_parts[s]);
     }
   }
+  return out;
+}
+
+CateStatsEngine::SubgroupAccums CateStatsEngine::AccumulateDelta(
+    const Bitmap& group, const Bitmap* protected_mask,
+    size_t row_begin) const {
+  assert(group.size() == treated_->size());
+  assert(row_begin <= group.size());
+  SubgroupAccums out;
+  out.split = protected_mask != nullptr;
+  out.rows_covered = df_->num_rows();
+  out.overall = MakeAccum();
+  if (out.split) {
+    out.prot = MakeAccum();
+    out.nonprot = MakeAccum();
+  }
+  // Scratch view of `group` restricted to the delta tail: only the words
+  // at and past the boundary are copied (the kernel never reads words
+  // below word_begin, so the resident words may stay zero), and the
+  // boundary word's resident bits are cleared. Walking words ascending
+  // accumulates the delta rows in ascending row order — the order a cold
+  // pass would reach them after all resident rows.
+  const size_t word_begin = row_begin / 64;
+  const size_t num_words = group.num_words();
+  Bitmap scratch(group.size(), /*value=*/false);
+  uint64_t* sw = scratch.mutable_words();
+  const uint64_t* gw = group.words();
+  for (size_t w = word_begin; w < num_words; ++w) sw[w] = gw[w];
+  const size_t boundary_bit = row_begin % 64;
+  if (boundary_bit != 0) {
+    sw[word_begin] &= ~((uint64_t{1} << boundary_bit) - 1);
+  }
+  AccumulateRange(scratch, protected_mask, word_begin, num_words,
+                  &out.overall, out.split ? &out.prot : nullptr,
+                  out.split ? &out.nonprot : nullptr);
+  return out;
+}
+
+void CateStatsEngine::MergeSubgroupAccums(SubgroupAccums* into,
+                                          const SubgroupAccums& from) const {
+  assert(into->split == from.split);
+  GrowAccum(&into->overall);
+  MergeAccum(&into->overall, from.overall);
+  if (into->split) {
+    GrowAccum(&into->prot);
+    GrowAccum(&into->nonprot);
+    MergeAccum(&into->prot, from.prot);
+    MergeAccum(&into->nonprot, from.nonprot);
+  }
+  into->rows_covered = std::max(into->rows_covered, from.rows_covered);
+}
+
+void CateStatsEngine::GrowAccum(Accum* acc) const {
+  // A cached accum may predate cells the delta interned: grow it to the
+  // current slot count. New cells append at the end, so resident slot
+  // indices are unchanged — but the two kernel scratch slots sat at the
+  // OLD end, which is now inside the real slot range, so their garbage
+  // must be zeroed (they are write-only and never merged or solved).
+  const size_t slots = partition_->cells().size() * 2;
+  if (acc->n.empty() || acc->n.size() >= slots + 2) return;
+  const size_t old_slots = acc->n.size() - 2;
+  const auto grow_sinked = [&](auto& v) {
+    if (v.empty()) return;
+    v.resize(slots + 2, 0);
+    v[old_slots] = 0;
+    v[old_slots + 1] = 0;
+  };
+  grow_sinked(acc->n);
+  grow_sinked(acc->sy);
+  grow_sinked(acc->syy);
+  grow_sinked(acc->isy);
+  grow_sinked(acc->isyy);
+  // Moment blocks have no scratch slots; the per-slot layout appends.
+  const size_t m = partition_->num_numeric();
+  if (!acc->zsum.empty()) acc->zsum.resize(slots * m, 0.0);
+  if (!acc->zysum.empty()) acc->zysum.resize(slots * m, 0.0);
+  if (!acc->zzsum.empty()) acc->zzsum.resize(slots * (m * (m + 1) / 2), 0.0);
+}
+
+CateSubgroupEstimates CateStatsEngine::SolveFromAccums(
+    const SubgroupAccums& accums, const Bitmap& group,
+    const Bitmap* protected_mask, size_t min_group_size,
+    size_t min_subgroup_size, bool skip_subgroups_unless_positive) const {
+  // EnsureFp is destructive (it clears int_valid), so solve from copies:
+  // the caller's cached stats stay int-exact and mergeable with future
+  // delta accumulations. The engine's own estimation paths keep the
+  // zero-copy in-place funnel below.
+  Accum overall = accums.overall;
+  Accum prot = accums.prot;
+  Accum nonprot = accums.nonprot;
+  GrowAccum(&overall);
+  GrowAccum(&prot);
+  GrowAccum(&nonprot);
   EnsureFp(&overall);
   EnsureFp(&prot);
   EnsureFp(&nonprot);
   return SolveSubgroups(overall, prot, nonprot, group, protected_mask,
                         min_group_size, min_subgroup_size,
+                        skip_subgroups_unless_positive);
+}
+
+CateSubgroupEstimates CateStatsEngine::EstimateSubgroups(
+    const Bitmap& group, const Bitmap* protected_mask, size_t min_group_size,
+    size_t min_subgroup_size, bool skip_subgroups_unless_positive) const {
+  return EstimateSubgroups(group, protected_mask, min_group_size,
+                           min_subgroup_size, skip_subgroups_unless_positive,
+                           /*plan=*/nullptr, /*tasks=*/nullptr);
+}
+
+CateSubgroupEstimates CateStatsEngine::EstimateSubgroups(
+    const Bitmap& group, const Bitmap* protected_mask, size_t min_group_size,
+    size_t min_subgroup_size, bool skip_subgroups_unless_positive,
+    const ShardPlan* plan, TaskGroup* tasks) const {
+  SubgroupAccums acc = AccumulateSubgroups(group, protected_mask, plan, tasks);
+  EnsureFp(&acc.overall);
+  EnsureFp(&acc.prot);
+  EnsureFp(&acc.nonprot);
+  return SolveSubgroups(acc.overall, acc.prot, acc.nonprot, group,
+                        protected_mask, min_group_size, min_subgroup_size,
                         skip_subgroups_unless_positive);
 }
 

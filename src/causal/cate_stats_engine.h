@@ -32,6 +32,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "causal/estimator.h"
@@ -91,6 +93,32 @@ class ConfounderPartition {
       const DataFrame& df, size_t outcome_attr,
       const std::vector<size_t>& adjustment, const CateOptions& options);
 
+  /// Copy-extends `base` (built over a prefix of `df`'s rows) to cover all
+  /// of `df` after an append, producing exactly the partition Build would
+  /// return over the concatenated table: delta rows are interned into the
+  /// same cell table (new cells appended in first-appearance order, the
+  /// order a cold build would discover them), the outcome caches grow, and
+  /// the integer-outcome status / overflow budget are re-derived from the
+  /// combined value range. Returns nullptr when the partition is NOT
+  /// extendable and must be rebuilt cold: any numeric confounder (its
+  /// quantile edges shift with the new rows) or a categorical confounder
+  /// that gained categories (the radix bases and one-hot feature layout
+  /// change). `base` itself is never mutated — holders of the old
+  /// partition keep a consistent snapshot.
+  static std::shared_ptr<const ConfounderPartition> ExtendFor(
+      const ConfounderPartition& base, const DataFrame& df);
+
+  /// Copy-free variant of ExtendFor for the quiescent append path:
+  /// interns rows [rows_covered(), df.num_rows()) into this partition
+  /// directly. Returns false — leaving the partition untouched — under
+  /// the same non-extendable conditions as ExtendFor. Every holder of
+  /// the partition observes the extension, so the caller must guarantee
+  /// no estimation queries are in flight (the IncrementalSession::Append
+  /// contract). This is what keeps a 1% append at delta cost: ExtendFor
+  /// pays an O(N) copy of the per-row arrays per adjustment set before
+  /// interning a single delta row.
+  bool ExtendInPlace(const DataFrame& df);
+
   const std::vector<Feature>& features() const { return features_; }
   /// For numeric feature j (j-th numeric confounder): its index into
   /// features().
@@ -134,8 +162,43 @@ class ConfounderPartition {
   /// Heap bytes held (row arrays + cell table), for cache budgeting.
   size_t bytes() const { return bytes_; }
 
+  /// Rows of the source table this partition covers (its num_rows at
+  /// Build/ExtendFor time). After an append the table outgrows this and
+  /// the partition is stale until extended or rebuilt.
+  size_t rows_covered() const { return rows_covered_; }
+
+  /// Identity of this partition's cell numbering: fresh per Build, kept
+  /// by ExtendFor. Two partitions with the same lineage assign identical
+  /// cell ids to their common row prefix, so sufficient statistics
+  /// accumulated against the older one merge soundly with deltas
+  /// accumulated against the newer (core/incremental.h relies on this; a
+  /// cold rebuild gets a new lineage and invalidates such caches).
+  uint64_t lineage_id() const { return lineage_id_; }
+
  private:
   ConfounderPartition() = default;
+
+  /// Per-confounder layout persisted from Build: design feature span,
+  /// the radix base of the legacy stratum id, and (numeric) the quantile
+  /// edges — everything InternRows needs to intern further rows with the
+  /// exact signatures Build used.
+  struct ConfLayout {
+    size_t attr = 0;
+    bool categorical = false;
+    int64_t base = 0;
+    uint32_t feature_base = 0;
+    /// Category count at build (0 for numeric): extension is only sound
+    /// while the column still has exactly this many categories.
+    size_t num_categories = 0;
+    std::vector<double> edges;  ///< numeric confounders only
+  };
+
+  /// Shared tail of Build and ExtendFor: interns rows [row_begin, n) into
+  /// the cell table and outcome caches, then re-derives the sorted
+  /// stratum order, integer-outcome budget, and byte accounting. The
+  /// feature layout (confs_), numeric caches, and rows [0, row_begin)
+  /// must already be in place.
+  void InternRows(const DataFrame& df, size_t row_begin);
 
   std::vector<Feature> features_;
   std::vector<uint32_t> numeric_features_;
@@ -149,6 +212,20 @@ class ConfounderPartition {
   std::vector<std::vector<double>> numeric_values_;
   std::vector<const double*> numeric_value_ptrs_;
   size_t bytes_ = 0;
+
+  // Build-time inputs and intern state persisted so ExtendFor can resume
+  // the interning where Build stopped (same radix bases, same map) and
+  // verify extendability against the post-append table.
+  size_t outcome_attr_ = 0;
+  std::vector<ConfLayout> confs_;
+  /// Joint-signature -> cell index intern map (lookup/insert only — never
+  /// iterated, so the unordered order cannot leak into results).
+  std::unordered_map<std::string, int32_t> cell_ids_;
+  /// Largest |y| seen (integer outcomes only) — re-derives safe_int_rows_
+  /// when delta rows widen the range.
+  int64_t max_abs_y_ = 0;
+  size_t rows_covered_ = 0;
+  uint64_t lineage_id_ = 0;
 };
 
 /// The per-treatment engine: treated mask + confounder partition +
@@ -204,20 +281,14 @@ class CateStatsEngine {
   Result<CateEstimate> EstimateSubgroup(const Bitmap& group,
                                         size_t min_group_size) const;
 
-  const Bitmap& treated() const { return *treated_; }
-  const ConfounderPartition& partition() const { return *partition_; }
-  const CateOptions& options() const { return options_; }
-
-  /// Engine-held bytes excluding the shared partition and treated mask.
-  size_t bytes() const;
-
- private:
   /// Per-subgroup sufficient statistics, indexed cell-major with two arms
   /// (idx = 2*cell + arm; arm 1 = treated). Numeric moment blocks are
   /// allocated only for the regression method with numeric confounders.
   /// The stat arrays carry two scratch slots past 2C that the integer
   /// kernels' branchless dense loop steers excluded rows into; solvers
-  /// and merges never read them.
+  /// and merges never read them. Public so the incremental-mining layer
+  /// can cache accumulated stats across appends and merge deltas in
+  /// (core/incremental.h); treat as opaque outside this class.
   struct Accum {
     size_t rows = 0;  ///< subgroup rows with non-null outcome
     size_t n_treated = 0;
@@ -237,6 +308,66 @@ class CateStatsEngine {
     bool int_valid = false;
   };
 
+  /// The overall / protected / non-protected accumulation triple for one
+  /// group bitmap — the cacheable unit of the incremental path. When
+  /// `split` is false the protected/nonprotected accums are untouched
+  /// (no protected mask was supplied). `rows_covered` records the table
+  /// size the accumulation has seen; after an append, AccumulateDelta
+  /// over [rows_covered, num_rows) merged in brings it current.
+  struct SubgroupAccums {
+    Accum overall;
+    Accum prot;
+    Accum nonprot;
+    bool split = false;
+    size_t rows_covered = 0;
+  };
+
+  /// Full accumulation pass over `group` (optionally sharded across
+  /// `plan` via `tasks`, partials merged in ascending shard order — the
+  /// same pass EstimateSubgroups runs before its solves). The protected
+  /// split is always filled when `protected_mask` is non-null, so a
+  /// cached result can serve later solves regardless of which subgroups
+  /// they request.
+  SubgroupAccums AccumulateSubgroups(const Bitmap& group,
+                                     const Bitmap* protected_mask,
+                                     const ShardPlan* plan,
+                                     TaskGroup* tasks) const;
+
+  /// Accumulates ONLY rows >= row_begin of `group` — the delta tail of an
+  /// append. Because delta rows are strictly after all resident rows,
+  /// merging this into an accumulation that covered [0, row_begin)
+  /// reproduces the full-table pass: exactly on the int64 path, and to
+  /// shard-merge precision (the PR-4 contract) on the FP path.
+  SubgroupAccums AccumulateDelta(const Bitmap& group,
+                                 const Bitmap* protected_mask,
+                                 size_t row_begin) const;
+
+  /// `into += from` over all three accums (shard-merge semantics; exact
+  /// while the combined counts stay under the int64 budget). Advances
+  /// into->rows_covered to from's.
+  void MergeSubgroupAccums(SubgroupAccums* into,
+                           const SubgroupAccums& from) const;
+
+  /// Solves the overall / protected / non-protected estimates from
+  /// already-accumulated stats, byte-identical to EstimateSubgroups over
+  /// the same group. Works on copies of the accums: the caller's stats
+  /// stay int-valid and mergeable (EnsureFp is destructive). `group` /
+  /// `protected_mask` are needed only by the IPW row-fallback re-walk.
+  CateSubgroupEstimates SolveFromAccums(
+      const SubgroupAccums& accums, const Bitmap& group,
+      const Bitmap* protected_mask, size_t min_group_size,
+      size_t min_subgroup_size,
+      bool skip_subgroups_unless_positive = false) const;
+
+  const Bitmap& treated() const { return *treated_; }
+  const ConfounderPartition& partition() const { return *partition_; }
+  const std::vector<size_t>& adjustment() const { return adjustment_; }
+  const CateOptions& options() const { return options_; }
+
+  /// Engine-held bytes excluding the shared partition and treated mask.
+  size_t bytes() const;
+
+ private:
   /// Which rows a solve refers to (needed only by the IPW row-level
   /// fallback, which must re-walk the subgroup).
   struct Slice {
@@ -262,6 +393,10 @@ class CateStatsEngine {
   /// already fell back) both sides are converted exactly to FP first,
   /// which reproduces the pure-FP merge bit for bit.
   void MergeAccum(Accum* into, const Accum& from) const;
+
+  /// Resize an accum that predates delta-interned cells up to the current
+  /// partition slot count, zeroing the relocated kernel scratch slots.
+  void GrowAccum(Accum* acc) const;
 
   /// Converts an int-valid accum's outcome sums into its FP arrays (an
   /// exact conversion under the safe_int_rows guard) and clears

@@ -7,6 +7,7 @@
 #include "causal/backdoor.h"
 #include "causal/cate_stats_engine.h"
 #include "causal/linear_model.h"
+#include "util/logging.h"
 #include "util/obs/metrics.h"
 
 namespace faircap {
@@ -42,6 +43,25 @@ EngineCacheMetrics& EngineMetrics() {
       r.GetCounter("engine_cache.misses"),
       r.GetCounter("engine_cache.evictions"),
       r.GetGauge("engine_cache.bytes"),
+  };
+  return *metrics;
+}
+
+// Append-refresh counters (run-report "append.*" family).
+struct AppendMetrics {
+  obs::Counter& partitions_extended;
+  obs::Counter& partitions_rebuilt;
+  obs::Counter& engines_extended;
+  obs::Counter& engines_rebuilt;
+};
+
+AppendMetrics& AppendRefreshMetrics() {
+  obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+  static AppendMetrics* metrics = new AppendMetrics{
+      r.GetCounter("append.partitions_extended"),
+      r.GetCounter("append.partitions_rebuilt"),
+      r.GetCounter("append.engines_extended"),
+      r.GetCounter("append.engines_rebuilt"),
   };
   return *metrics;
 }
@@ -406,7 +426,11 @@ std::shared_ptr<const ConfounderPartition> CateEstimator::PartitionFor(
     MutexLock lock(*mu_);
     const auto it = partitions_.find(key);
     if (it != partitions_.end()) {
-      if (auto alive = it->second.lock()) return alive;
+      if (auto alive = it->second.lock()) {
+        // A partition pinned alive by an un-refreshed engine may lag the
+        // table after an append; never serve it — rebuild instead.
+        if (alive->rows_covered() == df_->num_rows()) return alive;
+      }
     }
   }
   // Build outside the lock; a racing duplicate build is identical and the
@@ -415,7 +439,9 @@ std::shared_ptr<const ConfounderPartition> CateEstimator::PartitionFor(
       ConfounderPartition::Build(*df_, outcome_attr_, adjustment, options_);
   MutexLock lock(*mu_);
   auto& slot = partitions_[key];
-  if (auto alive = slot.lock()) return alive;
+  if (auto alive = slot.lock()) {
+    if (alive->rows_covered() == df_->num_rows()) return alive;
+  }
   slot = built;
   return built;
 }
@@ -457,14 +483,28 @@ Result<std::shared_ptr<const CateStatsEngine>> CateEstimator::EngineFor(
   }
   FAIRCAP_RETURN_NOT_OK(intervention.Validate(*df_));
   const std::string key = intervention.Key();
+  const auto is_current = [this](const CateStatsEngine& e) {
+    return e.treated().size() == df_->num_rows() &&
+           e.partition().rows_covered() == df_->num_rows();
+  };
   {
     MutexLock lock(*mu_);
     const auto it = engines_.find(key);
     if (it != engines_.end()) {
-      ++engine_hits_;
-      EngineMetrics().hits.Increment();
-      engine_lru_.splice(engine_lru_.begin(), engine_lru_, it->second.lru_pos);
-      return it->second.engine;
+      if (is_current(*it->second.engine)) {
+        ++engine_hits_;
+        EngineMetrics().hits.Increment();
+        engine_lru_.splice(engine_lru_.begin(), engine_lru_,
+                           it->second.lru_pos);
+        return it->second.engine;
+      }
+      // Stale after an append (the eager NotifyAppend refresh missed it,
+      // e.g. it was evicted and re-inserted by a racing builder between
+      // snapshot and swap): a stale engine must never be served, so the
+      // hit becomes a miss and the entry is rebuilt below.
+      engine_lru_.erase(it->second.lru_pos);
+      engines_.erase(it);
+      AppendRefreshMetrics().engines_rebuilt.Increment();
     }
   }
   FAIRCAP_ASSIGN_OR_RETURN(const std::vector<size_t> adjustment,
@@ -477,19 +517,27 @@ Result<std::shared_ptr<const CateStatsEngine>> CateEstimator::EngineFor(
 
   MutexLock lock(*mu_);
   const auto it = engines_.find(key);
-  if (it != engines_.end()) {
+  if (it != engines_.end() && is_current(*it->second.engine)) {
     // A racing builder landed first; keep its engine canonical.
     ++engine_hits_;
     EngineMetrics().hits.Increment();
     engine_lru_.splice(engine_lru_.begin(), engine_lru_, it->second.lru_pos);
     return it->second.engine;
   }
+  if (it != engines_.end()) {
+    // Racing entry is itself stale — supersede it with ours.
+    engine_lru_.erase(it->second.lru_pos);
+    engines_.erase(it);
+  }
   ++engine_misses_;
   EngineMetrics().misses.Increment();
   engine_lru_.push_front(key);
-  engines_.emplace(key, EngineEntry{engine, engine_lru_.begin()});
+  engines_.emplace(key, EngineEntry{engine, engine_lru_.begin(), intervention});
   EnforceEngineBudgetLocked();
   EngineMetrics().bytes.Set(static_cast<double>(EngineBytesLocked()));
+  // Serve-point invariant: whatever path produced it, the engine handed
+  // out must cover the table as it is now.
+  FAIRCAP_CHECK(is_current(*engine));
   return engine;
 }
 
@@ -518,6 +566,109 @@ Result<CateSubgroupEstimates> CateEstimator::EstimateSubgroups(
   return engine->EstimateSubgroups(group, protected_mask,
                                    options_.min_group_size, min_sub,
                                    skip_subgroups_unless_positive, plan, tasks);
+}
+
+CateEstimator::AppendRefreshStats CateEstimator::NotifyAppend() {
+  AppendRefreshStats stats;
+  const size_t num_rows = df_->num_rows();
+
+  // Snapshot the cached state under the lock; the heavy work (partition
+  // extension, treated-mask re-evaluation through the index, engine
+  // construction) runs outside mu_ like every other build path here.
+  std::vector<std::pair<std::string, EngineEntry>> resident;
+  std::vector<std::pair<std::string, std::shared_ptr<const ConfounderPartition>>>
+      live_parts;
+  {
+    MutexLock lock(*mu_);
+    // Per-row stratum ids are stale and cheap to rebuild; drop them.
+    // Adjustment sets depend only on schema + DAG and survive.
+    stratum_cache_.clear();
+    resident.reserve(engines_.size());
+    for (const auto& [key, entry] : engines_) {
+      resident.emplace_back(key, entry);
+    }
+    for (auto it = partitions_.begin(); it != partitions_.end();) {
+      if (auto alive = it->second.lock()) {
+        live_parts.emplace_back(it->first, std::move(alive));
+        ++it;
+      } else {
+        it = partitions_.erase(it);
+      }
+    }
+  }
+
+  // Extend each live partition once — it is shared by every engine over
+  // the same adjustment set, so the delta-intern cost is paid per
+  // adjustment key, not per treatment. Extension happens in place: the
+  // session Append contract guarantees no queries are in flight, and the
+  // ExtendFor copy (O(N) per-row arrays per adjustment set) was the
+  // dominant cost of a small append at scale.
+  std::unordered_map<const ConfounderPartition*,
+                     std::shared_ptr<const ConfounderPartition>>
+      extended;
+  std::vector<std::string> dead_slots;
+  for (const auto& [key, part] : live_parts) {
+    if (part->rows_covered() == num_rows) {
+      extended.emplace(part.get(), part);
+      continue;
+    }
+    auto* mut = const_cast<ConfounderPartition*>(part.get());
+    if (mut->ExtendInPlace(*df_)) {
+      ++stats.partitions_extended;
+      AppendRefreshMetrics().partitions_extended.Increment();
+      extended.emplace(part.get(), part);
+    } else {
+      // Numeric confounders (quantile edges shift) or new categories:
+      // drop the partition and every engine on it; cold rebuild on next
+      // use.
+      ++stats.partitions_rebuilt;
+      AppendRefreshMetrics().partitions_rebuilt.Increment();
+      dead_slots.push_back(key);
+    }
+  }
+
+  // Rebuild each cached engine onto its (extended) partition and the
+  // re-evaluated treated mask — the index serves the mask extended by
+  // whole delta words, so this costs delta work, not table work.
+  std::vector<std::pair<std::string, std::shared_ptr<const CateStatsEngine>>>
+      rebuilt;
+  std::vector<std::string> dropped;
+  for (const auto& [key, entry] : resident) {
+    if (entry.engine->treated().size() == num_rows &&
+        entry.engine->partition().rows_covered() == num_rows) {
+      continue;  // already current (e.g. a zero-row append)
+    }
+    const auto it = extended.find(&entry.engine->partition());
+    if (it == extended.end()) {
+      dropped.push_back(key);
+      continue;
+    }
+    std::shared_ptr<const Bitmap> treated = TreatedMask(entry.pattern);
+    rebuilt.emplace_back(
+        key, std::make_shared<const CateStatsEngine>(
+                 df_, options_, entry.engine->adjustment(), std::move(treated),
+                 it->second));
+  }
+
+  MutexLock lock(*mu_);
+  for (auto& [key, engine] : rebuilt) {
+    const auto it = engines_.find(key);
+    if (it == engines_.end()) continue;  // evicted since the snapshot
+    it->second.engine = std::move(engine);
+    ++stats.engines_refreshed;
+    AppendRefreshMetrics().engines_extended.Increment();
+  }
+  for (const std::string& key : dropped) {
+    const auto it = engines_.find(key);
+    if (it == engines_.end()) continue;
+    engine_lru_.erase(it->second.lru_pos);
+    engines_.erase(it);
+    ++stats.engines_dropped;
+    AppendRefreshMetrics().engines_rebuilt.Increment();
+  }
+  for (const std::string& key : dead_slots) partitions_.erase(key);
+  EngineMetrics().bytes.Set(static_cast<double>(EngineBytesLocked()));
+  return stats;
 }
 
 void CateEstimator::SetEngineMemoryBudget(size_t max_bytes) {

@@ -159,6 +159,28 @@ class CateEstimator {
   /// partitions are freed when the last engine referencing them goes.
   void SetEngineMemoryBudget(size_t max_bytes);
 
+  /// What an append-refresh did to the cached state (tests and the
+  /// append.* run-report counters).
+  struct AppendRefreshStats {
+    size_t partitions_extended = 0;  ///< copy-extended by whole delta rows
+    size_t partitions_rebuilt = 0;   ///< not extendable; dropped for cold rebuild
+    size_t engines_refreshed = 0;    ///< rebuilt onto extended partition + mask
+    size_t engines_dropped = 0;      ///< erased (their partition was dropped)
+  };
+
+  /// Brings the cached state current after rows were appended to the
+  /// table (DataFrame::AppendFrame). Per-row stratum ids are dropped
+  /// (cheap to rebuild); adjustment sets are kept (schema/DAG-only).
+  /// Every live confounder partition is copy-extended over the delta
+  /// rows where possible (purely categorical confounders with no new
+  /// categories — see ConfounderPartition::ExtendFor) and each cached
+  /// engine is re-pointed at the extended partition and the lazily
+  /// extended treated mask; engines whose partition could not be
+  /// extended are evicted and rebuilt cold on next use. Must not run
+  /// concurrently with estimation calls — call it between mining runs,
+  /// right after the append.
+  AppendRefreshStats NotifyAppend();
+
   /// Engine-cache observability (tests and benchmarks).
   struct EngineCacheStats {
     size_t engines = 0;     ///< cached engines
@@ -245,6 +267,9 @@ class CateEstimator {
   struct EngineEntry {
     std::shared_ptr<const CateStatsEngine> engine;
     std::list<std::string>::iterator lru_pos;
+    /// The intervention the engine serves — NotifyAppend re-evaluates it
+    /// to refresh the treated mask over the appended rows.
+    Pattern pattern;
   };
   mutable std::unordered_map<std::string, EngineEntry> engines_
       GUARDED_BY(*mu_);

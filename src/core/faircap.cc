@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "core/benefit.h"
+#include "core/incremental.h"
 #include "dataframe/predicate_index.h"
 #include "mining/shard_plan.h"
 #include "util/obs/metrics.h"
@@ -29,10 +30,18 @@ Result<FairCap> FairCap::Create(const DataFrame* df, const CausalDag* dag,
     return Status::InvalidArgument(
         "protected pattern must not reference the outcome");
   }
+  if (options.incremental_state != nullptr && !options.use_batch_estimator) {
+    return Status::InvalidArgument(
+        "incremental_state requires use_batch_estimator (the sufficient-"
+        "statistics engine is what gets cached across appends)");
+  }
   FAIRCAP_ASSIGN_OR_RETURN(CateEstimator estimator,
                            CateEstimator::Create(df, dag, options.cate));
   if (options.engine_memory_budget > 0) {
     estimator.SetEngineMemoryBudget(options.engine_memory_budget);
+  }
+  if (options.incremental_state != nullptr) {
+    options.incremental_state->Attach(*df);
   }
 
   // Optimization (i): mutable attributes with no causal path to the
@@ -72,6 +81,19 @@ FairCap::FairCap(const DataFrame* df, const CausalDag* dag,
       estimator_(std::move(estimator)),
       mutable_attrs_(std::move(mutable_attrs)),
       options_(std::move(options)) {}
+
+CateEstimator::AppendRefreshStats FairCap::NotifyAppend() {
+  // The protected pattern constrains only non-appended-value semantics —
+  // resident rows keep their bits; the re-evaluation extends the mask
+  // over the delta rows (warm: the PredicateIndex extends its atom masks
+  // by whole words instead of rescanning).
+  protected_mask_ = protected_pattern_.Evaluate(*df_);
+  const CateEstimator::AppendRefreshStats stats = estimator_.NotifyAppend();
+  if (options_.incremental_state != nullptr) {
+    options_.incremental_state->OnAppend(*df_);
+  }
+  return stats;
+}
 
 Result<std::vector<FrequentPattern>> FairCap::MineGroupingPatterns() const {
   const std::vector<size_t> immutable =
@@ -149,10 +171,20 @@ PrescriptionRule FairCap::CostRule(const Pattern& grouping,
   if (options_.use_batch_estimator) {
     // One sufficient-statistics pass answers all three subgroups; the
     // non-protected slice comes from the accumulation split, so its
-    // bitmap is never materialized.
-    const Result<CateSubgroupEstimates> batch = estimator_.EstimateSubgroups(
-        intervention, rule.coverage, &protected_mask_,
-        options_.min_subgroup_arm);
+    // bitmap is never materialized. With an incremental state the pass
+    // is served from the cross-run accum cache (delta-only after an
+    // append).
+    const Result<CateSubgroupEstimates> batch =
+        options_.incremental_state != nullptr
+            ? options_.incremental_state->EstimateWithCache(
+                  estimator_, grouping.Key(), intervention, rule.coverage,
+                  protected_mask_, /*want_subgroups=*/true,
+                  options_.min_subgroup_arm,
+                  /*skip_subgroups_unless_positive=*/false,
+                  /*plan=*/nullptr, /*tasks=*/nullptr)
+            : estimator_.EstimateSubgroups(intervention, rule.coverage,
+                                           &protected_mask_,
+                                           options_.min_subgroup_arm);
     if (batch.ok()) {
       if (batch->overall.ok()) {
         rule.utility = batch->overall->cate;
@@ -268,6 +300,8 @@ Result<std::vector<PrescriptionRule>> FairCap::MineCandidateRules(
     }
   }
 
+  IncrementalState* const inc = options_.incremental_state.get();
+
   auto mine_one = [&](size_t g) {
     // One span per grouping pattern ("args":{"v":g}); the nested "eval"
     // and "shard" spans beneath it give the trace its pattern -> shard
@@ -275,6 +309,15 @@ Result<std::vector<PrescriptionRule>> FairCap::MineCandidateRules(
     const obs::TraceSpan pattern_span("pattern",
                                       static_cast<int64_t>(g));
     const FrequentPattern& group = groups[g];
+    // Delta-aware short-circuit: a group whose support the append left
+    // unchanged gained no delta rows, so its cached candidate rules are
+    // exactly what this lattice traversal would re-derive.
+    if (inc != nullptr &&
+        inc->TryReuseGroup(group, protected_mask_, &per_group[g], &evals[g])) {
+      return;
+    }
+    const std::string group_key =
+        inc != nullptr ? group.pattern.Key() : std::string();
     // Subgroup cardinalities come from fused word-level counts; the
     // protected / non-protected coverage bitmaps are only materialized on
     // the legacy pinning path (the batch engine splits the accumulation
@@ -302,12 +345,21 @@ Result<std::vector<PrescriptionRule>> FairCap::MineCandidateRules(
         // whichever workers are free (Wait helps, so this is legal from
         // inside the pattern task).
         TaskGroup shard_tasks(scheduler.get());
-        Result<CateSubgroupEstimates> batch = estimator_.EstimateSubgroups(
-            intervention, group.coverage,
-            needs_group_utilities ? &protected_mask_ : nullptr,
-            options_.min_subgroup_arm,
-            /*skip_subgroups_unless_positive=*/true, eval_plan,
-            eval_plan != nullptr ? &shard_tasks : nullptr);
+        Result<CateSubgroupEstimates> batch =
+            inc != nullptr
+                ? inc->EstimateWithCache(
+                      estimator_, group_key, intervention, group.coverage,
+                      protected_mask_,
+                      /*want_subgroups=*/needs_group_utilities,
+                      options_.min_subgroup_arm,
+                      /*skip_subgroups_unless_positive=*/true, eval_plan,
+                      eval_plan != nullptr ? &shard_tasks : nullptr)
+                : estimator_.EstimateSubgroups(
+                      intervention, group.coverage,
+                      needs_group_utilities ? &protected_mask_ : nullptr,
+                      options_.min_subgroup_arm,
+                      /*skip_subgroups_unless_positive=*/true, eval_plan,
+                      eval_plan != nullptr ? &shard_tasks : nullptr);
         if (!batch.ok()) return std::nullopt;
         ests = std::move(batch).ValueOrDie();
       } else {
@@ -405,6 +457,7 @@ Result<std::vector<PrescriptionRule>> FairCap::MineCandidateRules(
     } else if (lattice.best.has_value()) {
       emit(*lattice.best, lattice.best_eval);
     }
+    if (inc != nullptr) inc->StoreGroup(group, per_group[g], evals[g]);
   };
 
   if (scheduler == nullptr) {
@@ -492,9 +545,13 @@ Result<FairCapResult> FairCap::Run() const {
     }
     costs_ptr = &costs;
   }
+  GreedyOptions greedy_options = options_.greedy;
+  // Selection shares the pipeline's thread budget; the greedy result is
+  // thread-count-invariant (see GreedyOptions::num_threads).
+  greedy_options.num_threads = options_.num_threads;
   const GreedyResult greedy =
       GreedySelect(candidates, protected_mask_, options_.fairness,
-                   options_.coverage, options_.greedy, costs_ptr);
+                   options_.coverage, greedy_options, costs_ptr);
   result.timings.selection_seconds = watch.ElapsedSeconds();
   registry.GetGauge(obs::kPhaseSelection)
       .Set(result.timings.selection_seconds);

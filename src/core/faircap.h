@@ -28,6 +28,8 @@
 
 namespace faircap {
 
+class IncrementalState;  // core/incremental.h
+
 /// All tuning knobs of the pipeline.
 struct FairCapOptions {
   AprioriOptions apriori;
@@ -88,6 +90,15 @@ struct FairCapOptions {
   /// greedy.budget > 0, selection maximizes marginal score per unit cost
   /// and the total ruleset cost never exceeds the budget.
   std::shared_ptr<const InterventionCostModel> cost_model;
+  /// Cross-run reuse state for delta-aware re-mining (core/incremental.h).
+  /// When set (requires use_batch_estimator), Step-2 caches sufficient
+  /// statistics per (grouping, intervention) across runs — after an
+  /// append, only the delta rows are accumulated — and re-emits whole
+  /// groups whose support the delta left untouched. A cold-cache run is
+  /// bit-identical to one without the state; after appends, integer
+  /// outcomes stay exact and FP matches to shard-merge precision.
+  /// Typically owned by an IncrementalSession.
+  std::shared_ptr<IncrementalState> incremental_state;
 };
 
 /// Execution counters of the Step-2 task scheduler (observability: the
@@ -174,6 +185,14 @@ class FairCap {
   PrescriptionRule CostRule(const Pattern& grouping,
                             const Pattern& intervention,
                             const TreatmentEval* eval) const;
+
+  /// Brings cached state current after rows were appended to the table
+  /// (DataFrame::AppendFrame): re-evaluates the protected mask over the
+  /// grown table, refreshes the estimator's partitions/engines
+  /// (CateEstimator::NotifyAppend) and revalidates the incremental
+  /// caches when options carry an IncrementalState. Must not run
+  /// concurrently with Run/Mine calls — call it right after the append.
+  CateEstimator::AppendRefreshStats NotifyAppend();
 
   const Bitmap& protected_mask() const { return protected_mask_; }
   const CateEstimator& estimator() const { return estimator_; }

@@ -27,6 +27,13 @@ bool Bitmap::Get(size_t i) const {
   return (words_[i / 64] >> (i % 64)) & 1ULL;
 }
 
+void Bitmap::Resize(size_t new_bits) {
+  words_.resize((new_bits + 63) / 64, 0ULL);
+  num_bits_ = new_bits;
+  // Shrinking may leave set bits past the new size in the final word.
+  ClearPadding();
+}
+
 size_t Bitmap::Count() const {
   return simd::ActiveKernels().popcount(words_.data(), words_.size());
 }

@@ -27,6 +27,13 @@ class Bitmap {
   bool Get(size_t i) const;
   bool operator[](size_t i) const { return Get(i); }
 
+  /// Grows (or shrinks) to `new_bits`. New bits are clear; on growth the
+  /// existing bits are untouched (the padding past the old size() is
+  /// already zero, so whole-word growth is a plain vector resize). This is
+  /// the append-path primitive: a resident mask extends to cover delta
+  /// rows, then only the new tail words are scanned.
+  void Resize(size_t new_bits);
+
   /// Number of set bits.
   size_t Count() const;
 

@@ -111,6 +111,31 @@ Column Column::Take(const std::vector<uint32_t>& rows) const {
   return out;
 }
 
+Status Column::ExtendFrom(const Column& delta) {
+  if (delta.type_ != type_) {
+    return Status::InvalidArgument("cannot extend column with mismatched type");
+  }
+  if (type_ == AttrType::kCategorical) {
+    // First-appearance dictionary merge (same contract as parallel ingest):
+    // walking the delta dictionary in ascending code order assigns new
+    // categories the same codes a cold ingest of the concatenated rows
+    // would, because the delta dictionary itself is in first-appearance
+    // row order.
+    std::vector<int32_t> remap(delta.dictionary_.size());
+    for (size_t c = 0; c < delta.dictionary_.size(); ++c) {
+      remap[c] = GetOrAddCategory(delta.dictionary_[c]);
+    }
+    codes_.reserve(codes_.size() + delta.codes_.size());
+    for (const int32_t code : delta.codes_) {
+      codes_.push_back(code == kNullCode ? kNullCode
+                                         : remap[static_cast<size_t>(code)]);
+    }
+  } else {
+    values_.insert(values_.end(), delta.values_.begin(), delta.values_.end());
+  }
+  return Status::OK();
+}
+
 void Column::Reserve(size_t n) {
   if (type_ == AttrType::kCategorical) {
     codes_.reserve(n);

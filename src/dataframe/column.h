@@ -84,6 +84,14 @@ class Column {
   /// wise: the taken column re-uses the same codes and dictionary.
   Column Take(const std::vector<uint32_t>& rows) const;
 
+  /// Appends all of `delta`'s cells. Categorical: delta codes are remapped
+  /// through this column's dictionary via first-appearance merge — delta
+  /// dictionary entries are visited in ascending code order, so new
+  /// categories receive exactly the codes a cold row-order ingest of the
+  /// concatenated data would assign, and resident codes never change.
+  /// Types must match.
+  Status ExtendFrom(const Column& delta);
+
   void Reserve(size_t n);
 
  private:

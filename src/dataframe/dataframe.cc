@@ -35,6 +35,7 @@ DataFrame::DataFrame(DataFrame&& other) noexcept = default;
 DataFrame& DataFrame::operator=(DataFrame&& other) noexcept = default;
 
 void DataFrame::InvalidateIndex() {
+  ++generation_;
   if (index_ != nullptr) index_->Clear();
 }
 
@@ -84,12 +85,10 @@ Result<const Column*> DataFrame::ColumnByName(const std::string& name) const {
   return &columns_[idx];
 }
 
-Status DataFrame::AppendRow(const std::vector<Value>& values) {
+Status DataFrame::ValidateRow(const std::vector<Value>& values) const {
   if (values.size() != columns_.size()) {
     return Status::InvalidArgument("row arity does not match schema");
   }
-  // Validate all cells before mutating any column so a failed append leaves
-  // the table unchanged.
   for (size_t i = 0; i < values.size(); ++i) {
     const Value& v = values[i];
     if (v.is_null()) continue;
@@ -99,6 +98,13 @@ Status DataFrame::AppendRow(const std::vector<Value>& values) {
           "type mismatch for attribute '" + schema_.attribute(i).name + "'");
     }
   }
+  return Status::OK();
+}
+
+Status DataFrame::AppendRow(const std::vector<Value>& values) {
+  // Validate all cells before mutating any column so a failed append leaves
+  // the table unchanged.
+  FAIRCAP_RETURN_NOT_OK(ValidateRow(values));
   for (size_t i = 0; i < values.size(); ++i) {
     const Status st = columns_[i].Append(values[i]);
     assert(st.ok());
@@ -106,6 +112,52 @@ Status DataFrame::AppendRow(const std::vector<Value>& values) {
   }
   ++num_rows_;
   InvalidateIndex();
+  return Status::OK();
+}
+
+Status DataFrame::AppendRows(const std::vector<std::vector<Value>>& rows) {
+  for (const auto& row : rows) {
+    FAIRCAP_RETURN_NOT_OK(ValidateRow(row));
+  }
+  // One amortized reservation for the whole batch (doubling from the
+  // current size so repeated bulk appends stay geometric), then one index
+  // invalidation — instead of a per-row mutex acquisition + cache clear.
+  const size_t needed = num_rows_ + rows.size();
+  Reserve(std::max(needed, 2 * num_rows_));
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      const Status st = columns_[i].Append(row[i]);
+      assert(st.ok());
+      (void)st;
+    }
+  }
+  num_rows_ = needed;
+  InvalidateIndex();
+  return Status::OK();
+}
+
+Status DataFrame::AppendFrame(const DataFrame& delta) {
+  if (delta.schema_.num_attributes() != schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        "delta schema does not match resident schema");
+  }
+  for (size_t i = 0; i < schema_.num_attributes(); ++i) {
+    const AttributeSpec& a = schema_.attribute(i);
+    const AttributeSpec& b = delta.schema_.attribute(i);
+    if (a.name != b.name || a.type != b.type || a.role != b.role) {
+      return Status::InvalidArgument(
+          "delta schema does not match resident schema at attribute '" +
+          a.name + "'");
+    }
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    FAIRCAP_RETURN_NOT_OK(columns_[i].ExtendFrom(delta.columns_[i]));
+  }
+  num_rows_ += delta.num_rows_;
+  ++generation_;
+  // Appends keep the warm index: resident bits of every cached mask are
+  // still valid, so the index extends masks lazily instead of rebuilding.
+  if (index_ != nullptr) index_->OnAppend(*this);
   return Status::OK();
 }
 

@@ -63,6 +63,26 @@ class DataFrame {
   /// Appends one row; `values` must match the schema arity and types.
   Status AppendRow(const std::vector<Value>& values);
 
+  /// Appends many rows at once: validates every row first (a failure
+  /// leaves the table unchanged), reserves all column storage in one
+  /// amortized step, and invalidates the index once instead of per row.
+  Status AppendRows(const std::vector<std::vector<Value>>& rows);
+
+  /// Appends all rows of `delta` (same schema required: attribute names,
+  /// types, and roles must match). Dictionary-encoded columns extend in
+  /// place via first-appearance merge, so resident codes never change and
+  /// new categories get the codes a cold ingest of the concatenated data
+  /// would assign. Unlike the row-mutation paths this does NOT drop the
+  /// predicate index: cached masks are notified of the append and extend
+  /// themselves lazily by whole 64-row words on next touch.
+  Status AppendFrame(const DataFrame& delta);
+
+  /// Monotonic mutation counter: bumped on every row/value mutation,
+  /// including appends. Derived caches (index masks, engines, partitions)
+  /// record the generation they were built against so staleness is
+  /// checkable.
+  uint64_t generation() const { return generation_; }
+
   /// Cell accessor (row-oriented; for tests and display).
   Value GetValue(size_t row, size_t col) const {
     return columns_[col].GetValue(row);
@@ -97,9 +117,13 @@ class DataFrame {
   /// Drops all cached predicate masks (row data changed).
   void InvalidateIndex();
 
+  /// Shared row-validation step for the append paths.
+  Status ValidateRow(const std::vector<Value>& values) const;
+
   Schema schema_;
   std::vector<Column> columns_;
   size_t num_rows_ = 0;
+  uint64_t generation_ = 0;
   /// Always non-null; mutable so const evaluation paths can memoize.
   mutable std::unique_ptr<PredicateIndex> index_;
 };

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "dataframe/dataframe.h"
+#include "util/logging.h"
 #include "util/obs/metrics.h"
 #include "util/simd/simd.h"
 
@@ -27,6 +28,11 @@ struct IndexCacheMetrics {
   obs::Gauge& atom_bytes;
   obs::Gauge& conjunction_bytes;
   obs::Gauge& numeric_order_bytes;
+  // Append-path outcomes: stale entries extended in place (tail-word
+  // rescan / order merge) vs. entries built from scratch after an append.
+  obs::Counter& masks_extended;
+  obs::Counter& masks_rebuilt;
+  obs::Counter& orders_merged;
 };
 
 IndexCacheMetrics& CacheMetrics() {
@@ -40,6 +46,9 @@ IndexCacheMetrics& CacheMetrics() {
       r.GetGauge("index_cache.atom_bytes"),
       r.GetGauge("index_cache.conjunction_bytes"),
       r.GetGauge("index_cache.numeric_order_bytes"),
+      r.GetCounter("append.masks_extended"),
+      r.GetCounter("append.masks_rebuilt"),
+      r.GetCounter("append.orders_merged"),
   };
   return *metrics;
 }
@@ -112,77 +121,121 @@ simd::Cmp SimdCmpOf(CompareOp op) {
 
 }  // namespace
 
-Bitmap PredicateIndex::Scan(const DataFrame& df, size_t attr, CompareOp op,
-                            const Value& value) {
-  Bitmap out(df.num_rows());
+void PredicateIndex::ScanInto(const DataFrame& df, size_t attr, CompareOp op,
+                              const Value& value, size_t word_begin,
+                              Bitmap* out) {
   const Column& col = df.column(attr);
-  const size_t n = df.num_rows();
-  if (n == 0) return out;
+  const size_t row_begin = word_begin * 64;
+  if (row_begin >= df.num_rows()) return;
+  const size_t n = df.num_rows() - row_begin;
   if (col.type() == AttrType::kCategorical) {
     // Word-batched compare scan through the SIMD kernel layer: 64 codes
     // per mask word. Nulls (kNullCode) never match under any operator.
-    const int32_t* codes = col.codes_data();
+    const int32_t* codes = col.codes_data() + row_begin;
     const Result<int32_t> code_result = col.CodeOf(value.str());
     // A category absent from the dictionary matches nothing under kEq
     // and everything non-null under kNe; fold both in-dictionary and
     // out-of-dictionary kNe into one "non-null and != code" compare by
     // using a code no row can carry.
-    if (!code_result.ok() && op != CompareOp::kNe) return out;
+    if (!code_result.ok() && op != CompareOp::kNe) {
+      // kEq of an unknown category: no row matches; the tail words of a
+      // freshly resized/constructed mask are already zero, but an
+      // extension may be overwriting a previously nonzero boundary word.
+      std::memset(out->mutable_words() + word_begin, 0,
+                  (out->num_words() - word_begin) * sizeof(uint64_t));
+      return;
+    }
     const int32_t code = code_result.ok() ? *code_result : -2;
     if (op == CompareOp::kEq) {
-      simd::ActiveKernels().mask_codes_eq(codes, n, code, out.mutable_words());
+      simd::ActiveKernels().mask_codes_eq(codes, n, code,
+                                          out->mutable_words() + word_begin);
     } else {
       simd::ActiveKernels().mask_codes_ne(codes, n, Column::kNullCode, code,
-                                          out.mutable_words());
+                                          out->mutable_words() + word_begin);
     }
-    return out;
+    return;
   }
   // Numeric compare scan, 64 rows per mask word. NaN cells are nulls and
   // never match — not even under kNe, where IEEE comparison alone would
   // admit them (the categorical convention: null is absent from every
   // selection).
-  simd::ActiveKernels().mask_numeric_cmp(col.numeric_data(), n, SimdCmpOf(op),
-                                         value.numeric(),
-                                         out.mutable_words());
+  simd::ActiveKernels().mask_numeric_cmp(col.numeric_data() + row_begin, n,
+                                         SimdCmpOf(op), value.numeric(),
+                                         out->mutable_words() + word_begin);
+}
+
+Bitmap PredicateIndex::Scan(const DataFrame& df, size_t attr, CompareOp op,
+                            const Value& value) {
+  Bitmap out(df.num_rows());
+  if (df.num_rows() == 0) return out;
+  ScanInto(df, attr, op, value, /*word_begin=*/0, &out);
   return out;
 }
 
 std::shared_ptr<const PredicateIndex::NumericOrder>
 PredicateIndex::NumericOrderFor(const DataFrame& df, size_t attr) const {
+  std::shared_ptr<const NumericOrder> stale;
   {
     MutexLock lock(mu_);
     const auto it = numeric_orders_.find(attr);
-    if (it != numeric_orders_.end()) return it->second;
+    if (it != numeric_orders_.end()) {
+      if (it->second->rows_covered == df.num_rows()) return it->second;
+      // Rows were appended since this order was built: merge the delta's
+      // sorted rows into the cached order instead of re-sorting everything.
+      stale = it->second;
+    }
   }
-  // Sort outside the lock; a racing duplicate build is identical and the
-  // first insertion wins.
+  // Sort (or merge) outside the lock; a racing duplicate build is
+  // identical and the first insertion wins.
   auto order = std::make_shared<NumericOrder>();
   const Column& col = df.column(attr);
   const double* values = col.numeric_data();
-  order->rows.reserve(df.num_rows());
-  for (size_t r = 0; r < df.num_rows(); ++r) {
+  const size_t row_begin = stale != nullptr ? stale->rows_covered : 0;
+  std::vector<uint32_t> delta_rows;
+  delta_rows.reserve(df.num_rows() - row_begin);
+  for (size_t r = row_begin; r < df.num_rows(); ++r) {
     if (!std::isnan(values[r])) {
-      order->rows.push_back(static_cast<uint32_t>(r));
+      delta_rows.push_back(static_cast<uint32_t>(r));
     }
   }
-  std::sort(order->rows.begin(), order->rows.end(),
-            [values](uint32_t a, uint32_t b) {
-              return values[a] < values[b] ||
-                     (values[a] == values[b] && a < b);
-            });
+  const auto by_value_then_row = [values](uint32_t a, uint32_t b) {
+    return values[a] < values[b] || (values[a] == values[b] && a < b);
+  };
+  std::sort(delta_rows.begin(), delta_rows.end(), by_value_then_row);
+  order->rows.reserve((stale != nullptr ? stale->rows.size() : 0) +
+                      delta_rows.size());
+  if (stale != nullptr) {
+    // (value, row) is a total strict order and every delta row id exceeds
+    // every resident row id, so the merge is deterministic and equals a
+    // cold full sort over the concatenated rows.
+    std::merge(stale->rows.begin(), stale->rows.end(), delta_rows.begin(),
+               delta_rows.end(), std::back_inserter(order->rows),
+               by_value_then_row);
+  } else {
+    order->rows = std::move(delta_rows);
+  }
   order->values.reserve(order->rows.size());
   for (const uint32_t r : order->rows) order->values.push_back(values[r]);
+  order->rows_covered = df.num_rows();
   MutexLock lock(mu_);
-  const auto [it, inserted] = numeric_orders_.emplace(attr, std::move(order));
+  auto& slot = numeric_orders_[attr];
+  if (slot != nullptr && slot->rows_covered == df.num_rows()) {
+    return slot;  // a racing builder landed first; keep its order canonical
+  }
+  if (slot != nullptr) {
+    numeric_order_bytes_ -=
+        slot->rows.size() * (sizeof(uint32_t) + sizeof(double));
+    ++orders_merged_;
+    CacheMetrics().orders_merged.Increment();
+  }
+  slot = std::move(order);
   // Keep a live reference before enforcing the budget: under a tiny
   // budget the enforcement may evict this very order from the map, and
   // the caller's scan must still be served from this build.
-  std::shared_ptr<const NumericOrder> result = it->second;
-  if (inserted) {
-    numeric_order_bytes_ +=
-        result->rows.size() * (sizeof(uint32_t) + sizeof(double));
-    EnforceBudgetLocked();
-  }
+  std::shared_ptr<const NumericOrder> result = slot;
+  numeric_order_bytes_ +=
+      result->rows.size() * (sizeof(uint32_t) + sizeof(double));
+  EnforceBudgetLocked();
   return result;
 }
 
@@ -241,6 +294,7 @@ void PredicateIndex::InstallAtomMaskLocked(uint32_t id,
   AtomEntry& entry = atom_masks_[id];
   atom_bytes_ += BitmapBytes(*mask);
   entry.mask = std::move(mask);
+  entry.gen = gen_;
   atom_lru_.push_front(id);
   entry.lru_pos = atom_lru_.begin();
 }
@@ -265,6 +319,10 @@ uint32_t PredicateIndex::EnsureAtom(const DataFrame& df, size_t attr,
   const std::string build_token =
       batch ? "col:" + std::to_string(attr) : key;
 
+  // Set when a cached mask exists but covers fewer rows than df (rows were
+  // appended since it was scanned): the build below copies its resident
+  // words and rescans only the tail, instead of the whole column.
+  std::shared_ptr<const Bitmap> extend_from;
   {
     MutexLock lock(mu_);
     for (;;) {
@@ -273,10 +331,23 @@ uint32_t PredicateIndex::EnsureAtom(const DataFrame& df, size_t attr,
       // id (and thus every conjunction key embedding it) stays valid.
       if (it != atom_ids_.end() &&
           atom_masks_[it->second].mask != nullptr) {
-        ++hits_;
-        CacheMetrics().hits.Increment();
-        TouchAtomLocked(it->second);
-        return it->second;
+        if (atom_masks_[it->second].mask->size() == df.num_rows()) {
+          ++hits_;
+          CacheMetrics().hits.Increment();
+          TouchAtomLocked(it->second);
+          atom_masks_[it->second].gen = gen_;
+          return it->second;
+        }
+        // Stale after an append: extend lazily. Extension coordinates on
+        // the per-atom token (not the column batch token) — each touched
+        // sibling extends on its own first touch.
+        if (in_flight_.count(key) == 0) {
+          extend_from = atom_masks_[it->second].mask;
+          in_flight_.insert(key);
+          break;  // this thread extends
+        }
+        build_done_.Wait(mu_);
+        continue;
       }
       if (in_flight_.count(build_token) == 0) {
         in_flight_.insert(build_token);
@@ -285,6 +356,8 @@ uint32_t PredicateIndex::EnsureAtom(const DataFrame& df, size_t attr,
       build_done_.Wait(mu_);  // another thread is scanning this atom/column
     }
   }
+  const std::string& flight_token =
+      extend_from != nullptr ? key : build_token;
 
   // Scan outside the lock; concurrent evaluation of other atoms proceeds.
   const bool range = col.type() == AttrType::kNumeric && value.is_numeric() &&
@@ -292,7 +365,17 @@ uint32_t PredicateIndex::EnsureAtom(const DataFrame& df, size_t attr,
                       op == CompareOp::kGt || op == CompareOp::kGe);
   std::vector<Bitmap> masks;
   try {
-    if (batch) {
+    if (extend_from != nullptr) {
+      // Copy resident words, then recompute only tail words — whole-word
+      // extension. The boundary word is recomputed in full: predicates
+      // are row-local, so its resident bits come out identical to the
+      // copied ones and the result is bit-identical to a cold full scan.
+      Bitmap ext = *extend_from;
+      const size_t word_begin = extend_from->size() / 64;
+      ext.Resize(df.num_rows());
+      ScanInto(df, attr, op, value, word_begin, &ext);
+      masks.push_back(std::move(ext));
+    } else if (batch) {
       // Materialize every category's equality mask in one columnar pass:
       // Apriori's level-1 items, lattice atoms, and treatment masks all
       // ask for sibling categories of the same column.
@@ -307,14 +390,43 @@ uint32_t PredicateIndex::EnsureAtom(const DataFrame& df, size_t attr,
   } catch (...) {
     // Release waiters before propagating (e.g. a type-mismatched Value).
     MutexLock lock(mu_);
-    in_flight_.erase(build_token);
+    in_flight_.erase(flight_token);
     build_done_.NotifyAll();
     throw;
+  }
+
+  if (extend_from != nullptr) {
+    MutexLock lock(mu_);
+    const auto it = atom_ids_.find(key);
+    const uint32_t id = it->second;  // interned keys never disappear pre-Clear
+    AtomEntry& entry = atom_masks_[id];
+    if (entry.mask == nullptr || entry.mask->size() != df.num_rows()) {
+      if (entry.mask != nullptr) {
+        // Replace the stale mask with a fresh shared_ptr: handles held by
+        // concurrent readers keep the old (resident-rows) object alive.
+        atom_bytes_ -= BitmapBytes(*entry.mask);
+        atom_lru_.erase(entry.lru_pos);
+        entry.mask.reset();
+      }
+      InstallAtomMaskLocked(id, std::make_shared<Bitmap>(std::move(masks[0])));
+      ++atoms_extended_;
+      CacheMetrics().masks_extended.Increment();
+    }
+    entry.gen = gen_;
+    TouchAtomLocked(id);
+    in_flight_.erase(key);
+    build_done_.NotifyAll();
+    EnforceBudgetLocked();
+    return id;
   }
 
   MutexLock lock(mu_);
   ++misses_;
   CacheMetrics().misses.Increment();
+  if (append_mode_) {
+    ++rebuilt_after_append_;
+    CacheMetrics().masks_rebuilt.Increment();
+  }
   uint32_t result_id = 0;
   for (size_t i = 0; i < masks.size(); ++i) {
     const std::string k =
@@ -356,7 +468,13 @@ PredicateIndex::EnsureAtomPinned(const DataFrame& df, size_t attr,
     // A concurrent insertion may have evicted the atom between EnsureAtom
     // and here; rebuild in that (rare) case. EnsureAtom leaves the atom
     // most-recently-used, so single-threaded this never loops.
-    if (atom_masks_[id].mask != nullptr) return {id, atom_masks_[id].mask};
+    if (atom_masks_[id].mask != nullptr &&
+        atom_masks_[id].mask->size() == df.num_rows()) {
+      // Serve-point guard: a stale entry (wrong row coverage or built
+      // against an older index generation) must never be handed out.
+      FAIRCAP_CHECK(atom_masks_[id].gen == gen_);
+      return {id, atom_masks_[id].mask};
+    }
   }
 }
 
@@ -416,6 +534,10 @@ std::shared_ptr<const Bitmap> PredicateIndex::ConjunctionMaskShared(
   ids.reserve(pinned.size());
   for (const auto& [id, mask] : pinned) ids.push_back(id);
   const std::string key = ConjunctionKey(ids);
+  // Set when a cached conjunction covers fewer rows than df: the compose
+  // below copies its resident words and ANDs the (already current) atom
+  // masks over only the tail words.
+  std::shared_ptr<const Bitmap> stale_conj;
   {
     MutexLock lock(mu_);
     if (pinned.size() == 1) {
@@ -427,26 +549,52 @@ std::shared_ptr<const Bitmap> PredicateIndex::ConjunctionMaskShared(
     }
     const auto it = conjunctions_.find(key);
     if (it != conjunctions_.end()) {
-      ++hits_;
-      CacheMetrics().hits.Increment();
-      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-      return it->second.mask;
+      if (it->second.mask->size() == df.num_rows()) {
+        // Serve-point guard: never hand out a mask with stale coverage.
+        FAIRCAP_CHECK(it->second.mask->size() == df.num_rows());
+        ++hits_;
+        CacheMetrics().hits.Increment();
+        it->second.gen = gen_;
+        lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+        return it->second.mask;
+      }
+      stale_conj = it->second.mask;
     }
   }
 
-  // Intersect cheapest-first so the running mask empties as early as
-  // possible; each AND is word-level over the whole row universe. The
-  // compose runs without the lock so concurrent evaluators don't
-  // serialize; the pinned copies own the inputs.
-  std::vector<const Bitmap*> masks;
-  masks.reserve(pinned.size());
-  for (const auto& [id, mask] : pinned) masks.push_back(mask.get());
-  std::sort(masks.begin(), masks.end(), [](const Bitmap* a, const Bitmap* b) {
-    return a->Count() < b->Count();
-  });
-  Bitmap out = *masks[0];
-  for (size_t i = 1; i < masks.size() && !out.AllZero(); ++i) {
-    out &= *masks[i];
+  Bitmap out;
+  if (stale_conj != nullptr) {
+    // Whole-word extension: resident words are copied; only the delta's
+    // tail words (including a fully recomputed boundary word) are ANDed
+    // from the atom masks — bit-identical to a cold recompose because the
+    // atoms themselves are current and the AND is word-local.
+    out = *stale_conj;
+    const size_t word_begin = stale_conj->size() / 64;
+    out.Resize(df.num_rows());
+    uint64_t* words = out.mutable_words();
+    for (size_t w = word_begin; w < out.num_words(); ++w) {
+      uint64_t word = pinned[0].second->words()[w];
+      for (size_t k = 1; k < pinned.size(); ++k) {
+        word &= pinned[k].second->words()[w];
+      }
+      words[w] = word;  // atom padding bits are clear, so the AND's are too
+    }
+  } else {
+    // Intersect cheapest-first so the running mask empties as early as
+    // possible; each AND is word-level over the whole row universe. The
+    // compose runs without the lock so concurrent evaluators don't
+    // serialize; the pinned copies own the inputs.
+    std::vector<const Bitmap*> masks;
+    masks.reserve(pinned.size());
+    for (const auto& [id, mask] : pinned) masks.push_back(mask.get());
+    std::sort(masks.begin(), masks.end(),
+              [](const Bitmap* a, const Bitmap* b) {
+                return a->Count() < b->Count();
+              });
+    out = *masks[0];
+    for (size_t i = 1; i < masks.size() && !out.AllZero(); ++i) {
+      out &= *masks[i];
+    }
   }
 
   MutexLock lock(mu_);
@@ -458,11 +606,24 @@ std::shared_ptr<Bitmap> PredicateIndex::InsertConjunctionLocked(
     const std::string& key, std::shared_ptr<Bitmap> mask) const {
   const auto it = conjunctions_.find(key);
   if (it != conjunctions_.end()) {
-    // A racing evaluator of the same pattern landed first; keep its mask
-    // so previously returned references stay canonical.
-    ++hits_;
-    CacheMetrics().hits.Increment();
+    if (it->second.mask->size() == mask->size()) {
+      // A racing evaluator of the same pattern landed first; keep its mask
+      // so previously returned references stay canonical.
+      ++hits_;
+      CacheMetrics().hits.Increment();
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return it->second.mask;
+    }
+    // A stale (pre-append) entry superseded by its extension: swap in the
+    // new shared_ptr — concurrent holders keep the old object alive.
+    conjunction_bytes_ -= BitmapBytes(*it->second.mask);
+    it->second.mask = std::move(mask);
+    it->second.gen = gen_;
+    conjunction_bytes_ += BitmapBytes(*it->second.mask);
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    ++conjunctions_extended_;
+    CacheMetrics().masks_extended.Increment();
+    EnforceBudgetLocked();
     return it->second.mask;
   }
   ++misses_;
@@ -470,7 +631,7 @@ std::shared_ptr<Bitmap> PredicateIndex::InsertConjunctionLocked(
   std::shared_ptr<Bitmap> result = std::move(mask);
   lru_.push_front(key);
   conjunction_bytes_ += BitmapBytes(*result);
-  conjunctions_.emplace(key, ConjunctionEntry{result, lru_.begin()});
+  conjunctions_.emplace(key, ConjunctionEntry{result, lru_.begin(), gen_});
   EnforceBudgetLocked();
   return result;
 }
@@ -598,7 +759,24 @@ void PredicateIndex::Clear() {
   all_rows_.reset();
   numeric_orders_.clear();
   numeric_order_bytes_ = 0;
+  ++gen_;
+  append_mode_ = false;  // nothing cached, so nothing to extend
   EnforceBudgetLocked();  // no-op eviction pass; refreshes the byte gauges
+}
+
+void PredicateIndex::OnAppend(const DataFrame& df) {
+  (void)df;  // masks extend lazily against the table on next touch
+  MutexLock lock(mu_);
+  ++gen_;
+  append_mode_ = true;
+  // Cached entries stay resident: their bits over the old rows are still
+  // correct, and every serve path extends (or rebuilds) a stale entry
+  // before handing it out. The all-rows mask self-heals on size mismatch.
+}
+
+uint64_t PredicateIndex::generation() const {
+  MutexLock lock(mu_);
+  return gen_;
 }
 
 PredicateIndex::CacheStats PredicateIndex::GetStats() const {
@@ -617,6 +795,10 @@ PredicateIndex::CacheStats PredicateIndex::GetStats() const {
   stats.warm_atom_masks = warm_atoms_;
   stats.numeric_orders = numeric_orders_.size();
   stats.numeric_order_bytes = numeric_order_bytes_;
+  stats.atoms_extended = atoms_extended_;
+  stats.conjunctions_extended = conjunctions_extended_;
+  stats.orders_merged = orders_merged_;
+  stats.rebuilt_after_append = rebuilt_after_append_;
   return stats;
 }
 

@@ -148,6 +148,17 @@ class PredicateIndex {
   /// are invalidated.
   void Clear();
 
+  /// Notifies the index that rows were appended to `df` (existing rows
+  /// unchanged). Unlike Clear(), cached masks stay resident: every mask's
+  /// bits over the old rows are still correct, so stale entries are
+  /// extended lazily on next touch — resident words are copied, only the
+  /// delta's tail words are rescanned, and numeric sorted-row orders merge
+  /// the delta's sorted rows into the cached order. Bumps the index
+  /// generation; entries record the generation they cover and a stale
+  /// entry is never served (checked at every serve point). Outstanding
+  /// mask handles are invalidated, as with any table mutation.
+  void OnAppend(const DataFrame& df) EXCLUDES(mu_);
+
   /// Cache observability (for tests and benchmarks).
   struct CacheStats {
     size_t atom_masks = 0;         ///< distinct atom bitmaps held
@@ -161,8 +172,17 @@ class PredicateIndex {
     size_t warm_atom_masks = 0;    ///< atom masks installed by ingest
     size_t numeric_orders = 0;     ///< sorted-row orders cached for range ops
     size_t numeric_order_bytes = 0;  ///< bytes held by those orders
+    size_t atoms_extended = 0;       ///< stale atom masks extended (append)
+    size_t conjunctions_extended = 0;  ///< stale conjunctions extended
+    size_t orders_merged = 0;        ///< numeric orders delta-merged
+    size_t rebuilt_after_append = 0;  ///< full builds while in append mode
   };
   CacheStats GetStats() const;
+
+  /// Index generation: bumped by OnAppend() and Clear(). Entries record
+  /// the generation they cover; tests use this to assert lazy extension
+  /// actually refreshed an entry.
+  uint64_t generation() const EXCLUDES(mu_);
 
  private:
   /// Interns the atom, scanning (or batch-building) its mask on first
@@ -186,7 +206,16 @@ class PredicateIndex {
   struct NumericOrder {
     std::vector<uint32_t> rows;   ///< row ids, ascending by value
     std::vector<double> values;   ///< values[i] == numeric(rows[i])
+    size_t rows_covered = 0;      ///< df.num_rows() at build/merge time
   };
+
+  /// Like the public Scan but writes only mask words [word_begin, end) of
+  /// `out` (rows word_begin*64 onward) — the append-extension primitive:
+  /// predicates are row-local, so recomputing whole tail words (including
+  /// the boundary word) is bit-identical to a cold full scan. Scan() is
+  /// ScanInto at word 0.
+  static void ScanInto(const DataFrame& df, size_t attr, CompareOp op,
+                       const Value& value, size_t word_begin, Bitmap* out);
 
   /// Cached NumericOrder for `attr`, built on first request (racing
   /// duplicate builds are identical; the first insertion wins).
@@ -235,6 +264,7 @@ class PredicateIndex {
   struct AtomEntry {
     std::shared_ptr<Bitmap> mask;
     std::list<uint32_t>::iterator lru_pos;  // valid iff mask != nullptr
+    uint64_t gen = 0;  ///< index generation this mask covers
   };
   mutable std::unordered_map<std::string, uint32_t> atom_ids_
       GUARDED_BY(mu_);
@@ -247,6 +277,7 @@ class PredicateIndex {
   struct ConjunctionEntry {
     std::shared_ptr<Bitmap> mask;
     std::list<std::string>::iterator lru_pos;
+    uint64_t gen = 0;  ///< index generation this mask covers
   };
   mutable std::unordered_map<std::string, ConjunctionEntry> conjunctions_
       GUARDED_BY(mu_);
@@ -269,6 +300,16 @@ class PredicateIndex {
   mutable size_t evictions_ GUARDED_BY(mu_) = 0;
   mutable size_t atom_evictions_ GUARDED_BY(mu_) = 0;
   mutable size_t warm_atoms_ GUARDED_BY(mu_) = 0;
+  // Append bookkeeping: gen_ bumps on OnAppend()/Clear(); append_mode_
+  // (set by OnAppend, cleared by Clear) marks that stale-entry extension
+  // is in play, so full builds can be told apart from extensions in the
+  // append.* metrics.
+  mutable uint64_t gen_ GUARDED_BY(mu_) = 0;
+  mutable bool append_mode_ GUARDED_BY(mu_) = false;
+  mutable size_t atoms_extended_ GUARDED_BY(mu_) = 0;
+  mutable size_t conjunctions_extended_ GUARDED_BY(mu_) = 0;
+  mutable size_t orders_merged_ GUARDED_BY(mu_) = 0;
+  mutable size_t rebuilt_after_append_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace faircap

@@ -66,6 +66,11 @@ Result<Dataset> MakeSyntheticDataset(const DatasetRequest& request) {
   FAIRCAP_ASSIGN_OR_RETURN(
       config.noise_stddev,
       request.ParamDouble("noise", config.noise_stddev));
+  FAIRCAP_ASSIGN_OR_RETURN(
+      const double integer_outcome,
+      request.ParamDouble("integer-outcome",
+                          config.integer_outcome ? 1.0 : 0.0));
+  config.integer_outcome = integer_outcome != 0.0;
   FAIRCAP_ASSIGN_OR_RETURN(SyntheticData data, MakeSynthetic(config));
   return Dataset{"synthetic", std::move(data.df), std::move(data.dag),
                  std::move(data.protected_pattern)};
@@ -207,6 +212,75 @@ std::vector<std::pair<std::string, std::string>> DatasetRepository::List()
 DatasetRepository& DatasetRepository::Global() {
   static DatasetRepository* instance = new DatasetRepository();
   return *instance;
+}
+
+namespace {
+
+// Shared tail of the delta-parse paths: the delta is parsed against the
+// RESIDENT schema (so roles carry over and category codes intern in the
+// resident dictionaries' first-appearance order on append), and its own
+// index is never warmed — the resident table's index extends lazily.
+IngestOptions DeltaOptions(IngestOptions options) {
+  options.warm_start_index = false;
+  return options;
+}
+
+void FillAppendStats(const IngestStats& ingest,
+                     DatasetRepository::AppendStats* stats) {
+  if (stats == nullptr) return;
+  stats->rows = ingest.rows;
+  stats->bytes = ingest.bytes;
+  stats->seconds = ingest.seconds;
+}
+
+}  // namespace
+
+Result<DataFrame> DatasetRepository::ParseDelta(const Schema& schema,
+                                                const std::string& csv_path,
+                                                const IngestOptions& options,
+                                                AppendStats* stats) {
+  IngestStats ingest;
+  FAIRCAP_ASSIGN_OR_RETURN(
+      DataFrame delta, StreamCsv(csv_path, schema, DeltaOptions(options),
+                                 &ingest));
+  FillAppendStats(ingest, stats);
+  return delta;
+}
+
+Result<DataFrame> DatasetRepository::ParseDeltaFromString(
+    const Schema& schema, const std::string& content,
+    const IngestOptions& options, AppendStats* stats) {
+  IngestStats ingest;
+  FAIRCAP_ASSIGN_OR_RETURN(
+      DataFrame delta,
+      StreamCsvFromString(content, schema, DeltaOptions(options), &ingest));
+  FillAppendStats(ingest, stats);
+  return delta;
+}
+
+Status DatasetRepository::Append(Dataset* dataset, const std::string& csv_path,
+                                 const IngestOptions& options,
+                                 AppendStats* stats) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("dataset must be non-null");
+  }
+  FAIRCAP_ASSIGN_OR_RETURN(
+      const DataFrame delta,
+      ParseDelta(dataset->df.schema(), csv_path, options, stats));
+  return dataset->df.AppendFrame(delta);
+}
+
+Status DatasetRepository::AppendFromString(Dataset* dataset,
+                                           const std::string& content,
+                                           const IngestOptions& options,
+                                           AppendStats* stats) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("dataset must be non-null");
+  }
+  FAIRCAP_ASSIGN_OR_RETURN(
+      const DataFrame delta,
+      ParseDeltaFromString(dataset->df.schema(), content, options, stats));
+  return dataset->df.AppendFrame(delta);
 }
 
 Result<Dataset> LoadCsvDataset(const CsvDatasetSpec& spec) {

@@ -75,6 +75,41 @@ class DatasetRepository {
   /// Process-wide instance (built-ins registered once).
   static DatasetRepository& Global();
 
+  /// Observability for a delta append (CLI `append` verb, bench_append).
+  struct AppendStats {
+    size_t rows = 0;     ///< delta rows appended
+    size_t bytes = 0;    ///< delta CSV bytes parsed
+    double seconds = 0.0;
+  };
+
+  /// Parses a delta CSV against the dataset's RESIDENT schema (same
+  /// columns, same order; the streaming SWAR reader does the parsing)
+  /// and appends its rows to `dataset->df` in place: dictionary-encoded
+  /// columns extend with new categories interned in first-appearance
+  /// order — exactly the codes a cold parse of the concatenated file
+  /// would assign — the dataset's generation counter bumps, and the
+  /// shared PredicateIndex extends its masks lazily by whole words on
+  /// next touch instead of rebuilding.
+  static Status Append(Dataset* dataset, const std::string& csv_path,
+                       const IngestOptions& options = {},
+                       AppendStats* stats = nullptr);
+
+  /// Same, from CSV content held in memory (tests and small deltas).
+  static Status AppendFromString(Dataset* dataset, const std::string& content,
+                                 const IngestOptions& options = {},
+                                 AppendStats* stats = nullptr);
+
+  /// Parses a delta CSV against a resident schema WITHOUT appending —
+  /// the IncrementalSession path, which must append through the
+  /// session's own Append so every cached layer refreshes.
+  static Result<DataFrame> ParseDelta(const Schema& schema,
+                                      const std::string& csv_path,
+                                      const IngestOptions& options = {},
+                                      AppendStats* stats = nullptr);
+  static Result<DataFrame> ParseDeltaFromString(
+      const Schema& schema, const std::string& content,
+      const IngestOptions& options = {}, AppendStats* stats = nullptr);
+
  private:
   struct Entry {
     std::string description;

@@ -97,6 +97,26 @@ inline void InitLogLevelFromEnv() {
                                   __FILE__, __LINE__)                   \
       .stream()
 
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::cerr << "[CHECK failed " << file << ":" << line << "] " << expr
+            << "\n";
+  std::abort();
+}
+
+}  // namespace internal
+
+/// Hard invariant check, enabled in all build types (unlike assert): a
+/// violated invariant aborts with the failing expression rather than
+/// silently serving wrong data. Used to guard contracts whose violation
+/// would corrupt results — e.g. a stale index/engine cache entry being
+/// served after an append.
+#define FAIRCAP_CHECK(expr)                                             \
+  ((expr) ? (void)0                                                    \
+          : ::faircap::internal::CheckFailed(#expr, __FILE__, __LINE__))
+
 }  // namespace faircap
 
 #endif  // FAIRCAP_UTIL_LOGGING_H_

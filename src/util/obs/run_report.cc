@@ -47,6 +47,23 @@ constexpr const char* kStandardCounters[] = {
     "mining.lattice_evaluations",
     "mining.pattern_tasks",
     "simd.cate_accumulate_rows",
+    // Incremental append + delta-aware re-mining (core/incremental.h,
+    // dataframe/predicate_index.h, causal/estimator.h).
+    "append.rows_appended",
+    "append.batches",
+    "append.masks_extended",
+    "append.masks_rebuilt",
+    "append.orders_merged",
+    "append.partitions_extended",
+    "append.partitions_rebuilt",
+    "append.engines_extended",
+    "append.engines_rebuilt",
+    "append.patterns_reused",
+    "append.patterns_rechecked",
+    "append.evals_cached",
+    "append.evals_delta",
+    "append.evals_full",
+    "append.full_remines",
 };
 
 constexpr const char* kStandardGauges[] = {

@@ -348,5 +348,95 @@ TEST(BitmapSimdSweepTest, LevelKnobRoundTrips) {
   EXPECT_FALSE(simd::ParseSimdLevel("sse9", &parsed));
 }
 
+// Resize is the append-path primitive: a resident mask extends to cover
+// delta rows. Growth must preserve every resident bit, leave the new
+// tail clear, and keep the padding invariant (so Count/complement stay
+// consistent) at every alignment: mid-word, word-boundary, and
+// sub-word growth.
+TEST(BitmapTest, ResizeGrowPreservesBitsAtEveryAlignment) {
+  struct Case {
+    size_t from;
+    size_t to;
+  };
+  const Case cases[] = {
+      {70, 100},   // mid-word -> mid-word, same word count
+      {70, 129},   // mid-word across a word boundary
+      {64, 128},   // exact word boundary to exact word boundary
+      {70, 75},    // sub-word growth (delta < 64 rows)
+      {63, 64},    // fills the last word exactly
+      {0, 70},     // growth from empty
+  };
+  for (const Case& c : cases) {
+    Bitmap b(c.from);
+    for (size_t i = 0; i < c.from; i += 3) b.Set(i);
+    const size_t count_before = b.Count();
+    b.Resize(c.to);
+    EXPECT_EQ(b.size(), c.to);
+    EXPECT_EQ(b.Count(), count_before) << c.from << "->" << c.to;
+    for (size_t i = 0; i < c.from; ++i) {
+      EXPECT_EQ(b.Get(i), i % 3 == 0) << c.from << "->" << c.to << "@" << i;
+    }
+    for (size_t i = c.from; i < c.to; ++i) {
+      EXPECT_FALSE(b.Get(i)) << c.from << "->" << c.to << "@" << i;
+    }
+    // Padding must be clear: the complement count is exact.
+    EXPECT_EQ((~b).Count(), c.to - count_before) << c.from << "->" << c.to;
+  }
+}
+
+TEST(BitmapTest, ResizeShrinkDropsTailAndKeepsPaddingClean) {
+  Bitmap b(130, /*value=*/true);
+  b.Resize(70);
+  EXPECT_EQ(b.size(), 70u);
+  EXPECT_EQ(b.Count(), 70u);
+  EXPECT_EQ((~b).Count(), 0u);
+  // Re-grow: the previously-set bits past the shrink must stay gone.
+  b.Resize(130);
+  EXPECT_EQ(b.Count(), 70u);
+  for (size_t i = 70; i < 130; ++i) EXPECT_FALSE(b.Get(i));
+}
+
+// A mask grown in small increments (the lazy index-extension path) must
+// be indistinguishable from one built at full size, under every SIMD
+// tier: Count / AndCount / AndNotCount / word-level equality.
+TEST(BitmapSimdSweepTest, IncrementalResizeMatchesFreshAcrossTiers) {
+  std::mt19937_64 rng(1234);
+  const size_t kFinal = 1000;
+  Bitmap grown(320);
+  Bitmap fresh(kFinal);
+  std::vector<size_t> set_bits;
+  auto fill_range = [&](Bitmap* b, size_t begin, size_t end, bool record) {
+    for (size_t i = begin; i < end; ++i) {
+      if (rng() % 2 == 0) {
+        b->Set(i);
+        if (record) set_bits.push_back(i);
+      }
+    }
+  };
+  std::vector<size_t> sizes = {320, 321, 384, 447, 512, 700, kFinal};
+  size_t covered = 0;
+  for (size_t i = 0; i + 1 < sizes.size(); ++i) {
+    fill_range(&grown, covered, sizes[i], /*record=*/true);
+    covered = sizes[i];
+    grown.Resize(sizes[i + 1]);
+  }
+  fill_range(&grown, covered, kFinal, /*record=*/true);
+  for (const size_t bit : set_bits) fresh.Set(bit);
+  Bitmap other(kFinal);
+  fill_range(&other, 0, kFinal, /*record=*/false);
+  for (const simd::SimdLevel level : simd::SupportedSimdLevels()) {
+    simd::ScopedSimdLevel pin(level);
+    const std::string tag = simd::SimdLevelName(level);
+    EXPECT_EQ(grown.Count(), fresh.Count()) << tag;
+    EXPECT_EQ(grown.AndCount(other), fresh.AndCount(other)) << tag;
+    EXPECT_EQ(grown.AndNotCount(other), fresh.AndNotCount(other)) << tag;
+    EXPECT_EQ((grown & other).Count(), (fresh & other).Count()) << tag;
+  }
+  ASSERT_EQ(grown.num_words(), fresh.num_words());
+  for (size_t w = 0; w < grown.num_words(); ++w) {
+    EXPECT_EQ(grown.words()[w], fresh.words()[w]) << "word " << w;
+  }
+}
+
 }  // namespace
 }  // namespace faircap

@@ -128,5 +128,107 @@ TEST(DataFrameTest, AllRowsMask) {
   EXPECT_EQ(df.AllRows().Count(), df.num_rows());
 }
 
+TEST(DataFrameTest, AppendFrameConcatenatesAndBumpsGeneration) {
+  DataFrame df = SmallFrame();
+  const DataFrame delta = SmallFrame();
+  const uint64_t gen_before = df.generation();
+  ASSERT_TRUE(df.AppendFrame(delta).ok());
+  EXPECT_EQ(df.num_rows(), 8u);
+  EXPECT_GT(df.generation(), gen_before);
+  // Appended rows read back exactly, nulls included.
+  EXPECT_EQ(df.GetValue(4, 0), Value("nyc"));
+  EXPECT_EQ(df.GetValue(5, 2), Value(150.0));
+  EXPECT_TRUE(df.GetValue(7, 1).is_null());
+  // Resident rows are untouched.
+  EXPECT_EQ(df.GetValue(0, 0), Value("nyc"));
+  EXPECT_EQ(df.GetValue(2, 1), Value("qa"));
+}
+
+TEST(DataFrameTest, AppendFrameMergesDictionariesInFirstAppearanceOrder) {
+  DataFrame df = SmallFrame();  // city dictionary: {nyc, sf}
+  auto schema = Schema::Create({
+      {"city", AttrType::kCategorical, AttrRole::kImmutable},
+      {"job", AttrType::kCategorical, AttrRole::kMutable},
+      {"income", AttrType::kNumeric, AttrRole::kOutcome},
+  });
+  DataFrame delta = DataFrame::Create(std::move(schema).ValueOrDie());
+  // The delta's own dictionary leads with categories the resident table
+  // has never seen, in a different order than the resident dictionary.
+  ASSERT_TRUE(
+      delta.AppendRow({Value("tokyo"), Value("qa"), Value(90.0)}).ok());
+  ASSERT_TRUE(delta.AppendRow({Value("sf"), Value("ops"), Value(95.0)}).ok());
+  ASSERT_TRUE(
+      delta.AppendRow({Value("lisbon"), Value("dev"), Value(85.0)}).ok());
+  ASSERT_TRUE(df.AppendFrame(delta).ok());
+  // New categories intern after the resident ones, in first-appearance
+  // order — exactly the codes a cold parse of the concatenation assigns.
+  const Column& city = df.column(0);
+  ASSERT_EQ(city.num_categories(), 4u);
+  EXPECT_EQ(city.CategoryName(0), "nyc");
+  EXPECT_EQ(city.CategoryName(1), "sf");
+  EXPECT_EQ(city.CategoryName(2), "tokyo");
+  EXPECT_EQ(city.CategoryName(3), "lisbon");
+  EXPECT_EQ(df.GetValue(4, 0), Value("tokyo"));
+  EXPECT_EQ(df.GetValue(5, 0), Value("sf"));
+  EXPECT_EQ(df.GetValue(6, 0), Value("lisbon"));
+  EXPECT_EQ(df.GetValue(5, 1), Value("ops"));
+}
+
+TEST(DataFrameTest, AppendFrameRejectsSchemaMismatch) {
+  DataFrame df = SmallFrame();
+  auto wrong_arity = Schema::Create({
+      {"city", AttrType::kCategorical, AttrRole::kImmutable},
+      {"income", AttrType::kNumeric, AttrRole::kOutcome},
+  });
+  DataFrame delta1 = DataFrame::Create(std::move(wrong_arity).ValueOrDie());
+  EXPECT_EQ(df.AppendFrame(delta1).code(), StatusCode::kInvalidArgument);
+  auto wrong_type = Schema::Create({
+      {"city", AttrType::kNumeric, AttrRole::kImmutable},
+      {"job", AttrType::kCategorical, AttrRole::kMutable},
+      {"income", AttrType::kNumeric, AttrRole::kOutcome},
+  });
+  DataFrame delta2 = DataFrame::Create(std::move(wrong_type).ValueOrDie());
+  EXPECT_EQ(df.AppendFrame(delta2).code(), StatusCode::kInvalidArgument);
+  auto wrong_name = Schema::Create({
+      {"town", AttrType::kCategorical, AttrRole::kImmutable},
+      {"job", AttrType::kCategorical, AttrRole::kMutable},
+      {"income", AttrType::kNumeric, AttrRole::kOutcome},
+  });
+  DataFrame delta3 = DataFrame::Create(std::move(wrong_name).ValueOrDie());
+  EXPECT_EQ(df.AppendFrame(delta3).code(), StatusCode::kInvalidArgument);
+  // Failed appends leave the table untouched.
+  EXPECT_EQ(df.num_rows(), 4u);
+}
+
+TEST(DataFrameTest, AppendFrameMatchesRowByRowReplay) {
+  // AppendFrame(delta) must produce the exact table that appending the
+  // delta's rows one by one would — same codes, same nulls, same values.
+  DataFrame by_frame = SmallFrame();
+  DataFrame by_row = SmallFrame();
+  auto schema = Schema::Create({
+      {"city", AttrType::kCategorical, AttrRole::kImmutable},
+      {"job", AttrType::kCategorical, AttrRole::kMutable},
+      {"income", AttrType::kNumeric, AttrRole::kOutcome},
+  });
+  DataFrame delta = DataFrame::Create(std::move(schema).ValueOrDie());
+  const std::vector<std::vector<Value>> rows = {
+      {Value("sf"), Value("ops"), Value(70.0)},
+      {Value("berlin"), Value::Null(), Value(60.0)},
+      {Value::Null(), Value("dev"), Value::Null()},
+  };
+  for (const auto& row : rows) {
+    ASSERT_TRUE(delta.AppendRow(row).ok());
+    ASSERT_TRUE(by_row.AppendRow(row).ok());
+  }
+  ASSERT_TRUE(by_frame.AppendFrame(delta).ok());
+  ASSERT_EQ(by_frame.num_rows(), by_row.num_rows());
+  for (size_t r = 0; r < by_frame.num_rows(); ++r) {
+    for (size_t c = 0; c < by_frame.num_columns(); ++c) {
+      EXPECT_EQ(by_frame.GetValue(r, c), by_row.GetValue(r, c))
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace faircap

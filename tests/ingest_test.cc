@@ -385,6 +385,43 @@ TEST(RepositoryTest, UnknownNameAndBadParamsFail) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(RepositoryTest, AppendFromStringExtendsResidentTable) {
+  auto schema = Schema::Create({
+      {"city", AttrType::kCategorical, AttrRole::kImmutable},
+      {"job", AttrType::kCategorical, AttrRole::kMutable},
+      {"income", AttrType::kNumeric, AttrRole::kOutcome},
+  });
+  Dataset dataset;
+  dataset.name = "inline";
+  dataset.df = DataFrame::Create(std::move(schema).ValueOrDie());
+  ASSERT_TRUE(
+      dataset.df.AppendRow({Value("nyc"), Value("dev"), Value(100.0)}).ok());
+  ASSERT_TRUE(
+      dataset.df.AppendRow({Value("sf"), Value("qa"), Value(80.0)}).ok());
+  const uint64_t gen_before = dataset.df.generation();
+
+  // Delta parsed against the RESIDENT schema: the new city interns after
+  // the resident categories, empty fields come in as nulls.
+  DatasetRepository::AppendStats stats;
+  const Status st = DatasetRepository::AppendFromString(
+      &dataset, "city,job,income\nberlin,dev,120\nnyc,,\n", {}, &stats);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(dataset.df.num_rows(), 4u);
+  EXPECT_EQ(stats.rows, 2u);
+  EXPECT_GT(stats.bytes, 0u);
+  EXPECT_GT(dataset.df.generation(), gen_before);
+  EXPECT_EQ(dataset.df.GetValue(2, 0), Value("berlin"));
+  EXPECT_EQ(dataset.df.GetValue(2, 2), Value(120.0));
+  EXPECT_TRUE(dataset.df.GetValue(3, 1).is_null());
+  EXPECT_EQ(dataset.df.column(0).CategoryName(2), "berlin");
+
+  // A delta whose header does not match the resident schema fails
+  // loudly and leaves the table untouched.
+  EXPECT_FALSE(
+      DatasetRepository::AppendFromString(&dataset, "city,job\nx,y\n").ok());
+  EXPECT_EQ(dataset.df.num_rows(), 4u);
+}
+
 TEST(RepositoryTest, RegisterRejectsDuplicates) {
   DatasetRepository repo;
   const auto factory = [](const DatasetRequest&) -> Result<Dataset> {

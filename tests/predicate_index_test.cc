@@ -12,6 +12,7 @@
 
 #include "dataframe/predicate_index.h"
 #include "mining/pattern.h"
+#include "util/obs/metrics.h"
 #include "util/random.h"
 
 namespace faircap {
@@ -560,6 +561,71 @@ TEST(PredicateIndexTest, EmptyPatternSelectsAllRows) {
   }
   EXPECT_EQ(Pattern::Empty().Evaluate(df).Count(), 5u);
   EXPECT_EQ(Pattern::Empty().EvaluateCached(df).Count(), 5u);
+}
+
+// Append path: AppendFrame must not throw warm masks away — they extend
+// lazily by tail words on next touch (append.masks_extended) and the
+// extended masks must be bit-identical to a naive scan of the grown
+// table, for categorical equality, numeric ranges, and conjunctions.
+TEST(PredicateIndexTest, AppendExtendsWarmMasksAndMatchesNaiveScan) {
+  Rng rng(97);
+  DataFrame df = RandomFrame(&rng, 300);
+  std::vector<Pattern> patterns;
+  for (int i = 0; i < 12; ++i) {
+    std::vector<Predicate> preds;
+    const size_t len = 1 + rng.NextBounded(3);
+    for (size_t j = 0; j < len; ++j) {
+      preds.push_back(RandomPredicate(&rng, df));
+    }
+    patterns.emplace_back(std::move(preds));
+  }
+  for (const Pattern& pattern : patterns) {
+    (void)pattern.EvaluateCached(df);  // warm the masks pre-append
+  }
+  const uint64_t extended_before =
+      obs::MetricsRegistry::Global().CounterValue("append.masks_extended");
+  // Three appends of awkward sizes: sub-word, word-boundary-crossing,
+  // and one that lands the row count exactly on a word boundary.
+  const size_t deltas[] = {7, 100, 361};  // 300 -> 307 -> 407 -> 768
+  for (const size_t delta_rows : deltas) {
+    Rng delta_rng(delta_rows);
+    const DataFrame delta = RandomFrame(&delta_rng, delta_rows);
+    ASSERT_TRUE(df.AppendFrame(delta).ok());
+    for (const Pattern& pattern : patterns) {
+      const Bitmap& cached = pattern.EvaluateCached(df);
+      ASSERT_EQ(cached.size(), df.num_rows());
+      EXPECT_TRUE(cached == pattern.EvaluateNaive(df))
+          << "rows=" << df.num_rows()
+          << " pattern: " << pattern.ToString(df.schema());
+    }
+  }
+  EXPECT_EQ(df.num_rows(), 768u);
+  EXPECT_GT(
+      obs::MetricsRegistry::Global().CounterValue("append.masks_extended"),
+      extended_before);
+}
+
+TEST(PredicateIndexTest, AppendedFrameMatchesFreshFrameEvaluation) {
+  // The lazily-extended index must agree with a cold index built over an
+  // identical table assembled in one shot.
+  Rng rng(98);
+  const DataFrame full = RandomFrame(&rng, 500);
+  std::vector<uint32_t> base_rows(440);
+  for (size_t i = 0; i < 440; ++i) base_rows[i] = static_cast<uint32_t>(i);
+  std::vector<uint32_t> delta_rows(60);
+  for (size_t i = 0; i < 60; ++i) {
+    delta_rows[i] = static_cast<uint32_t>(440 + i);
+  }
+  DataFrame grown = full.TakeRows(base_rows);
+  Rng pred_rng(99);
+  std::vector<Predicate> preds;
+  for (int i = 0; i < 20; ++i) preds.push_back(RandomPredicate(&pred_rng, full));
+  for (const Predicate& p : preds) (void)p.EvaluateCached(grown);
+  ASSERT_TRUE(grown.AppendFrame(full.TakeRows(delta_rows)).ok());
+  for (const Predicate& p : preds) {
+    EXPECT_TRUE(p.EvaluateCached(grown) == p.Evaluate(full))
+        << p.ToString(full.schema());
+  }
 }
 
 }  // namespace

@@ -11,6 +11,8 @@
 //   faircap_cli gen --dataset=synthetic --rows=1000000 --out=data.csv
 //               [--dag-out=data.dag] [--seed=S] [--set=k=v,...]
 //   faircap_cli ingest --data=data.csv [--chunk-kb=1024] [--compare-legacy]
+//   faircap_cli append --dataset=NAME (--delta=FILE.csv[,FILE2] |
+//               --delta-fraction=0.01 --delta-batches=4) [--verify]
 //   faircap_cli datasets
 //
 // Every dataset — the paper generators, the synthetic scale workload, and
@@ -29,6 +31,7 @@
 
 #include "causal/dag_io.h"
 #include "core/faircap.h"
+#include "core/incremental.h"
 #include "core/metrics.h"
 #include "core/templates.h"
 #include "dataframe/csv.h"
@@ -90,6 +93,10 @@ void PrintUsage() {
       "                   [--dag-out=FILE.dag] [--seed=S] [--set=k=v,...]\n"
       "       faircap_cli ingest --data=FILE.csv [--chunk-kb=1024]\n"
       "                   [--compare-legacy]\n"
+      "       faircap_cli append --dataset=NAME | --data/--dag/--outcome...\n"
+      "                   (--delta=FILE.csv[,FILE2] |\n"
+      "                    --delta-fraction=0.01 --delta-batches=4)\n"
+      "                   [--verify] [run options]\n"
       "       faircap_cli datasets\n"
       "run options:\n"
       "  --rows=N --seed=S --set=k=v,...   (repository dataset knobs)\n"
@@ -125,7 +132,16 @@ void PrintUsage() {
       "                            ingest, SIMD tier, estimation splits)\n"
       "ingest options:\n"
       "  --chunk-kb=1024 --threads=1   (parse threads; 0 = hardware)\n"
-      "  --compare-legacy\n";
+      "  --compare-legacy\n"
+      "append options (incremental re-mining; takes all run options):\n"
+      "  --delta=FILE.csv[,FILE2]  (delta CSVs parsed against the resident\n"
+      "                            schema, appended batch by batch with a\n"
+      "                            re-mine after each)\n"
+      "  --delta-fraction=0.01 --delta-batches=4   (generated datasets:\n"
+      "                            hold out F*rows per batch and append\n"
+      "                            them back — the 1%-delta workload)\n"
+      "  --verify                 (cold solver over the final table;\n"
+      "                            fails on any ruleset mismatch)\n";
 }
 
 /// Repository request from the shared flags: --rows, --seed, and
@@ -251,52 +267,35 @@ int RunIngest(const CliArgs& args) {
   return 0;
 }
 
-int RunPipeline(const CliArgs& args) {
-  if (args.Has("help")) {
-    PrintUsage();
-    return 0;
-  }
-  StopWatch load_watch;
-  auto loaded = LoadFromArgs(args);
-  if (!loaded.ok()) {
-    PrintUsage();
-    return Fail(loaded.status().ToString());
-  }
-  obs::MetricsRegistry::Global()
-      .GetGauge(obs::kPhaseIngest)
-      .Set(load_watch.ElapsedSeconds());
-  DataFrame df = std::move(loaded->df);
-  const CausalDag dag = std::move(loaded->dag);
-
-  // --- Protected pattern: dataset ground truth, overridable. -----------
-  Pattern protected_pattern = std::move(loaded->protected_pattern);
+/// Protected pattern from --protected clauses, or `fallback` (the dataset
+/// ground truth) when the flag is absent.
+Result<Pattern> ParseProtected(const CliArgs& args, const DataFrame& df,
+                               Pattern fallback) {
+  Pattern protected_pattern = std::move(fallback);
   if (args.Has("protected")) {
     std::vector<Predicate> predicates;
     for (const std::string& clause : Split(args.Get("protected"), ',')) {
       const size_t eq = clause.find('=');
       if (eq == std::string::npos) {
-        return Fail("malformed --protected clause '" + clause + "'");
+        return Status::InvalidArgument("malformed --protected clause '" +
+                                       clause + "'");
       }
       const std::string attr = std::string(Trim(clause.substr(0, eq)));
       const std::string value = std::string(Trim(clause.substr(eq + 1)));
-      const auto idx = df.schema().IndexOf(attr);
-      if (!idx.ok()) return Fail(idx.status().ToString());
-      predicates.emplace_back(*idx, CompareOp::kEq, Value(value));
+      FAIRCAP_ASSIGN_OR_RETURN(const size_t idx, df.schema().IndexOf(attr));
+      predicates.emplace_back(idx, CompareOp::kEq, Value(value));
     }
     protected_pattern = Pattern(std::move(predicates));
   }
   if (protected_pattern.empty()) {
-    return Fail("no protected group: pass --protected=\"Attr=value\"");
+    return Status::InvalidArgument(
+        "no protected group: pass --protected=\"Attr=value\"");
   }
+  return protected_pattern;
+}
 
-  // --- Index memory budget ----------------------------------------------
-  const double budget_mb = args.GetDouble("index-budget-mb", 0.0);
-  if (budget_mb > 0.0) {
-    df.predicate_index().SetMemoryBudget(
-        static_cast<size_t>(budget_mb * 1024.0 * 1024.0));
-  }
-
-  // --- Options ----------------------------------------------------------
+/// FairCapOptions from the shared run flags (used by `run` and `append`).
+Result<FairCapOptions> OptionsFromArgs(const CliArgs& args) {
   FairCapOptions options;
   options.apriori.min_support_fraction = args.GetDouble("min-support", 0.1);
   options.lattice.max_predicates = static_cast<size_t>(
@@ -326,7 +325,7 @@ int RunPipeline(const CliArgs& args) {
   } else if (fairness == "indi-bgl") {
     options.fairness = FairnessConstraint::IndividualBGL(threshold);
   } else if (!fairness.empty()) {
-    return Fail("unknown --fairness '" + fairness + "'");
+    return Status::InvalidArgument("unknown --fairness '" + fairness + "'");
   }
 
   const std::string coverage = args.Get("coverage");
@@ -337,8 +336,45 @@ int RunPipeline(const CliArgs& args) {
   } else if (coverage == "rule") {
     options.coverage = CoverageConstraint::Rule(theta, theta_p);
   } else if (!coverage.empty()) {
-    return Fail("unknown --coverage '" + coverage + "'");
+    return Status::InvalidArgument("unknown --coverage '" + coverage + "'");
   }
+  return options;
+}
+
+int RunPipeline(const CliArgs& args) {
+  if (args.Has("help")) {
+    PrintUsage();
+    return 0;
+  }
+  StopWatch load_watch;
+  auto loaded = LoadFromArgs(args);
+  if (!loaded.ok()) {
+    PrintUsage();
+    return Fail(loaded.status().ToString());
+  }
+  obs::MetricsRegistry::Global()
+      .GetGauge(obs::kPhaseIngest)
+      .Set(load_watch.ElapsedSeconds());
+  DataFrame df = std::move(loaded->df);
+  const CausalDag dag = std::move(loaded->dag);
+
+  // --- Protected pattern: dataset ground truth, overridable. -----------
+  auto parsed_protected =
+      ParseProtected(args, df, std::move(loaded->protected_pattern));
+  if (!parsed_protected.ok()) return Fail(parsed_protected.status().ToString());
+  Pattern protected_pattern = std::move(parsed_protected).ValueOrDie();
+
+  // --- Index memory budget ----------------------------------------------
+  const double budget_mb = args.GetDouble("index-budget-mb", 0.0);
+  if (budget_mb > 0.0) {
+    df.predicate_index().SetMemoryBudget(
+        static_cast<size_t>(budget_mb * 1024.0 * 1024.0));
+  }
+
+  // --- Options ----------------------------------------------------------
+  auto parsed_options = OptionsFromArgs(args);
+  if (!parsed_options.ok()) return Fail(parsed_options.status().ToString());
+  FairCapOptions options = std::move(parsed_options).ValueOrDie();
 
   // --- Run ---------------------------------------------------------------
   auto solver = FairCap::Create(&df, &dag, protected_pattern, options);
@@ -407,6 +443,190 @@ int RunPipeline(const CliArgs& args) {
   return 0;
 }
 
+/// Structural + numeric comparison of two rulesets. Patterns, supports
+/// and rule counts must match exactly; utilities are compared to
+/// `rel_tol` (integer-outcome runs come out bit-identical; continuous
+/// outcomes reassociate FP sums across delta merges to shard-merge
+/// precision). Returns true on match and reports the max relative
+/// utility difference seen.
+bool RulesetsMatch(const std::vector<PrescriptionRule>& a,
+                   const std::vector<PrescriptionRule>& b,
+                   const Schema& schema, double rel_tol,
+                   double* max_rel_diff, std::string* mismatch) {
+  *max_rel_diff = 0.0;
+  if (a.size() != b.size()) {
+    *mismatch = "rule count " + std::to_string(a.size()) + " vs " +
+                std::to_string(b.size());
+    return false;
+  }
+  const auto rel = [](double x, double y) {
+    const double denom = std::max(std::abs(x), std::abs(y));
+    return denom > 0.0 ? std::abs(x - y) / denom : 0.0;
+  };
+  for (size_t i = 0; i < a.size(); ++i) {
+    const PrescriptionRule& ra = a[i];
+    const PrescriptionRule& rb = b[i];
+    if (ra.grouping.ToString(schema) != rb.grouping.ToString(schema) ||
+        ra.intervention.ToString(schema) != rb.intervention.ToString(schema) ||
+        ra.support != rb.support ||
+        ra.support_protected != rb.support_protected) {
+      *mismatch = "rule " + std::to_string(i) + " structure: [" +
+                  ra.ToString(schema) + "] vs [" + rb.ToString(schema) + "]";
+      return false;
+    }
+    for (const double d :
+         {rel(ra.utility, rb.utility),
+          rel(ra.utility_protected, rb.utility_protected),
+          rel(ra.utility_nonprotected, rb.utility_nonprotected),
+          rel(ra.benefit, rb.benefit)}) {
+      *max_rel_diff = std::max(*max_rel_diff, d);
+    }
+  }
+  if (*max_rel_diff > rel_tol) {
+    *mismatch = "max relative utility difference " +
+                FormatDouble(*max_rel_diff) + " exceeds " +
+                FormatDouble(rel_tol);
+    return false;
+  }
+  return true;
+}
+
+int RunAppend(const CliArgs& args) {
+  auto loaded = LoadFromArgs(args);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  const CausalDag dag_copy = loaded->dag;  // verify run borrows this one
+
+  const bool use_files = args.Has("delta");
+  const double delta_fraction = args.GetDouble("delta-fraction", 0.0);
+  const size_t delta_batches =
+      static_cast<size_t>(args.GetDouble("delta-batches", 1));
+  if (!use_files && delta_fraction <= 0.0) {
+    return Fail(
+        "append needs --delta=FILE.csv[,FILE2] or --delta-fraction=F "
+        "[--delta-batches=N]");
+  }
+
+  // Assemble base table + delta batches. File deltas are parsed against
+  // the RESIDENT schema; generated datasets are split row-wise (the full
+  // generation is the ground truth a cold run over everything would see).
+  DataFrame base = std::move(loaded->df);
+  std::vector<DataFrame> deltas;
+  if (use_files) {
+    for (const std::string& path : Split(args.Get("delta"), ',')) {
+      if (std::string(Trim(path)).empty()) continue;
+      DatasetRepository::AppendStats stats;
+      auto delta = DatasetRepository::ParseDelta(
+          base.schema(), std::string(Trim(path)), IngestOptions{}, &stats);
+      if (!delta.ok()) return Fail(delta.status().ToString());
+      FAIRCAP_LOG(Info) << "delta: " << path << " (" << stats.rows
+                        << " rows, " << stats.bytes << " bytes, "
+                        << FormatDouble(stats.seconds) << "s parse)";
+      deltas.push_back(std::move(delta).ValueOrDie());
+    }
+    if (deltas.empty()) return Fail("--delta named no readable files");
+  } else {
+    const size_t total = base.num_rows();
+    const size_t batch_rows =
+        static_cast<size_t>(static_cast<double>(total) * delta_fraction);
+    if (batch_rows == 0 || batch_rows * delta_batches >= total) {
+      return Fail("--delta-fraction/--delta-batches leave no base rows");
+    }
+    const size_t base_rows = total - batch_rows * delta_batches;
+    std::vector<uint32_t> ids(base_rows);
+    for (size_t i = 0; i < base_rows; ++i) ids[i] = static_cast<uint32_t>(i);
+    DataFrame split_base = base.TakeRows(ids);
+    for (size_t b = 0; b < delta_batches; ++b) {
+      ids.resize(batch_rows);
+      for (size_t i = 0; i < batch_rows; ++i) {
+        ids[i] = static_cast<uint32_t>(base_rows + b * batch_rows + i);
+      }
+      deltas.push_back(base.TakeRows(ids));
+    }
+    base = std::move(split_base);
+  }
+
+  auto parsed_protected =
+      ParseProtected(args, base, std::move(loaded->protected_pattern));
+  if (!parsed_protected.ok()) return Fail(parsed_protected.status().ToString());
+  const Pattern protected_pattern = std::move(parsed_protected).ValueOrDie();
+  auto parsed_options = OptionsFromArgs(args);
+  if (!parsed_options.ok()) return Fail(parsed_options.status().ToString());
+  const FairCapOptions options = std::move(parsed_options).ValueOrDie();
+
+  auto session = IncrementalSession::Create(std::move(base), std::move(loaded->dag),
+                                            protected_pattern, options);
+  if (!session.ok()) return Fail(session.status().ToString());
+
+  StopWatch watch;
+  auto result = session->Run();
+  if (!result.ok()) return Fail(result.status().ToString());
+  const double base_seconds = watch.ElapsedSeconds();
+  std::cout << "base run: " << session->df().num_rows() << " rows, "
+            << result->rules.size() << " rules, "
+            << FormatDouble(base_seconds) << "s\n";
+
+  double append_seconds_total = 0.0;
+  for (size_t b = 0; b < deltas.size(); ++b) {
+    watch.Restart();
+    const Status appended = session->Append(deltas[b]);
+    if (!appended.ok()) return Fail(appended.ToString());
+    {
+      const obs::TraceSpan span("append_remine");
+      result = session->Run();
+    }
+    if (!result.ok()) return Fail(result.status().ToString());
+    const double seconds = watch.ElapsedSeconds();
+    append_seconds_total += seconds;
+    std::cout << "append " << (b + 1) << "/" << deltas.size() << ": +"
+              << deltas[b].num_rows() << " rows -> "
+              << session->df().num_rows() << " total, "
+              << result->rules.size() << " rules, " << FormatDouble(seconds)
+              << "s (" << FormatDouble(seconds / base_seconds)
+              << "x base run)\n";
+  }
+
+  const auto cache = session->state().GetCacheStats();
+  FAIRCAP_LOG(Info) << "incremental caches: " << cache.accum_entries
+                    << " accum entries (" << cache.accum_bytes
+                    << " bytes), " << cache.group_entries
+                    << " group entries, group reuse "
+                    << (cache.group_reuse_sound ? "sound" : "disabled");
+
+  for (const auto& rule : result->rules) {
+    std::cout << "  - " << rule.ToString(session->df().schema()) << "\n";
+  }
+
+  if (args.Has("verify")) {
+    // Pinning oracle: a cold solver over the concatenated table with
+    // fresh estimator/mining caches (the warm PredicateIndex is shared —
+    // its masks are pinned equivalent by the index's own tests).
+    FairCapOptions cold_options = options;
+    cold_options.incremental_state = nullptr;
+    watch.Restart();
+    auto cold_solver = FairCap::Create(&session->df(), &dag_copy,
+                                       protected_pattern, cold_options);
+    if (!cold_solver.ok()) return Fail(cold_solver.status().ToString());
+    auto cold = cold_solver->Run();
+    if (!cold.ok()) return Fail(cold.status().ToString());
+    const double cold_seconds = watch.ElapsedSeconds();
+    double max_rel_diff = 0.0;
+    std::string mismatch;
+    const bool match =
+        RulesetsMatch(result->rules, cold->rules, session->df().schema(),
+                      /*rel_tol=*/1e-6, &max_rel_diff, &mismatch);
+    std::cout << "verify: cold run " << FormatDouble(cold_seconds)
+              << "s; incremental appends " << FormatDouble(append_seconds_total)
+              << "s total ("
+              << FormatDouble(append_seconds_total /
+                              (cold_seconds * static_cast<double>(deltas.size())))
+              << "x cold per batch); rulesets "
+              << (match ? "MATCH" : "MISMATCH")
+              << " (max rel diff " << FormatDouble(max_rel_diff) << ")\n";
+    if (!match) return Fail("incremental/cold ruleset mismatch: " + mismatch);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -468,6 +688,8 @@ int main(int argc, char** argv) {
     rc = RunGen(args);
   } else if (verb == "ingest") {
     rc = RunIngest(args);
+  } else if (verb == "append") {
+    rc = RunAppend(args);
   } else if (verb == "datasets") {
     rc = RunDatasets();
   } else if (verb == "help") {
